@@ -1,0 +1,254 @@
+//! Content-based record structure inference.
+//!
+//! The paper's stated direction (§3.2): "Incorporating tools such as
+//! LEARNPADS for automatic discovery of the structure of data files into
+//! the feed classification process and Bistro feed analyzer is one of
+//! the directions we are planning to take in the future."
+//!
+//! This module implements the pragmatic core of that idea: given a
+//! sample of a file's bytes, [`infer_schema`] detects the delimiter,
+//! header presence, column count and per-column types. Two files with
+//! the same [`RecordSchema`] probably carry the same kind of data even
+//! when their names differ — extra evidence for the analyzer's
+//! false-positive reports (a PPS file leaking into a BPS feed has the
+//! same *filename* shape but its schema equality is what makes the leak
+//! dangerous, §2.1.3.2).
+
+use std::fmt;
+
+/// The inferred type of one column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// All sampled values parse as integers.
+    Integer,
+    /// All sampled values parse as floats (and not all as integers).
+    Float,
+    /// Values look like epoch seconds or `YYYY…` timestamps.
+    Timestamp,
+    /// Anything else.
+    Text,
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnType::Integer => write!(f, "int"),
+            ColumnType::Float => write!(f, "float"),
+            ColumnType::Timestamp => write!(f, "ts"),
+            ColumnType::Text => write!(f, "text"),
+        }
+    }
+}
+
+/// An inferred record schema for a delimited text file.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RecordSchema {
+    /// The detected field delimiter.
+    pub delimiter: char,
+    /// Whether the first line looks like a header (all-text row over a
+    /// typed body).
+    pub has_header: bool,
+    /// Per-column types.
+    pub columns: Vec<ColumnType>,
+}
+
+impl fmt::Display for RecordSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self.columns.iter().map(|c| c.to_string()).collect();
+        write!(
+            f,
+            "{}({}){}",
+            match self.delimiter {
+                '\t' => "tsv".to_string(),
+                ',' => "csv".to_string(),
+                d => format!("'{d}'-delimited"),
+            },
+            cols.join(","),
+            if self.has_header { " +header" } else { "" }
+        )
+    }
+}
+
+const CANDIDATE_DELIMITERS: [char; 4] = [',', '\t', '|', ';'];
+const SAMPLE_LINES: usize = 50;
+
+fn classify_value(v: &str) -> ColumnType {
+    let v = v.trim();
+    if v.is_empty() {
+        return ColumnType::Text;
+    }
+    if let Ok(n) = v.parse::<i64>() {
+        // plausible epoch seconds (2001..2100) or YYYYMMDD-ish
+        if (1_000_000_000..4_102_444_800).contains(&n) {
+            return ColumnType::Timestamp;
+        }
+        if (8..=14).contains(&v.len())
+            && bistro_pattern::token::classify_digits(v)
+                != bistro_pattern::token::DigitsFormat::Int
+        {
+            return ColumnType::Timestamp;
+        }
+        return ColumnType::Integer;
+    }
+    if v.parse::<f64>().is_ok() {
+        return ColumnType::Float;
+    }
+    ColumnType::Text
+}
+
+fn merge_type(a: ColumnType, b: ColumnType) -> ColumnType {
+    use ColumnType::*;
+    match (a, b) {
+        (x, y) if x == y => x,
+        (Integer, Float) | (Float, Integer) => Float,
+        (Timestamp, Integer) | (Integer, Timestamp) => Integer,
+        _ => Text,
+    }
+}
+
+/// Infer a record schema from a sample of file bytes. Returns `None`
+/// when the content is not line-delimited text (binary, or no consistent
+/// delimiter).
+pub fn infer_schema(data: &[u8]) -> Option<RecordSchema> {
+    let text = std::str::from_utf8(&data[..data.len().min(64 * 1024)]).ok()?;
+    let lines: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .take(SAMPLE_LINES)
+        .collect();
+    if lines.len() < 2 {
+        return None;
+    }
+
+    // the delimiter is the candidate with the highest *consistent*
+    // per-line count (>0)
+    let mut best: Option<(char, usize)> = None;
+    for d in CANDIDATE_DELIMITERS {
+        let counts: Vec<usize> = lines.iter().map(|l| l.matches(d).count()).collect();
+        let first = counts[0];
+        if first == 0 {
+            continue;
+        }
+        if counts.iter().all(|&c| c == first)
+            && best.map(|(_, n)| first > n).unwrap_or(true)
+        {
+            best = Some((d, first));
+        }
+    }
+    let (delimiter, _) = best?;
+
+    let typed_rows: Vec<Vec<ColumnType>> = lines
+        .iter()
+        .map(|l| l.split(delimiter).map(classify_value).collect())
+        .collect();
+
+    // header detection: first row all-text while the body has any
+    // non-text column
+    let body_start = {
+        let first_all_text = typed_rows[0].iter().all(|&t| t == ColumnType::Text);
+        let body_has_typed = typed_rows[1..]
+            .iter()
+            .any(|r| r.iter().any(|&t| t != ColumnType::Text));
+        usize::from(first_all_text && body_has_typed)
+    };
+    let has_header = body_start == 1;
+
+    let ncols = typed_rows[body_start].len();
+    let mut columns = typed_rows[body_start].clone();
+    for row in &typed_rows[body_start + 1..] {
+        for (i, &t) in row.iter().enumerate().take(ncols) {
+            columns[i] = merge_type(columns[i], t);
+        }
+    }
+    Some(RecordSchema {
+        delimiter,
+        has_header,
+        columns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_with_header() {
+        let data = b"timestamp,element,metric,value\n\
+            1285372800,router_001,memory,563412\n\
+            1285372805,router_002,memory,123456\n\
+            1285372810,router_003,memory,777777\n";
+        let s = infer_schema(data).unwrap();
+        assert_eq!(s.delimiter, ',');
+        assert!(s.has_header);
+        assert_eq!(
+            s.columns,
+            vec![
+                ColumnType::Timestamp,
+                ColumnType::Text,
+                ColumnType::Text,
+                ColumnType::Integer
+            ]
+        );
+        assert_eq!(s.to_string(), "csv(ts,text,text,int) +header");
+    }
+
+    #[test]
+    fn headerless_tsv_with_floats() {
+        let data = b"a1\t1.5\t10\nb2\t2.25\t20\nc3\t0.5\t30\n";
+        let s = infer_schema(data).unwrap();
+        assert_eq!(s.delimiter, '\t');
+        assert!(!s.has_header);
+        assert_eq!(
+            s.columns,
+            vec![ColumnType::Text, ColumnType::Float, ColumnType::Integer]
+        );
+    }
+
+    #[test]
+    fn int_float_mix_becomes_float() {
+        let data = b"1,2\n3,4.5\n5,6\n";
+        let s = infer_schema(data).unwrap();
+        assert_eq!(s.columns, vec![ColumnType::Integer, ColumnType::Float]);
+    }
+
+    #[test]
+    fn binary_rejected() {
+        let data: Vec<u8> = (0..255u8).cycle().take(1000).collect();
+        assert_eq!(infer_schema(&data), None);
+    }
+
+    #[test]
+    fn inconsistent_columns_rejected() {
+        let data = b"a,b,c\nx,y\nq,r,s,t\n";
+        assert_eq!(infer_schema(data), None);
+    }
+
+    #[test]
+    fn single_line_rejected() {
+        assert_eq!(infer_schema(b"just one line, no body\n"), None);
+    }
+
+    #[test]
+    fn schema_equality_detects_same_kind_of_data() {
+        // the §2.1.3.2 hazard: BPS and PPS files carry an identical schema
+        let bps = b"1285372800,router_001,1024\n1285372805,router_002,2048\n";
+        let pps = b"1285372800,router_001,17\n1285372805,router_002,23\n";
+        let alarm = b"1285372800,router_001,LINK_DOWN,critical\n1285372805,router_002,LINK_UP,info\n";
+        assert_eq!(infer_schema(bps), infer_schema(pps));
+        assert_ne!(infer_schema(bps), infer_schema(alarm));
+    }
+
+    #[test]
+    fn yyyymmdd_column_is_timestamp() {
+        let data = b"20100925,5\n20100926,6\n20100927,7\n";
+        let s = infer_schema(data).unwrap();
+        assert_eq!(s.columns[0], ColumnType::Timestamp);
+    }
+
+    #[test]
+    fn pipe_delimiter() {
+        let data = b"a|1\nb|2\nc|3\n";
+        let s = infer_schema(data).unwrap();
+        assert_eq!(s.delimiter, '|');
+    }
+}

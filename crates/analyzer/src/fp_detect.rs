@@ -1,0 +1,124 @@
+//! False-positive detection (paper §5.3).
+//!
+//! "Instead of directly identifying false positives Bistro feed analyzer
+//! explores the stream of files matching existing feed definition and
+//! identifies all the contained atomic feeds … the system identifies and
+//! marks outliers that do not share filename structure with the rest of
+//! the matching files. A list of atomic feed definitions is then
+//! forwarded to all the feed subscribers."
+//!
+//! [`fp_report`] runs the discovery clustering over a feed's *matched*
+//! files and splits the resulting atomic feeds into the dominant
+//! composition and outliers (low relative support).
+
+use crate::discovery::{DiscoveredFeed, FeedDiscoverer};
+
+/// The composition report for one feed.
+#[derive(Clone, Debug)]
+pub struct FpReport {
+    /// The feed under analysis.
+    pub feed: String,
+    /// Total matched files analyzed.
+    pub total_files: usize,
+    /// The atomic subfeeds that make up the bulk of the feed.
+    pub composition: Vec<DiscoveredFeed>,
+    /// Atomic feeds flagged as probable false positives (outlier
+    /// structure with low support).
+    pub outliers: Vec<DiscoveredFeed>,
+}
+
+/// Fraction of total files below which an atomic feed counts as an
+/// outlier (when it also has few absolute files).
+pub const OUTLIER_FRACTION: f64 = 0.05;
+
+/// Cluster the files matching `feed` and split composition from
+/// outliers.
+///
+/// `outlier_fraction` — atomic feeds carrying less than this fraction of
+/// files are flagged (default [`OUTLIER_FRACTION`]).
+pub fn fp_report<'a>(
+    feed: &str,
+    matched_files: impl Iterator<Item = &'a str>,
+    outlier_fraction: f64,
+) -> FpReport {
+    let mut disc = FeedDiscoverer::new();
+    let mut total = 0usize;
+    for name in matched_files {
+        disc.observe(name);
+        total += 1;
+    }
+    let all = disc.suggestions(1);
+    let threshold = ((total as f64) * outlier_fraction).ceil() as usize;
+    let (composition, outliers): (Vec<_>, Vec<_>) = all
+        .into_iter()
+        .partition(|f| f.support >= threshold.max(1));
+    FpReport {
+        feed: feed.to_string(),
+        total_files: total,
+        composition,
+        outliers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_pps_leaking_into_bps() {
+        // §2.1.3.2: "if a data feed composed of bytes per second
+        // measurement also starts receiving packets per second data with
+        // an identical schema, problem detection might be arbitrarily
+        // delayed" — the wildcard pattern *_%Y%m%d.csv.gz matched both.
+        let mut files: Vec<String> = Vec::new();
+        for day in 1..=28 {
+            for poller in 1..=4 {
+                files.push(format!("BPS_poller{poller}_201009{day:02}.csv"));
+            }
+        }
+        // a trickle of PPS files leaks in
+        files.push("PPS_poller1_20100901.csv".to_string());
+        files.push("PPS_poller1_20100902.csv".to_string());
+
+        let report = fp_report("BILLING/BPS", files.iter().map(|s| s.as_str()), 0.05);
+        assert_eq!(report.total_files, 114);
+        assert_eq!(report.composition.len(), 1);
+        assert!(report.composition[0].pattern.text().starts_with("BPS"));
+        assert_eq!(report.outliers.len(), 1, "{report:#?}");
+        assert!(report.outliers[0].pattern.text().starts_with("PPS"));
+        assert_eq!(report.outliers[0].support, 2);
+    }
+
+    #[test]
+    fn clean_feed_has_no_outliers() {
+        let files: Vec<String> = (1..=28)
+            .map(|d| format!("CPU_POLL1_201009{d:02}0000.txt"))
+            .collect();
+        let report = fp_report("CPU", files.iter().map(|s| s.as_str()), 0.05);
+        assert_eq!(report.outliers.len(), 0);
+        assert_eq!(report.composition.len(), 1);
+    }
+
+    #[test]
+    fn aggregate_feed_composition_listed() {
+        // a deliberately aggregate feed: subscriber sees all subfeeds to
+        // verify each is intentional
+        let mut files: Vec<String> = Vec::new();
+        for day in 1..=10 {
+            files.push(format!("BPS_p1_201009{day:02}.csv"));
+            files.push(format!("PPS_p1_201009{day:02}.csv"));
+            files.push(format!("CPU_p1_201009{day:02}.csv"));
+        }
+        let report = fp_report("SNMP_ALL", files.iter().map(|s| s.as_str()), 0.05);
+        assert_eq!(report.composition.len(), 3);
+        assert!(report.outliers.is_empty());
+    }
+
+    #[test]
+    fn empty_feed() {
+        let report = fp_report("EMPTY", std::iter::empty(), 0.05);
+        assert_eq!(report.total_files, 0);
+        assert!(report.composition.is_empty());
+        assert!(report.outliers.is_empty());
+    }
+}

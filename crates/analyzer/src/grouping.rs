@@ -1,0 +1,183 @@
+//! Automatic grouping of atomic feeds into feed groups.
+//!
+//! The paper's stated direction (§5.1): "Developing tools for automatic
+//! grouping of related or structurally similar atomic feeds into more
+//! complex logical feed groups is one of the research directions we are
+//! planning to undertake in the future."
+//!
+//! [`suggest_groups`] clusters discovered feeds by structural similarity
+//! of their patterns (the same token-level alignment used for
+//! false-negative detection): feeds whose patterns differ essentially
+//! only in the name token — `BPS_poller%i_TS`, `PPS_poller%i_TS`,
+//! `CPU_poller%i_TS` — form one suggested group, matching the paper's
+//! SNMP → {BPS, PPS, CPU, MEMORY} hierarchy example (§3.1). Like every
+//! analyzer output, the suggestion goes to a human for naming and
+//! approval.
+
+use crate::discovery::DiscoveredFeed;
+use bistro_pattern::pattern_similarity;
+
+/// A suggested feed group.
+#[derive(Clone, Debug)]
+pub struct GroupSuggestion {
+    /// Indices into the input feed list.
+    pub members: Vec<usize>,
+    /// A suggested group name: the members' longest common name prefix,
+    /// or a structural label when there is none.
+    pub suggested_name: String,
+    /// The minimum pairwise similarity inside the group.
+    pub cohesion: f64,
+}
+
+/// Default similarity threshold for grouping.
+pub const DEFAULT_GROUP_THRESHOLD: f64 = 0.7;
+
+/// Cluster discovered feeds into suggested groups by single-linkage
+/// similarity ≥ `threshold`. Singleton groups are omitted.
+pub fn suggest_groups(feeds: &[DiscoveredFeed], threshold: f64) -> Vec<GroupSuggestion> {
+    let n = feeds.len();
+    // union-find over single-linkage edges
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut sim = vec![vec![1.0f64; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let s = pattern_similarity(&feeds[i].pattern, &feeds[j].pattern);
+            sim[i][j] = s;
+            sim[j][i] = s;
+            if s >= threshold {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+
+    let mut clusters: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        clusters.entry(r).or_default().push(i);
+    }
+
+    clusters
+        .into_values()
+        .filter(|members| members.len() >= 2)
+        .map(|members| {
+            let mut cohesion = 1.0f64;
+            for (ai, &a) in members.iter().enumerate() {
+                for &b in &members[ai + 1..] {
+                    cohesion = cohesion.min(sim[a][b]);
+                }
+            }
+            let names: Vec<&str> = members
+                .iter()
+                .map(|&i| feeds[i].pattern.text())
+                .collect();
+            let prefix = common_prefix(&names);
+            let suggested_name = if prefix.len() >= 3 {
+                prefix.trim_end_matches(['_', '-', '.']).to_string()
+            } else {
+                format!("GROUP_{}", members.len())
+            };
+            GroupSuggestion {
+                members,
+                suggested_name,
+                cohesion,
+            }
+        })
+        .collect()
+}
+
+fn common_prefix(names: &[&str]) -> String {
+    let Some(first) = names.first() else {
+        return String::new();
+    };
+    let mut len = first.len();
+    for name in &names[1..] {
+        len = len.min(
+            first
+                .bytes()
+                .zip(name.bytes())
+                .take_while(|(a, b)| a == b)
+                .count(),
+        );
+    }
+    first[..len].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::FeedDiscoverer;
+
+    fn discover(names: &[String]) -> Vec<DiscoveredFeed> {
+        let mut d = FeedDiscoverer::new();
+        for n in names {
+            d.observe(n);
+        }
+        d.suggestions(1)
+    }
+
+    #[test]
+    fn snmp_style_feeds_group_together() {
+        // the paper's SNMP hierarchy: structurally identical subfeeds
+        // with different name tokens, plus one structurally alien feed
+        let mut names = Vec::new();
+        for kind in ["BPS", "PPS", "CPU", "MEMORY"] {
+            for d in 10..15 {
+                names.push(format!("{kind}_poller1_201009{d}0000.csv"));
+            }
+        }
+        for d in 10..15 {
+            names.push(format!("alarm-log.{d}.of.september.txt"));
+        }
+        let feeds = discover(&names);
+        assert_eq!(feeds.len(), 5);
+        let groups = suggest_groups(&feeds, DEFAULT_GROUP_THRESHOLD);
+        assert_eq!(groups.len(), 1, "{groups:#?}");
+        assert_eq!(groups[0].members.len(), 4);
+        assert!(groups[0].cohesion >= DEFAULT_GROUP_THRESHOLD);
+    }
+
+    #[test]
+    fn shared_prefix_names_the_group() {
+        let mut names = Vec::new();
+        for kind in ["SNMPBPS", "SNMPPPS"] {
+            for d in 10..15 {
+                names.push(format!("{kind}_p1_201009{d}.csv"));
+            }
+        }
+        let feeds = discover(&names);
+        let groups = suggest_groups(&feeds, 0.6);
+        assert_eq!(groups.len(), 1);
+        assert!(
+            groups[0].suggested_name.starts_with("SNMP"),
+            "{}",
+            groups[0].suggested_name
+        );
+    }
+
+    #[test]
+    fn unrelated_feeds_stay_ungrouped() {
+        let mut names = Vec::new();
+        for d in 10..15 {
+            names.push(format!("BPS_poller1_201009{d}0000.csv"));
+            names.push(format!("totally.different.thing.{d}"));
+        }
+        let feeds = discover(&names);
+        let groups = suggest_groups(&feeds, DEFAULT_GROUP_THRESHOLD);
+        assert!(groups.is_empty(), "{groups:#?}");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(suggest_groups(&[], 0.7).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # bistro-analyzer
+//!
+//! The Bistro feed analyzer (paper §5): proactive monitoring of the
+//! file-to-feed classification stream.
+//!
+//! Three modes of use, mirroring §5.1–§5.3:
+//!
+//! * **New feed discovery** ([`discovery::FeedDiscoverer`]) — cluster the
+//!   files that matched *no* registered feed into *atomic feeds*
+//!   (homogeneous filename structures), infer field types/domains and
+//!   arrival patterns, and emit suggested feed definitions for human
+//!   review.
+//! * **False-negative detection** ([`fn_detect::FnDetector`]) — find
+//!   unmatched files that are structurally similar to an existing feed
+//!   (naming-convention drift), using generalized-pattern similarity
+//!   rather than the byte-edit-distance strawman the paper rejects. One
+//!   warning per generalized pattern, not per file.
+//! * **False-positive detection** ([`fp_detect::fp_report`]) — cluster the
+//!   files *matching* a feed and flag outlier atomic feeds that probably
+//!   don't belong (over-generic wildcard patterns).
+//!
+//! The analyzer never changes feed definitions itself: every output is a
+//! *suggestion* for subscribers to approve — "the ultimate responsibility
+//! of approving or rejecting the suggested feed configuration changes is
+//! in the hands of feed subscribers."
+
+pub mod content;
+pub mod discovery;
+pub mod fn_detect;
+pub mod grouping;
+pub mod fp_detect;
+pub mod progress;
+
+pub use content::{infer_schema, ColumnType, RecordSchema};
+pub use discovery::{DiscoveredFeed, FeedDiscoverer};
+pub use grouping::{suggest_groups, GroupSuggestion};
+pub use fn_detect::{FnDetector, FnWarning};
+pub use fp_detect::{fp_report, FpReport};
+pub use progress::{FeedProgress, ProgressAlert};

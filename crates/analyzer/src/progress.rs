@@ -1,0 +1,215 @@
+//! Feed progress monitoring (paper §3.2).
+//!
+//! "An important feature of Bistro is to perform extensive logging to
+//! track the status of all the feeds, monitor their progress (e.g., if
+//! the expected data is incomplete), detect and correct any errors, and
+//! alarm if it is unable to correct errors."
+//!
+//! [`FeedProgress`] tracks one feed's arrivals bucketed by feed
+//! timestamp: given the expected period and source count (configured or
+//! inferred by discovery), it reports intervals with missing or surplus
+//! files, and feeds that have gone silent.
+
+use bistro_base::{TimePoint, TimeSpan};
+use std::collections::BTreeMap;
+
+/// An alert raised by progress monitoring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgressAlert {
+    /// An interval received fewer files than expected.
+    MissingData {
+        /// Start of the affected interval.
+        interval: TimePoint,
+        /// Files expected (the source count).
+        expected: usize,
+        /// Files actually received.
+        got: usize,
+    },
+    /// An interval received more files than expected (possible duplicate
+    /// or misclassified data).
+    SurplusData {
+        /// Start of the affected interval.
+        interval: TimePoint,
+        /// Files expected.
+        expected: usize,
+        /// Files received.
+        got: usize,
+    },
+    /// No data at all for at least `silent_for`, measured at `since`.
+    FeedSilent {
+        /// The last interval that had data.
+        since: TimePoint,
+        /// How long the feed has been silent.
+        silent_for: TimeSpan,
+    },
+}
+
+/// Tracks per-interval arrival counts for one feed.
+#[derive(Debug)]
+pub struct FeedProgress {
+    period: TimeSpan,
+    expected_per_interval: usize,
+    counts: BTreeMap<TimePoint, usize>,
+}
+
+impl FeedProgress {
+    /// A monitor for a feed expected to deliver `expected_per_interval`
+    /// files every `period`.
+    pub fn new(period: TimeSpan, expected_per_interval: usize) -> FeedProgress {
+        FeedProgress {
+            period,
+            expected_per_interval: expected_per_interval.max(1),
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Record a file whose feed timestamp is `feed_time`.
+    pub fn record(&mut self, feed_time: TimePoint) {
+        let bucket = feed_time.truncate_to(self.period);
+        *self.counts.entry(bucket).or_insert(0) += 1;
+    }
+
+    /// Number of intervals with any data.
+    pub fn intervals_seen(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Audit the stream as of `now`: deficits, surpluses and silence.
+    /// Only closed intervals (`interval + period <= now`) are audited, so
+    /// in-flight intervals don't alarm spuriously.
+    pub fn audit(&self, now: TimePoint) -> Vec<ProgressAlert> {
+        let mut alerts = Vec::new();
+        let Some((&first, _)) = self.counts.iter().next() else {
+            return alerts;
+        };
+        let Some((&last, _)) = self.counts.iter().next_back() else {
+            return alerts;
+        };
+
+        // every interval between first and last data (plus trailing up to
+        // now) should have the expected count
+        let mut interval = first;
+        while interval + self.period <= now {
+            let got = self.counts.get(&interval).copied().unwrap_or(0);
+            if got < self.expected_per_interval {
+                alerts.push(ProgressAlert::MissingData {
+                    interval,
+                    expected: self.expected_per_interval,
+                    got,
+                });
+            } else if got > self.expected_per_interval {
+                alerts.push(ProgressAlert::SurplusData {
+                    interval,
+                    expected: self.expected_per_interval,
+                    got,
+                });
+            }
+            if interval > last && interval - last > self.period.saturating_mul(3) {
+                break; // silence handled below, stop enumerating holes
+            }
+            interval += self.period;
+        }
+
+        // silence: nothing for more than 2 periods
+        let silent_for = now.since(last + self.period);
+        if silent_for > self.period.saturating_mul(2) {
+            alerts.push(ProgressAlert::FeedSilent {
+                since: last,
+                silent_for,
+            });
+        }
+        alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(mins: u64) -> TimePoint {
+        TimePoint::from_secs(mins * 60)
+    }
+
+    #[test]
+    fn complete_stream_is_quiet() {
+        let mut p = FeedProgress::new(TimeSpan::from_mins(5), 2);
+        for slot in 0..12 {
+            p.record(t(slot * 5));
+            p.record(t(slot * 5) + TimeSpan::from_secs(30));
+        }
+        let alerts = p.audit(t(60));
+        assert!(alerts.is_empty(), "{alerts:?}");
+        assert_eq!(p.intervals_seen(), 12);
+    }
+
+    #[test]
+    fn missing_poller_detected() {
+        let mut p = FeedProgress::new(TimeSpan::from_mins(5), 2);
+        for slot in 0..6 {
+            p.record(t(slot * 5));
+            if slot != 3 {
+                p.record(t(slot * 5) + TimeSpan::from_secs(10));
+            }
+        }
+        let alerts = p.audit(t(30));
+        assert_eq!(
+            alerts,
+            vec![ProgressAlert::MissingData {
+                interval: t(15),
+                expected: 2,
+                got: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn whole_interval_hole_detected() {
+        let mut p = FeedProgress::new(TimeSpan::from_mins(5), 1);
+        p.record(t(0));
+        p.record(t(10)); // t(5) missing entirely
+        let alerts = p.audit(t(15));
+        assert!(alerts.contains(&ProgressAlert::MissingData {
+            interval: t(5),
+            expected: 1,
+            got: 0
+        }));
+    }
+
+    #[test]
+    fn surplus_detected() {
+        let mut p = FeedProgress::new(TimeSpan::from_mins(5), 1);
+        p.record(t(0));
+        p.record(t(0) + TimeSpan::from_secs(1));
+        let alerts = p.audit(t(5));
+        assert!(matches!(alerts[0], ProgressAlert::SurplusData { got: 2, .. }));
+    }
+
+    #[test]
+    fn silence_detected() {
+        let mut p = FeedProgress::new(TimeSpan::from_mins(5), 1);
+        p.record(t(0));
+        let alerts = p.audit(t(60));
+        assert!(
+            alerts
+                .iter()
+                .any(|a| matches!(a, ProgressAlert::FeedSilent { .. })),
+            "{alerts:?}"
+        );
+    }
+
+    #[test]
+    fn open_interval_not_audited() {
+        let mut p = FeedProgress::new(TimeSpan::from_mins(5), 2);
+        p.record(t(0));
+        p.record(t(0) + TimeSpan::from_secs(5));
+        p.record(t(5)); // current interval, only 1 of 2 so far
+        let alerts = p.audit(t(7)); // interval [5,10) still open
+        assert!(alerts.is_empty(), "{alerts:?}");
+    }
+
+    #[test]
+    fn empty_monitor_is_quiet() {
+        let p = FeedProgress::new(TimeSpan::from_mins(5), 1);
+        assert!(p.audit(t(100)).is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Checksums: CRC-32 (IEEE 802.3) and FNV-1a.
+//!
+//! CRC-32 frames every write-ahead-log record in `bistro-receipts` and
+//! every block of the `bistro-compress` container format, so torn or
+//! corrupted tails are detected during recovery. FNV-1a is used for cheap
+//! non-cryptographic hashing (dedup keys, hash-partitioning of files onto
+//! delivery workers).
+
+/// Streaming CRC-32 (IEEE polynomial, reflected, init/final xor 0xFFFFFFFF —
+/// the same parameters as zlib's `crc32`).
+#[derive(Clone, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+/// 256-entry lookup table for the reflected IEEE polynomial 0xEDB88320.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_table();
+
+impl Crc32 {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut s = self.state;
+        for &b in data {
+            s = (s >> 8) ^ CRC_TABLE[((s ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = s;
+    }
+
+    /// Final checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finish()
+}
+
+/// One-shot FNV-1a 64-bit hash of a byte slice.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vectors for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_streaming_matches_oneshot() {
+        let data = b"hello, bistro feed manager";
+        let mut h = Crc32::new();
+        h.update(&data[..5]);
+        h.update(&data[5..]);
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flip() {
+        let mut data = b"MEMORY_poller1_20100925.gz".to_vec();
+        let orig = crc32(&data);
+        data[3] ^= 0x01;
+        assert_ne!(crc32(&data), orig);
+    }
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv_distributes() {
+        // Different poller filenames should hash differently.
+        let a = fnv1a64(b"CPU_POLL1_201009250502.txt");
+        let b = fnv1a64(b"CPU_POLL2_201009250502.txt");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,152 @@
+//! Clocks.
+//!
+//! Every Bistro component that needs "now" takes a [`SharedClock`] so the
+//! entire server can run either against the operating-system clock
+//! ([`WallClock`]) or a manually advanced simulated clock ([`SimClock`]).
+//! The simulated clock is what makes the scheduling, batching and
+//! reliability experiments deterministic and laptop-fast: a day of feed
+//! traffic replays in milliseconds.
+
+use crate::time::{TimePoint, TimeSpan};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A source of the current time.
+pub trait Clock: Send + Sync {
+    /// The current time.
+    fn now(&self) -> TimePoint;
+}
+
+/// Shared handle to a clock.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// The operating-system clock.
+#[derive(Debug, Default)]
+pub struct WallClock;
+
+impl WallClock {
+    /// Create a shared wall clock.
+    pub fn shared() -> SharedClock {
+        Arc::new(WallClock)
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> TimePoint {
+        let d = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default();
+        TimePoint::from_micros(d.as_micros() as u64)
+    }
+}
+
+/// A manually advanced simulated clock.
+///
+/// Time only moves when [`SimClock::advance`] or [`SimClock::set`] is
+/// called, and never moves backwards.
+#[derive(Debug)]
+pub struct SimClock {
+    now_us: AtomicU64,
+    // Serializes `set` calls so concurrent setters cannot interleave the
+    // monotonicity check.
+    set_lock: Mutex<()>,
+}
+
+impl SimClock {
+    /// A simulated clock starting at the Unix epoch.
+    pub fn new() -> Arc<SimClock> {
+        Self::starting_at(TimePoint::EPOCH)
+    }
+
+    /// A simulated clock starting at the given time.
+    pub fn starting_at(start: TimePoint) -> Arc<SimClock> {
+        Arc::new(SimClock {
+            now_us: AtomicU64::new(start.as_micros()),
+            set_lock: Mutex::new(()),
+        })
+    }
+
+    /// Advance the clock by `span` and return the new now.
+    pub fn advance(&self, span: TimeSpan) -> TimePoint {
+        let new = self
+            .now_us
+            .fetch_add(span.as_micros(), Ordering::SeqCst)
+            .saturating_add(span.as_micros());
+        TimePoint::from_micros(new)
+    }
+
+    /// Move the clock forward to `to`. Does nothing if `to` is in the past
+    /// (the clock is monotone).
+    pub fn set(&self, to: TimePoint) {
+        let _g = self.set_lock.lock();
+        let cur = self.now_us.load(Ordering::SeqCst);
+        if to.as_micros() > cur {
+            self.now_us.store(to.as_micros(), Ordering::SeqCst);
+        }
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> TimePoint {
+        TimePoint::from_micros(self.now_us.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), TimePoint::EPOCH);
+        c.advance(TimeSpan::from_secs(10));
+        assert_eq!(c.now(), TimePoint::from_secs(10));
+        let t = c.advance(TimeSpan::from_secs(5));
+        assert_eq!(t, TimePoint::from_secs(15));
+    }
+
+    #[test]
+    fn sim_clock_set_is_monotone() {
+        let c = SimClock::starting_at(TimePoint::from_secs(100));
+        c.set(TimePoint::from_secs(50));
+        assert_eq!(c.now(), TimePoint::from_secs(100));
+        c.set(TimePoint::from_secs(200));
+        assert_eq!(c.now(), TimePoint::from_secs(200));
+    }
+
+    #[test]
+    fn wall_clock_is_sane() {
+        let c = WallClock;
+        let t = c.now();
+        // After 2020, before 2100.
+        assert!(t > TimePoint::from_secs(1_577_836_800));
+        assert!(t < TimePoint::from_secs(4_102_444_800));
+    }
+
+    #[test]
+    fn shared_clock_trait_object() {
+        let c: SharedClock = SimClock::starting_at(TimePoint::from_secs(7));
+        assert_eq!(c.now(), TimePoint::from_secs(7));
+    }
+
+    #[test]
+    fn sim_clock_concurrent_advance() {
+        let c = SimClock::new();
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.advance(TimeSpan::from_micros(1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now(), TimePoint::from_micros(8_000));
+    }
+}

@@ -1,0 +1,511 @@
+//! Time points and spans.
+//!
+//! Bistro reasons about time in two distinct roles:
+//!
+//! * **arrival / delivery time** — when a file physically reached a landing
+//!   directory or a subscriber; drives scheduling deadlines and tardiness
+//!   accounting.
+//! * **feed time** — the measurement-interval timestamp *embedded in the
+//!   filename* (e.g. `MEMORY_poller1_20100925.gz`); drives normalization,
+//!   batching and retention windows.
+//!
+//! Both are represented as a [`TimePoint`]: microseconds since the Unix
+//! epoch. A dedicated type (rather than `std::time::SystemTime`) keeps
+//! arithmetic total, ordering cheap, and serialization trivial — and lets
+//! the whole system run against a simulated clock.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in time, in microseconds since the Unix epoch.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimePoint(pub u64);
+
+/// A span of time, in microseconds. Always non-negative.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeSpan(pub u64);
+
+impl TimePoint {
+    /// The Unix epoch.
+    pub const EPOCH: TimePoint = TimePoint(0);
+    /// The largest representable time point (used as "never" sentinel).
+    pub const MAX: TimePoint = TimePoint(u64::MAX);
+
+    /// Construct from whole seconds since the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        TimePoint(secs * 1_000_000)
+    }
+
+    /// Construct from whole milliseconds since the epoch.
+    pub const fn from_millis(ms: u64) -> Self {
+        TimePoint(ms * 1_000)
+    }
+
+    /// Construct from microseconds since the epoch.
+    pub const fn from_micros(us: u64) -> Self {
+        TimePoint(us)
+    }
+
+    /// Microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds since the epoch (truncated).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole seconds since the epoch (truncated).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Saturating difference `self - earlier`, zero if `earlier` is later.
+    pub fn since(self, earlier: TimePoint) -> TimeSpan {
+        TimeSpan(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a span.
+    pub fn saturating_add(self, span: TimeSpan) -> TimePoint {
+        TimePoint(self.0.saturating_add(span.0))
+    }
+
+    /// Saturating subtraction of a span.
+    pub fn saturating_sub(self, span: TimeSpan) -> TimePoint {
+        TimePoint(self.0.saturating_sub(span.0))
+    }
+
+    /// Round down to a multiple of `granularity` (e.g. the start of the
+    /// 5-minute bucket containing this time point). A zero granularity
+    /// returns `self` unchanged.
+    pub fn truncate_to(self, granularity: TimeSpan) -> TimePoint {
+        if granularity.0 == 0 {
+            self
+        } else {
+            TimePoint(self.0 - self.0 % granularity.0)
+        }
+    }
+
+    /// Decompose into a calendar date-time (UTC, proleptic Gregorian).
+    ///
+    /// Used when rendering `%Y%m%d…` fields during filename normalization.
+    pub fn to_calendar(self) -> Calendar {
+        Calendar::from_timepoint(self)
+    }
+}
+
+impl TimeSpan {
+    /// Zero-length span.
+    pub const ZERO: TimeSpan = TimeSpan(0);
+    /// The largest representable span.
+    pub const MAX: TimeSpan = TimeSpan(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        TimeSpan(secs * 1_000_000)
+    }
+
+    /// Construct from whole minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        TimeSpan(mins * 60 * 1_000_000)
+    }
+
+    /// Construct from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        TimeSpan(hours * 3_600 * 1_000_000)
+    }
+
+    /// Construct from whole days.
+    pub const fn from_days(days: u64) -> Self {
+        TimeSpan(days * 86_400 * 1_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        TimeSpan(ms * 1_000)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        TimeSpan(us)
+    }
+
+    /// Microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds (truncated).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole seconds (truncated).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Fractional seconds as `f64` (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Checked multiplication by an integer factor.
+    pub fn checked_mul(self, factor: u64) -> Option<TimeSpan> {
+        self.0.checked_mul(factor).map(TimeSpan)
+    }
+
+    /// Saturating multiplication by an integer factor.
+    pub fn saturating_mul(self, factor: u64) -> TimeSpan {
+        TimeSpan(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add<TimeSpan> for TimePoint {
+    type Output = TimePoint;
+    fn add(self, rhs: TimeSpan) -> TimePoint {
+        TimePoint(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeSpan> for TimePoint {
+    fn add_assign(&mut self, rhs: TimeSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TimeSpan> for TimePoint {
+    type Output = TimePoint;
+    fn sub(self, rhs: TimeSpan) -> TimePoint {
+        TimePoint(self.0 - rhs.0)
+    }
+}
+
+impl Sub<TimePoint> for TimePoint {
+    type Output = TimeSpan;
+    fn sub(self, rhs: TimePoint) -> TimeSpan {
+        TimeSpan(self.0 - rhs.0)
+    }
+}
+
+impl Add for TimeSpan {
+    type Output = TimeSpan;
+    fn add(self, rhs: TimeSpan) -> TimeSpan {
+        TimeSpan(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimeSpan {
+    fn add_assign(&mut self, rhs: TimeSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TimeSpan {
+    type Output = TimeSpan;
+    fn sub(self, rhs: TimeSpan) -> TimeSpan {
+        TimeSpan(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for TimeSpan {
+    fn sub_assign(&mut self, rhs: TimeSpan) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl fmt::Debug for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == TimePoint::MAX {
+            return write!(f, "t=never");
+        }
+        write!(f, "t={}us", self.0)
+    }
+}
+
+impl fmt::Display for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.to_calendar();
+        write!(
+            f,
+            "{:04}-{:02}-{:02} {:02}:{:02}:{:02}",
+            c.year, c.month, c.day, c.hour, c.minute, c.second
+        )
+    }
+}
+
+impl fmt::Debug for TimeSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for TimeSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = self.0;
+        if us == 0 {
+            write!(f, "0s")
+        } else if us.is_multiple_of(1_000_000) {
+            let s = us / 1_000_000;
+            if s.is_multiple_of(86_400) {
+                write!(f, "{}d", s / 86_400)
+            } else if s.is_multiple_of(3_600) {
+                write!(f, "{}h", s / 3_600)
+            } else if s.is_multiple_of(60) {
+                write!(f, "{}m", s / 60)
+            } else {
+                write!(f, "{}s", s)
+            }
+        } else if us >= 3_600_000_000 {
+            write!(f, "{:.1}h", us as f64 / 3.6e9)
+        } else if us >= 60_000_000 {
+            write!(f, "{:.1}m", us as f64 / 6e7)
+        } else if us >= 1_000_000 {
+            write!(f, "{:.1}s", us as f64 / 1e6)
+        } else if us.is_multiple_of(1_000) {
+            write!(f, "{}ms", us / 1_000)
+        } else if us >= 1_000 {
+            write!(f, "{:.1}ms", us as f64 / 1e3)
+        } else {
+            write!(f, "{}us", us)
+        }
+    }
+}
+
+/// A calendar date-time in UTC, used to render and parse the timestamp
+/// fields (`%Y %m %d %H %M %S`) embedded in feed filenames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Calendar {
+    pub year: u32,
+    pub month: u32,
+    pub day: u32,
+    pub hour: u32,
+    pub minute: u32,
+    pub second: u32,
+}
+
+impl Calendar {
+    /// Days in the given month of the given year.
+    pub fn days_in_month(year: u32, month: u32) -> u32 {
+        match month {
+            1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+            4 | 6 | 9 | 11 => 30,
+            2 => {
+                if Self::is_leap_year(year) {
+                    29
+                } else {
+                    28
+                }
+            }
+            _ => 0,
+        }
+    }
+
+    /// Gregorian leap-year rule.
+    pub fn is_leap_year(year: u32) -> bool {
+        (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
+    }
+
+    /// True if this is a representable UTC date-time (year 1970..=9999).
+    pub fn is_valid(&self) -> bool {
+        (1970..=9999).contains(&self.year)
+            && (1..=12).contains(&self.month)
+            && self.day >= 1
+            && self.day <= Self::days_in_month(self.year, self.month)
+            && self.hour < 24
+            && self.minute < 60
+            && self.second < 60
+    }
+
+    /// Convert to a [`TimePoint`]. Returns `None` if the calendar fields
+    /// are out of range.
+    pub fn to_timepoint(&self) -> Option<TimePoint> {
+        if !self.is_valid() {
+            return None;
+        }
+        let mut days: u64 = 0;
+        for y in 1970..self.year {
+            days += if Self::is_leap_year(y) { 366 } else { 365 };
+        }
+        for m in 1..self.month {
+            days += Self::days_in_month(self.year, m) as u64;
+        }
+        days += (self.day - 1) as u64;
+        let secs = days * 86_400
+            + self.hour as u64 * 3_600
+            + self.minute as u64 * 60
+            + self.second as u64;
+        Some(TimePoint::from_secs(secs))
+    }
+
+    /// Decompose a [`TimePoint`] into calendar fields (UTC).
+    pub fn from_timepoint(tp: TimePoint) -> Calendar {
+        let mut secs = tp.as_secs();
+        let second = (secs % 60) as u32;
+        secs /= 60;
+        let minute = (secs % 60) as u32;
+        secs /= 60;
+        let hour = (secs % 24) as u32;
+        let mut days = secs / 24;
+
+        let mut year: u32 = 1970;
+        loop {
+            let ydays = if Self::is_leap_year(year) { 366 } else { 365 } as u64;
+            if days < ydays {
+                break;
+            }
+            days -= ydays;
+            year += 1;
+        }
+        let mut month: u32 = 1;
+        loop {
+            let mdays = Self::days_in_month(year, month) as u64;
+            if days < mdays {
+                break;
+            }
+            days -= mdays;
+            month += 1;
+        }
+        Calendar {
+            year,
+            month,
+            day: days as u32 + 1,
+            hour,
+            minute,
+            second,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timepoint_arithmetic() {
+        let t = TimePoint::from_secs(100);
+        assert_eq!(t + TimeSpan::from_secs(20), TimePoint::from_secs(120));
+        assert_eq!(t - TimeSpan::from_secs(20), TimePoint::from_secs(80));
+        assert_eq!(
+            TimePoint::from_secs(120) - TimePoint::from_secs(100),
+            TimeSpan::from_secs(20)
+        );
+        assert_eq!(t.since(TimePoint::from_secs(200)), TimeSpan::ZERO);
+    }
+
+    #[test]
+    fn truncate_to_bucket() {
+        let t = TimePoint::from_secs(5 * 60 + 37);
+        assert_eq!(
+            t.truncate_to(TimeSpan::from_mins(5)),
+            TimePoint::from_secs(5 * 60)
+        );
+        assert_eq!(t.truncate_to(TimeSpan::ZERO), t);
+    }
+
+    #[test]
+    fn span_constructors_consistent() {
+        assert_eq!(TimeSpan::from_days(1), TimeSpan::from_hours(24));
+        assert_eq!(TimeSpan::from_hours(1), TimeSpan::from_mins(60));
+        assert_eq!(TimeSpan::from_mins(1), TimeSpan::from_secs(60));
+        assert_eq!(TimeSpan::from_secs(1), TimeSpan::from_millis(1000));
+        assert_eq!(TimeSpan::from_millis(1), TimeSpan::from_micros(1000));
+    }
+
+    #[test]
+    fn span_display() {
+        assert_eq!(TimeSpan::from_days(2).to_string(), "2d");
+        assert_eq!(TimeSpan::from_hours(3).to_string(), "3h");
+        assert_eq!(TimeSpan::from_mins(5).to_string(), "5m");
+        assert_eq!(TimeSpan::from_secs(7).to_string(), "7s");
+        assert_eq!(TimeSpan::from_millis(13).to_string(), "13ms");
+        assert_eq!(TimeSpan::from_micros(17).to_string(), "17us");
+        assert_eq!(TimeSpan::ZERO.to_string(), "0s");
+    }
+
+    #[test]
+    fn calendar_epoch() {
+        let c = Calendar::from_timepoint(TimePoint::EPOCH);
+        assert_eq!(
+            c,
+            Calendar {
+                year: 1970,
+                month: 1,
+                day: 1,
+                hour: 0,
+                minute: 0,
+                second: 0
+            }
+        );
+        assert_eq!(c.to_timepoint(), Some(TimePoint::EPOCH));
+    }
+
+    #[test]
+    fn calendar_known_dates() {
+        // 2010-12-30 01:00:00 UTC == 1293670800 (from the paper's poller
+        // filename example Poller1_router_a_2010_12_30_01.csv.gz).
+        let c = Calendar {
+            year: 2010,
+            month: 12,
+            day: 30,
+            hour: 1,
+            minute: 0,
+            second: 0,
+        };
+        let tp = c.to_timepoint().unwrap();
+        assert_eq!(tp.as_secs(), 1_293_670_800);
+        assert_eq!(Calendar::from_timepoint(tp), c);
+    }
+
+    #[test]
+    fn calendar_leap_years() {
+        assert!(Calendar::is_leap_year(2000));
+        assert!(!Calendar::is_leap_year(1900));
+        assert!(Calendar::is_leap_year(2012));
+        assert!(!Calendar::is_leap_year(2011));
+        assert_eq!(Calendar::days_in_month(2012, 2), 29);
+        assert_eq!(Calendar::days_in_month(2011, 2), 28);
+    }
+
+    #[test]
+    fn calendar_rejects_invalid() {
+        let bad = Calendar {
+            year: 2010,
+            month: 2,
+            day: 30,
+            hour: 0,
+            minute: 0,
+            second: 0,
+        };
+        assert!(!bad.is_valid());
+        assert_eq!(bad.to_timepoint(), None);
+        let bad_hour = Calendar {
+            year: 2010,
+            month: 2,
+            day: 28,
+            hour: 24,
+            minute: 0,
+            second: 0,
+        };
+        assert_eq!(bad_hour.to_timepoint(), None);
+    }
+
+    #[test]
+    fn calendar_roundtrip_sweep() {
+        // Sweep a range of times at odd increments across month and year
+        // boundaries and verify roundtripping.
+        let mut tp = TimePoint::from_secs(1_200_000_000);
+        for _ in 0..2_000 {
+            let c = Calendar::from_timepoint(tp);
+            assert!(c.is_valid());
+            assert_eq!(
+                c.to_timepoint().unwrap().as_secs(),
+                tp.as_secs(),
+                "roundtrip failed at {}",
+                tp.as_secs()
+            );
+            tp += TimeSpan::from_secs(40_013);
+        }
+    }
+}

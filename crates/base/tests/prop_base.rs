@@ -1,0 +1,70 @@
+//! Property-based tests for bistro-base invariants.
+
+use bistro_base::{crc32, ByteReader, ByteWriter, TimePoint, TimeSpan};
+use bistro_base::time::Calendar;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn varint_roundtrips(v in any::<u64>()) {
+        let mut w = ByteWriter::new();
+        w.put_varint(v);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        prop_assert_eq!(r.get_varint().unwrap(), v);
+        prop_assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&data);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        prop_assert_eq!(r.get_bytes().unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn string_roundtrip(s in "\\PC{0,64}") {
+        let mut w = ByteWriter::new();
+        w.put_str(&s);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        prop_assert_eq!(r.get_str().unwrap(), s);
+    }
+
+    #[test]
+    fn crc_differs_on_mutation(
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let orig = crc32(&data);
+        let mut mutated = data.clone();
+        let i = idx.index(mutated.len());
+        mutated[i] ^= 1 << bit;
+        prop_assert_ne!(crc32(&mutated), orig);
+    }
+
+    #[test]
+    fn calendar_roundtrips(secs in 0u64..=253_402_300_799) {
+        // up to year 9999
+        let tp = TimePoint::from_secs(secs);
+        let c = Calendar::from_timepoint(tp);
+        prop_assert!(c.is_valid());
+        prop_assert_eq!(c.to_timepoint().unwrap(), tp);
+    }
+
+    #[test]
+    fn truncate_is_idempotent_and_lower(
+        t in any::<u64>(),
+        g in 1u64..10_000_000_000,
+    ) {
+        let tp = TimePoint::from_micros(t);
+        let g = TimeSpan::from_micros(g);
+        let once = tp.truncate_to(g);
+        prop_assert!(once <= tp);
+        prop_assert_eq!(once.truncate_to(g), once);
+        prop_assert_eq!(once.as_micros() % g.as_micros(), 0);
+    }
+}

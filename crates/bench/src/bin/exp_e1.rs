@@ -1,0 +1,6 @@
+//! E1: pull-polling metadata cost vs history size.
+use bistro_bench::e1_pull_scan as e1;
+fn main() {
+    let points = e1::run(&[1_000, 5_000, 10_000, 50_000], 10);
+    print!("{}", e1::table(&points, 10));
+}

@@ -1,0 +1,6 @@
+//! E10: false-positive (composition) analysis.
+use bistro_bench::e10_false_positives as e10;
+fn main() {
+    let points = e10::run(&[0.001, 0.005, 0.01, 0.03, 0.1, 0.3]);
+    print!("{}", e10::table(&points));
+}

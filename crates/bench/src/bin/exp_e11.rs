@@ -1,0 +1,8 @@
+//! E11: deployment-scale throughput.
+use bistro_bench::e11_throughput as e11;
+fn main() {
+    let classify = e11::run_classifier(&[10, 50, 100, 250, 500]);
+    let ingest = e11::run_ingest(5_000, 60_000);
+    let (t1, t2) = e11::tables(&classify, &ingest);
+    print!("{t1}{t2}");
+}

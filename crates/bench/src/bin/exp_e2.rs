@@ -1,0 +1,6 @@
+//! E2: rsync/cron vs the receipt database.
+use bistro_bench::e2_rsync as e2;
+fn main() {
+    let points = e2::run(&[1_000, 5_000, 10_000, 50_000]);
+    print!("{}", e2::table(&points));
+}

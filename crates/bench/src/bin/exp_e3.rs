@@ -1,0 +1,12 @@
+//! E3: source→subscriber propagation latency.
+use bistro_base::TimeSpan;
+use bistro_bench::e3_propagation as e3;
+fn main() {
+    let points = e3::run(&[
+        TimeSpan::from_secs(1),
+        TimeSpan::from_secs(5),
+        TimeSpan::from_secs(30),
+        TimeSpan::from_mins(5),
+    ]);
+    print!("{}", e3::table(&points));
+}

@@ -1,0 +1,6 @@
+//! E4: batch policies under unreliable pollers.
+use bistro_bench::e4_batching as e4;
+fn main() {
+    let points = e4::run(&[0.0, 0.1, 0.3]);
+    print!("{}", e4::table(&points));
+}

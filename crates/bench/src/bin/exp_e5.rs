@@ -1,0 +1,6 @@
+//! E5: reliability under fault injection.
+use bistro_bench::e5_reliability as e5;
+fn main() {
+    let outcomes = e5::run(&[1, 7, 42, 99, 1234], 80);
+    print!("{}", e5::table(&outcomes));
+}

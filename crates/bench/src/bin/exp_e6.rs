@@ -1,0 +1,6 @@
+//! E6: scheduling policy sweep + partitioning + locality ablation.
+use bistro_bench::e6_scheduling as e6;
+fn main() {
+    let points = e6::run();
+    print!("{}", e6::table(&points));
+}

@@ -1,0 +1,6 @@
+//! E7: backfill strategies.
+use bistro_bench::e7_backfill as e7;
+fn main() {
+    let points = e7::run(&[20, 100, 300]);
+    print!("{}", e7::table(&points));
+}

@@ -1,0 +1,6 @@
+//! E8: new-feed discovery accuracy.
+use bistro_bench::e8_discovery as e8;
+fn main() {
+    let points = e8::run(&[10, 25, 50, 100, 150], 4, 6);
+    print!("{}", e8::table(&points));
+}

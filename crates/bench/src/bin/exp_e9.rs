@@ -1,0 +1,6 @@
+//! E9: false-negative detection shootout.
+use bistro_bench::e9_false_negatives as e9;
+fn main() {
+    let points = e9::run(10);
+    print!("{}", e9::table(&points, 10));
+}

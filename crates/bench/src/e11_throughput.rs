@@ -1,0 +1,179 @@
+//! E11 — deployment-scale throughput (§1, §7).
+//!
+//! Claim: "Bistro servers currently manage over 100 data feeds,
+//! delivering up to 300 gigabytes of data per day to a number of
+//! customers in real-time." 300 GB/day ≈ 3.6 MB/s sustained; a
+//! reproduction must show comfortable headroom on a laptop.
+//!
+//! We measure (a) classifier throughput (files/s) as the number of
+//! registered feeds grows, and (b) end-to-end server ingest+delivery
+//! throughput in MB/s, then report the headroom over the paper's rate.
+
+use crate::table::Table;
+use bistro_base::{SimClock, TimePoint};
+use bistro_config::{parse_config, Config};
+use bistro_core::{Classifier, Server};
+use bistro_vfs::MemFs;
+use std::time::Instant;
+
+/// Classifier scaling point.
+#[derive(Clone, Debug)]
+pub struct ClassifyPoint {
+    /// Registered feeds.
+    pub feeds: usize,
+    /// Classifications per second (matching files).
+    pub hits_per_sec: f64,
+    /// Classifications per second (non-matching files — full miss cost).
+    pub misses_per_sec: f64,
+}
+
+fn config_with_feeds(n: usize) -> Config {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!(
+            "feed F{i} {{ pattern \"KIND{i}_poller%i_%Y%m%d%H%M.csv\"; }}\n"
+        ));
+    }
+    src.push_str("subscriber wh { endpoint \"wh\"; subscribe F0; }\n");
+    parse_config(&src).unwrap()
+}
+
+/// Measure classifier throughput at several feed counts.
+pub fn run_classifier(feed_counts: &[usize]) -> Vec<ClassifyPoint> {
+    let mut out = Vec::new();
+    for &n in feed_counts {
+        let cfg = config_with_feeds(n);
+        let classifier = Classifier::compile(&cfg);
+        let hits: Vec<String> = (0..2_000)
+            .map(|i| format!("KIND{}_poller{}_20100925{:02}{:02}.csv", i % n, i % 7, i % 24, i % 60))
+            .collect();
+        let misses: Vec<String> = (0..2_000)
+            .map(|i| format!("UNKNOWN{}_thing_{i}.dat", i % 50))
+            .collect();
+
+        let t0 = Instant::now();
+        let mut matched = 0usize;
+        for name in &hits {
+            matched += classifier.classify(name).len();
+        }
+        let hit_rate = hits.len() as f64 / t0.elapsed().as_secs_f64();
+        assert_eq!(matched, hits.len());
+
+        let t0 = Instant::now();
+        for name in &misses {
+            assert!(classifier.classify(name).is_empty());
+        }
+        let miss_rate = misses.len() as f64 / t0.elapsed().as_secs_f64();
+        out.push(ClassifyPoint {
+            feeds: n,
+            hits_per_sec: hit_rate,
+            misses_per_sec: miss_rate,
+        });
+    }
+    out
+}
+
+/// End-to-end ingest point.
+#[derive(Clone, Debug)]
+pub struct IngestPoint {
+    /// Files ingested.
+    pub files: usize,
+    /// Average file size (bytes).
+    pub file_size: usize,
+    /// Ingest+delivery throughput in MB/s (wall clock).
+    pub mb_per_sec: f64,
+    /// Files per second.
+    pub files_per_sec: f64,
+    /// Headroom over the paper's 300 GB/day (≈3.6 MB/s).
+    pub headroom: f64,
+}
+
+/// Measure end-to-end server throughput.
+pub fn run_ingest(files: usize, file_size: usize) -> IngestPoint {
+    let clock = SimClock::starting_at(TimePoint::from_secs(1_285_372_800));
+    let store = MemFs::shared(clock.clone());
+    let cfg = config_with_feeds(100);
+    let mut server = Server::new("b", cfg, clock.clone(), store).unwrap();
+    let payload = vec![b'x'; file_size];
+
+    let names: Vec<String> = (0..files)
+        .map(|i| {
+            format!(
+                "KIND{}_poller{}_20100925{:02}{:02}.csv",
+                i % 100,
+                i % 7,
+                (i / 60) % 24,
+                i % 60
+            )
+        })
+        .collect();
+    let t0 = Instant::now();
+    for name in &names {
+        server.deposit(name, &payload).unwrap();
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let mb = (files * file_size) as f64 / 1e6;
+    let paper_rate = 300_000.0 / 86_400.0; // MB/s for 300 GB/day
+    IngestPoint {
+        files,
+        file_size,
+        mb_per_sec: mb / secs,
+        files_per_sec: files as f64 / secs,
+        headroom: (mb / secs) / paper_rate,
+    }
+}
+
+/// Render both tables.
+pub fn tables(classify: &[ClassifyPoint], ingest: &IngestPoint) -> (Table, Table) {
+    let mut t1 = Table::new(
+        "E11a: classifier throughput vs registered feed count",
+        &["feeds", "matching files/s", "unmatched files/s"],
+    );
+    for p in classify {
+        t1.row(vec![
+            p.feeds.to_string(),
+            format!("{:.0}", p.hits_per_sec),
+            format!("{:.0}", p.misses_per_sec),
+        ]);
+    }
+    let mut t2 = Table::new(
+        "E11b: end-to-end ingest + delivery throughput (100 feeds)",
+        &[
+            "files",
+            "file size",
+            "MB/s",
+            "files/s",
+            "headroom over 300 GB/day",
+        ],
+    );
+    t2.row(vec![
+        ingest.files.to_string(),
+        ingest.file_size.to_string(),
+        format!("{:.1}", ingest.mb_per_sec),
+        format!("{:.0}", ingest.files_per_sec),
+        format!("{:.0}x", ingest.headroom),
+    ]);
+    (t1, t2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifier_scales_to_hundreds_of_feeds() {
+        let points = run_classifier(&[10, 100]);
+        for p in &points {
+            assert!(
+                p.hits_per_sec > 10_000.0,
+                "classification too slow: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ingest_beats_paper_rate() {
+        let p = run_ingest(2_000, 50_000);
+        assert!(p.headroom > 1.0, "must exceed 300 GB/day: {p:?}");
+    }
+}

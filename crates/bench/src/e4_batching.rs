@@ -1,0 +1,333 @@
+//! E4 — batch-boundary policies under unreliable pollers (§2.3, §4.1).
+//!
+//! Claims: count-based batching "is not very robust in the presence of
+//! unreliable or dynamically changing data feeds … it will not only delay
+//! the notification till a first file for the next time interval arrives,
+//! but will also generate notification in the middle of the next
+//! interval"; time-based batching "is also prone to delays"; "a
+//! combination of count and time-based batch specification works well in
+//! practice"; explicit punctuation is exact.
+//!
+//! We replay a fleet of 3 pollers at 5-minute intervals with a sweep of
+//! skip probabilities, and measure per-policy: mean/max notification
+//! delay (batch close − interval end) and the fraction of *mixed*
+//! batches (containing files from more than one interval).
+
+use crate::table::Table;
+use bistro_base::{FileId, TimePoint, TimeSpan};
+use bistro_config::BatchSpec;
+use bistro_simnet::{generate, FleetConfig, SubfeedSpec};
+use bistro_transport::{AdaptiveBatcher, Batcher};
+
+/// One policy's measured behaviour at one skip rate.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Policy label.
+    pub policy: String,
+    /// Poller skip probability.
+    pub skip_prob: f64,
+    /// Batches emitted.
+    pub batches: usize,
+    /// Mean notification delay past the interval end.
+    pub mean_delay: TimeSpan,
+    /// Max notification delay.
+    pub max_delay: TimeSpan,
+    /// Fraction of batches mixing more than one interval.
+    pub mixed_frac: f64,
+}
+
+struct Trace {
+    /// (deposit time, file id, interval start)
+    files: Vec<(TimePoint, FileId, TimePoint)>,
+    period: TimeSpan,
+}
+
+fn trace(skip_prob: f64, seed: u64) -> Trace {
+    let mut cfg = FleetConfig::standard(
+        3,
+        vec![SubfeedSpec::standard("MEMORY")],
+        TimeSpan::from_hours(6),
+    );
+    cfg.skip_prob = skip_prob;
+    cfg.seed = seed;
+    cfg.delay_range = (TimeSpan::from_secs(1), TimeSpan::from_secs(30));
+    let files = generate(&cfg);
+    Trace {
+        files: files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.deposit_time, FileId(i as u64), f.feed_time))
+            .collect(),
+        period: TimeSpan::from_mins(5),
+    }
+}
+
+/// Replay a trace through one batch spec. `punctuate` marks end-of-batch
+/// after each interval's last file (the cooperative-source mode).
+fn replay(trace: &Trace, spec: BatchSpec, punctuate: bool) -> Point {
+    let mut batcher = Batcher::new(spec);
+    let mut outcomes = Vec::new();
+    let mut interval_of = std::collections::HashMap::new();
+    for (_, id, interval) in &trace.files {
+        interval_of.insert(*id, *interval);
+    }
+
+    let mut i = 0;
+    while i < trace.files.len() {
+        let (t, id, interval) = trace.files[i];
+        // fire any lapsed window deadline first
+        while let Some(deadline) = batcher.window_deadline() {
+            if deadline <= t {
+                if let Some(b) = batcher.on_tick(deadline) {
+                    outcomes.push(b);
+                }
+            } else {
+                break;
+            }
+        }
+        if let Some(b) = batcher.on_file(id, t) {
+            outcomes.push(b);
+        }
+        // cooperative punctuation: this file is the last of its interval
+        if punctuate {
+            let last_of_interval = trace.files[i + 1..]
+                .iter()
+                .all(|(_, _, iv)| *iv != interval);
+            if last_of_interval {
+                if let Some(b) = batcher.on_punctuation(t) {
+                    outcomes.push(b);
+                }
+            }
+        }
+        i += 1;
+    }
+    // close any trailing window
+    if let Some(deadline) = batcher.window_deadline() {
+        if let Some(b) = batcher.on_tick(deadline) {
+            outcomes.push(b);
+        }
+    }
+
+    // metrics: delay relative to the *interval end* of each batch's
+    // earliest file (when the warehouse partition could first be complete)
+    let mut delays: Vec<u64> = Vec::new();
+    let mut mixed = 0usize;
+    for b in &outcomes {
+        let intervals: std::collections::BTreeSet<TimePoint> = b
+            .files
+            .iter()
+            .filter_map(|f| interval_of.get(f).copied())
+            .collect();
+        if intervals.len() > 1 {
+            mixed += 1;
+        }
+        if let Some(first_interval) = intervals.iter().next() {
+            let interval_end = *first_interval + trace.period;
+            delays.push(b.closed.since(interval_end).as_micros());
+        }
+    }
+    let n = delays.len().max(1) as u64;
+    Point {
+        policy: String::new(),
+        skip_prob: 0.0,
+        batches: outcomes.len(),
+        mean_delay: TimeSpan::from_micros(delays.iter().sum::<u64>() / n),
+        max_delay: TimeSpan::from_micros(delays.iter().copied().max().unwrap_or(0)),
+        mixed_frac: mixed as f64 / outcomes.len().max(1) as f64,
+    }
+}
+
+/// Replay a trace through the adaptive (learned-gap) batcher — the
+/// paper's §4.1 future-work direction, implemented in
+/// `bistro_transport::adaptive`.
+fn replay_adaptive(trace: &Trace) -> Point {
+    let mut batcher = AdaptiveBatcher::new(6.0, TimeSpan::from_mins(10));
+    let mut outcomes = Vec::new();
+    let mut interval_of = std::collections::HashMap::new();
+    for (_, id, interval) in &trace.files {
+        interval_of.insert(*id, *interval);
+    }
+    for &(t, id, _) in &trace.files {
+        while let Some(deadline) = batcher.tick_deadline() {
+            if deadline <= t {
+                if let Some(b) = batcher.on_tick(deadline) {
+                    outcomes.push(b);
+                }
+            } else {
+                break;
+            }
+        }
+        if let Some(b) = batcher.on_file(id, t) {
+            outcomes.push(b);
+        }
+    }
+    if let Some(deadline) = batcher.tick_deadline() {
+        if let Some(b) = batcher.on_tick(deadline + TimeSpan::from_hours(1)) {
+            outcomes.push(b);
+        }
+    }
+
+    let mut delays: Vec<u64> = Vec::new();
+    let mut mixed = 0usize;
+    for b in &outcomes {
+        let intervals: std::collections::BTreeSet<TimePoint> = b
+            .files
+            .iter()
+            .filter_map(|f| interval_of.get(f).copied())
+            .collect();
+        if intervals.len() > 1 {
+            mixed += 1;
+        }
+        if let Some(first_interval) = intervals.iter().next() {
+            delays.push(b.closed.since(*first_interval + trace.period).as_micros());
+        }
+    }
+    let n = delays.len().max(1) as u64;
+    Point {
+        policy: "adaptive (learned gap)".to_string(),
+        skip_prob: 0.0,
+        batches: outcomes.len(),
+        mean_delay: TimeSpan::from_micros(delays.iter().sum::<u64>() / n),
+        max_delay: TimeSpan::from_micros(delays.iter().copied().max().unwrap_or(0)),
+        mixed_frac: mixed as f64 / outcomes.len().max(1) as f64,
+    }
+}
+
+/// Run the sweep over skip probabilities and policies.
+pub fn run(skip_probs: &[f64]) -> Vec<Point> {
+    let mut out = Vec::new();
+    for &skip in skip_probs {
+        let tr = trace(skip, 42);
+        let policies: Vec<(&str, BatchSpec, bool)> = vec![
+            (
+                "count=3",
+                BatchSpec {
+                    count: Some(3),
+                    window: None,
+                },
+                false,
+            ),
+            (
+                "window=6m",
+                BatchSpec {
+                    count: None,
+                    window: Some(TimeSpan::from_mins(6)),
+                },
+                false,
+            ),
+            (
+                "hybrid count=3 window=6m",
+                BatchSpec {
+                    count: Some(3),
+                    window: Some(TimeSpan::from_mins(6)),
+                },
+                false,
+            ),
+            (
+                "punctuation",
+                BatchSpec {
+                    count: None,
+                    window: Some(TimeSpan::from_mins(30)), // safety net only
+                },
+                true,
+            ),
+        ];
+        for (name, spec, punct) in policies {
+            let mut p = replay(&tr, spec, punct);
+            p.policy = name.to_string();
+            p.skip_prob = skip;
+            out.push(p);
+        }
+        let mut p = replay_adaptive(&tr);
+        p.skip_prob = skip;
+        out.push(p);
+    }
+    out
+}
+
+/// Render the experiment table.
+pub fn table(points: &[Point]) -> Table {
+    let mut t = Table::new(
+        "E4: batch policies under unreliable pollers (3 pollers, 5m intervals, 6h)",
+        &[
+            "skip prob",
+            "policy",
+            "batches",
+            "mean delay",
+            "max delay",
+            "mixed-interval batches",
+        ],
+    );
+    for p in points {
+        t.row(vec![
+            format!("{:.0}%", p.skip_prob * 100.0),
+            p.policy.clone(),
+            p.batches.to_string(),
+            p.mean_delay.to_string(),
+            p.max_delay.to_string(),
+            format!("{:.0}%", p.mixed_frac * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_feed_count_is_perfect() {
+        let points = run(&[0.0]);
+        let count = points.iter().find(|p| p.policy == "count=3").unwrap();
+        assert_eq!(count.mixed_frac, 0.0);
+        assert!(count.mean_delay < TimeSpan::from_mins(1));
+    }
+
+    #[test]
+    fn unreliable_feed_count_degrades_hybrid_robust() {
+        let points = run(&[0.2]);
+        let count = points.iter().find(|p| p.policy == "count=3").unwrap();
+        let hybrid = points
+            .iter()
+            .find(|p| p.policy.starts_with("hybrid"))
+            .unwrap();
+        let punct = points.iter().find(|p| p.policy == "punctuation").unwrap();
+        // count-based: stalls across intervals ⇒ mixed batches + delays
+        assert!(count.mixed_frac > 0.2, "{count:?}");
+        assert!(count.max_delay > TimeSpan::from_mins(5));
+        // hybrid: window caps the delay
+        assert!(hybrid.max_delay <= TimeSpan::from_mins(6) + TimeSpan::from_mins(5));
+        assert!(hybrid.mixed_frac < count.mixed_frac);
+        // punctuation: exact boundaries, no mixing
+        assert_eq!(punct.mixed_frac, 0.0, "{punct:?}");
+        assert!(punct.mean_delay <= hybrid.mean_delay);
+    }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_batcher_competitive_with_hybrid() {
+        let points = run(&[0.2]);
+        let adaptive = points
+            .iter()
+            .find(|p| p.policy.starts_with("adaptive"))
+            .unwrap();
+        let hybrid = points
+            .iter()
+            .find(|p| p.policy.starts_with("hybrid"))
+            .unwrap();
+        // the learned boundary should not mix intervals more than hybrid
+        // does, and its mean delay should be no worse
+        assert!(
+            adaptive.mixed_frac <= hybrid.mixed_frac + 0.05,
+            "adaptive {adaptive:?} vs hybrid {hybrid:?}"
+        );
+        assert!(
+            adaptive.mean_delay <= hybrid.mean_delay,
+            "adaptive {adaptive:?} vs hybrid {hybrid:?}"
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! E8 — new-feed discovery accuracy on aggregate feeds (§5.1).
+//!
+//! Claim: real feeds contain "more than a hundred individual subfeeds";
+//! "in some extreme cases we observed feeds with more than half of the
+//! files falling into 'unknown feed' category"; the discovery module
+//! "automates the process of discovery of new feeds by generating a list
+//! of suggested feed definitions".
+//!
+//! We generate an aggregate feed with a known ground truth of subfeeds,
+//! run discovery over the unmatched stream, and score the suggestions:
+//! a suggestion is *correct* if its pattern matches files of exactly one
+//! ground-truth subfeed and covers all of them.
+
+use crate::table::Table;
+use bistro_analyzer::FeedDiscoverer;
+use bistro_base::TimeSpan;
+use bistro_simnet::{aggregate_feed, generate};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Discovery quality at one scale.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Ground-truth subfeeds.
+    pub subfeeds: usize,
+    /// Files generated.
+    pub files: usize,
+    /// Suggestions emitted.
+    pub suggested: usize,
+    /// Suggestions matching exactly one subfeed completely.
+    pub correct: usize,
+    /// Precision = correct / suggested.
+    pub precision: f64,
+    /// Recall = ground-truth subfeeds covered by a correct suggestion.
+    pub recall: f64,
+    /// Discovery wall time (ms).
+    pub millis: u64,
+}
+
+/// Run discovery at the given scales (numbers of subfeeds).
+pub fn run(scales: &[usize], pollers: u32, hours: u64) -> Vec<Point> {
+    let mut out = Vec::new();
+    for &n in scales {
+        let cfg = aggregate_feed(n, pollers, TimeSpan::from_hours(hours), 1234);
+        let files = generate(&cfg);
+        // ground truth: subfeed → its filenames
+        let mut truth: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for f in &files {
+            truth
+                .entry(f.subfeed.clone())
+                .or_default()
+                .push(f.name.clone());
+        }
+
+        let t0 = std::time::Instant::now();
+        let mut disc = FeedDiscoverer::new();
+        for f in &files {
+            disc.observe(&f.name);
+        }
+        let suggestions = disc.suggestions(3);
+        let millis = t0.elapsed().as_millis() as u64;
+
+        let mut covered: BTreeSet<&String> = BTreeSet::new();
+        let mut correct = 0usize;
+        for s in &suggestions {
+            // which subfeeds does this pattern touch?
+            let mut touched: Vec<(&String, usize, usize)> = Vec::new(); // (feed, matched, total)
+            for (feed, names) in &truth {
+                let m = names.iter().filter(|n| s.pattern.is_match(n)).count();
+                if m > 0 {
+                    touched.push((feed, m, names.len()));
+                }
+            }
+            if touched.len() == 1 && touched[0].1 == touched[0].2 {
+                correct += 1;
+                covered.insert(touched[0].0);
+            }
+        }
+        out.push(Point {
+            subfeeds: n,
+            files: files.len(),
+            suggested: suggestions.len(),
+            correct,
+            precision: correct as f64 / suggestions.len().max(1) as f64,
+            recall: covered.len() as f64 / truth.len().max(1) as f64,
+            millis,
+        });
+    }
+    out
+}
+
+/// Render the experiment table.
+pub fn table(points: &[Point]) -> Table {
+    let mut t = Table::new(
+        "E8: new-feed discovery on aggregate feeds (ground-truth scoring)",
+        &[
+            "subfeeds",
+            "files",
+            "suggested",
+            "correct",
+            "precision",
+            "recall",
+            "time (ms)",
+        ],
+    );
+    for p in points {
+        t.row(vec![
+            p.subfeeds.to_string(),
+            p.files.to_string(),
+            p.suggested.to_string(),
+            p.correct.to_string(),
+            format!("{:.2}", p.precision),
+            format!("{:.2}", p.recall),
+            p.millis.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovery_accuracy_at_paper_scale() {
+        // "more than a hundred individual subfeeds"
+        let points = run(&[25, 100], 4, 6);
+        for p in &points {
+            assert!(p.precision >= 0.9, "{p:?}");
+            assert!(p.recall >= 0.9, "{p:?}");
+        }
+        assert!(points[1].files > 5_000, "{points:?}");
+    }
+}

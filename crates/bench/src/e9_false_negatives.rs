@@ -1,0 +1,210 @@
+//! E9 — false-negative detection: edit distance vs generalized-pattern
+//! similarity (§5.2).
+//!
+//! Claims: "our experience shows that false negatives can exhibit a very
+//! large edit distance" (the TRAP example: distance 51 > the length of
+//! the common parts); Bistro instead generalizes the unmatched file and
+//! compares *patterns*, with "significant reduction in the number of
+//! warning messages … since a warning is only generated once for each
+//! generalized file pattern".
+//!
+//! We synthesize four drift scenarios plus genuinely unrelated noise,
+//! then score both detectors on detection rate and false alarms, and
+//! count warnings emitted.
+
+use crate::table::Table;
+use bistro_analyzer::FnDetector;
+use bistro_pattern::Pattern;
+
+/// The registered feeds.
+fn feeds() -> Vec<(String, Vec<Pattern>)> {
+    vec![
+        (
+            "SNMP/MEMORY".to_string(),
+            vec![Pattern::parse("MEMORY_poller%i_%Y%m%d.gz").unwrap()],
+        ),
+        (
+            "SNMP/CPU".to_string(),
+            vec![Pattern::parse("CPU_POLL%i_%Y%m%d%H%M.txt").unwrap()],
+        ),
+        (
+            "TRAPS".to_string(),
+            vec![Pattern::parse("TRAP__%Y%m%d_DCTAGN_klpi.txt").unwrap()],
+        ),
+    ]
+}
+
+/// A drift scenario: unmatched files + the feed they truly belong to
+/// (`None` for unrelated noise).
+pub struct Scenario {
+    /// Scenario label.
+    pub name: &'static str,
+    /// The drifted/unrelated filenames.
+    pub files: Vec<String>,
+    /// The ground-truth feed.
+    pub truth: Option<&'static str>,
+}
+
+/// Build the drift scenarios.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "capitalization drift (poller→Poller)",
+            files: (20..28)
+                .map(|d| format!("MEMORY_Poller1_201009{d}.gz"))
+                .collect(),
+            truth: Some("SNMP/MEMORY"),
+        },
+        Scenario {
+            name: "new naming convention (POLL→POLLER, .txt→.log)",
+            files: (0..8)
+                .map(|h| format!("CPU_POLLER3_20100925{h:02}00.log"))
+                .collect(),
+            truth: Some("SNMP/CPU"),
+        },
+        Scenario {
+            name: "paper TRAP example (edit distance 51)",
+            files: vec![
+                "TRAP_2010030817_UVIPTV-PER-BAN-DSPS-IPTV_MOM-rcsntxsqlcv122_9234SEC_klpi.txt"
+                    .to_string(),
+            ],
+            truth: Some("TRAPS"),
+        },
+        Scenario {
+            name: "unrelated noise",
+            files: (0..8).map(|i| format!("syslog_backup_{i}.tar")).collect(),
+            truth: None,
+        },
+        Scenario {
+            name: "structurally identical different feed (BPS files)",
+            files: (20..28)
+                .map(|d| format!("BPS_poller1_201009{d}.gz"))
+                .collect(),
+            truth: None, // BPS is NOT any of the registered feeds
+        },
+    ]
+}
+
+/// One detector's score on one scenario.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Scenario label.
+    pub scenario: String,
+    /// Ground truth feed (or "-").
+    pub truth: String,
+    /// Files in the scenario.
+    pub files: usize,
+    /// Edit-distance detector (threshold 10): feed it flagged, if any.
+    pub edit_flags: String,
+    /// Bistro similarity detector: feed it flagged, if any (+ score).
+    pub bistro_flags: String,
+    /// Warnings emitted by Bistro for the scenario (dedup check).
+    pub bistro_warnings: usize,
+    /// Did Bistro get it right (flagged the true feed / stayed silent)?
+    pub bistro_correct: bool,
+    /// Did edit distance get it right?
+    pub edit_correct: bool,
+}
+
+/// Run all scenarios through both detectors.
+pub fn run(edit_threshold: usize) -> Vec<Point> {
+    let mut out = Vec::new();
+    for sc in scenarios() {
+        let mut det = FnDetector::new(feeds());
+        for f in &sc.files {
+            det.observe(f);
+        }
+        let warnings = det.warnings();
+        let bistro_flag = warnings.first().map(|w| (w.feed.clone(), w.similarity));
+
+        // edit-distance strawman: per file, flag the closest feed within
+        // the threshold
+        let mut edit_flag: Option<String> = None;
+        for f in &sc.files {
+            if let Some((feed, _)) = det.edit_distance_candidates(f, edit_threshold).first() {
+                edit_flag = Some(feed.clone());
+                break;
+            }
+        }
+
+        let bistro_correct = match (&sc.truth, &bistro_flag) {
+            (Some(t), Some((f, _))) => t == f,
+            (None, None) => true,
+            _ => false,
+        };
+        let edit_correct = match (&sc.truth, &edit_flag) {
+            (Some(t), Some(f)) => t == f,
+            (None, None) => true,
+            _ => false,
+        };
+
+        out.push(Point {
+            scenario: sc.name.to_string(),
+            truth: sc.truth.unwrap_or("-").to_string(),
+            files: sc.files.len(),
+            edit_flags: edit_flag.unwrap_or_else(|| "-".to_string()),
+            bistro_flags: bistro_flag
+                .map(|(f, s)| format!("{f} ({s:.2})"))
+                .unwrap_or_else(|| "-".to_string()),
+            bistro_warnings: warnings.len(),
+            bistro_correct,
+            edit_correct,
+        });
+    }
+    out
+}
+
+/// Render the experiment table.
+pub fn table(points: &[Point], edit_threshold: usize) -> Table {
+    let mut t = Table::new(
+        &format!("E9: false-negative detection — edit distance (≤{edit_threshold}) vs generalized-pattern similarity"),
+        &[
+            "scenario",
+            "truth",
+            "files",
+            "edit-distance flags",
+            "bistro flags",
+            "bistro warnings",
+            "edit ok",
+            "bistro ok",
+        ],
+    );
+    for p in points {
+        t.row(vec![
+            p.scenario.clone(),
+            p.truth.clone(),
+            p.files.to_string(),
+            p.edit_flags.clone(),
+            p.bistro_flags.clone(),
+            p.bistro_warnings.to_string(),
+            p.edit_correct.to_string(),
+            p.bistro_correct.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bistro_beats_edit_distance() {
+        let points = run(10);
+        let bistro_score: usize = points.iter().filter(|p| p.bistro_correct).count();
+        let edit_score: usize = points.iter().filter(|p| p.edit_correct).count();
+        assert!(
+            bistro_score > edit_score,
+            "bistro {bistro_score}/{} vs edit {edit_score}/{}: {points:#?}",
+            points.len(),
+            points.len()
+        );
+        // the TRAP scenario specifically: edit distance misses, Bistro hits
+        let trap = points.iter().find(|p| p.scenario.contains("TRAP")).unwrap();
+        assert!(trap.bistro_correct && !trap.edit_correct, "{trap:?}");
+        // warning dedup: many drifted files, ONE warning
+        let cap = points.iter().find(|p| p.scenario.contains("capitalization")).unwrap();
+        assert_eq!(cap.bistro_warnings, 1);
+        assert!(cap.files > 1);
+    }
+}

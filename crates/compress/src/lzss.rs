@@ -1,0 +1,289 @@
+//! LZSS dictionary compression.
+//!
+//! A classic LZ77 variant with a 32 KiB sliding window, hash-chain match
+//! finding and a bit-flagged token stream:
+//!
+//! * a group byte carries 8 flags (LSB first); flag 0 = literal byte,
+//!   flag 1 = match token.
+//! * a match token is 2 bytes: `dddddddd dddddlll` — a 13-bit distance
+//!   (1..=8192) and 3-bit length code (length 3..=10), followed by an
+//!   optional extension byte when the length code is 7 (length 10 + ext,
+//!   up to 265).
+//!
+//! This is deliberately simple (no entropy coding) but reaches 4-10x on
+//! the repetitive text/CSV payloads that dominate feed traffic, which is
+//! all the Bistro pipeline needs from its compression stage.
+
+use crate::CompressError;
+
+const WINDOW: usize = 8192; // 13-bit distances
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 10 + 255; // length code 7 + extension byte
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `data` with LZSS.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let n = data.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    if n == 0 {
+        return out;
+    }
+
+    // hash chains: head[h] = most recent position with hash h; prev[i % WINDOW]
+    // links to the previous position with the same hash.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW];
+
+    let mut i = 0;
+    // token group state
+    let mut flag_pos = out.len();
+    out.push(0);
+    let mut flag_count = 0u8;
+
+    macro_rules! begin_token {
+        ($is_match:expr) => {
+            if flag_count == 8 {
+                flag_pos = out.len();
+                out.push(0);
+                flag_count = 0;
+            }
+            if $is_match {
+                out[flag_pos] |= 1 << flag_count;
+            }
+            flag_count += 1;
+        };
+    }
+
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash3(data, i);
+            let mut cand = head[h];
+            let limit = i.saturating_sub(WINDOW);
+            let mut chain = 0;
+            while cand != usize::MAX && cand >= limit && chain < 64 {
+                if cand < i {
+                    let max_len = (n - i).min(MAX_MATCH);
+                    let mut l = 0;
+                    while l < max_len && data[cand + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - cand;
+                        if l >= MAX_MATCH {
+                            break;
+                        }
+                    }
+                }
+                let nxt = prev[cand % WINDOW];
+                if nxt == cand {
+                    break;
+                }
+                cand = nxt;
+                chain += 1;
+            }
+            // insert current position into the chain
+            prev[i % WINDOW] = head[h];
+            head[h] = i;
+        }
+
+        if best_len >= MIN_MATCH && best_dist <= WINDOW {
+            begin_token!(true);
+            let len_code = if best_len >= 10 { 7 } else { best_len - 3 };
+            let d = (best_dist - 1) as u16; // 0..=8191
+            let word = (d << 3) | len_code as u16;
+            out.push((word & 0xFF) as u8);
+            out.push((word >> 8) as u8);
+            if len_code == 7 {
+                out.push((best_len - 10) as u8);
+            }
+            // register skipped positions in the hash chains (cheaply, only
+            // up to a few per match — enough for chained matches)
+            let end = (i + best_len).min(n.saturating_sub(MIN_MATCH));
+            let mut j = i + 1;
+            while j < end {
+                let h = hash3(data, j);
+                prev[j % WINDOW] = head[h];
+                head[h] = j;
+                j += 1;
+            }
+            i += best_len;
+        } else {
+            begin_token!(false);
+            out.push(data[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Decompress an LZSS stream produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CompressError> {
+    let mut out = Vec::with_capacity(data.len() * 3);
+    if data.is_empty() {
+        return Ok(out);
+    }
+    let mut i = 0;
+    while i < data.len() {
+        let flags = data[i];
+        i += 1;
+        for bit in 0..8 {
+            if i >= data.len() {
+                // Remaining zero flag bits are padding in the final group,
+                // but a set bit with no token bytes means a truncated stream.
+                if flags >> bit != 0 {
+                    return Err(CompressError::Corrupt("group truncated before match token"));
+                }
+                break;
+            }
+            if flags & (1 << bit) == 0 {
+                out.push(data[i]);
+                i += 1;
+            } else {
+                if i + 2 > data.len() {
+                    return Err(CompressError::Corrupt("match token truncated"));
+                }
+                let word = data[i] as u16 | ((data[i + 1] as u16) << 8);
+                i += 2;
+                let dist = (word >> 3) as usize + 1;
+                let len_code = (word & 0x7) as usize;
+                let len = if len_code == 7 {
+                    if i >= data.len() {
+                        return Err(CompressError::Corrupt("length extension truncated"));
+                    }
+                    let ext = data[i] as usize;
+                    i += 1;
+                    10 + ext
+                } else {
+                    len_code + 3
+                };
+                if dist > out.len() {
+                    return Err(CompressError::Corrupt("match distance before start"));
+                }
+                let start = out.len() - dist;
+                // overlapping copy (dist may be < len)
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        assert_eq!(decompress(&c).unwrap(), data, "len {}", data.len());
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn no_matches() {
+        roundtrip(b"abcdefghijklmnopqrstuvwxyz0123456789");
+    }
+
+    #[test]
+    fn simple_repeat() {
+        roundtrip(b"abcabcabcabcabcabc");
+        roundtrip(b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+    }
+
+    #[test]
+    fn overlapping_match() {
+        // dist 1, long run: classic overlap case
+        let data = vec![b'z'; 500];
+        let c = compress(&data);
+        assert!(c.len() < 20);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn long_match_with_extension() {
+        let mut data = b"HEADER".to_vec();
+        data.extend(std::iter::repeat_n(b"0123456789ABCDEF", 40).flatten());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn csv_payload_ratio() {
+        let row = b"BPS,poller1,router_a,2010-12-30 00:05,123456,789012\n";
+        let data = row.repeat(200);
+        let c = compress(&data);
+        assert!(
+            c.len() * 4 < data.len(),
+            "ratio too poor: {} -> {}",
+            data.len(),
+            c.len()
+        );
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn binary_payload() {
+        let data: Vec<u8> = (0..50_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn window_boundary() {
+        // a match exactly WINDOW back
+        let mut data = vec![0u8; WINDOW];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        let mut full = data.clone();
+        full.extend_from_slice(&data[..100]); // repeats content WINDOW back
+        roundtrip(&full);
+    }
+
+    #[test]
+    fn corrupt_streams_error() {
+        // flag says match but stream ends
+        assert!(decompress(&[0x01]).is_err());
+        assert!(decompress(&[0x01, 0x10]).is_err());
+        // match pointing before output start: dist encoded as (word>>3)+1
+        let word: u16 = 100u16 << 3; // dist 101, len 3, but output is empty
+        assert!(decompress(&[0x01, (word & 0xFF) as u8, (word >> 8) as u8]).is_err());
+    }
+
+    #[test]
+    fn feed_filenames_corpus() {
+        // A realistic analyzer corpus: thousands of similar filenames.
+        let mut data = Vec::new();
+        for p in 1..=8 {
+            for h in 0..24 {
+                for m in [0, 5, 10, 15] {
+                    data.extend_from_slice(
+                        format!("MEMORY_POLLER{p}_20100925{h:02}_{m:02}.csv.gz\n").as_bytes(),
+                    );
+                }
+            }
+        }
+        let c = compress(&data);
+        assert!(c.len() * 3 < data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+}

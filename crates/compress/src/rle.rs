@@ -1,0 +1,154 @@
+//! Byte-level run-length encoding.
+//!
+//! Format: a sequence of chunks, each starting with a control byte `c`.
+//!
+//! * `c < 0x80`: a *literal* chunk — the next `c + 1` bytes are copied
+//!   verbatim (1..=128 literals).
+//! * `c >= 0x80`: a *run* chunk — the next byte repeats `(c - 0x80) + 3`
+//!   times (3..=130 repeats).
+//!
+//! Runs shorter than 3 are never encoded as runs, so RLE output is at most
+//! `n + ceil(n/128)` bytes for incompressible input.
+
+use crate::CompressError;
+
+/// Compress `data` with RLE.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut i = 0;
+    let n = data.len();
+    let mut lit_start = 0; // start of pending literal range
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize, data: &[u8]| {
+        let mut s = from;
+        while s < to {
+            let chunk = (to - s).min(128);
+            out.push((chunk - 1) as u8);
+            out.extend_from_slice(&data[s..s + chunk]);
+            s += chunk;
+        }
+    };
+
+    while i < n {
+        // measure run length at i
+        let b = data[i];
+        let mut run = 1;
+        while i + run < n && data[i + run] == b && run < 130 {
+            run += 1;
+        }
+        if run >= 3 {
+            flush_literals(&mut out, lit_start, i, data);
+            out.push(0x80 + (run - 3) as u8);
+            out.push(b);
+            i += run;
+            lit_start = i;
+        } else {
+            i += run;
+        }
+    }
+    flush_literals(&mut out, lit_start, n, data);
+    out
+}
+
+/// Decompress an RLE stream produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CompressError> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut i = 0;
+    while i < data.len() {
+        let c = data[i];
+        i += 1;
+        if c < 0x80 {
+            let len = c as usize + 1;
+            if i + len > data.len() {
+                return Err(CompressError::Corrupt("literal chunk truncated"));
+            }
+            out.extend_from_slice(&data[i..i + len]);
+            i += len;
+        } else {
+            if i >= data.len() {
+                return Err(CompressError::Corrupt("run chunk truncated"));
+            }
+            let count = (c - 0x80) as usize + 3;
+            let b = data[i];
+            i += 1;
+            out.resize(out.len() + count, b);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(compress(b""), Vec::<u8>::new());
+        assert_eq!(decompress(b"").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn simple_runs() {
+        roundtrip(b"aaaabbbbcccc");
+        roundtrip(b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+        let c = compress(b"aaaaaaaa");
+        assert_eq!(c, vec![0x80 + 5, b'a']); // 8 repeats => run chunk
+    }
+
+    #[test]
+    fn literals_only() {
+        roundtrip(b"abcdefgh");
+        // no run of >=3, so pure literal encoding: 1 control + 8 bytes
+        assert_eq!(compress(b"abcdefgh").len(), 9);
+    }
+
+    #[test]
+    fn mixed() {
+        roundtrip(b"ab cccccccc de\x00\x00\x00\x00 fg");
+        roundtrip(b"112233334444455555566666667777777788888888899999999990");
+    }
+
+    #[test]
+    fn long_runs_split() {
+        let data = vec![b'x'; 1000];
+        roundtrip(&data);
+        let c = compress(&data);
+        // 1000 / 130 runs of 2 bytes each
+        assert!(c.len() <= 2 * (1000 / 130 + 1));
+    }
+
+    #[test]
+    fn long_literals_split() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn worst_case_expansion_bounded() {
+        // alternating bytes: incompressible
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 2) as u8).collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + data.len() / 128 + 2);
+    }
+
+    #[test]
+    fn truncated_streams_error() {
+        assert!(decompress(&[0x05]).is_err()); // literal chunk, no body
+        assert!(decompress(&[0x80 + 5]).is_err()); // run chunk, no byte
+    }
+
+    #[test]
+    fn csv_like_payload() {
+        let row = b"poller1,router_a,2010-12-30,00,12345,0.00000\n";
+        let data = row.repeat(50);
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        // the zero-run should at least shave something off
+        assert!(c.len() < data.len());
+    }
+}

@@ -1,0 +1,290 @@
+//! Lexer for the configuration language.
+
+use crate::types::ConfigError;
+use bistro_base::TimeSpan;
+use std::fmt;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line.
+    pub line: usize,
+    /// The token kind and payload.
+    pub kind: TokKind,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (may contain `/` for feed paths, and `.`,
+    /// `-`, `_` within segments).
+    Ident(String),
+    /// Double-quoted string literal (supports `\"` and `\\` escapes).
+    Str(String),
+    /// Bare integer.
+    Int(u64),
+    /// Integer with a duration suffix (`ms`, `s`, `m`, `h`, `d`).
+    Duration(TimeSpan),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+}
+
+impl fmt::Display for TokKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokKind::Ident(s) => write!(f, "identifier {s:?}"),
+            TokKind::Str(s) => write!(f, "string {s:?}"),
+            TokKind::Int(v) => write!(f, "integer {v}"),
+            TokKind::Duration(d) => write!(f, "duration {d}"),
+            TokKind::LBrace => write!(f, "'{{'"),
+            TokKind::RBrace => write!(f, "'}}'"),
+            TokKind::Semi => write!(f, "';'"),
+            TokKind::Comma => write!(f, "','"),
+        }
+    }
+}
+
+fn ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '/' | '.' | '-')
+}
+
+/// Tokenize a configuration source text.
+pub fn lex(src: &str) -> Result<Vec<Tok>, ConfigError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = src.chars().peekable();
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // comment to end of line
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '{' => {
+                chars.next();
+                out.push(Tok {
+                    line,
+                    kind: TokKind::LBrace,
+                });
+            }
+            '}' => {
+                chars.next();
+                out.push(Tok {
+                    line,
+                    kind: TokKind::RBrace,
+                });
+            }
+            ';' => {
+                chars.next();
+                out.push(Tok {
+                    line,
+                    kind: TokKind::Semi,
+                });
+            }
+            ',' => {
+                chars.next();
+                out.push(Tok {
+                    line,
+                    kind: TokKind::Comma,
+                });
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some(c) = chars.next() {
+                    match c {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some(other) => {
+                                return Err(ConfigError::Lex {
+                                    line,
+                                    msg: format!("unknown escape '\\{other}'"),
+                                })
+                            }
+                            None => {
+                                return Err(ConfigError::Lex {
+                                    line,
+                                    msg: "unterminated string".to_string(),
+                                })
+                            }
+                        },
+                        '\n' => {
+                            return Err(ConfigError::Lex {
+                                line,
+                                msg: "newline in string literal".to_string(),
+                            })
+                        }
+                        other => s.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(ConfigError::Lex {
+                        line,
+                        msg: "unterminated string".to_string(),
+                    });
+                }
+                out.push(Tok {
+                    line,
+                    kind: TokKind::Str(s),
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut num = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        num.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let value: u64 = num.parse().map_err(|_| ConfigError::Lex {
+                    line,
+                    msg: format!("integer out of range: {num}"),
+                })?;
+                // optional unit suffix
+                let mut suffix = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphabetic() {
+                        suffix.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = match suffix.as_str() {
+                    "" => TokKind::Int(value),
+                    "ms" => TokKind::Duration(TimeSpan::from_millis(value)),
+                    "s" => TokKind::Duration(TimeSpan::from_secs(value)),
+                    "m" => TokKind::Duration(TimeSpan::from_mins(value)),
+                    "h" => TokKind::Duration(TimeSpan::from_hours(value)),
+                    "d" => TokKind::Duration(TimeSpan::from_days(value)),
+                    other => {
+                        return Err(ConfigError::Lex {
+                            line,
+                            msg: format!("unknown duration unit '{other}'"),
+                        })
+                    }
+                };
+                out.push(Tok { line, kind });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if ident_char(c) {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok {
+                    line,
+                    kind: TokKind::Ident(s),
+                });
+            }
+            other => {
+                return Err(ConfigError::Lex {
+                    line,
+                    msg: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_basic_block() {
+        let toks = lex("feed SNMP/BPS { pattern \"a%i\"; }").unwrap();
+        let kinds: Vec<_> = toks.into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Ident("feed".into()),
+                TokKind::Ident("SNMP/BPS".into()),
+                TokKind::LBrace,
+                TokKind::Ident("pattern".into()),
+                TokKind::Str("a%i".into()),
+                TokKind::Semi,
+                TokKind::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_durations_and_ints() {
+        let toks = lex("7d 30s 5m 2h 150ms 42").unwrap();
+        let kinds: Vec<_> = toks.into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Duration(TimeSpan::from_days(7)),
+                TokKind::Duration(TimeSpan::from_secs(30)),
+                TokKind::Duration(TimeSpan::from_mins(5)),
+                TokKind::Duration(TimeSpan::from_hours(2)),
+                TokKind::Duration(TimeSpan::from_millis(150)),
+                TokKind::Int(42),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comments_and_lines() {
+        let toks = lex("# header\nfeed X {\n# inner\n}\n").unwrap();
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks.last().unwrap().line, 4);
+    }
+
+    #[test]
+    fn lex_string_escapes() {
+        let toks = lex(r#""a\"b\\c""#).unwrap();
+        assert_eq!(toks[0].kind, TokKind::Str("a\"b\\c".into()));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(matches!(lex("\"open"), Err(ConfigError::Lex { .. })));
+        assert!(matches!(lex("5q"), Err(ConfigError::Lex { .. })));
+        assert!(matches!(lex("@"), Err(ConfigError::Lex { .. })));
+        assert!(matches!(lex("\"a\nb\""), Err(ConfigError::Lex { .. })));
+        assert!(matches!(lex(r#""a\qb""#), Err(ConfigError::Lex { .. })));
+    }
+
+    #[test]
+    fn lex_feed_paths() {
+        let toks = lex("SNMP/MEMORY/POLLER-1_v2.5").unwrap();
+        assert_eq!(
+            toks[0].kind,
+            TokKind::Ident("SNMP/MEMORY/POLLER-1_v2.5".into())
+        );
+    }
+}

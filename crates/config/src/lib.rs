@@ -1,0 +1,163 @@
+//! # bistro-config
+//!
+//! The Bistro configuration language (paper §3.1).
+//!
+//! "Bistro uses a well-defined flexible configuration language to formally
+//! specify the properties of all managed data feeds and subscribers" —
+//! replacing the "collection of ad-hoc scripts" that homegrown feed
+//! managers accumulate.
+//!
+//! The language is a small block-structured text format:
+//!
+//! ```text
+//! server {
+//!     retention 7d;
+//!     scheduler_partitions 3;
+//! }
+//!
+//! feed SNMP/MEMORY {
+//!     pattern "MEMORY_poller%i_%Y%m%d.gz";
+//!     normalize "%Y/%m/%d/%f";
+//!     compress lzss;
+//!     description "router memory utilization";
+//! }
+//!
+//! group SNMP_CORE {
+//!     members SNMP/MEMORY, SNMP/CPU;
+//! }
+//!
+//! subscriber warehouse_dallas {
+//!     endpoint "dallas:7070";
+//!     subscribe SNMP;                  # a feed, group, or hierarchy prefix
+//!     delivery push;                   # push | notify (hybrid push-pull)
+//!     deadline 30s;
+//!     batch count 3 window 5m;         # hybrid batch spec (§4.1)
+//!     trigger remote "load_partition %N";
+//!     dest "incoming/%N/%f";
+//! }
+//! ```
+//!
+//! Feed names are hierarchical paths: subscribing to `SNMP` subscribes to
+//! every feed under `SNMP/…` — this is how the paper's "feed groups
+//! forming arbitrarily deep feed hierarchy" are expressed. Explicit
+//! `group` blocks cover non-prefix groupings.
+
+pub mod lexer;
+pub mod parser;
+pub mod render;
+pub mod types;
+pub mod validate;
+
+pub use parser::parse_config;
+pub use render::to_source;
+pub use types::{
+    BatchSpec, CompressOpt, Config, ConfigError, DeliveryMode, FeedDef, GroupDef, ServerDef,
+    SubscriberDef, TriggerDef, TriggerKind,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bistro_base::TimeSpan;
+
+    const FULL_EXAMPLE: &str = r#"
+        # Bistro server configuration — SNMP measurement scenario from §1
+        server {
+            retention 7d;
+            landing "landing";
+            staging "staging";
+            scheduler_partitions 3;
+            archive on;
+        }
+
+        feed SNMP/BPS {
+            pattern "BPS_poller%i_%Y%m%d%H%M.csv.gz";
+            description "bytes per second stats";
+        }
+
+        feed SNMP/PPS {
+            pattern "PPS_poller%i_%Y%m%d%H%M.csv.gz";
+        }
+
+        feed SNMP/CPU {
+            pattern "CPU_POLL%i_%Y%m%d%H%M.txt";
+            normalize "%Y/%m/%d/%f";
+            compress lzss;
+        }
+
+        feed SNMP/MEMORY {
+            pattern "MEMORY_POLLER%i_%Y%m%d%H_%M.csv.gz";
+            pattern "MEMORY_poller%i_%Y%m%d.gz";
+            normalize "%Y/%m/%d/%H/%f";
+            compress keep;
+        }
+
+        group BILLING_SET {
+            members SNMP/BPS;
+        }
+
+        subscriber billing {
+            endpoint "billing-host:7070";
+            subscribe BILLING_SET;
+            delivery push;
+            deadline 60s;
+            batch count 3 window 5m;
+            trigger remote "ingest_bps %N %f";
+        }
+
+        subscriber capacity_planning {
+            endpoint "capacity:7070";
+            subscribe SNMP;
+            delivery notify;
+            deadline 5m;
+            dest "incoming/%N/%f";
+        }
+    "#;
+
+    #[test]
+    fn full_example_parses_and_validates() {
+        let cfg = parse_config(FULL_EXAMPLE).unwrap();
+        assert_eq!(cfg.feeds.len(), 4);
+        assert_eq!(cfg.groups.len(), 1);
+        assert_eq!(cfg.subscribers.len(), 2);
+        assert_eq!(cfg.server.retention, TimeSpan::from_days(7));
+        assert_eq!(cfg.server.scheduler_partitions, 3);
+        assert!(cfg.server.archive);
+
+        let mem = cfg.feed("SNMP/MEMORY").unwrap();
+        assert_eq!(mem.patterns.len(), 2);
+        assert!(mem.normalize.is_some());
+
+        let billing = &cfg.subscribers[0];
+        assert_eq!(billing.batch.count, Some(3));
+        assert_eq!(billing.batch.window, Some(TimeSpan::from_mins(5)));
+        assert_eq!(billing.deadline, TimeSpan::from_secs(60));
+    }
+
+    #[test]
+    fn subscription_resolution() {
+        let cfg = parse_config(FULL_EXAMPLE).unwrap();
+        // group expands to its members
+        let feeds = cfg.resolve_subscription("BILLING_SET").unwrap();
+        assert_eq!(feeds, vec!["SNMP/BPS"]);
+        // hierarchy prefix expands to all feeds under it
+        let mut feeds = cfg.resolve_subscription("SNMP").unwrap();
+        feeds.sort();
+        assert_eq!(
+            feeds,
+            vec!["SNMP/BPS", "SNMP/CPU", "SNMP/MEMORY", "SNMP/PPS"]
+        );
+        // exact feed name resolves to itself
+        assert_eq!(
+            cfg.resolve_subscription("SNMP/CPU").unwrap(),
+            vec!["SNMP/CPU"]
+        );
+    }
+
+    #[test]
+    fn subscriber_feeds_expansion() {
+        let cfg = parse_config(FULL_EXAMPLE).unwrap();
+        let feeds = cfg.subscriber_feeds("capacity_planning").unwrap();
+        assert_eq!(feeds.len(), 4);
+    }
+}

@@ -1,0 +1,450 @@
+//! Recursive-descent parser for the configuration language.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::types::*;
+use crate::validate::validate;
+use bistro_base::TimeSpan;
+use bistro_compress::Codec;
+use bistro_pattern::{Pattern, Template};
+
+/// Parse and validate a configuration source text.
+pub fn parse_config(src: &str) -> Result<Config, ConfigError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let cfg = p.config()?;
+    validate(&cfg)?;
+    Ok(cfg)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn line(&self) -> usize {
+        self.peek()
+            .map(|t| t.line)
+            .or_else(|| self.toks.last().map(|t| t.line))
+            .unwrap_or(1)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ConfigError> {
+        Err(ConfigError::Parse {
+            line: self.line(),
+            msg: msg.into(),
+        })
+    }
+
+    fn next(&mut self, what: &str) -> Result<Tok, ConfigError> {
+        match self.toks.get(self.pos) {
+            Some(t) => {
+                self.pos += 1;
+                Ok(t.clone())
+            }
+            None => Err(ConfigError::Parse {
+                line: self.line(),
+                msg: format!("unexpected end of input, expected {what}"),
+            }),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokKind) -> Result<(), ConfigError> {
+        let t = self.next(&kind.to_string())?;
+        if &t.kind == kind {
+            Ok(())
+        } else {
+            Err(ConfigError::Parse {
+                line: t.line,
+                msg: format!("expected {kind}, found {}", t.kind),
+            })
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ConfigError> {
+        let t = self.next(what)?;
+        match t.kind {
+            TokKind::Ident(s) => Ok(s),
+            other => Err(ConfigError::Parse {
+                line: t.line,
+                msg: format!("expected {what}, found {other}"),
+            }),
+        }
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, ConfigError> {
+        let t = self.next(what)?;
+        match t.kind {
+            TokKind::Str(s) => Ok(s),
+            other => Err(ConfigError::Parse {
+                line: t.line,
+                msg: format!("expected {what} (a quoted string), found {other}"),
+            }),
+        }
+    }
+
+    fn duration(&mut self, what: &str) -> Result<TimeSpan, ConfigError> {
+        let t = self.next(what)?;
+        match t.kind {
+            TokKind::Duration(d) => Ok(d),
+            TokKind::Int(v) => Ok(TimeSpan::from_secs(v)), // bare seconds
+            other => Err(ConfigError::Parse {
+                line: t.line,
+                msg: format!("expected {what} (a duration), found {other}"),
+            }),
+        }
+    }
+
+    fn integer(&mut self, what: &str) -> Result<u64, ConfigError> {
+        let t = self.next(what)?;
+        match t.kind {
+            TokKind::Int(v) => Ok(v),
+            other => Err(ConfigError::Parse {
+                line: t.line,
+                msg: format!("expected {what} (an integer), found {other}"),
+            }),
+        }
+    }
+
+    fn config(&mut self) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        while self.peek().is_some() {
+            let kw = self.ident("'server', 'feed', 'group' or 'subscriber'")?;
+            match kw.as_str() {
+                "server" => cfg.server = self.server_block()?,
+                "feed" => cfg.feeds.push(self.feed_block()?),
+                "group" => cfg.groups.push(self.group_block()?),
+                "subscriber" => cfg.subscribers.push(self.subscriber_block()?),
+                other => {
+                    return self.err(format!(
+                        "unknown top-level block '{other}' (expected server/feed/group/subscriber)"
+                    ))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    fn server_block(&mut self) -> Result<ServerDef, ConfigError> {
+        let mut def = ServerDef::default();
+        self.expect(&TokKind::LBrace)?;
+        loop {
+            if matches!(self.peek().map(|t| &t.kind), Some(TokKind::RBrace)) {
+                self.pos += 1;
+                break;
+            }
+            let key = self.ident("a server setting")?;
+            match key.as_str() {
+                "retention" => def.retention = self.duration("retention")?,
+                "landing" => def.landing = self.string("landing directory")?,
+                "staging" => def.staging = self.string("staging directory")?,
+                "scheduler_partitions" => {
+                    let v = self.integer("scheduler_partitions")?;
+                    if v == 0 || v > 64 {
+                        return Err(ConfigError::BadValue {
+                            line: self.line(),
+                            msg: format!("scheduler_partitions must be 1..=64, got {v}"),
+                        });
+                    }
+                    def.scheduler_partitions = v as usize;
+                }
+                "archive" => {
+                    let v = self.ident("'on' or 'off'")?;
+                    def.archive = match v.as_str() {
+                        "on" | "true" => true,
+                        "off" | "false" => false,
+                        other => return self.err(format!("expected on/off, found '{other}'")),
+                    };
+                }
+                other => return self.err(format!("unknown server setting '{other}'")),
+            }
+            self.expect(&TokKind::Semi)?;
+        }
+        Ok(def)
+    }
+
+    fn feed_block(&mut self) -> Result<FeedDef, ConfigError> {
+        let name = self.ident("a feed name")?;
+        let mut def = FeedDef {
+            name: name.clone(),
+            patterns: Vec::new(),
+            normalize: None,
+            compress: CompressOpt::Keep,
+            description: None,
+        };
+        self.expect(&TokKind::LBrace)?;
+        loop {
+            if matches!(self.peek().map(|t| &t.kind), Some(TokKind::RBrace)) {
+                self.pos += 1;
+                break;
+            }
+            let key = self.ident("a feed setting")?;
+            match key.as_str() {
+                "pattern" => {
+                    let text = self.string("pattern")?;
+                    let pat = Pattern::parse(&text).map_err(|e| ConfigError::BadPattern {
+                        feed: name.clone(),
+                        pattern: text.clone(),
+                        msg: e.to_string(),
+                    })?;
+                    def.patterns.push(pat);
+                }
+                "normalize" => {
+                    let text = self.string("normalize template")?;
+                    let tpl = Template::parse(&text).map_err(|e| ConfigError::BadTemplate {
+                        owner: format!("feed {name}"),
+                        template: text.clone(),
+                        msg: e.to_string(),
+                    })?;
+                    def.normalize = Some(tpl);
+                }
+                "compress" => {
+                    let v = self.ident("a compression option")?;
+                    def.compress = match v.as_str() {
+                        "keep" => CompressOpt::Keep,
+                        "expand" | "none" => CompressOpt::Expand,
+                        "rle" => CompressOpt::To(Codec::Rle),
+                        "lzss" | "lz" => CompressOpt::To(Codec::Lzss),
+                        other => {
+                            return self.err(format!(
+                                "unknown compression '{other}' (keep/expand/rle/lzss)"
+                            ))
+                        }
+                    };
+                }
+                "description" => def.description = Some(self.string("description")?),
+                other => return self.err(format!("unknown feed setting '{other}'")),
+            }
+            self.expect(&TokKind::Semi)?;
+        }
+        Ok(def)
+    }
+
+    fn group_block(&mut self) -> Result<GroupDef, ConfigError> {
+        let name = self.ident("a group name")?;
+        let mut members = Vec::new();
+        self.expect(&TokKind::LBrace)?;
+        loop {
+            if matches!(self.peek().map(|t| &t.kind), Some(TokKind::RBrace)) {
+                self.pos += 1;
+                break;
+            }
+            let key = self.ident("'members'")?;
+            if key != "members" {
+                return self.err(format!("unknown group setting '{key}'"));
+            }
+            loop {
+                members.push(self.ident("a member name")?);
+                match self.peek().map(|t| &t.kind) {
+                    Some(TokKind::Comma) => {
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            self.expect(&TokKind::Semi)?;
+        }
+        Ok(GroupDef { name, members })
+    }
+
+    fn subscriber_block(&mut self) -> Result<SubscriberDef, ConfigError> {
+        let name = self.ident("a subscriber name")?;
+        let mut def = SubscriberDef {
+            name: name.clone(),
+            endpoint: String::new(),
+            subscriptions: Vec::new(),
+            delivery: DeliveryMode::Push,
+            deadline: TimeSpan::from_mins(1),
+            batch: BatchSpec::per_file(),
+            trigger: None,
+            dest: None,
+        };
+        self.expect(&TokKind::LBrace)?;
+        loop {
+            if matches!(self.peek().map(|t| &t.kind), Some(TokKind::RBrace)) {
+                self.pos += 1;
+                break;
+            }
+            let key = self.ident("a subscriber setting")?;
+            match key.as_str() {
+                "endpoint" => def.endpoint = self.string("endpoint")?,
+                "subscribe" => loop {
+                    def.subscriptions.push(self.ident("a feed/group name")?);
+                    match self.peek().map(|t| &t.kind) {
+                        Some(TokKind::Comma) => {
+                            self.pos += 1;
+                        }
+                        _ => break,
+                    }
+                },
+                "delivery" => {
+                    let v = self.ident("'push' or 'notify'")?;
+                    def.delivery = match v.as_str() {
+                        "push" => DeliveryMode::Push,
+                        "notify" => DeliveryMode::Notify,
+                        other => return self.err(format!("unknown delivery mode '{other}'")),
+                    };
+                }
+                "deadline" => def.deadline = self.duration("deadline")?,
+                "batch" => {
+                    // one or both of: `count N`, `window DUR`
+                    loop {
+                        match self.peek().map(|t| t.kind.clone()) {
+                            Some(TokKind::Ident(w)) if w == "count" => {
+                                self.pos += 1;
+                                let v = self.integer("batch count")?;
+                                if v == 0 {
+                                    return Err(ConfigError::BadValue {
+                                        line: self.line(),
+                                        msg: "batch count must be positive".to_string(),
+                                    });
+                                }
+                                def.batch.count = Some(v as u32);
+                            }
+                            Some(TokKind::Ident(w)) if w == "window" => {
+                                self.pos += 1;
+                                let d = self.duration("batch window")?;
+                                if d == TimeSpan::ZERO {
+                                    return Err(ConfigError::BadValue {
+                                        line: self.line(),
+                                        msg: "batch window must be positive".to_string(),
+                                    });
+                                }
+                                def.batch.window = Some(d);
+                            }
+                            _ => break,
+                        }
+                    }
+                    if def.batch.is_per_file() {
+                        return self.err("batch requires 'count N' and/or 'window DUR'");
+                    }
+                }
+                "trigger" => {
+                    let kind = self.ident("'remote' or 'local'")?;
+                    let kind = match kind.as_str() {
+                        "remote" => TriggerKind::Remote,
+                        "local" => TriggerKind::Local,
+                        other => return self.err(format!("unknown trigger kind '{other}'")),
+                    };
+                    let command = self.string("trigger command")?;
+                    def.trigger = Some(TriggerDef { kind, command });
+                }
+                "dest" => {
+                    let text = self.string("dest template")?;
+                    let tpl = Template::parse(&text).map_err(|e| ConfigError::BadTemplate {
+                        owner: format!("subscriber {name}"),
+                        template: text.clone(),
+                        msg: e.to_string(),
+                    })?;
+                    def.dest = Some(tpl);
+                }
+                other => return self.err(format!("unknown subscriber setting '{other}'")),
+            }
+            self.expect(&TokKind::Semi)?;
+        }
+        Ok(def)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_config() {
+        let cfg = parse_config(
+            r#"feed F { pattern "f_%i.csv"; }
+               subscriber s { endpoint "h:1"; subscribe F; }"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.feeds.len(), 1);
+        assert_eq!(cfg.subscribers[0].subscriptions, vec!["F"]);
+        assert_eq!(cfg.subscribers[0].deadline, TimeSpan::from_mins(1));
+    }
+
+    #[test]
+    fn empty_config_is_valid() {
+        let cfg = parse_config("").unwrap();
+        assert!(cfg.feeds.is_empty());
+    }
+
+    #[test]
+    fn batch_hybrid_spec() {
+        let cfg = parse_config(
+            r#"feed F { pattern "f_%i"; }
+               subscriber s { endpoint "h:1"; subscribe F; batch count 5 window 2m; }"#,
+        )
+        .unwrap();
+        let b = cfg.subscribers[0].batch;
+        assert_eq!(b.count, Some(5));
+        assert_eq!(b.window, Some(TimeSpan::from_mins(2)));
+    }
+
+    #[test]
+    fn syntax_errors_carry_lines() {
+        let err = parse_config("feed F {\n  pattern ;\n}").unwrap_err();
+        match err {
+            ConfigError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn bad_pattern_reported() {
+        let err = parse_config(r#"feed F { pattern "a%z"; }"#).unwrap_err();
+        assert!(matches!(err, ConfigError::BadPattern { .. }));
+    }
+
+    #[test]
+    fn bad_template_reported() {
+        let err =
+            parse_config(r#"feed F { pattern "a%i"; normalize "%Q"; }"#).unwrap_err();
+        assert!(matches!(err, ConfigError::BadTemplate { .. }));
+    }
+
+    #[test]
+    fn unknown_settings_rejected() {
+        assert!(parse_config("feed F { frobnicate 3; }").is_err());
+        assert!(parse_config("server { volume 11; }").is_err());
+        assert!(parse_config("widget W { }").is_err());
+    }
+
+    #[test]
+    fn zero_batch_count_rejected() {
+        let err = parse_config(
+            r#"feed F { pattern "a%i"; }
+               subscriber s { endpoint "h"; subscribe F; batch count 0; }"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::BadValue { .. }));
+    }
+
+    #[test]
+    fn bare_int_deadline_is_seconds() {
+        let cfg = parse_config(
+            r#"feed F { pattern "a%i"; }
+               subscriber s { endpoint "h"; subscribe F; deadline 45; }"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.subscribers[0].deadline, TimeSpan::from_secs(45));
+    }
+
+    #[test]
+    fn trigger_parsing() {
+        let cfg = parse_config(
+            r#"feed F { pattern "a%i"; }
+               subscriber s {
+                   endpoint "h"; subscribe F;
+                   trigger local "notify-send %N";
+               }"#,
+        )
+        .unwrap();
+        let t = cfg.subscribers[0].trigger.as_ref().unwrap();
+        assert_eq!(t.kind, TriggerKind::Local);
+        assert_eq!(t.command, "notify-send %N");
+    }
+}

@@ -1,0 +1,204 @@
+//! Rendering a [`Config`] back to configuration-language source.
+//!
+//! The inverse of [`crate::parse_config`]: lets a server persist its
+//! *current* configuration — including subscribers added at runtime and
+//! analyzer-suggested feed redefinitions approved by subscribers — so a
+//! restart reloads exactly what was running (§4.2's durability story for
+//! configuration, not just receipts).
+
+use crate::types::{CompressOpt, Config, DeliveryMode, TriggerKind};
+use bistro_base::TimeSpan;
+use std::fmt::Write as _;
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn duration(d: TimeSpan) -> String {
+    // pick the largest exact unit
+    let us = d.as_micros();
+    if us == 0 {
+        return "0s".to_string();
+    }
+    if us.is_multiple_of(86_400 * 1_000_000) {
+        return format!("{}d", us / (86_400 * 1_000_000));
+    }
+    if us.is_multiple_of(3_600 * 1_000_000) {
+        return format!("{}h", us / (3_600 * 1_000_000));
+    }
+    if us.is_multiple_of(60 * 1_000_000) {
+        return format!("{}m", us / (60 * 1_000_000));
+    }
+    if us.is_multiple_of(1_000_000) {
+        return format!("{}s", us / 1_000_000);
+    }
+    format!("{}ms", us / 1_000) // sub-ms precision is not expressible; round down
+}
+
+/// Render the configuration as parseable source text.
+pub fn to_source(cfg: &Config) -> String {
+    let mut out = String::new();
+    let s = &cfg.server;
+    let _ = writeln!(out, "server {{");
+    let _ = writeln!(out, "    retention {};", duration(s.retention));
+    let _ = writeln!(out, "    landing {};", quote(&s.landing));
+    let _ = writeln!(out, "    staging {};", quote(&s.staging));
+    let _ = writeln!(out, "    scheduler_partitions {};", s.scheduler_partitions);
+    let _ = writeln!(out, "    archive {};", if s.archive { "on" } else { "off" });
+    let _ = writeln!(out, "}}\n");
+
+    for f in &cfg.feeds {
+        let _ = writeln!(out, "feed {} {{", f.name);
+        for p in &f.patterns {
+            let _ = writeln!(out, "    pattern {};", quote(p.text()));
+        }
+        if let Some(t) = &f.normalize {
+            let _ = writeln!(out, "    normalize {};", quote(t.text()));
+        }
+        match f.compress {
+            CompressOpt::Keep => {}
+            CompressOpt::Expand => {
+                let _ = writeln!(out, "    compress expand;");
+            }
+            CompressOpt::To(codec) => {
+                let _ = writeln!(out, "    compress {codec};");
+            }
+        }
+        if let Some(d) = &f.description {
+            let _ = writeln!(out, "    description {};", quote(d));
+        }
+        let _ = writeln!(out, "}}\n");
+    }
+
+    for g in &cfg.groups {
+        let _ = writeln!(out, "group {} {{", g.name);
+        let _ = writeln!(out, "    members {};", g.members.join(", "));
+        let _ = writeln!(out, "}}\n");
+    }
+
+    for sub in &cfg.subscribers {
+        let _ = writeln!(out, "subscriber {} {{", sub.name);
+        let _ = writeln!(out, "    endpoint {};", quote(&sub.endpoint));
+        let _ = writeln!(out, "    subscribe {};", sub.subscriptions.join(", "));
+        let _ = writeln!(
+            out,
+            "    delivery {};",
+            match sub.delivery {
+                DeliveryMode::Push => "push",
+                DeliveryMode::Notify => "notify",
+            }
+        );
+        let _ = writeln!(out, "    deadline {};", duration(sub.deadline));
+        if !sub.batch.is_per_file() {
+            let mut parts = String::new();
+            if let Some(c) = sub.batch.count {
+                let _ = write!(parts, "count {c}");
+            }
+            if let Some(w) = sub.batch.window {
+                if !parts.is_empty() {
+                    parts.push(' ');
+                }
+                let _ = write!(parts, "window {}", duration(w));
+            }
+            let _ = writeln!(out, "    batch {parts};");
+        }
+        if let Some(t) = &sub.trigger {
+            let _ = writeln!(
+                out,
+                "    trigger {} {};",
+                match t.kind {
+                    TriggerKind::Remote => "remote",
+                    TriggerKind::Local => "local",
+                },
+                quote(&t.command)
+            );
+        }
+        if let Some(d) = &sub.dest {
+            let _ = writeln!(out, "    dest {};", quote(d.text()));
+        }
+        let _ = writeln!(out, "}}\n");
+    }
+    out
+}
+
+impl Config {
+    /// Render as parseable configuration source (see [`to_source`]).
+    pub fn to_source(&self) -> String {
+        to_source(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::parse_config;
+
+    const FULL: &str = r#"
+        server { retention 7d; landing "in"; staging "out"; scheduler_partitions 4; archive on; }
+        feed SNMP/MEMORY {
+            pattern "MEMORY_poller%i_%Y%m%d.gz";
+            pattern "MEMORY_Poller%i_%Y%m%d.gz";
+            normalize "%Y/%m/%d/%f";
+            compress lzss;
+            description "memory stats \"quoted\"";
+        }
+        feed SNMP/CPU { pattern "CPU_%i.txt"; compress expand; }
+        group CORE { members SNMP/MEMORY, SNMP/CPU; }
+        subscriber wh {
+            endpoint "wh-host:7070";
+            subscribe CORE;
+            delivery notify;
+            deadline 90s;
+            batch count 3 window 5m;
+            trigger remote "load %N %f";
+            dest "incoming/%N/%f";
+        }
+    "#;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let cfg = parse_config(FULL).unwrap();
+        let rendered = cfg.to_source();
+        let reparsed = parse_config(&rendered).unwrap_or_else(|e| {
+            panic!("rendered config failed to parse: {e}\n{rendered}")
+        });
+
+        assert_eq!(reparsed.server.retention, cfg.server.retention);
+        assert_eq!(reparsed.server.landing, cfg.server.landing);
+        assert_eq!(reparsed.server.scheduler_partitions, 4);
+        assert!(reparsed.server.archive);
+
+        assert_eq!(reparsed.feeds.len(), cfg.feeds.len());
+        let mem = reparsed.feed("SNMP/MEMORY").unwrap();
+        assert_eq!(mem.patterns.len(), 2);
+        assert_eq!(mem.normalize.as_ref().unwrap().text(), "%Y/%m/%d/%f");
+        assert_eq!(mem.description.as_deref(), Some("memory stats \"quoted\""));
+
+        assert_eq!(reparsed.groups.len(), 1);
+        let sub = reparsed.subscriber("wh").unwrap();
+        assert_eq!(sub.batch.count, Some(3));
+        assert_eq!(sub.deadline, cfg.subscriber("wh").unwrap().deadline);
+        assert_eq!(sub.dest.as_ref().unwrap().text(), "incoming/%N/%f");
+
+        // double roundtrip is a fixed point
+        assert_eq!(parse_config(&rendered).unwrap().to_source(), rendered);
+    }
+
+    #[test]
+    fn default_config_roundtrips() {
+        let cfg = parse_config("").unwrap();
+        let reparsed = parse_config(&cfg.to_source()).unwrap();
+        assert_eq!(reparsed.feeds.len(), 0);
+        assert_eq!(reparsed.server.retention, cfg.server.retention);
+    }
+}

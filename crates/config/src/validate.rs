@@ -1,0 +1,144 @@
+//! Semantic validation of a parsed configuration.
+//!
+//! The paper's motivation for a formal configuration language is exactly
+//! this: ad-hoc script collections have an "increasingly high probability
+//! of configuration mistakes". Validation catches them at load time:
+//! duplicate names, feeds without patterns, dangling subscriptions,
+//! cyclic groups, and subscribers with nothing to receive.
+
+use crate::types::{Config, ConfigError};
+use std::collections::BTreeSet;
+
+/// Validate cross-references and well-formedness. Called by
+/// [`crate::parse_config`]; callers constructing a [`Config`]
+/// programmatically should call it too.
+pub fn validate(cfg: &Config) -> Result<(), ConfigError> {
+    // unique names across feeds, groups and subscribers (shared namespace
+    // keeps subscription targets unambiguous)
+    let mut names = BTreeSet::new();
+    for f in &cfg.feeds {
+        if !names.insert(f.name.as_str()) {
+            return Err(ConfigError::DuplicateName(f.name.clone()));
+        }
+    }
+    for g in &cfg.groups {
+        if !names.insert(g.name.as_str()) {
+            return Err(ConfigError::DuplicateName(g.name.clone()));
+        }
+    }
+    let mut sub_names = BTreeSet::new();
+    for s in &cfg.subscribers {
+        if !sub_names.insert(s.name.as_str()) {
+            return Err(ConfigError::DuplicateName(s.name.clone()));
+        }
+    }
+
+    for f in &cfg.feeds {
+        if f.patterns.is_empty() {
+            return Err(ConfigError::NoPatterns(f.name.clone()));
+        }
+    }
+
+    // group members and cycles are checked by resolution
+    for g in &cfg.groups {
+        cfg.resolve_subscription(&g.name)?;
+    }
+
+    for s in &cfg.subscribers {
+        if s.subscriptions.is_empty() {
+            return Err(ConfigError::NoSubscriptions(s.name.clone()));
+        }
+        for target in &s.subscriptions {
+            cfg.resolve_subscription(target)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_config;
+    use crate::types::ConfigError;
+
+    #[test]
+    fn duplicate_feed_rejected() {
+        let err = parse_config(
+            r#"feed F { pattern "a%i"; }
+               feed F { pattern "b%i"; }"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::DuplicateName("F".to_string()));
+    }
+
+    #[test]
+    fn duplicate_across_kinds_rejected() {
+        let err = parse_config(
+            r#"feed F { pattern "a%i"; }
+               group F { members F; }"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::DuplicateName("F".to_string()));
+    }
+
+    #[test]
+    fn feed_without_pattern_rejected() {
+        let err = parse_config("feed F { }").unwrap_err();
+        assert_eq!(err, ConfigError::NoPatterns("F".to_string()));
+    }
+
+    #[test]
+    fn dangling_subscription_rejected() {
+        let err = parse_config(
+            r#"feed F { pattern "a%i"; }
+               subscriber s { endpoint "h"; subscribe NOPE; }"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::UnknownSubscription("NOPE".to_string()));
+    }
+
+    #[test]
+    fn empty_subscriber_rejected() {
+        let err = parse_config(
+            r#"feed F { pattern "a%i"; }
+               subscriber s { endpoint "h"; }"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::NoSubscriptions("s".to_string()));
+    }
+
+    #[test]
+    fn group_cycle_rejected() {
+        let err = parse_config(
+            r#"feed F { pattern "a%i"; }
+               group A { members B; }
+               group B { members A; }"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::GroupCycle(_)));
+    }
+
+    #[test]
+    fn nested_groups_resolve() {
+        let cfg = parse_config(
+            r#"feed X/ONE { pattern "a%i"; }
+               feed X/TWO { pattern "b%i"; }
+               feed Y { pattern "c%i"; }
+               group INNER { members X; }
+               group OUTER { members INNER, Y; }
+               subscriber s { endpoint "h"; subscribe OUTER; }"#,
+        )
+        .unwrap();
+        let feeds = cfg.subscriber_feeds("s").unwrap();
+        assert_eq!(feeds, vec!["X/ONE", "X/TWO", "Y"]);
+    }
+
+    #[test]
+    fn group_member_missing_rejected() {
+        let err = parse_config(
+            r#"feed F { pattern "a%i"; }
+               group G { members MISSING; }"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::UnknownSubscription("MISSING".to_string()));
+    }
+}

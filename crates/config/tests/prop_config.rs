@@ -1,0 +1,63 @@
+//! Property tests: config parse → render → parse is lossless, and the
+//! parser never panics on arbitrary input.
+
+use bistro_base::TimeSpan;
+use bistro_config::{parse_config, BatchSpec, DeliveryMode};
+use proptest::prelude::*;
+
+fn feed_name() -> impl Strategy<Value = String> {
+    "[A-Z]{2,8}(/[A-Z]{2,8}){0,2}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parser_never_panics(src in "[ -~\\n]{0,200}") {
+        let _ = parse_config(&src);
+    }
+
+    #[test]
+    fn render_roundtrip(
+        names in proptest::collection::btree_set(feed_name(), 1..6),
+        deadline_s in 1u64..7200,
+        count in proptest::option::of(1u32..20),
+        window_m in proptest::option::of(1u64..120),
+        notify in any::<bool>(),
+    ) {
+        let names: Vec<String> = names.into_iter().collect();
+        let mut src = String::new();
+        for n in &names {
+            src.push_str(&format!("feed {n} {{ pattern \"{}_p%i_%Y%m%d.csv\"; }}\n",
+                n.replace('/', "_")));
+        }
+        src.push_str(&format!(
+            "subscriber s {{ endpoint \"h:1\"; subscribe {}; delivery {}; deadline {deadline_s}s;",
+            names.join(", "),
+            if notify { "notify" } else { "push" },
+        ));
+        match (count, window_m) {
+            (Some(c), Some(w)) => src.push_str(&format!(" batch count {c} window {w}m;")),
+            (Some(c), None) => src.push_str(&format!(" batch count {c};")),
+            (None, Some(w)) => src.push_str(&format!(" batch window {w}m;")),
+            (None, None) => {}
+        }
+        src.push_str(" }\n");
+
+        let cfg = parse_config(&src).unwrap();
+        let rendered = cfg.to_source();
+        let reparsed = parse_config(&rendered).expect("rendered config parses");
+
+        prop_assert_eq!(reparsed.feeds.len(), cfg.feeds.len());
+        let sub = reparsed.subscriber("s").unwrap();
+        prop_assert_eq!(sub.deadline, TimeSpan::from_secs(deadline_s));
+        prop_assert_eq!(sub.delivery, if notify { DeliveryMode::Notify } else { DeliveryMode::Push });
+        let expect_batch = BatchSpec {
+            count,
+            window: window_m.map(TimeSpan::from_mins),
+        };
+        prop_assert_eq!(sub.batch, expect_batch);
+        // idempotence
+        prop_assert_eq!(parse_config(&rendered).unwrap().to_source(), rendered);
+    }
+}

@@ -1,0 +1,220 @@
+//! The §2.2 strawmen, over the same VFS as Bistro itself.
+//!
+//! * [`PullPoller`] — a pull-based subscriber: it must repeatedly list the
+//!   provider's directories to discover new files, and the cost of each
+//!   poll grows with the stored history ("the cost of the filesystem
+//!   metadata operations grows linearly with the history size").
+//! * [`rsync_cron_sync`] — an rsync/cron-style stateless synchronizer: it
+//!   compares the full source and destination trees on every run and
+//!   copies the difference ("rsync stores no state about which files
+//!   were already delivered … the cost of the directory scan grows
+//!   linearly and completely dominates the actual data transmission
+//!   time").
+//!
+//! Both report their work via the stores' [`bistro_vfs::MetaStats`],
+//! which experiments E1/E2 read.
+
+use bistro_vfs::{walk_files, FileStore, VfsError};
+use std::collections::HashSet;
+
+/// A pull-based subscriber polling a provider's directory tree.
+pub struct PullPoller {
+    /// Which files this subscriber has already retrieved.
+    seen: HashSet<String>,
+    root: String,
+    /// Optional recency window: only paths lexicographically ≥ this
+    /// marker are scanned (the paper's "limit the directory listing
+    /// operation to a set of directories that contain only the most
+    /// recent data" — which then *misses* out-of-order stragglers).
+    window_floor: Option<String>,
+}
+
+impl PullPoller {
+    /// A poller over `root` (provider-side directory).
+    pub fn new(root: &str) -> PullPoller {
+        PullPoller {
+            seen: HashSet::new(),
+            root: root.to_string(),
+            window_floor: None,
+        }
+    }
+
+    /// Restrict scanning to paths ≥ `floor` (recency-window shortcut).
+    pub fn with_window_floor(mut self, floor: &str) -> PullPoller {
+        self.window_floor = Some(floor.to_string());
+        self
+    }
+
+    /// One poll: list the provider tree and return (retrieving) files not
+    /// seen before. Every poll pays the full metadata cost of the
+    /// provider's history.
+    pub fn poll(&mut self, provider: &dyn FileStore) -> Result<Vec<String>, VfsError> {
+        let mut new_files = Vec::new();
+        let files = walk_files(provider, &self.root)?;
+        for f in files {
+            if let Some(floor) = &self.window_floor {
+                if f.as_str() < floor.as_str() {
+                    continue;
+                }
+            }
+            if self.seen.insert(f.clone()) {
+                // retrieve: read the payload (costed by MetaStats)
+                provider.read(&f)?;
+                new_files.push(f);
+            }
+        }
+        Ok(new_files)
+    }
+
+    /// Number of files retrieved so far.
+    pub fn retrieved(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+/// One rsync/cron run: make `dst_root` in `dst` mirror `src_root` in
+/// `src`. Stateless: compares full listings of both trees every time.
+/// Returns the number of files copied.
+pub fn rsync_cron_sync(
+    src: &dyn FileStore,
+    src_root: &str,
+    dst: &dyn FileStore,
+    dst_root: &str,
+) -> Result<usize, VfsError> {
+    let src_files = walk_files(src, src_root)?;
+    dst.create_dir_all(dst_root)?;
+    let dst_files: HashSet<String> = walk_files(dst, dst_root)?
+        .into_iter()
+        .map(|p| p.strip_prefix(&format!("{dst_root}/")).unwrap_or(&p).to_string())
+        .collect();
+
+    let mut copied = 0;
+    let src_prefix = format!("{src_root}/");
+    for f in &src_files {
+        let rel = f.strip_prefix(&src_prefix).unwrap_or(f);
+        let dst_path = format!("{dst_root}/{rel}");
+        let needs_copy = if dst_files.contains(rel) {
+            // size comparison (rsync's quick check) — stat both sides
+            let s = src.metadata(f)?;
+            match dst.metadata(&dst_path) {
+                Ok(d) => s.size != d.size,
+                Err(_) => true,
+            }
+        } else {
+            true
+        };
+        if needs_copy {
+            let data = src.read(f)?;
+            dst.write(&dst_path, &data)?;
+            copied += 1;
+        }
+    }
+    Ok(copied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bistro_base::SimClock;
+    use bistro_vfs::MemFs;
+    use std::sync::Arc;
+
+    fn provider_with(n: usize) -> Arc<MemFs> {
+        let fs = MemFs::shared(SimClock::new());
+        for i in 0..n {
+            fs.write(&format!("staging/F/day{:03}/f{i}.csv", i / 10), b"data")
+                .unwrap();
+        }
+        fs
+    }
+
+    #[test]
+    fn pull_poller_finds_new_files_once() {
+        let fs = provider_with(20);
+        let mut poller = PullPoller::new("staging");
+        assert_eq!(poller.poll(fs.as_ref()).unwrap().len(), 20);
+        assert_eq!(poller.poll(fs.as_ref()).unwrap().len(), 0);
+        fs.write("staging/F/day999/new.csv", b"x").unwrap();
+        assert_eq!(poller.poll(fs.as_ref()).unwrap().len(), 1);
+        assert_eq!(poller.retrieved(), 21);
+    }
+
+    #[test]
+    fn pull_poll_cost_grows_with_history() {
+        let small = provider_with(10);
+        let large = provider_with(1000);
+        let mut p1 = PullPoller::new("staging");
+        let mut p2 = PullPoller::new("staging");
+        p1.poll(small.as_ref()).unwrap();
+        p2.poll(large.as_ref()).unwrap();
+        let before_small = small.stats().snapshot();
+        let before_large = large.stats().snapshot();
+        // steady-state polls (no new files) still pay full scan cost
+        p1.poll(small.as_ref()).unwrap();
+        p2.poll(large.as_ref()).unwrap();
+        let cost_small = small.stats().snapshot().since(&before_small).metadata_ops();
+        let cost_large = large.stats().snapshot().since(&before_large).metadata_ops();
+        assert!(
+            cost_large > cost_small * 20,
+            "poll cost must scale with history: {cost_small} vs {cost_large}"
+        );
+    }
+
+    #[test]
+    fn window_floor_misses_stragglers() {
+        let fs = provider_with(20);
+        let mut poller = PullPoller::new("staging").with_window_floor("staging/F/day001");
+        let got = poller.poll(fs.as_ref()).unwrap();
+        // files under day000 are invisible — the out-of-orderness hazard
+        assert!(got.len() < 20);
+        assert!(got.iter().all(|f| !f.contains("day000")));
+    }
+
+    #[test]
+    fn rsync_copies_diff_only() {
+        let src = provider_with(10);
+        let dst = MemFs::shared(SimClock::new());
+        assert_eq!(
+            rsync_cron_sync(src.as_ref(), "staging", dst.as_ref(), "mirror").unwrap(),
+            10
+        );
+        assert_eq!(
+            rsync_cron_sync(src.as_ref(), "staging", dst.as_ref(), "mirror").unwrap(),
+            0
+        );
+        src.write("staging/F/day999/new.csv", b"xx").unwrap();
+        assert_eq!(
+            rsync_cron_sync(src.as_ref(), "staging", dst.as_ref(), "mirror").unwrap(),
+            1
+        );
+        assert_eq!(dst.read("mirror/F/day999/new.csv").unwrap(), b"xx");
+    }
+
+    #[test]
+    fn rsync_rewrites_changed_sizes() {
+        let src = MemFs::shared(SimClock::new());
+        src.write("s/a.csv", b"one").unwrap();
+        let dst = MemFs::shared(SimClock::new());
+        rsync_cron_sync(src.as_ref(), "s", dst.as_ref(), "d").unwrap();
+        src.write("s/a.csv", b"longer-content").unwrap();
+        assert_eq!(rsync_cron_sync(src.as_ref(), "s", dst.as_ref(), "d").unwrap(), 1);
+        assert_eq!(dst.read("d/a.csv").unwrap(), b"longer-content");
+    }
+
+    #[test]
+    fn rsync_steady_state_cost_scales_with_history() {
+        let src = provider_with(500);
+        let dst = MemFs::shared(SimClock::new());
+        rsync_cron_sync(src.as_ref(), "staging", dst.as_ref(), "mirror").unwrap();
+        let before = src.stats().snapshot();
+        let before_dst = dst.stats().snapshot();
+        // no changes: a full run still scans everything
+        rsync_cron_sync(src.as_ref(), "staging", dst.as_ref(), "mirror").unwrap();
+        let cost = src.stats().snapshot().since(&before).metadata_ops()
+            + dst.stats().snapshot().since(&before_dst).metadata_ops();
+        assert!(
+            cost > 1000,
+            "steady-state rsync should still pay O(history) = {cost} metadata ops"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # bistro-core
+//!
+//! The Bistro server (paper §3, Figure 2): the component that ties every
+//! substrate together.
+//!
+//! ```text
+//!  landing dirs ──► classifier ──► normalizer ──► staging dirs
+//!                       │                             │
+//!                  feed analyzer                delivery subsystem ──► subscribers
+//!                       │                             │        └───► triggers
+//!                  suggestions                  delivery receipts
+//!                                                     │
+//!                                                 archiver
+//! ```
+//!
+//! * [`classifier`] — compiles the configuration's feed patterns and maps
+//!   each incoming filename to its feeds (with typed captures).
+//! * [`normalizer`] — renders staging paths from capture semantics and
+//!   applies the feed's compression option.
+//! * [`server::Server`] — landing-zone ingest (notification-driven, §4.1),
+//!   reliable push/notify delivery backed by the receipt store (§4.2),
+//!   batching and trigger invocation, retention expiration with
+//!   archiving, feed progress monitoring, and continuous analyzer feeds
+//!   (§5).
+//! * [`baselines`] — the §2.2 strawmen, implemented over the same VFS so
+//!   their metadata costs are directly comparable: a polling pull
+//!   subscriber and an rsync/cron-style stateless tree synchronizer.
+//! * [`relay`] — Bistro-as-subscriber-of-Bistro: the distributed feed
+//!   delivery network of §3.
+//! * [`log`] — the logging subsystem: leveled event ring with alarms.
+
+pub mod baselines;
+pub mod classifier;
+pub mod log;
+pub mod normalizer;
+pub mod relay;
+pub mod server;
+
+pub use classifier::{Classification, Classifier};
+pub use log::{EventLog, LogEvent, LogLevel};
+pub use server::{DeliveryStats, Server, ServerError};

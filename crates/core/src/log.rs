@@ -1,0 +1,138 @@
+//! The logging subsystem (paper §3.2).
+//!
+//! "An important feature of Bistro is to perform extensive logging to
+//! track the status of all the feeds … and alarm if it is unable to
+//! correct errors." A bounded in-memory event ring with levels; alarms
+//! (the highest level) are additionally retained in full so none is lost
+//! to ring eviction.
+
+use bistro_base::TimePoint;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Event severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Routine progress.
+    Info,
+    /// Suspicious but self-corrected.
+    Warn,
+    /// Requires operator attention.
+    Alarm,
+}
+
+impl fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogLevel::Info => write!(f, "INFO"),
+            LogLevel::Warn => write!(f, "WARN"),
+            LogLevel::Alarm => write!(f, "ALARM"),
+        }
+    }
+}
+
+/// One logged event.
+#[derive(Clone, Debug)]
+pub struct LogEvent {
+    /// When it happened.
+    pub at: TimePoint,
+    /// Severity.
+    pub level: LogLevel,
+    /// Originating component (`classifier`, `delivery`, …).
+    pub component: &'static str,
+    /// Message.
+    pub message: String,
+}
+
+/// Bounded event log with unbounded alarm retention.
+pub struct EventLog {
+    inner: Mutex<LogInner>,
+}
+
+struct LogInner {
+    ring: VecDeque<LogEvent>,
+    capacity: usize,
+    alarms: Vec<LogEvent>,
+    counts: [u64; 3],
+}
+
+impl EventLog {
+    /// A log retaining the most recent `capacity` events.
+    pub fn new(capacity: usize) -> EventLog {
+        EventLog {
+            inner: Mutex::new(LogInner {
+                ring: VecDeque::with_capacity(capacity.min(4096)),
+                capacity: capacity.max(1),
+                alarms: Vec::new(),
+                counts: [0; 3],
+            }),
+        }
+    }
+
+    /// Record an event.
+    pub fn log(&self, at: TimePoint, level: LogLevel, component: &'static str, message: String) {
+        let mut inner = self.inner.lock();
+        inner.counts[level as usize] += 1;
+        let ev = LogEvent {
+            at,
+            level,
+            component,
+            message,
+        };
+        if level == LogLevel::Alarm {
+            inner.alarms.push(ev.clone());
+        }
+        if inner.ring.len() == inner.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(ev);
+    }
+
+    /// The most recent events (up to the ring capacity).
+    pub fn recent(&self) -> Vec<LogEvent> {
+        self.inner.lock().ring.iter().cloned().collect()
+    }
+
+    /// Every alarm ever raised.
+    pub fn alarms(&self) -> Vec<LogEvent> {
+        self.inner.lock().alarms.clone()
+    }
+
+    /// Count of events at a level.
+    pub fn count(&self, level: LogLevel) -> u64 {
+        self.inner.lock().counts[level as usize]
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new(10_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_but_alarms_persist() {
+        let log = EventLog::new(3);
+        let t = TimePoint::from_secs(1);
+        log.log(t, LogLevel::Alarm, "delivery", "subscriber down".into());
+        for i in 0..5 {
+            log.log(t, LogLevel::Info, "classifier", format!("file {i}"));
+        }
+        assert_eq!(log.recent().len(), 3);
+        assert_eq!(log.alarms().len(), 1);
+        assert_eq!(log.count(LogLevel::Info), 5);
+        assert_eq!(log.count(LogLevel::Alarm), 1);
+    }
+
+    #[test]
+    fn levels_order() {
+        assert!(LogLevel::Alarm > LogLevel::Warn);
+        assert!(LogLevel::Warn > LogLevel::Info);
+        assert_eq!(LogLevel::Alarm.to_string(), "ALARM");
+    }
+}

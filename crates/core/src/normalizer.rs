@@ -1,0 +1,182 @@
+//! File normalization (paper §3.1).
+//!
+//! "The Bistro file normalizer takes knowledge of field semantics
+//! embedded in feed patterns to drive the normalization process" — it
+//! renders the staging path from the match captures (e.g. daily
+//! directories from the embedded timestamp) and applies the feed's
+//! compression option via the `bistro-compress` container.
+
+use bistro_compress::{container, CompressError};
+#[cfg(test)]
+use bistro_compress::Codec;
+use bistro_config::{CompressOpt, FeedDef};
+use bistro_pattern::Captures;
+use std::fmt;
+
+/// Errors from normalization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NormalizeError {
+    /// The normalize template failed to render.
+    Template(String),
+    /// Decompression of a container payload failed.
+    Compress(CompressError),
+}
+
+impl fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalizeError::Template(e) => write!(f, "template: {e}"),
+            NormalizeError::Compress(e) => write!(f, "compress: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+impl From<CompressError> for NormalizeError {
+    fn from(e: CompressError) -> Self {
+        NormalizeError::Compress(e)
+    }
+}
+
+/// The result of normalizing one file for one feed.
+#[derive(Clone, Debug)]
+pub struct Normalized {
+    /// Staging path relative to the staging root (includes the feed's
+    /// directory).
+    pub staged_path: String,
+    /// The bytes to stage.
+    pub data: Vec<u8>,
+}
+
+/// Normalize a matched file for a feed.
+///
+/// * path: the feed's `normalize` template rendered with the captures,
+///   or `<feed name>/<original name>` when no template is configured;
+/// * payload: per the feed's [`CompressOpt`] — kept verbatim, expanded
+///   (if it is a Bistro container), or (re-)sealed with a codec.
+pub fn normalize(
+    feed: &FeedDef,
+    name: &str,
+    captures: &Captures,
+    payload: &[u8],
+) -> Result<Normalized, NormalizeError> {
+    let rel = match &feed.normalize {
+        Some(tpl) => tpl
+            .render(captures, name, &feed.name)
+            .map_err(|e| NormalizeError::Template(e.to_string()))?,
+        None => format!("{}/{}", feed.name, name),
+    };
+    // template output may or may not start with the feed name; ensure the
+    // staged layout is always rooted per feed for expiration/archival
+    let staged_path = if rel.starts_with(&format!("{}/", feed.name)) || rel == feed.name {
+        rel
+    } else {
+        format!("{}/{}", feed.name, rel)
+    };
+
+    let data = match feed.compress {
+        CompressOpt::Keep => payload.to_vec(),
+        CompressOpt::Expand => {
+            if container::is_container(payload) {
+                container::open(payload)?
+            } else {
+                payload.to_vec()
+            }
+        }
+        CompressOpt::To(codec) => {
+            if container::is_container(payload) {
+                container::transcode(payload, codec)?
+            } else {
+                container::seal(codec, payload)
+            }
+        }
+    };
+    Ok(Normalized { staged_path, data })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bistro_config::parse_config;
+
+    fn feed(src: &str) -> FeedDef {
+        parse_config(src).unwrap().feeds.remove(0)
+    }
+
+    #[test]
+    fn default_layout_is_feed_slash_name() {
+        let f = feed(r#"feed SNMP/MEMORY { pattern "MEMORY_poller%i_%Y%m%d.gz"; }"#);
+        let caps = f.patterns[0].match_str("MEMORY_poller1_20100925.gz").unwrap();
+        let n = normalize(&f, "MEMORY_poller1_20100925.gz", &caps, b"body").unwrap();
+        assert_eq!(n.staged_path, "SNMP/MEMORY/MEMORY_poller1_20100925.gz");
+        assert_eq!(n.data, b"body");
+    }
+
+    #[test]
+    fn daily_directory_template() {
+        let f = feed(
+            r#"feed SNMP/MEMORY {
+                pattern "MEMORY_poller%i_%Y%m%d.gz";
+                normalize "%Y/%m/%d/%f";
+            }"#,
+        );
+        let caps = f.patterns[0].match_str("MEMORY_poller1_20100925.gz").unwrap();
+        let n = normalize(&f, "MEMORY_poller1_20100925.gz", &caps, b"x").unwrap();
+        assert_eq!(
+            n.staged_path,
+            "SNMP/MEMORY/2010/09/25/MEMORY_poller1_20100925.gz"
+        );
+    }
+
+    #[test]
+    fn compress_to_codec_seals() {
+        let f = feed(
+            r#"feed F { pattern "f_%i.csv"; compress lzss; }"#,
+        );
+        let caps = f.patterns[0].match_str("f_1.csv").unwrap();
+        let body = b"measurement,1,2,3\n".repeat(50);
+        let n = normalize(&f, "f_1.csv", &caps, &body).unwrap();
+        assert!(container::is_container(&n.data));
+        assert_eq!(container::open(&n.data).unwrap(), body);
+        assert!(n.data.len() < body.len());
+    }
+
+    #[test]
+    fn expand_opens_containers() {
+        let f = feed(r#"feed F { pattern "f_%i.csv"; compress expand; }"#);
+        let caps = f.patterns[0].match_str("f_1.csv").unwrap();
+        let body = b"hello world hello world";
+        let sealed = container::seal(Codec::Rle, body);
+        let n = normalize(&f, "f_1.csv", &caps, &sealed).unwrap();
+        assert_eq!(n.data, body);
+        // non-container payload passes through
+        let n = normalize(&f, "f_1.csv", &caps, b"plain").unwrap();
+        assert_eq!(n.data, b"plain");
+    }
+
+    #[test]
+    fn transcode_on_recompress() {
+        let f = feed(r#"feed F { pattern "f_%i.csv"; compress rle; }"#);
+        let caps = f.patterns[0].match_str("f_1.csv").unwrap();
+        let body = b"abcabcabc".repeat(20);
+        let sealed = container::seal(Codec::Lzss, &body);
+        let n = normalize(&f, "f_1.csv", &caps, &sealed).unwrap();
+        let (codec, _, _) = container::peek(&n.data).unwrap();
+        assert_eq!(codec, Codec::Rle);
+        assert_eq!(container::open(&n.data).unwrap(), body);
+    }
+
+    #[test]
+    fn corrupt_container_rejected_on_expand() {
+        let f = feed(r#"feed F { pattern "f_%i.csv"; compress expand; }"#);
+        let caps = f.patterns[0].match_str("f_1.csv").unwrap();
+        let mut sealed = container::seal(Codec::Rle, b"data data data data");
+        let n = sealed.len();
+        sealed[n - 1] ^= 0xFF;
+        assert!(matches!(
+            normalize(&f, "f_1.csv", &caps, &sealed),
+            Err(NormalizeError::Compress(_))
+        ));
+    }
+}

@@ -1,0 +1,801 @@
+//! The Bistro server (paper §3, Figure 2).
+//!
+//! Drives the full pipeline deterministically on a shared clock:
+//! landing-zone ingest → classification → normalization → staging →
+//! reliable delivery (receipts) → batching → triggers, plus retention
+//! expiration with archiving, progress monitoring, and the continuous
+//! analyzer taps (new-feed discovery and false-negative detection on
+//! unmatched files).
+
+use crate::classifier::Classifier;
+use crate::log::{EventLog, LogLevel};
+use crate::normalizer::{normalize, NormalizeError};
+use bistro_analyzer::{fp_report, FeedDiscoverer, FeedProgress, FnDetector, FpReport, ProgressAlert};
+use bistro_analyzer::discovery::DiscoveredFeed;
+use bistro_analyzer::fn_detect::FnWarning;
+use bistro_base::{BatchId, IdGen, SharedClock, TimeSpan};
+use bistro_config::validate::validate;
+use bistro_config::{BatchSpec, Config, DeliveryMode, FeedDef, SubscriberDef};
+use bistro_receipts::{Archiver, FileRecord, ReceiptError, ReceiptStore};
+use bistro_transport::messages::{Message, SubscriberMsg};
+use bistro_transport::trigger::TriggerContext;
+use bistro_transport::{Batcher, SimNetwork, TriggerLog};
+use bistro_vfs::{FileStore, VfsError};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from server operations.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Filesystem error.
+    Vfs(VfsError),
+    /// Receipt store error.
+    Receipts(ReceiptError),
+    /// Normalization error.
+    Normalize(NormalizeError),
+    /// Configuration error.
+    Config(bistro_config::ConfigError),
+    /// Unknown subscriber name.
+    UnknownSubscriber(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Vfs(e) => write!(f, "{e}"),
+            ServerError::Receipts(e) => write!(f, "{e}"),
+            ServerError::Normalize(e) => write!(f, "{e}"),
+            ServerError::Config(e) => write!(f, "{e}"),
+            ServerError::UnknownSubscriber(s) => write!(f, "unknown subscriber {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<VfsError> for ServerError {
+    fn from(e: VfsError) -> Self {
+        ServerError::Vfs(e)
+    }
+}
+impl From<ReceiptError> for ServerError {
+    fn from(e: ReceiptError) -> Self {
+        ServerError::Receipts(e)
+    }
+}
+impl From<NormalizeError> for ServerError {
+    fn from(e: NormalizeError) -> Self {
+        ServerError::Normalize(e)
+    }
+}
+impl From<bistro_config::ConfigError> for ServerError {
+    fn from(e: bistro_config::ConfigError) -> Self {
+        ServerError::Config(e)
+    }
+}
+
+/// Per-subscriber delivery latency accounting.
+#[derive(Clone, Debug, Default)]
+pub struct DeliveryStats {
+    /// Files classified into at least one feed.
+    pub files_ingested: u64,
+    /// Files that matched no feed (analyzer territory).
+    pub files_unknown: u64,
+    /// Delivery receipts recorded.
+    pub deliveries: u64,
+    /// Bytes pushed to subscribers.
+    pub bytes_delivered: u64,
+    /// Per-subscriber deposit→delivery latencies.
+    pub latencies: HashMap<String, Vec<TimeSpan>>,
+}
+
+impl DeliveryStats {
+    /// `(mean, p95, max)` delivery latency for a subscriber.
+    pub fn latency_summary(&self, subscriber: &str) -> Option<(TimeSpan, TimeSpan, TimeSpan)> {
+        let v = self.latencies.get(subscriber)?;
+        if v.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<u64> = v.iter().map(|t| t.as_micros()).collect();
+        sorted.sort_unstable();
+        let mean = sorted.iter().sum::<u64>() / sorted.len() as u64;
+        let p95 = sorted[((sorted.len() as f64 * 0.95).ceil() as usize - 1).min(sorted.len() - 1)];
+        let max = *sorted.last().unwrap();
+        Some((
+            TimeSpan::from_micros(mean),
+            TimeSpan::from_micros(p95),
+            TimeSpan::from_micros(max),
+        ))
+    }
+}
+
+struct SubscriberState {
+    def: SubscriberDef,
+    feeds: Vec<String>,
+    online: bool,
+    consecutive_failures: u32,
+}
+
+/// A Bistro server instance.
+pub struct Server {
+    name: String,
+    config: Config,
+    clock: SharedClock,
+    store: Arc<dyn FileStore>,
+    classifier: Classifier,
+    receipts: ReceiptStore,
+    archiver: Option<Archiver>,
+    log: EventLog,
+    triggers: TriggerLog,
+    batchers: HashMap<(String, String), Batcher>,
+    batch_ids: IdGen,
+    subscribers: HashMap<String, SubscriberState>,
+    net: Option<Arc<SimNetwork>>,
+    progress: HashMap<String, FeedProgress>,
+    discoverer: FeedDiscoverer,
+    fn_detector: FnDetector,
+    stats: DeliveryStats,
+}
+
+impl Server {
+    /// Create a server over `store` with the given validated
+    /// configuration. Opens (recovering if necessary) the receipt store
+    /// and creates the landing/staging/unknown directories.
+    pub fn new(
+        name: &str,
+        config: Config,
+        clock: SharedClock,
+        store: Arc<dyn FileStore>,
+    ) -> Result<Server, ServerError> {
+        validate(&config)?;
+        store.create_dir_all(&config.server.landing)?;
+        store.create_dir_all(&config.server.staging)?;
+        store.create_dir_all("unknown")?;
+
+        let receipts = ReceiptStore::open(store.clone(), "receipts")?;
+        let archiver = if config.server.archive {
+            Some(Archiver::new(store.clone(), "archive").map_err(ServerError::Vfs)?)
+        } else {
+            None
+        };
+
+        let classifier = Classifier::compile(&config);
+        let fn_detector = FnDetector::new(
+            config
+                .feeds
+                .iter()
+                .map(|f| (f.name.clone(), f.patterns.clone()))
+                .collect(),
+        );
+
+        let mut subscribers = HashMap::new();
+        for def in &config.subscribers {
+            let feeds = config.subscriber_feeds(&def.name)?;
+            subscribers.insert(
+                def.name.clone(),
+                SubscriberState {
+                    def: def.clone(),
+                    feeds,
+                    online: true,
+                    consecutive_failures: 0,
+                },
+            );
+        }
+
+        // Rebuild analyzer state from files parked in unknown/ by a
+        // previous incarnation: discovery and drift detection must
+        // survive restarts just like receipts do.
+        let mut discoverer = FeedDiscoverer::new();
+        let mut fn_detector = fn_detector;
+        for full in bistro_vfs::walk_files(store.as_ref(), "unknown")? {
+            let rel = full.strip_prefix("unknown/").unwrap_or(&full);
+            discoverer.observe(rel);
+            fn_detector.observe(rel);
+        }
+
+        Ok(Server {
+            name: name.to_string(),
+            config,
+            clock,
+            store,
+            classifier,
+            receipts,
+            archiver,
+            log: EventLog::default(),
+            triggers: TriggerLog::new(),
+            batchers: HashMap::new(),
+            batch_ids: IdGen::new(),
+            subscribers,
+            net: None,
+            progress: HashMap::new(),
+            discoverer,
+            fn_detector,
+            stats: DeliveryStats::default(),
+        })
+    }
+
+    /// Attach a simulated network; deliveries and notifications then
+    /// travel through it (with its bandwidth/latency/outages).
+    pub fn with_network(mut self, net: Arc<SimNetwork>) -> Server {
+        self.net = Some(net);
+        self
+    }
+
+    /// The server's name (its network endpoint).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Register progress monitoring for a feed: expect
+    /// `files_per_interval` files every `period`.
+    pub fn monitor_feed(&mut self, feed: &str, period: TimeSpan, files_per_interval: usize) {
+        self.progress
+            .insert(feed.to_string(), FeedProgress::new(period, files_per_interval));
+    }
+
+    /// Deposit a file into the landing zone *with* a source notification
+    /// (the cooperative-source path of §4.1): ingest happens immediately.
+    pub fn deposit(&mut self, rel_path: &str, data: &[u8]) -> Result<(), ServerError> {
+        let landing = format!("{}/{rel_path}", self.config.server.landing);
+        self.store.write(&landing, data)?;
+        self.ingest(rel_path)
+    }
+
+    /// A source notified us that `rel_path` is in the landing zone.
+    pub fn notify_deposit(&mut self, rel_path: &str) -> Result<(), ServerError> {
+        self.ingest(rel_path)
+    }
+
+    /// Scan the landing zone for files from non-cooperating sources and
+    /// ingest everything found. Cheap because ingest keeps the landing
+    /// zone empty (§4.1: "Bistro minimizes the overhead of directory
+    /// scans by immediately moving incoming files to staging
+    /// directories").
+    pub fn scan_landing(&mut self) -> Result<usize, ServerError> {
+        let files = bistro_vfs::walk_files(self.store.as_ref(), &self.config.server.landing)?;
+        let prefix = format!("{}/", self.config.server.landing);
+        let mut n = 0;
+        for full in files {
+            let rel = full.strip_prefix(&prefix).unwrap_or(&full).to_string();
+            self.ingest(&rel)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Ingest one landing file: classify, normalize, stage, record,
+    /// deliver, batch.
+    fn ingest(&mut self, rel_path: &str) -> Result<(), ServerError> {
+        let now = self.clock.now();
+        let landing_path = format!("{}/{rel_path}", self.config.server.landing);
+        let payload = self.store.read(&landing_path)?;
+
+        let classifications = self.classifier.classify(rel_path);
+        if classifications.is_empty() {
+            // unknown feed: park for the analyzer. A duplicate deposit of
+            // the same unknown name (sources do retransmit) replaces the
+            // parked copy.
+            let dest = format!("unknown/{rel_path}");
+            if self.store.exists(&dest) {
+                self.store.remove(&dest)?;
+            }
+            self.store.rename(&landing_path, &dest)?;
+            self.discoverer.observe(rel_path);
+            self.fn_detector.observe(rel_path);
+            self.stats.files_unknown += 1;
+            self.log.log(
+                now,
+                LogLevel::Warn,
+                "classifier",
+                format!("no feed matches {rel_path}"),
+            );
+            return Ok(());
+        }
+
+        // normalize and stage once per matching feed
+        let mut staged_paths: Vec<(String, String)> = Vec::new(); // (feed, staged)
+        let mut feed_time = None;
+        for c in &classifications {
+            let feed = self
+                .config
+                .feed(&c.feed)
+                .expect("classifier only yields configured feeds")
+                .clone();
+            let normalized = normalize(&feed, rel_path, &c.captures, &payload)?;
+            let staged = format!(
+                "{}/{}",
+                self.config.server.staging, normalized.staged_path
+            );
+            self.store.write(&staged, &normalized.data)?;
+            staged_paths.push((c.feed.clone(), normalized.staged_path));
+            if feed_time.is_none() {
+                feed_time = c.captures.timestamp();
+            }
+        }
+        self.store.remove(&landing_path)?;
+
+        let feeds: Vec<String> = staged_paths.iter().map(|(f, _)| f.clone()).collect();
+        let primary_staged = staged_paths[0].1.clone();
+        let file = self.receipts.record_arrival(
+            rel_path,
+            &primary_staged,
+            payload.len() as u64,
+            now,
+            feed_time,
+            feeds.clone(),
+        )?;
+        self.stats.files_ingested += 1;
+
+        for feed in &feeds {
+            if let Some(p) = self.progress.get_mut(feed) {
+                p.record(feed_time.unwrap_or(now));
+            }
+        }
+
+        // delivery to online subscribers of any matched feed
+        let rec = self.receipts.file(file).expect("just recorded");
+        let sub_names: Vec<String> = self.subscribers.keys().cloned().collect();
+        for sub in sub_names {
+            let interested = {
+                let st = &self.subscribers[&sub];
+                st.online && st.feeds.iter().any(|f| feeds.contains(f))
+            };
+            if interested {
+                self.deliver_one(&rec, &sub)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deliver (push or notify) one file to one subscriber, record the
+    /// receipt, and run the subscriber's batcher/trigger.
+    fn deliver_one(&mut self, rec: &FileRecord, sub_name: &str) -> Result<(), ServerError> {
+        if self.receipts.is_delivered(rec.id, sub_name) {
+            return Ok(());
+        }
+        let now = self.clock.now();
+        let st = self
+            .subscribers
+            .get(sub_name)
+            .ok_or_else(|| ServerError::UnknownSubscriber(sub_name.to_string()))?;
+        let feed_name = rec
+            .feeds
+            .iter()
+            .find(|f| st.feeds.contains(f))
+            .cloned()
+            .unwrap_or_else(|| rec.feeds[0].clone());
+
+        // destination path: subscriber's dest template or the staged layout
+        let dest_path = match (&st.def.dest, self.config.feed(&feed_name)) {
+            (Some(tpl), Some(feed)) => {
+                // re-match to recover captures for the template
+                let caps = feed
+                    .patterns
+                    .iter()
+                    .find_map(|p| p.match_str(&rec.name))
+                    .unwrap_or_default();
+                tpl.render(&caps, &rec.name, &feed_name)
+                    .unwrap_or_else(|_| format!("incoming/{}", rec.staged_path))
+            }
+            _ => format!("incoming/{}", rec.staged_path),
+        };
+
+        let staged_full = format!("{}/{}", self.config.server.staging, rec.staged_path);
+        let size = self
+            .store
+            .metadata(&staged_full)
+            .map(|m| m.size)
+            .unwrap_or(rec.size);
+
+        let msg = match st.def.delivery {
+            DeliveryMode::Push => Message::Subscriber(SubscriberMsg::FileDelivered {
+                file: rec.id,
+                feed: feed_name.clone(),
+                dest_path: dest_path.clone(),
+                size,
+            }),
+            DeliveryMode::Notify => Message::Subscriber(SubscriberMsg::FileAvailable {
+                file: rec.id,
+                feed: feed_name.clone(),
+                staged_path: rec.staged_path.clone(),
+                size,
+            }),
+        };
+
+        let delivered_at = match &self.net {
+            Some(net) => net.send(now, &self.name, &st.def.endpoint, msg),
+            None => now,
+        };
+
+        self.receipts.record_delivery(rec.id, sub_name, delivered_at)?;
+        self.stats.deliveries += 1;
+        if st.def.delivery == DeliveryMode::Push {
+            self.stats.bytes_delivered += size;
+        }
+        self.stats
+            .latencies
+            .entry(sub_name.to_string())
+            .or_default()
+            .push(delivered_at.since(rec.arrival));
+
+        // batching + trigger
+        let key = (feed_name.clone(), sub_name.to_string());
+        let spec: BatchSpec = st.def.batch;
+        let trigger = st.def.trigger.clone();
+        let batcher = self
+            .batchers
+            .entry(key)
+            .or_insert_with(|| Batcher::new(spec));
+        if let Some(batch) = batcher.on_file(rec.id, delivered_at) {
+            let batch_id: BatchId = self.batch_ids.next();
+            if let Some(def) = &trigger {
+                self.triggers.fire(
+                    sub_name,
+                    def,
+                    &TriggerContext {
+                        feed: &feed_name,
+                        file_path: &dest_path,
+                        batch: Some(batch_id),
+                        count: batch.files.len(),
+                    },
+                    batch.files,
+                    delivered_at,
+                );
+            }
+        }
+        self.subscribers
+            .get_mut(sub_name)
+            .unwrap()
+            .consecutive_failures = 0;
+        Ok(())
+    }
+
+    /// Mark a subscriber offline (failure detected) or online
+    /// (recovered). Recovery triggers backfill of the full pending queue
+    /// (§4.2).
+    pub fn set_subscriber_online(&mut self, sub: &str, online: bool) -> Result<(), ServerError> {
+        let now = self.clock.now();
+        {
+            let st = self
+                .subscribers
+                .get_mut(sub)
+                .ok_or_else(|| ServerError::UnknownSubscriber(sub.to_string()))?;
+            if st.online == online {
+                return Ok(());
+            }
+            st.online = online;
+        }
+        if online {
+            self.log.log(
+                now,
+                LogLevel::Info,
+                "delivery",
+                format!("{sub} recovered; backfilling"),
+            );
+            self.deliver_pending_for(sub)?;
+        } else {
+            self.log.log(
+                now,
+                LogLevel::Alarm,
+                "delivery",
+                format!("{sub} flagged offline"),
+            );
+        }
+        Ok(())
+    }
+
+    /// Deliver everything pending for one subscriber (backfill).
+    pub fn deliver_pending_for(&mut self, sub: &str) -> Result<usize, ServerError> {
+        let feeds = {
+            let st = self
+                .subscribers
+                .get(sub)
+                .ok_or_else(|| ServerError::UnknownSubscriber(sub.to_string()))?;
+            if !st.online {
+                return Ok(0);
+            }
+            st.feeds.clone()
+        };
+        let pending = self.receipts.pending_for(sub, &feeds);
+        let n = pending.len();
+        for rec in pending {
+            self.deliver_one(&rec, sub)?;
+        }
+        Ok(n)
+    }
+
+    /// Register a new subscriber at runtime; it immediately receives the
+    /// full available history of its feeds (§4.2).
+    pub fn add_subscriber(&mut self, def: SubscriberDef) -> Result<usize, ServerError> {
+        self.config.subscribers.push(def.clone());
+        validate(&self.config)?;
+        let feeds = self.config.subscriber_feeds(&def.name)?;
+        self.subscribers.insert(
+            def.name.clone(),
+            SubscriberState {
+                feeds,
+                def: def.clone(),
+                online: true,
+                consecutive_failures: 0,
+            },
+        );
+        self.deliver_pending_for(&def.name)
+    }
+
+    /// Replace a feed definition (subscriber-approved analyzer
+    /// suggestion, §5): recompiles the classifier and reclassifies live
+    /// files, then backfills any newly matching deliveries.
+    pub fn redefine_feed(&mut self, def: FeedDef) -> Result<(), ServerError> {
+        let name = def.name.clone();
+        match self.config.feeds.iter_mut().find(|f| f.name == name) {
+            Some(slot) => *slot = def,
+            None => self.config.feeds.push(def),
+        }
+        validate(&self.config)?;
+        self.classifier = Classifier::compile(&self.config);
+        self.fn_detector = FnDetector::new(
+            self.config
+                .feeds
+                .iter()
+                .map(|f| (f.name.clone(), f.patterns.clone()))
+                .collect(),
+        );
+        // reclassify live files
+        for rec in self.receipts.all_live() {
+            let feeds = self.classifier.feeds_for(&rec.name);
+            if feeds != rec.feeds && !feeds.is_empty() {
+                self.receipts.record_reclassification(rec.id, feeds)?;
+            }
+        }
+        // re-scan unknown directory: drifted files may now match
+        let unknowns = bistro_vfs::walk_files(self.store.as_ref(), "unknown")?;
+        for full in unknowns {
+            let rel = full.strip_prefix("unknown/").unwrap_or(&full).to_string();
+            if !self.classifier.classify(&rel).is_empty() {
+                // move back through the landing zone and ingest
+                self.store
+                    .rename(&full, &format!("{}/{rel}", self.config.server.landing))?;
+                self.ingest(&rel)?;
+            }
+        }
+        // deliver any newly pending files
+        let subs: Vec<String> = self.subscribers.keys().cloned().collect();
+        for sub in subs {
+            self.deliver_pending_for(&sub)?;
+        }
+        self.log.log(
+            self.clock.now(),
+            LogLevel::Info,
+            "config",
+            format!("feed {name} redefined"),
+        );
+        Ok(())
+    }
+
+    /// Periodic housekeeping: close lapsed batch windows (firing
+    /// triggers) and audit feed progress (raising alarms).
+    pub fn tick(&mut self) {
+        let now = self.clock.now();
+        // batch windows
+        let keys: Vec<(String, String)> = self.batchers.keys().cloned().collect();
+        for key in keys {
+            let batch = self.batchers.get_mut(&key).and_then(|b| b.on_tick(now));
+            if let Some(batch) = batch {
+                let (feed, sub) = &key;
+                let trigger = self.subscribers.get(sub).and_then(|s| s.def.trigger.clone());
+                let batch_id: BatchId = self.batch_ids.next();
+                if let Some(def) = trigger {
+                    self.triggers.fire(
+                        sub,
+                        &def,
+                        &TriggerContext {
+                            feed,
+                            file_path: "",
+                            batch: Some(batch_id),
+                            count: batch.files.len(),
+                        },
+                        batch.files,
+                        now,
+                    );
+                }
+            }
+        }
+        // progress audits
+        for (feed, progress) in &self.progress {
+            for alert in progress.audit(now) {
+                let (level, msg) = match alert {
+                    ProgressAlert::MissingData {
+                        interval,
+                        expected,
+                        got,
+                    } => (
+                        LogLevel::Alarm,
+                        format!("feed {feed}: interval {interval} has {got}/{expected} files"),
+                    ),
+                    ProgressAlert::SurplusData {
+                        interval,
+                        expected,
+                        got,
+                    } => (
+                        LogLevel::Warn,
+                        format!("feed {feed}: interval {interval} has {got} files, expected {expected}"),
+                    ),
+                    ProgressAlert::FeedSilent { silent_for, .. } => (
+                        LogLevel::Alarm,
+                        format!("feed {feed}: silent for {silent_for}"),
+                    ),
+                };
+                self.log.log(now, level, "monitor", msg);
+            }
+        }
+    }
+
+    /// A cooperative source marked end-of-batch for a feed: close the
+    /// feed's open batches immediately (§4.1 punctuation).
+    pub fn punctuate_feed(&mut self, feed: &str) {
+        let now = self.clock.now();
+        let keys: Vec<(String, String)> = self
+            .batchers
+            .keys()
+            .filter(|(f, _)| f == feed)
+            .cloned()
+            .collect();
+        for key in keys {
+            let batch = self
+                .batchers
+                .get_mut(&key)
+                .and_then(|b| b.on_punctuation(now));
+            if let Some(batch) = batch {
+                let (feed, sub) = &key;
+                let trigger = self.subscribers.get(sub).and_then(|s| s.def.trigger.clone());
+                let batch_id: BatchId = self.batch_ids.next();
+                if let Some(def) = trigger {
+                    self.triggers.fire(
+                        sub,
+                        &def,
+                        &TriggerContext {
+                            feed,
+                            file_path: "",
+                            batch: Some(batch_id),
+                            count: batch.files.len(),
+                        },
+                        batch.files,
+                        now,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Expire files beyond the retention window: archive (if configured),
+    /// delete the staged payload, and record the expiration (§4.2).
+    pub fn expire(&mut self) -> Result<usize, ServerError> {
+        let now = self.clock.now();
+        let cutoff = now.saturating_sub(self.config.server.retention);
+        let victims = self.receipts.expire_candidates(cutoff);
+        let n = victims.len();
+        for rec in victims {
+            let staged = format!("{}/{}", self.config.server.staging, rec.staged_path);
+            if let Some(arch) = &self.archiver {
+                if let Ok(payload) = self.store.read(&staged) {
+                    arch.archive_file(&rec, &payload, now).map_err(ServerError::Vfs)?;
+                }
+            }
+            let _ = self.store.remove(&staged);
+            self.receipts.record_expiration(rec.id, now)?;
+        }
+        if n > 0 {
+            self.log.log(
+                now,
+                LogLevel::Info,
+                "expirer",
+                format!("expired {n} files beyond {}", self.config.server.retention),
+            );
+        }
+        Ok(n)
+    }
+
+    /// Snapshot the receipt store (bounds recovery time).
+    pub fn snapshot(&self) -> Result<usize, ServerError> {
+        Ok(self.receipts.snapshot()?)
+    }
+
+    /// Persist the *current* configuration — including runtime-added
+    /// subscribers and approved feed redefinitions — into the store, so
+    /// [`Server::open_existing`] restarts with exactly what was running.
+    pub fn persist_config(&self) -> Result<(), ServerError> {
+        self.store
+            .write("bistro.conf", self.config.to_source().as_bytes())?;
+        Ok(())
+    }
+
+    /// Reopen a server from a store that carries a persisted
+    /// configuration (written by [`Server::persist_config`]). Recovers
+    /// the receipt database as usual.
+    pub fn open_existing(
+        name: &str,
+        clock: SharedClock,
+        store: Arc<dyn FileStore>,
+    ) -> Result<Server, ServerError> {
+        let src = store.read("bistro.conf")?;
+        let src = String::from_utf8(src).map_err(|e| {
+            ServerError::Config(bistro_config::ConfigError::Parse {
+                line: 0,
+                msg: format!("persisted config is not utf-8: {e}"),
+            })
+        })?;
+        let config = bistro_config::parse_config(&src)?;
+        Server::new(name, config, clock, store)
+    }
+
+    /// Suggested groupings of the analyzer's discovered feeds (the §5.1
+    /// future-work direction implemented in `bistro_analyzer::grouping`).
+    pub fn group_suggestions(&self, min_support: usize) -> Vec<bistro_analyzer::GroupSuggestion> {
+        bistro_analyzer::suggest_groups(
+            &self.discoverer.suggestions(min_support),
+            bistro_analyzer::grouping::DEFAULT_GROUP_THRESHOLD,
+        )
+    }
+
+    /// Content schema of a parked unknown file (LEARNPADS-direction
+    /// evidence for reviewing discovery suggestions, §3.2).
+    pub fn unknown_file_schema(
+        &self,
+        rel_path: &str,
+    ) -> Result<Option<bistro_analyzer::RecordSchema>, ServerError> {
+        let data = self.store.read(&format!("unknown/{rel_path}"))?;
+        Ok(bistro_analyzer::infer_schema(&data))
+    }
+
+    /// New-feed suggestions from the unmatched-file stream (§5.1).
+    pub fn discovery_report(&self, min_support: usize) -> Vec<DiscoveredFeed> {
+        self.discoverer.suggestions(min_support)
+    }
+
+    /// False-negative warnings from the unmatched-file stream (§5.2).
+    pub fn fn_warnings(&self) -> Vec<FnWarning> {
+        self.fn_detector.warnings()
+    }
+
+    /// False-positive / composition report for one feed (§5.3).
+    pub fn feed_composition(&self, feed: &str) -> FpReport {
+        let files = self.receipts.files_in_feed(feed);
+        fp_report(feed, files.iter().map(|f| f.name.as_str()), 0.05)
+    }
+
+    /// The receipt store (for inspection).
+    pub fn receipts(&self) -> &ReceiptStore {
+        &self.receipts
+    }
+
+    /// The trigger invocation log.
+    pub fn trigger_log(&self) -> &TriggerLog {
+        &self.triggers
+    }
+
+    /// The event log.
+    pub fn event_log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Delivery statistics.
+    pub fn stats(&self) -> &DeliveryStats {
+        &self.stats
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &Arc<dyn FileStore> {
+        &self.store
+    }
+
+    /// The archiver, if archiving is enabled.
+    pub fn archiver(&self) -> Option<&Archiver> {
+        self.archiver.as_ref()
+    }
+}

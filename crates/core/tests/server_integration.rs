@@ -1,0 +1,413 @@
+//! End-to-end Server tests: the full pipeline of Figure 2 on simulated
+//! time.
+
+use bistro_base::{Clock, SimClock, TimePoint, TimeSpan};
+use bistro_config::parse_config;
+use bistro_core::{LogLevel, Server};
+use bistro_simnet::{generate, payload::payload_for, FleetConfig, SubfeedSpec};
+use bistro_transport::messages::{Message, SubscriberMsg};
+use bistro_transport::{LinkSpec, SimNetwork};
+use bistro_vfs::{FileStore, MemFs};
+use std::sync::Arc;
+
+const START: TimePoint = TimePoint::from_secs(1_285_372_800); // 2010-09-25
+
+fn snmp_config() -> &'static str {
+    r#"
+    server {
+        retention 7d;
+        archive on;
+    }
+    feed SNMP/MEMORY {
+        pattern "MEMORY_poller%i_%Y%m%d.gz";
+        normalize "%Y/%m/%d/%f";
+    }
+    feed SNMP/CPU {
+        pattern "CPU_poller%i_%Y%m%d%H%M.csv";
+    }
+    subscriber warehouse {
+        endpoint "warehouse";
+        subscribe SNMP;
+        delivery push;
+        deadline 60s;
+        batch count 2 window 5m;
+        trigger remote "load %N batch=%b n=%c";
+    }
+    subscriber viz {
+        endpoint "viz";
+        subscribe SNMP/CPU;
+        delivery notify;
+        deadline 5s;
+    }
+    "#
+}
+
+fn new_server(clock: Arc<SimClock>, store: Arc<MemFs>) -> Server {
+    let cfg = parse_config(snmp_config()).unwrap();
+    Server::new("bistro1", cfg, clock, store).unwrap()
+}
+
+#[test]
+fn ingest_classify_stage_deliver() {
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let mut server = new_server(clock.clone(), store.clone());
+
+    server.deposit("MEMORY_poller1_20100925.gz", b"mem-data").unwrap();
+    server.deposit("CPU_poller1_201009250000.csv", b"cpu-data").unwrap();
+    server.deposit("garbage.bin", b"???").unwrap();
+
+    // staging layout honors the normalize template
+    assert!(store.exists("staging/SNMP/MEMORY/2010/09/25/MEMORY_poller1_20100925.gz"));
+    assert!(store.exists("staging/SNMP/CPU/CPU_poller1_201009250000.csv"));
+    // landing is drained; unknown parked
+    assert!(!store.exists("landing/MEMORY_poller1_20100925.gz"));
+    assert!(store.exists("unknown/garbage.bin"));
+
+    assert_eq!(server.stats().files_ingested, 2);
+    assert_eq!(server.stats().files_unknown, 1);
+    // warehouse got both files, viz only CPU
+    assert_eq!(server.stats().deliveries, 3);
+    assert_eq!(server.receipts().live_count(), 2);
+}
+
+#[test]
+fn batch_trigger_fires_on_count() {
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let mut server = new_server(clock.clone(), store);
+
+    server.deposit("MEMORY_poller1_20100925.gz", b"a").unwrap();
+    assert!(server.trigger_log().is_empty(), "batch of 2 not reached");
+    server.deposit("MEMORY_poller2_20100925.gz", b"b").unwrap();
+    let entries = server.trigger_log().entries();
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].subscriber, "warehouse");
+    assert!(entries[0].command.starts_with("load SNMP/MEMORY batch="));
+    assert!(entries[0].command.ends_with("n=2"));
+    assert_eq!(entries[0].files.len(), 2);
+}
+
+#[test]
+fn batch_window_fires_on_tick() {
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let mut server = new_server(clock.clone(), store);
+
+    server.deposit("MEMORY_poller1_20100925.gz", b"a").unwrap();
+    clock.advance(TimeSpan::from_mins(6)); // past the 5m window
+    server.tick();
+    let entries = server.trigger_log().entries();
+    assert_eq!(entries.len(), 1);
+    assert!(entries[0].command.ends_with("n=1"));
+}
+
+#[test]
+fn offline_subscriber_backfilled_on_recovery() {
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let mut server = new_server(clock.clone(), store);
+
+    server.set_subscriber_online("warehouse", false).unwrap();
+    for d in 25..=27 {
+        server
+            .deposit(&format!("MEMORY_poller1_201009{d}.gz"), b"x")
+            .unwrap();
+    }
+    // nothing delivered to warehouse while down
+    let pending = server
+        .receipts()
+        .pending_for("warehouse", &["SNMP/MEMORY".to_string()]);
+    assert_eq!(pending.len(), 3);
+    assert_eq!(server.event_log().count(LogLevel::Alarm), 1);
+
+    server.set_subscriber_online("warehouse", true).unwrap();
+    let pending = server
+        .receipts()
+        .pending_for("warehouse", &["SNMP/MEMORY".to_string()]);
+    assert!(pending.is_empty(), "backfill drained the queue");
+}
+
+#[test]
+fn new_subscriber_receives_full_history() {
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let mut server = new_server(clock.clone(), store);
+
+    for d in 25..=27 {
+        server
+            .deposit(&format!("MEMORY_poller1_201009{d}.gz"), b"x")
+            .unwrap();
+    }
+    let newsub = bistro_config::SubscriberDef {
+        name: "latecomer".to_string(),
+        endpoint: "latecomer".to_string(),
+        subscriptions: vec!["SNMP/MEMORY".to_string()],
+        delivery: bistro_config::DeliveryMode::Push,
+        deadline: TimeSpan::from_mins(5),
+        batch: bistro_config::BatchSpec::per_file(),
+        trigger: None,
+        dest: None,
+    };
+    let backfilled = server.add_subscriber(newsub).unwrap();
+    assert_eq!(backfilled, 3);
+}
+
+#[test]
+fn server_recovers_after_crash() {
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    {
+        let mut server = new_server(clock.clone(), store.clone());
+        server.set_subscriber_online("warehouse", false).unwrap();
+        server.deposit("MEMORY_poller1_20100925.gz", b"x").unwrap();
+        server.deposit("MEMORY_poller2_20100925.gz", b"y").unwrap();
+    } // crash: drop without snapshot
+
+    let mut server = new_server(clock.clone(), store.clone());
+    assert_eq!(server.receipts().live_count(), 2, "receipts recovered");
+    // warehouse still owed both files (delivery state also recovered)
+    let n = server.deliver_pending_for("warehouse").unwrap();
+    assert_eq!(n, 2);
+}
+
+#[test]
+fn expiration_archives_and_removes() {
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let mut server = new_server(clock.clone(), store.clone());
+
+    server.deposit("MEMORY_poller1_20100925.gz", b"old-data").unwrap();
+    let staged = "staging/SNMP/MEMORY/2010/09/25/MEMORY_poller1_20100925.gz";
+    assert!(store.exists(staged));
+
+    clock.advance(TimeSpan::from_days(10)); // beyond 7d retention
+    let n = server.expire().unwrap();
+    assert_eq!(n, 1);
+    assert!(!store.exists(staged), "staged payload expunged");
+    assert_eq!(server.receipts().live_count(), 0);
+    // archived copy exists
+    let arch = server.archiver().unwrap();
+    assert_eq!(
+        arch.fetch("SNMP/MEMORY/2010/09/25/MEMORY_poller1_20100925.gz").unwrap(),
+        b"old-data"
+    );
+    assert_eq!(arch.archived_files().unwrap().len(), 1);
+}
+
+#[test]
+fn feed_redefinition_recovers_drifted_files() {
+    // §5.2 closing the loop: files drift (Poller vs poller), the analyzer
+    // flags them, the subscriber approves a revised definition, and the
+    // server reclassifies the parked unknowns and delivers them.
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let mut server = new_server(clock.clone(), store.clone());
+
+    server.deposit("MEMORY_poller1_20100925.gz", b"ok").unwrap();
+    server.deposit("MEMORY_Poller1_20100926.gz", b"drifted").unwrap();
+    assert_eq!(server.stats().files_unknown, 1);
+
+    // analyzer flags the drift
+    let warnings = server.fn_warnings();
+    assert_eq!(warnings.len(), 1);
+    assert_eq!(warnings[0].feed, "SNMP/MEMORY");
+
+    // subscriber approves: add the suggested pattern to the feed
+    let mut feed = server.config().feed("SNMP/MEMORY").unwrap().clone();
+    feed.patterns.push(warnings[0].suggested_pattern.clone());
+    server.redefine_feed(feed).unwrap();
+
+    assert_eq!(server.receipts().live_count(), 2);
+    assert!(!store.exists("unknown/MEMORY_Poller1_20100926.gz"));
+    let pending = server
+        .receipts()
+        .pending_for("warehouse", &["SNMP/MEMORY".to_string()]);
+    assert!(pending.is_empty(), "drifted file delivered after redefinition");
+}
+
+#[test]
+fn sub_minute_propagation_with_network() {
+    // E3's core claim at unit scale: deposit → subscriber notification in
+    // well under a minute through the simulated WAN.
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let net = Arc::new(SimNetwork::new(LinkSpec {
+        bandwidth: 10_000_000, // 10 MB/s WAN
+        latency: TimeSpan::from_millis(40),
+    }));
+    let mut server = new_server(clock.clone(), store).with_network(net.clone());
+
+    server.deposit("CPU_poller1_201009250000.csv", &vec![0u8; 1_000_000]).unwrap();
+    clock.advance(TimeSpan::from_secs(30));
+    let msgs = net.recv_ready("viz", clock.now());
+    assert_eq!(msgs.len(), 1);
+    let latency = msgs[0].at.since(START);
+    assert!(
+        latency < TimeSpan::from_secs(60),
+        "propagation took {latency}"
+    );
+    match &msgs[0].msg {
+        Message::Subscriber(SubscriberMsg::FileAvailable { feed, .. }) => {
+            assert_eq!(feed, "SNMP/CPU");
+        }
+        other => panic!("viz uses notify mode, got {other:?}"),
+    }
+}
+
+#[test]
+fn progress_monitoring_raises_alarms() {
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let mut server = new_server(clock.clone(), store);
+    server.monitor_feed("SNMP/CPU", TimeSpan::from_mins(5), 2);
+
+    // interval 1: both pollers; interval 2: poller 2 missing
+    server.deposit("CPU_poller1_201009250000.csv", b"a").unwrap();
+    server.deposit("CPU_poller2_201009250000.csv", b"b").unwrap();
+    server.deposit("CPU_poller1_201009250005.csv", b"c").unwrap();
+    clock.advance(TimeSpan::from_mins(12));
+    server.tick();
+
+    let alarms = server.event_log().alarms();
+    assert!(
+        alarms.iter().any(|a| a.message.contains("1/2 files")),
+        "{alarms:#?}"
+    );
+}
+
+#[test]
+fn fleet_scale_ingest() {
+    // a realistic hour of a small poller fleet end-to-end
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let cfg = parse_config(
+        r#"
+        feed SNMP/MEMORY { pattern "MEMORY_poller%i_%Y%m%d%H%M.csv"; }
+        feed SNMP/CPU { pattern "CPU_poller%i_%Y%m%d%H%M.csv"; }
+        subscriber wh { endpoint "wh"; subscribe SNMP; delivery push; }
+        "#,
+    )
+    .unwrap();
+    let mut server = Server::new("b", cfg, clock.clone(), store).unwrap();
+
+    let mut fleet = FleetConfig::standard(
+        4,
+        vec![SubfeedSpec::standard("MEMORY"), SubfeedSpec::standard("CPU")],
+        TimeSpan::from_hours(1),
+    );
+    fleet.skip_prob = 0.1;
+    let files = generate(&fleet);
+    let total = files.len();
+    for f in &files {
+        clock.set(f.deposit_time);
+        server.deposit(&f.name, &payload_for(f)).unwrap();
+    }
+    assert_eq!(server.stats().files_ingested as usize, total);
+    assert_eq!(server.stats().files_unknown, 0);
+    assert_eq!(server.stats().deliveries as usize, total);
+    // deposit→delivery latency is zero in store-local mode
+    let (_, _, max) = server.stats().latency_summary("wh").unwrap();
+    assert_eq!(max, TimeSpan::ZERO);
+}
+
+#[test]
+fn composition_report_flags_leakage() {
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let cfg = parse_config(
+        r#"
+        feed CATCHALL { pattern "*_%Y%m%d.csv"; }
+        subscriber s { endpoint "s"; subscribe CATCHALL; }
+        "#,
+    )
+    .unwrap();
+    let mut server = Server::new("b", cfg, clock.clone(), store).unwrap();
+    for d in 1..=28 {
+        server.deposit(&format!("BPS_{:04}{:02}{d:02}.csv", 2010, 9), b"x").unwrap();
+    }
+    server.deposit("PPS_20100901.csv", b"x").unwrap();
+    let report = server.feed_composition("CATCHALL");
+    assert_eq!(report.total_files, 29);
+    assert_eq!(report.outliers.len(), 1);
+    assert!(report.outliers[0].pattern.text().starts_with("PPS"));
+}
+
+#[test]
+fn discovery_report_from_unknowns() {
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let mut server = new_server(clock.clone(), store);
+    for d in 1..=9 {
+        server
+            .deposit(&format!("NEWFEED_host{}_2010090{d}.log", d % 3), b"x")
+            .unwrap();
+    }
+    let report = server.discovery_report(5);
+    assert_eq!(report.len(), 1);
+    assert_eq!(report[0].pattern.text(), "NEWFEED_host%i_%Y%m%d.log");
+    assert_eq!(report[0].support, 9);
+}
+
+#[test]
+fn persisted_config_survives_restart_with_runtime_changes() {
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    {
+        let mut server = new_server(clock.clone(), store.clone());
+        // runtime change 1: a new subscriber
+        server
+            .add_subscriber(bistro_config::SubscriberDef {
+                name: "late".to_string(),
+                endpoint: "late".to_string(),
+                subscriptions: vec!["SNMP/MEMORY".to_string()],
+                delivery: bistro_config::DeliveryMode::Push,
+                deadline: TimeSpan::from_mins(2),
+                batch: bistro_config::BatchSpec::per_file(),
+                trigger: None,
+                dest: None,
+            })
+            .unwrap();
+        // runtime change 2: an approved feed redefinition
+        let mut feed = server.config().feed("SNMP/MEMORY").unwrap().clone();
+        feed.patterns
+            .push(bistro_pattern::Pattern::parse("MEMORY_Poller%i_%Y%m%d.gz").unwrap());
+        server.redefine_feed(feed).unwrap();
+        server.persist_config().unwrap();
+        server.deposit("MEMORY_poller1_20100925.gz", b"x").unwrap();
+    }
+    // restart purely from the store: config + receipts both recovered
+    let mut server = Server::open_existing("bistro", clock.clone(), store.clone()).unwrap();
+    assert!(server.config().subscriber("late").is_some());
+    assert_eq!(server.config().feed("SNMP/MEMORY").unwrap().patterns.len(), 2);
+    // the redefined pattern is live: a drifted file classifies directly
+    server.deposit("MEMORY_Poller2_20100926.gz", b"y").unwrap();
+    assert_eq!(server.stats().files_unknown, 0);
+    assert_eq!(server.receipts().live_count(), 2);
+}
+
+#[test]
+fn group_suggestions_and_schemas_from_unknowns() {
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let mut server = new_server(clock.clone(), store);
+    // two structurally similar unknown subfeeds with CSV bodies
+    for kind in ["BPS", "PPS"] {
+        for d in 10..16 {
+            server
+                .deposit(
+                    &format!("{kind}_px1_201009{d}.csv"),
+                    b"1285372800,router_001,123\n1285372805,router_002,456\n",
+                )
+                .unwrap();
+        }
+    }
+    let groups = server.group_suggestions(3);
+    assert_eq!(groups.len(), 1, "{groups:#?}");
+    assert_eq!(groups[0].members.len(), 2);
+    let schema = server
+        .unknown_file_schema("BPS_px1_20100910.csv")
+        .unwrap()
+        .expect("csv schema");
+    assert_eq!(schema.to_string(), "csv(ts,text,int)");
+}

@@ -1,0 +1,353 @@
+//! Pattern language AST and parser.
+//!
+//! Grammar (paper §3.1, "printf-inspired syntax instead of more
+//! traditional regular expressions"):
+//!
+//! | construct | meaning |
+//! |---|---|
+//! | `%s` | arbitrary non-empty string, not crossing `/` |
+//! | `*`  | arbitrary possibly-empty string, not crossing `/` (wildcard of §2.1.3.2) |
+//! | `%i` | integer (one or more digits) |
+//! | `%a` | alphabetic run (one or more letters) |
+//! | `%Y` | 4-digit year |
+//! | `%y` | 2-digit year (70-99 ⇒ 19xx, else 20xx) |
+//! | `%m` `%d` `%H` `%M` `%S` | 2-digit month / day / hour / minute / second |
+//! | `%%` | a literal `%` |
+//! | `%*` | a literal `*` |
+//! | `/`  | directory separator (patterns may describe hierarchies, e.g. `%Y/%m/%d/poller%i.csv`) |
+//! | anything else | literal text |
+//!
+//! The payoff over regexes is that fields carry *semantics*: the matcher
+//! assembles `%Y%m%d…` captures into a feed timestamp, which drives
+//! normalization, batching and retention.
+
+use std::fmt;
+
+/// A timestamp component specifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TsPart {
+    /// `%Y` — 4-digit year.
+    Year4,
+    /// `%y` — 2-digit year.
+    Year2,
+    /// `%m` — 2-digit month.
+    Month,
+    /// `%d` — 2-digit day.
+    Day,
+    /// `%H` — 2-digit hour.
+    Hour,
+    /// `%M` — 2-digit minute.
+    Minute,
+    /// `%S` — 2-digit second.
+    Second,
+}
+
+impl TsPart {
+    /// The number of digits this component occupies.
+    pub fn width(self) -> usize {
+        match self {
+            TsPart::Year4 => 4,
+            _ => 2,
+        }
+    }
+
+    /// The `%X` spelling.
+    pub fn spec_char(self) -> char {
+        match self {
+            TsPart::Year4 => 'Y',
+            TsPart::Year2 => 'y',
+            TsPart::Month => 'm',
+            TsPart::Day => 'd',
+            TsPart::Hour => 'H',
+            TsPart::Minute => 'M',
+            TsPart::Second => 'S',
+        }
+    }
+}
+
+/// One element of a parsed pattern.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Elem {
+    /// Literal text (never empty; `%%` parses into a `"%"` literal).
+    Literal(String),
+    /// `%s` — non-empty string field.
+    Str,
+    /// `*` — possibly-empty wildcard.
+    Any,
+    /// `%i` — integer field.
+    Int,
+    /// `%a` — alphabetic field.
+    Alpha,
+    /// A timestamp component.
+    Ts(TsPart),
+}
+
+/// Errors from [`Pattern::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// The pattern ended with a bare `%`.
+    TrailingPercent,
+    /// `%x` with an unknown specifier character.
+    UnknownSpecifier(char),
+    /// The pattern was empty.
+    Empty,
+    /// A timestamp component appears twice (e.g. two `%Y`).
+    DuplicateTsPart(TsPart),
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::TrailingPercent => write!(f, "pattern ends with a bare '%'"),
+            PatternError::UnknownSpecifier(c) => write!(f, "unknown specifier '%{c}'"),
+            PatternError::Empty => write!(f, "empty pattern"),
+            PatternError::DuplicateTsPart(p) => {
+                write!(f, "duplicate timestamp component '%{}'", p.spec_char())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// A parsed, immutable feed filename pattern.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    elems: Vec<Elem>,
+    text: String,
+}
+
+impl Pattern {
+    /// Parse a pattern from its textual form.
+    pub fn parse(text: &str) -> Result<Pattern, PatternError> {
+        if text.is_empty() {
+            return Err(PatternError::Empty);
+        }
+        let mut elems: Vec<Elem> = Vec::new();
+        let mut lit = String::new();
+        let mut seen_ts: Vec<TsPart> = Vec::new();
+        let mut chars = text.chars();
+
+        let flush = |elems: &mut Vec<Elem>, lit: &mut String| {
+            if !lit.is_empty() {
+                // merge adjacent literals
+                if let Some(Elem::Literal(prev)) = elems.last_mut() {
+                    prev.push_str(lit);
+                } else {
+                    elems.push(Elem::Literal(std::mem::take(lit)));
+                }
+                lit.clear();
+            }
+        };
+
+        while let Some(c) = chars.next() {
+            match c {
+                '%' => {
+                    let spec = chars.next().ok_or(PatternError::TrailingPercent)?;
+                    match spec {
+                        '%' => lit.push('%'),
+                        '*' => lit.push('*'),
+                        's' => {
+                            flush(&mut elems, &mut lit);
+                            elems.push(Elem::Str);
+                        }
+                        'i' => {
+                            flush(&mut elems, &mut lit);
+                            elems.push(Elem::Int);
+                        }
+                        'a' => {
+                            flush(&mut elems, &mut lit);
+                            elems.push(Elem::Alpha);
+                        }
+                        'Y' | 'y' | 'm' | 'd' | 'H' | 'M' | 'S' => {
+                            let part = match spec {
+                                'Y' => TsPart::Year4,
+                                'y' => TsPart::Year2,
+                                'm' => TsPart::Month,
+                                'd' => TsPart::Day,
+                                'H' => TsPart::Hour,
+                                'M' => TsPart::Minute,
+                                _ => TsPart::Second,
+                            };
+                            if seen_ts.contains(&part)
+                                || (part == TsPart::Year4 && seen_ts.contains(&TsPart::Year2))
+                                || (part == TsPart::Year2 && seen_ts.contains(&TsPart::Year4))
+                            {
+                                return Err(PatternError::DuplicateTsPart(part));
+                            }
+                            seen_ts.push(part);
+                            flush(&mut elems, &mut lit);
+                            elems.push(Elem::Ts(part));
+                        }
+                        other => return Err(PatternError::UnknownSpecifier(other)),
+                    }
+                }
+                '*' => {
+                    flush(&mut elems, &mut lit);
+                    elems.push(Elem::Any);
+                }
+                other => lit.push(other),
+            }
+        }
+        flush(&mut elems, &mut lit);
+        Ok(Pattern {
+            elems,
+            text: text.to_string(),
+        })
+    }
+
+    /// The pattern's elements.
+    pub fn elems(&self) -> &[Elem] {
+        &self.elems
+    }
+
+    /// The original textual form.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// True if the pattern contains any timestamp component.
+    pub fn has_timestamp(&self) -> bool {
+        self.elems.iter().any(|e| matches!(e, Elem::Ts(_)))
+    }
+
+    /// True if the pattern describes a directory hierarchy (contains `/`).
+    pub fn is_hierarchical(&self) -> bool {
+        self.elems.iter().any(|e| match e {
+            Elem::Literal(s) => s.contains('/'),
+            _ => false,
+        })
+    }
+
+    /// A specificity score: the number of literal characters plus 2 per
+    /// typed field, minus 3 per unbounded wildcard. Used by the classifier
+    /// to prefer the most specific feed when several patterns match
+    /// (§2.1.3.2's over-generic wildcard problem) and by the analyzer to
+    /// rank suggested definitions.
+    pub fn specificity(&self) -> i64 {
+        let mut score: i64 = 0;
+        for e in &self.elems {
+            match e {
+                Elem::Literal(s) => score += s.chars().count() as i64 * 2,
+                Elem::Ts(_) => score += 3,
+                Elem::Int | Elem::Alpha => score += 2,
+                Elem::Str => score -= 1,
+                Elem::Any => score -= 3,
+            }
+        }
+        score
+    }
+
+    /// The leading literal prefix of the pattern (empty if it starts with
+    /// a field). The classifier uses this for first-byte dispatch.
+    pub fn literal_prefix(&self) -> &str {
+        match self.elems.first() {
+            Some(Elem::Literal(s)) => s,
+            _ => "",
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+impl std::str::FromStr for Pattern {
+    type Err = PatternError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Pattern::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_patterns() {
+        let p = Pattern::parse("MEMORY%s.%Y%m%d.gz").unwrap();
+        assert_eq!(
+            p.elems(),
+            &[
+                Elem::Literal("MEMORY".into()),
+                Elem::Str,
+                Elem::Literal(".".into()),
+                Elem::Ts(TsPart::Year4),
+                Elem::Ts(TsPart::Month),
+                Elem::Ts(TsPart::Day),
+                Elem::Literal(".gz".into()),
+            ]
+        );
+        assert!(p.has_timestamp());
+
+        let p = Pattern::parse("MEMORY_poller%i_%Y%m%d.gz").unwrap();
+        assert!(p.elems().contains(&Elem::Int));
+
+        let p = Pattern::parse("TRAP__%Y%m%d_DCTAGN_klpi.txt").unwrap();
+        assert_eq!(p.literal_prefix(), "TRAP__");
+    }
+
+    #[test]
+    fn parse_hierarchical() {
+        let p = Pattern::parse("%Y/%m/%d/poller%i_soft_%s.csv.bz2").unwrap();
+        assert!(p.is_hierarchical());
+    }
+
+    #[test]
+    fn parse_wildcard_and_escape() {
+        let p = Pattern::parse("*_%Y%m%d.csv.gz").unwrap();
+        assert_eq!(p.elems()[0], Elem::Any);
+        let p = Pattern::parse("100%%_done_%i").unwrap();
+        assert_eq!(p.elems()[0], Elem::Literal("100%_done_".into()));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(Pattern::parse(""), Err(PatternError::Empty));
+        assert_eq!(Pattern::parse("abc%"), Err(PatternError::TrailingPercent));
+        assert_eq!(
+            Pattern::parse("abc%z"),
+            Err(PatternError::UnknownSpecifier('z'))
+        );
+        assert_eq!(
+            Pattern::parse("%Y%m%Y"),
+            Err(PatternError::DuplicateTsPart(TsPart::Year4))
+        );
+        assert_eq!(
+            Pattern::parse("%Y_%y"),
+            Err(PatternError::DuplicateTsPart(TsPart::Year2))
+        );
+    }
+
+    #[test]
+    fn adjacent_literals_merge() {
+        let p = Pattern::parse("a%%b").unwrap();
+        assert_eq!(p.elems(), &[Elem::Literal("a%b".into())]);
+    }
+
+    #[test]
+    fn specificity_ordering() {
+        let specific = Pattern::parse("MEMORY_poller%i_%Y%m%d.gz").unwrap();
+        let generic = Pattern::parse("*_%Y%m%d.gz").unwrap();
+        let very_generic = Pattern::parse("*").unwrap();
+        assert!(specific.specificity() > generic.specificity());
+        assert!(generic.specificity() > very_generic.specificity());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for text in [
+            "MEMORY%s.%Y%m%d.gz",
+            "%Y/%m/%d/poller%i.csv",
+            "*_x_%a_%i",
+            "100%%_done",
+        ] {
+            let p = Pattern::parse(text).unwrap();
+            assert_eq!(p.to_string(), text);
+            // re-parsing the display form yields the same elements
+            assert_eq!(Pattern::parse(&p.to_string()).unwrap().elems(), p.elems());
+        }
+    }
+}

@@ -1,0 +1,684 @@
+//! Pattern generalization: from concrete filenames to candidate patterns.
+//!
+//! This is the core of the feed analyzer (paper §5.1): "Bistro uses a
+//! collection of heuristics to identify fixed-length field boundaries,
+//! including detecting changes between alphabetic and numeric characters
+//! as well as recognizing common field formats (dates, numbers, ip
+//! addresses). For each field in a filename Bistro computes its field
+//! types and corresponding domains, e.g fixed-value string, categorical
+//! variable, integer, timestamp."
+//!
+//! [`generalize`] maps one filename to a [`Shape`]; [`Shape::merge`]
+//! folds additional filenames in, widening fixed values into domains.
+//! The analyzer clusters compatible shapes into *atomic feeds* and
+//! renders each cluster's shape back into a [`Pattern`] via
+//! [`Shape::to_pattern`].
+
+use crate::ast::{Pattern, TsPart};
+use crate::token::{classify_digits, ipv4_at, tokenize, DigitsFormat, Token, TokenKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A timestamp run: one or more groups of components, each group preceded
+/// by a separator string (the first group's separator is what precedes it
+/// inside the run — always empty).
+///
+/// `2010092504_51` ⇒ groups `[("", [Y,m,d,H]), ("_", [M])]`;
+/// `2010_12_30_00` ⇒ groups `[("", [Y]), ("_", [m]), ("_", [d]), ("_", [H])]`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TsRun {
+    /// `(separator, components)` pairs.
+    pub groups: Vec<(String, Vec<TsPart>)>,
+}
+
+impl TsRun {
+    /// All components in order, ignoring grouping.
+    pub fn parts(&self) -> Vec<TsPart> {
+        self.groups.iter().flat_map(|(_, p)| p.clone()).collect()
+    }
+
+    /// Render as pattern text (`%Y%m%d%H_%M`).
+    pub fn to_pattern_text(&self) -> String {
+        let mut out = String::new();
+        for (sep, parts) in &self.groups {
+            out.push_str(&escape_literal(sep));
+            for p in parts {
+                out.push('%');
+                out.push(p.spec_char());
+            }
+        }
+        out
+    }
+}
+
+/// One element of a generalized filename shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShapeElem {
+    /// Fixed text (punctuation, or an alphabetic run not yet observed to
+    /// vary).
+    Lit(String),
+    /// An alphabetic run whose value varies across the cluster; carries
+    /// the observed domain.
+    AlphaVar(BTreeSet<String>),
+    /// A digit run that is not a timestamp; carries the observed value
+    /// range and fixed width (if every observation had the same width).
+    IntVar {
+        /// Smallest observed value.
+        min: u64,
+        /// Largest observed value.
+        max: u64,
+        /// `Some(w)` if every observation had exactly `w` digits.
+        width: Option<usize>,
+        /// Observed distinct values (capped; used for categorical
+        /// detection).
+        domain: BTreeSet<u64>,
+    },
+    /// A recognized timestamp run.
+    Ts(TsRun),
+    /// A dotted IPv4 address.
+    Ipv4(BTreeSet<String>),
+}
+
+/// Cap on tracked domain sizes — beyond this a field is clearly not a
+/// small categorical variable and the exact domain stops mattering.
+pub const DOMAIN_CAP: usize = 64;
+
+/// Heuristic: an all-uppercase alphabetic token of ≥2 characters is
+/// treated as a *feed name* token (`MEMORY`, `PPS`, `TOPO`, …). Two
+/// distinct name tokens never widen into one categorical field — poller
+/// software conventionally names its output kinds in uppercase, and
+/// merging across them is exactly the aggregation mistake §5.1 warns the
+/// human expert must arbitrate.
+fn looks_like_name_token(s: &str) -> bool {
+    s.len() >= 2 && s.bytes().all(|b| b.is_ascii_uppercase())
+}
+
+/// Escape literal text for embedding in pattern syntax.
+fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%%"),
+            '*' => out.push_str("%*"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// A generalized filename shape: the signature of an atomic feed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Shape {
+    elems: Vec<ShapeElem>,
+    /// How many filenames this shape has absorbed.
+    pub support: usize,
+}
+
+/// Scan tokens starting at `i` for a timestamp run. Returns the run and
+/// the number of tokens consumed.
+fn scan_ts_run(tokens: &[Token], i: usize) -> Option<(TsRun, usize)> {
+    let t = &tokens[i];
+    if t.kind != TokenKind::Digits {
+        return None;
+    }
+    let (mut parts, compact): (Vec<TsPart>, bool) = match classify_digits(&t.text) {
+        DigitsFormat::Ymd => (vec![TsPart::Year4, TsPart::Month, TsPart::Day], true),
+        DigitsFormat::YmdH => (
+            vec![TsPart::Year4, TsPart::Month, TsPart::Day, TsPart::Hour],
+            true,
+        ),
+        DigitsFormat::YmdHm => (
+            vec![
+                TsPart::Year4,
+                TsPart::Month,
+                TsPart::Day,
+                TsPart::Hour,
+                TsPart::Minute,
+            ],
+            true,
+        ),
+        DigitsFormat::YmdHms => (
+            vec![
+                TsPart::Year4,
+                TsPart::Month,
+                TsPart::Day,
+                TsPart::Hour,
+                TsPart::Minute,
+                TsPart::Second,
+            ],
+            true,
+        ),
+        DigitsFormat::Year => (vec![TsPart::Year4], false),
+        DigitsFormat::Int => return None,
+    };
+
+    let mut groups: Vec<(String, Vec<TsPart>)> = Vec::new();
+    let mut consumed = 1;
+
+    if !compact {
+        // Separated form: require at least Y <sep> m <sep> d to commit to a
+        // timestamp (a bare 4-digit number is too ambiguous, §5.1).
+        let month_ok = |s: &str| {
+            s.len() == 2 && s.parse::<u32>().map(|v| (1..=12).contains(&v)).unwrap_or(false)
+        };
+        let day_ok = |s: &str| {
+            s.len() == 2 && s.parse::<u32>().map(|v| (1..=31).contains(&v)).unwrap_or(false)
+        };
+        if i + 4 < tokens.len()
+            && tokens[i + 1].kind == TokenKind::Punct
+            && tokens[i + 2].kind == TokenKind::Digits
+            && month_ok(&tokens[i + 2].text)
+            && tokens[i + 3].kind == TokenKind::Punct
+            && tokens[i + 4].kind == TokenKind::Digits
+            && day_ok(&tokens[i + 4].text)
+        {
+            groups.push((String::new(), vec![TsPart::Year4]));
+            groups.push((tokens[i + 1].text.clone(), vec![TsPart::Month]));
+            groups.push((tokens[i + 3].text.clone(), vec![TsPart::Day]));
+            parts = vec![TsPart::Year4, TsPart::Month, TsPart::Day];
+            consumed = 5;
+        } else {
+            return None;
+        }
+    } else {
+        groups.push((String::new(), parts.clone()));
+    }
+
+    // Extend with hour / minute / second groups: `<sep><2 digits>` where
+    // the value is in range for the next expected component.
+    loop {
+        let next_part = match parts.last() {
+            Some(TsPart::Day) => TsPart::Hour,
+            Some(TsPart::Hour) => TsPart::Minute,
+            Some(TsPart::Minute) => TsPart::Second,
+            _ => break,
+        };
+        let limit = if next_part == TsPart::Hour { 23 } else { 59 };
+        let si = i + consumed;
+        if si + 1 < tokens.len()
+            && tokens[si].kind == TokenKind::Punct
+            && tokens[si + 1].kind == TokenKind::Digits
+            && tokens[si + 1].text.len() == 2
+            && tokens[si + 1]
+                .text
+                .parse::<u32>()
+                .map(|v| v <= limit)
+                .unwrap_or(false)
+        {
+            groups.push((tokens[si].text.clone(), vec![next_part]));
+            parts.push(next_part);
+            consumed += 2;
+        } else {
+            break;
+        }
+    }
+
+    Some((TsRun { groups }, consumed))
+}
+
+/// Generalize a single filename into a [`Shape`].
+pub fn generalize(name: &str) -> Shape {
+    let tokens = tokenize(name);
+    let mut elems: Vec<ShapeElem> = Vec::new();
+    let mut i = 0;
+
+    // Each token becomes its own element: alpha runs and punctuation are
+    // NOT coalesced, so that merging can widen an individual alpha token
+    // into a categorical field without disturbing its neighbors.
+    let push_lit = |elems: &mut Vec<ShapeElem>, text: &str| {
+        elems.push(ShapeElem::Lit(text.to_string()));
+    };
+
+    while i < tokens.len() {
+        if let Some(n) = ipv4_at(&tokens, i) {
+            let text: String = tokens[i..i + n].iter().map(|t| t.text.as_str()).collect();
+            let mut dom = BTreeSet::new();
+            dom.insert(text);
+            elems.push(ShapeElem::Ipv4(dom));
+            i += n;
+            continue;
+        }
+        if let Some((run, n)) = scan_ts_run(&tokens, i) {
+            elems.push(ShapeElem::Ts(run));
+            i += n;
+            continue;
+        }
+        let t = &tokens[i];
+        match t.kind {
+            TokenKind::Alpha | TokenKind::Punct => push_lit(&mut elems, &t.text),
+            TokenKind::Digits => {
+                let v: u64 = t.text.parse().unwrap_or(u64::MAX);
+                let mut domain = BTreeSet::new();
+                domain.insert(v);
+                elems.push(ShapeElem::IntVar {
+                    min: v,
+                    max: v,
+                    width: Some(t.text.len()),
+                    domain,
+                });
+            }
+        }
+        i += 1;
+    }
+
+    Shape { elems, support: 1 }
+}
+
+impl Shape {
+    /// The shape's elements.
+    pub fn elems(&self) -> &[ShapeElem] {
+        &self.elems
+    }
+
+    /// True if the shape contains a timestamp run.
+    pub fn has_timestamp(&self) -> bool {
+        self.elems.iter().any(|e| matches!(e, ShapeElem::Ts(_)))
+    }
+
+    /// A coarse structural signature: equal signatures are a necessary
+    /// condition for two shapes to merge. Literal *alphabetic* values are
+    /// included (feeds are usually distinguished by their name tokens);
+    /// integer values are not.
+    pub fn signature(&self) -> String {
+        let mut out = String::new();
+        for e in &self.elems {
+            match e {
+                ShapeElem::Lit(s) => {
+                    out.push('L');
+                    out.push_str(s);
+                }
+                ShapeElem::AlphaVar(_) => out.push('A'),
+                ShapeElem::IntVar { .. } => out.push('I'),
+                ShapeElem::Ts(run) => {
+                    out.push('T');
+                    out.push_str(&run.to_pattern_text());
+                }
+                ShapeElem::Ipv4(_) => out.push('P'),
+            }
+            out.push('\x1f');
+        }
+        out
+    }
+
+    /// A structure-only signature that *ignores* alphabetic literal
+    /// values: shapes with equal structure signatures can be merged by
+    /// widening literals into [`ShapeElem::AlphaVar`] domains.
+    pub fn structure_signature(&self) -> String {
+        let mut out = String::new();
+        for e in &self.elems {
+            match e {
+                ShapeElem::Lit(s) => {
+                    // keep punctuation exactly; abstract alpha runs
+                    for c in s.chars() {
+                        if c.is_ascii_alphabetic() {
+                            if !out.ends_with('A') {
+                                out.push('A');
+                            }
+                        } else {
+                            out.push(c);
+                        }
+                    }
+                }
+                ShapeElem::AlphaVar(_) => out.push('A'),
+                ShapeElem::IntVar { .. } => out.push('I'),
+                ShapeElem::Ts(run) => {
+                    out.push('T');
+                    out.push_str(&run.to_pattern_text());
+                }
+                ShapeElem::Ipv4(_) => out.push('P'),
+            }
+            out.push('\x1f');
+        }
+        out
+    }
+
+    /// Attempt to merge another shape into this one. Returns `false`
+    /// (leaving `self` unchanged) if the shapes are structurally
+    /// incompatible.
+    ///
+    /// `allow_alpha_widening`: when true, differing alphabetic literals
+    /// at the same position widen into a categorical [`ShapeElem::AlphaVar`];
+    /// when false, differing alpha literals make the merge fail (the
+    /// conservative default for cluster *identity* — the paper does not
+    /// auto-merge subfeeds whose name tokens differ, it reports them as
+    /// distinct atomic feeds).
+    pub fn merge(&mut self, other: &Shape, allow_alpha_widening: bool) -> bool {
+        if self.elems.len() != other.elems.len() {
+            return false;
+        }
+        // dry-run: compute merged elements or bail
+        let mut merged: Vec<ShapeElem> = Vec::with_capacity(self.elems.len());
+        for (a, b) in self.elems.iter().zip(other.elems.iter()) {
+            let m = match (a, b) {
+                (ShapeElem::Lit(x), ShapeElem::Lit(y)) => {
+                    if x == y {
+                        ShapeElem::Lit(x.clone())
+                    } else if allow_alpha_widening
+                        && x.chars().all(|c| c.is_ascii_alphabetic())
+                        && y.chars().all(|c| c.is_ascii_alphabetic())
+                        && !(looks_like_name_token(x) && looks_like_name_token(y))
+                    {
+                        let mut dom = BTreeSet::new();
+                        dom.insert(x.clone());
+                        dom.insert(y.clone());
+                        ShapeElem::AlphaVar(dom)
+                    } else {
+                        return false;
+                    }
+                }
+                (ShapeElem::AlphaVar(dx), ShapeElem::Lit(y)) => {
+                    if !y.chars().all(|c| c.is_ascii_alphabetic()) {
+                        return false;
+                    }
+                    let mut dom = dx.clone();
+                    if dom.len() < DOMAIN_CAP {
+                        dom.insert(y.clone());
+                    }
+                    ShapeElem::AlphaVar(dom)
+                }
+                (ShapeElem::Lit(x), ShapeElem::AlphaVar(dy)) => {
+                    if !x.chars().all(|c| c.is_ascii_alphabetic()) {
+                        return false;
+                    }
+                    let mut dom = dy.clone();
+                    if dom.len() < DOMAIN_CAP {
+                        dom.insert(x.clone());
+                    }
+                    ShapeElem::AlphaVar(dom)
+                }
+                (ShapeElem::AlphaVar(dx), ShapeElem::AlphaVar(dy)) => {
+                    let mut dom = dx.clone();
+                    for v in dy {
+                        if dom.len() >= DOMAIN_CAP {
+                            break;
+                        }
+                        dom.insert(v.clone());
+                    }
+                    ShapeElem::AlphaVar(dom)
+                }
+                (
+                    ShapeElem::IntVar {
+                        min: min_a,
+                        max: max_a,
+                        width: wa,
+                        domain: da,
+                    },
+                    ShapeElem::IntVar {
+                        min: min_b,
+                        max: max_b,
+                        width: wb,
+                        domain: db,
+                    },
+                ) => {
+                    let width = match (wa, wb) {
+                        (Some(x), Some(y)) if x == y => Some(*x),
+                        _ => None,
+                    };
+                    let mut domain = da.clone();
+                    for v in db {
+                        if domain.len() >= DOMAIN_CAP {
+                            break;
+                        }
+                        domain.insert(*v);
+                    }
+                    ShapeElem::IntVar {
+                        min: (*min_a).min(*min_b),
+                        max: (*max_a).max(*max_b),
+                        width,
+                        domain,
+                    }
+                }
+                (ShapeElem::Ts(ra), ShapeElem::Ts(rb))
+                    if ra == rb => {
+                        ShapeElem::Ts(ra.clone())
+                    }
+                (ShapeElem::Ipv4(da), ShapeElem::Ipv4(db)) => {
+                    let mut dom = da.clone();
+                    for v in db {
+                        if dom.len() >= DOMAIN_CAP {
+                            break;
+                        }
+                        dom.insert(v.clone());
+                    }
+                    ShapeElem::Ipv4(dom)
+                }
+                _ => return false,
+            };
+            merged.push(m);
+        }
+        self.elems = merged;
+        self.support += other.support;
+        true
+    }
+
+    /// Render the shape as a [`Pattern`].
+    ///
+    /// Variable alpha fields become `%a`, variable integers `%i`,
+    /// timestamps their component specs, IPv4 fields `%i.%i.%i.%i`.
+    pub fn to_pattern(&self) -> Pattern {
+        let mut text = String::new();
+        for e in &self.elems {
+            match e {
+                ShapeElem::Lit(s) => text.push_str(&escape_literal(s)),
+                ShapeElem::AlphaVar(_) => text.push_str("%a"),
+                ShapeElem::IntVar { .. } => text.push_str("%i"),
+                ShapeElem::Ts(run) => text.push_str(&run.to_pattern_text()),
+                ShapeElem::Ipv4(_) => text.push_str("%i.%i.%i.%i"),
+            }
+        }
+        Pattern::parse(&text).expect("shape rendering always yields a valid pattern")
+    }
+
+    /// A human-readable description of the shape's fields and domains for
+    /// analyzer reports.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        for (idx, e) in self.elems.iter().enumerate() {
+            match e {
+                ShapeElem::Lit(_) => {}
+                ShapeElem::AlphaVar(dom) => {
+                    let vals: Vec<_> = dom.iter().take(6).cloned().collect();
+                    parts.push(format!(
+                        "field {idx}: categorical {{{}{}}}",
+                        vals.join(", "),
+                        if dom.len() > 6 { ", …" } else { "" }
+                    ));
+                }
+                ShapeElem::IntVar {
+                    min, max, width, domain,
+                } => {
+                    let w = width
+                        .map(|w| format!(", width {w}"))
+                        .unwrap_or_default();
+                    parts.push(format!(
+                        "field {idx}: integer {min}..={max}{w} ({} values)",
+                        domain.len()
+                    ));
+                }
+                ShapeElem::Ts(run) => {
+                    parts.push(format!("field {idx}: timestamp {}", run.to_pattern_text()));
+                }
+                ShapeElem::Ipv4(dom) => {
+                    parts.push(format!("field {idx}: ipv4 ({} addresses)", dom.len()));
+                }
+            }
+        }
+        if parts.is_empty() {
+            "all-literal".to_string()
+        } else {
+            parts.join("; ")
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_pattern().text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generalize_paper_memory_files() {
+        // From §5.1: MEMORY_POLLER1_2010092504_51.csv.gz et al.
+        let s = generalize("MEMORY_POLLER1_2010092504_51.csv.gz");
+        let p = s.to_pattern();
+        assert_eq!(p.text(), "MEMORY_POLLER%i_%Y%m%d%H_%M.csv.gz");
+        assert!(p.is_match("MEMORY_POLLER2_2010092510_02.csv.gz"));
+    }
+
+    #[test]
+    fn generalize_paper_cpu_files() {
+        let s = generalize("CPU_POLL1_201009250502.txt");
+        assert_eq!(s.to_pattern().text(), "CPU_POLL%i_%Y%m%d%H%M.txt");
+    }
+
+    #[test]
+    fn generalize_separated_timestamp() {
+        // Poller1_router_a_2010_12_30_00.csv from §2.1.2
+        let s = generalize("Poller1_router_a_2010_12_30_00.csv");
+        assert_eq!(s.to_pattern().text(), "Poller%i_router_a_%Y_%m_%d_%H.csv");
+    }
+
+    #[test]
+    fn generalize_compact_daily() {
+        let s = generalize("MEMORY_poller1_20100925.gz");
+        assert_eq!(s.to_pattern().text(), "MEMORY_poller%i_%Y%m%d.gz");
+    }
+
+    #[test]
+    fn bare_year_stays_integer() {
+        // A lone 4-digit number without month/day must not become %Y.
+        let s = generalize("report_2010_final.txt");
+        assert_eq!(s.to_pattern().text(), "report_%i_final.txt");
+    }
+
+    #[test]
+    fn ipv4_recognized() {
+        let s = generalize("syslog_10.0.200.31_20100925.gz");
+        assert_eq!(s.to_pattern().text(), "syslog_%i.%i.%i.%i_%Y%m%d.gz");
+    }
+
+    #[test]
+    fn merge_same_structure() {
+        let mut a = generalize("MEMORY_POLLER1_2010092504_51.csv.gz");
+        let b = generalize("MEMORY_POLLER2_2010092510_02.csv.gz");
+        assert!(a.merge(&b, false));
+        assert_eq!(a.support, 2);
+        match &a.elems()[3] {
+            ShapeElem::IntVar { min, max, domain, .. } => {
+                assert_eq!((*min, *max), (1, 2));
+                assert_eq!(domain.len(), 2);
+            }
+            other => panic!("expected IntVar, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_rejects_different_structure() {
+        let mut a = generalize("MEMORY_POLLER1_2010092504_51.csv.gz");
+        let b = generalize("CPU_POLL1_201009250502.txt");
+        assert!(!a.merge(&b, false));
+        assert_eq!(a.support, 1);
+    }
+
+    #[test]
+    fn merge_alpha_widening_policy() {
+        let mut a = generalize("traffic_east_20100925.csv");
+        let b = generalize("traffic_west_20100925.csv");
+        // conservative mode keeps the regions as distinct atomic feeds
+        let mut a2 = a.clone();
+        assert!(!a2.merge(&b, false));
+        // widening mode folds them into a categorical field
+        assert!(a.merge(&b, true));
+        assert_eq!(a.to_pattern().text(), "traffic_%a_%Y%m%d.csv");
+        match &a.elems()[2] {
+            ShapeElem::AlphaVar(dom) => {
+                assert!(dom.contains("east") && dom.contains("west"));
+            }
+            other => panic!("expected AlphaVar, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uppercase_name_tokens_never_widen() {
+        // BPS and PPS are feed-name tokens: even widening mode must not
+        // fold them into one categorical field (paper §5.1: cross-name
+        // grouping is left to the human expert).
+        let mut a = generalize("BPS_p1_20100925.csv");
+        let b = generalize("PPS_p1_20100925.csv");
+        assert!(!a.merge(&b, true));
+    }
+
+    #[test]
+    fn merge_widens_width_on_mismatch() {
+        let mut a = generalize("f_07.csv");
+        let b = generalize("f_123.csv");
+        assert!(a.merge(&b, false));
+        match &a.elems()[2] {
+            ShapeElem::IntVar { width, min, max, .. } => {
+                assert_eq!(*width, None);
+                assert_eq!((*min, *max), (7, 123));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn signatures_distinguish_and_group() {
+        let a = generalize("MEMORY_POLLER1_2010092504_51.csv.gz");
+        let b = generalize("MEMORY_POLLER2_2010092505_12.csv.gz");
+        let c = generalize("CPU_POLL1_201009250502.txt");
+        assert_eq!(a.signature(), b.signature());
+        assert_ne!(a.signature(), c.signature());
+        // structure signature abstracts the MEMORY/CPU name tokens but the
+        // differing timestamp layouts still separate them
+        assert_ne!(a.structure_signature(), c.structure_signature());
+        let d = generalize("BPS_p1_20100925.csv");
+        let e = generalize("PPS_p9_20100925.csv");
+        assert_ne!(d.signature(), e.signature());
+        assert_eq!(d.structure_signature(), e.structure_signature());
+    }
+
+    #[test]
+    fn generalized_pattern_matches_origin() {
+        // property: the generalized pattern must match the filename it
+        // came from
+        for name in [
+            "MEMORY_POLLER1_2010092504_51.csv.gz",
+            "CPU_POLL2_201009251001.txt",
+            "Poller1_router_a_2010_12_30_24.csv", // hour 24 is out of range ⇒ int
+            "TRAP__20100308_DCTAGN_klpi.txt",
+            "alarms.log",
+            "x",
+            "2010.csv",
+        ] {
+            let s = generalize(name);
+            assert!(
+                s.to_pattern().is_match(name),
+                "pattern {} does not match its origin {name}",
+                s.to_pattern()
+            );
+        }
+    }
+
+    #[test]
+    fn escape_in_literals() {
+        let s = generalize("weird%name*file.txt");
+        let p = s.to_pattern();
+        assert!(p.is_match("weird%name*file.txt"));
+        assert!(!p.is_match("weird%nameXfile.txt"));
+    }
+
+    #[test]
+    fn describe_mentions_domains() {
+        let mut a = generalize("traffic_east_p1_20100925.csv");
+        assert!(a.merge(&generalize("traffic_west_p2_20100925.csv"), true));
+        let d = a.describe();
+        assert!(d.contains("categorical"), "{d}");
+        assert!(d.contains("timestamp"), "{d}");
+    }
+}

@@ -1,0 +1,56 @@
+//! # bistro-pattern
+//!
+//! The Bistro feed pattern language (paper §3.1) and the filename analysis
+//! machinery built on it (paper §5).
+//!
+//! Bistro defines the files belonging to a feed with a *printf-inspired*
+//! pattern rather than a raw regular expression, e.g.
+//!
+//! ```text
+//! MEMORY_poller%i_%Y%m%d.gz
+//! ```
+//!
+//! The pattern both *matches* filenames and *attaches semantics* to the
+//! matched fields: `%i` is an integer (here the poller id) and
+//! `%Y%m%d` is a timestamp, which downstream drives normalization into
+//! daily directories, batching, and retention windows.
+//!
+//! Crate layout:
+//!
+//! * [`token`] — character-class tokenizer for raw filenames, the first
+//!   stage of the feed analyzer.
+//! * [`ast`] / parsing — the pattern language itself ([`Pattern`]).
+//! * [`matcher`] — backtracking matcher producing typed [`Captures`].
+//! * [`normalize`] — rendering captures into a subscriber's preferred
+//!   directory layout ([`Template`]).
+//! * [`generalize`](mod@generalize) — inferring a pattern from concrete filenames
+//!   (new-feed discovery, §5.1).
+//! * [`similarity`] — token-level pattern similarity (false-negative
+//!   detection, §5.2) and the byte-edit-distance strawman the paper
+//!   rejects.
+//!
+//! # Example
+//!
+//! ```
+//! use bistro_pattern::Pattern;
+//!
+//! let p = Pattern::parse("MEMORY_poller%i_%Y%m%d.gz").unwrap();
+//! let caps = p.match_str("MEMORY_poller7_20100925.gz").expect("match");
+//! assert_eq!(caps.first_int(), Some(7));
+//! let ts = caps.timestamp().unwrap();
+//! assert_eq!(ts.to_calendar().year, 2010);
+//! assert!(p.match_str("CPU_poller7_20100925.gz").is_none());
+//! ```
+
+pub mod ast;
+pub mod generalize;
+pub mod matcher;
+pub mod normalize;
+pub mod similarity;
+pub mod token;
+
+pub use ast::{Elem, Pattern, PatternError, TsPart};
+pub use generalize::{generalize, Shape};
+pub use matcher::{Capture, CaptureValue, Captures};
+pub use normalize::{Template, TemplateError};
+pub use similarity::{levenshtein, pattern_similarity};

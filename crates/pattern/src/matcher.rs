@@ -1,0 +1,436 @@
+//! Backtracking pattern matcher.
+//!
+//! Matching a [`Pattern`] against a filename yields typed [`Captures`]:
+//! every `%s`/`%i`/`%a`/`*` field's text, and the assembled feed timestamp
+//! from the `%Y%m%d…` components. Classification in `bistro-core` is
+//! "standard regular-expression matching" (paper §3.2) — this module is
+//! that engine, specialized to the pattern language (a tiny NFA with
+//! greedy, backtracking variable-length fields).
+
+use crate::ast::{Elem, Pattern, TsPart};
+use bistro_base::time::Calendar;
+use bistro_base::TimePoint;
+
+/// The typed value of one captured field.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CaptureValue {
+    /// `%s` capture.
+    Str(String),
+    /// `*` capture (may be empty).
+    Any(String),
+    /// `%i` capture, with its parsed value.
+    Int(u64),
+    /// `%a` capture.
+    Alpha(String),
+    /// A timestamp component, with its parsed value.
+    Ts(TsPart, u32),
+}
+
+/// One captured field.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Capture {
+    /// Byte offset of the capture in the matched filename.
+    pub start: usize,
+    /// The captured text.
+    pub text: String,
+    /// The typed value.
+    pub value: CaptureValue,
+}
+
+/// All captures from one successful match, in pattern order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Captures {
+    caps: Vec<Capture>,
+}
+
+impl Captures {
+    /// All captures in pattern order.
+    pub fn all(&self) -> &[Capture] {
+        &self.caps
+    }
+
+    /// Number of captures.
+    pub fn len(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// True if no fields were captured (purely literal pattern).
+    pub fn is_empty(&self) -> bool {
+        self.caps.is_empty()
+    }
+
+    /// The first `%i` capture's value.
+    pub fn first_int(&self) -> Option<u64> {
+        self.caps.iter().find_map(|c| match &c.value {
+            CaptureValue::Int(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// The first `%s` capture's text.
+    pub fn first_str(&self) -> Option<&str> {
+        self.caps.iter().find_map(|c| match &c.value {
+            CaptureValue::Str(_) => Some(c.text.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The text of the n-th capture (0-based, counting every field kind).
+    pub fn text(&self, n: usize) -> Option<&str> {
+        self.caps.get(n).map(|c| c.text.as_str())
+    }
+
+    /// The value of a specific timestamp component, if captured.
+    pub fn ts_part(&self, part: TsPart) -> Option<u32> {
+        self.caps.iter().find_map(|c| match c.value {
+            CaptureValue::Ts(p, v) if p == part => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Assemble the captured timestamp components into a [`TimePoint`].
+    ///
+    /// Requires a year (`%Y` or `%y`; two-digit years 70-99 map to 19xx,
+    /// 00-69 to 20xx). Missing month/day default to 1; missing
+    /// hour/minute/second default to 0. Returns `None` when no year was
+    /// captured or the assembled date is invalid (e.g. Feb 30).
+    pub fn timestamp(&self) -> Option<TimePoint> {
+        let year = match (self.ts_part(TsPart::Year4), self.ts_part(TsPart::Year2)) {
+            (Some(y), _) => y,
+            (None, Some(y2)) => {
+                if y2 >= 70 {
+                    1900 + y2
+                } else {
+                    2000 + y2
+                }
+            }
+            (None, None) => return None,
+        };
+        let cal = Calendar {
+            year,
+            month: self.ts_part(TsPart::Month).unwrap_or(1),
+            day: self.ts_part(TsPart::Day).unwrap_or(1),
+            hour: self.ts_part(TsPart::Hour).unwrap_or(0),
+            minute: self.ts_part(TsPart::Minute).unwrap_or(0),
+            second: self.ts_part(TsPart::Second).unwrap_or(0),
+        };
+        cal.to_timepoint()
+    }
+}
+
+fn ts_in_range(part: TsPart, v: u32) -> bool {
+    match part {
+        TsPart::Year4 => (1000..=9999).contains(&v),
+        TsPart::Year2 => v <= 99,
+        TsPart::Month => (1..=12).contains(&v),
+        TsPart::Day => (1..=31).contains(&v),
+        TsPart::Hour => v <= 23,
+        TsPart::Minute | TsPart::Second => v <= 59,
+    }
+}
+
+/// Matcher state: recursive descent with backtracking on the
+/// variable-length fields.
+struct MatchState<'a> {
+    elems: &'a [Elem],
+    input: &'a str,
+    caps: Vec<Capture>,
+    /// Failure memo: `failed[elem_idx * (len+1) + pos]` — turns the
+    /// worst-case exponential backtracking of stacked wildcards into
+    /// O(elems × len²).
+    failed: Vec<bool>,
+}
+
+impl<'a> MatchState<'a> {
+    fn run(&mut self, elem_idx: usize, pos: usize) -> bool {
+        let memo_idx = elem_idx * (self.input.len() + 1) + pos;
+        if self.failed[memo_idx] {
+            return false;
+        }
+        let ok = self.run_inner(elem_idx, pos);
+        if !ok {
+            self.failed[memo_idx] = true;
+        }
+        ok
+    }
+
+    fn run_inner(&mut self, elem_idx: usize, pos: usize) -> bool {
+        let Some(elem) = self.elems.get(elem_idx) else {
+            return pos == self.input.len();
+        };
+        let rest = &self.input[pos..];
+        match elem {
+            Elem::Literal(lit) => {
+                if rest.starts_with(lit.as_str()) {
+                    self.run(elem_idx + 1, pos + lit.len())
+                } else {
+                    false
+                }
+            }
+            Elem::Ts(part) => {
+                let w = part.width();
+                if rest.len() < w || !rest[..w].bytes().all(|b| b.is_ascii_digit()) {
+                    return false;
+                }
+                let v: u32 = rest[..w].parse().unwrap();
+                if !ts_in_range(*part, v) {
+                    return false;
+                }
+                self.caps.push(Capture {
+                    start: pos,
+                    text: rest[..w].to_string(),
+                    value: CaptureValue::Ts(*part, v),
+                });
+                if self.run(elem_idx + 1, pos + w) {
+                    return true;
+                }
+                self.caps.pop();
+                false
+            }
+            Elem::Int => self.var_field(elem_idx, pos, 1, |b| b.is_ascii_digit(), |t| {
+                CaptureValue::Int(t.parse().unwrap_or(u64::MAX))
+            }),
+            Elem::Alpha => self.var_field(
+                elem_idx,
+                pos,
+                1,
+                |b| b.is_ascii_alphabetic(),
+                |t| CaptureValue::Alpha(t.to_string()),
+            ),
+            Elem::Str => self.var_field(elem_idx, pos, 1, |b| b != b'/', |t| {
+                CaptureValue::Str(t.to_string())
+            }),
+            Elem::Any => self.var_field(elem_idx, pos, 0, |b| b != b'/', |t| {
+                CaptureValue::Any(t.to_string())
+            }),
+        }
+    }
+
+    /// Match a variable-length field greedily (longest first), backtracking
+    /// one byte at a time. `min_len` is 0 for `*`, 1 otherwise.
+    fn var_field(
+        &mut self,
+        elem_idx: usize,
+        pos: usize,
+        min_len: usize,
+        accept: impl Fn(u8) -> bool,
+        mk: impl Fn(&str) -> CaptureValue,
+    ) -> bool {
+        let rest = &self.input.as_bytes()[pos..];
+        let mut max = 0;
+        while max < rest.len() && accept(rest[max]) {
+            max += 1;
+        }
+        let mut len = max;
+        loop {
+            if len < min_len {
+                return false;
+            }
+            // don't split a UTF-8 char
+            if self.input.is_char_boundary(pos + len) {
+                let text = &self.input[pos..pos + len];
+                self.caps.push(Capture {
+                    start: pos,
+                    text: text.to_string(),
+                    value: mk(text),
+                });
+                if self.run(elem_idx + 1, pos + len) {
+                    return true;
+                }
+                self.caps.pop();
+            }
+            if len == 0 {
+                return false;
+            }
+            len -= 1;
+        }
+    }
+}
+
+impl Pattern {
+    /// Match this pattern against a filename, returning the typed
+    /// captures on success.
+    pub fn match_str(&self, name: &str) -> Option<Captures> {
+        let mut st = MatchState {
+            elems: self.elems(),
+            input: name,
+            caps: Vec::new(),
+            failed: vec![false; (self.elems().len() + 1) * (name.len() + 1)],
+        };
+        if st.run(0, 0) {
+            Some(Captures { caps: st.caps })
+        } else {
+            None
+        }
+    }
+
+    /// True if the pattern matches the filename.
+    pub fn is_match(&self, name: &str) -> bool {
+        self.match_str(name).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::ast::Pattern;
+
+    fn p(s: &str) -> Pattern {
+        Pattern::parse(s).unwrap()
+    }
+
+    #[test]
+    fn literal_only() {
+        assert!(p("exact.txt").is_match("exact.txt"));
+        assert!(!p("exact.txt").is_match("exact.txt.gz"));
+        assert!(!p("exact.txt").is_match("prefix_exact.txt"));
+    }
+
+    #[test]
+    fn paper_memory_pattern() {
+        let pat = p("MEMORY_poller%i_%Y%m%d.gz");
+        for name in [
+            "MEMORY_poller1_20100925.gz",
+            "MEMORY_poller2_20100925.gz",
+            "MEMORY_poller1_20100926.gz",
+        ] {
+            let caps = pat.match_str(name).expect(name);
+            assert!(caps.timestamp().is_some());
+        }
+        // capital P: the paper's false-negative example must NOT match
+        assert!(!pat.is_match("MEMORY_Poller1_20100926.gz"));
+        let caps = pat.match_str("MEMORY_poller7_20101231.gz").unwrap();
+        assert_eq!(caps.first_int(), Some(7));
+        let ts = caps.timestamp().unwrap().to_calendar();
+        assert_eq!((ts.year, ts.month, ts.day), (2010, 12, 31));
+    }
+
+    #[test]
+    fn timestamp_range_validation() {
+        let pat = p("f_%Y%m%d.csv");
+        assert!(pat.is_match("f_20101231.csv"));
+        assert!(!pat.is_match("f_20101301.csv")); // month 13
+        assert!(!pat.is_match("f_20100900.csv")); // day 00
+        let pat = p("f_%H%M.csv");
+        assert!(pat.is_match("f_2359.csv"));
+        assert!(!pat.is_match("f_2460.csv"));
+    }
+
+    #[test]
+    fn feb_30_rejected_at_assembly() {
+        let pat = p("f_%Y%m%d.csv");
+        let caps = pat.match_str("f_20100230.csv").unwrap(); // matches lexically
+        assert_eq!(caps.timestamp(), None); // but is not a real date
+    }
+
+    #[test]
+    fn str_field_backtracks_over_literal() {
+        let pat = p("MEMORY%s.%Y%m%d.gz");
+        // %s must stop before the final ".20100925.gz"
+        let caps = pat.match_str("MEMORY_POLLER1.20100925.gz").unwrap();
+        assert_eq!(caps.first_str(), Some("_POLLER1"));
+    }
+
+    #[test]
+    fn str_greedy_when_ambiguous() {
+        let pat = p("a%sb");
+        let caps = pat.match_str("axbxb").unwrap();
+        assert_eq!(caps.first_str(), Some("xbx")); // greedy
+    }
+
+    #[test]
+    fn any_matches_empty() {
+        let pat = p("x*.csv");
+        assert!(pat.is_match("x.csv"));
+        assert!(pat.is_match("xABC.csv"));
+        let pat = p("x%s.csv");
+        assert!(!pat.is_match("x.csv")); // %s needs at least one char
+    }
+
+    #[test]
+    fn str_does_not_cross_slash() {
+        let pat = p("%s.csv");
+        assert!(pat.is_match("file.csv"));
+        assert!(!pat.is_match("dir/file.csv"));
+        let pat = p("%Y/%m/%d/%s.csv");
+        assert!(pat.is_match("2010/09/25/report.csv"));
+        assert!(!pat.is_match("2010/09/25/sub/report.csv"));
+    }
+
+    #[test]
+    fn int_alpha_fields() {
+        let pat = p("CPU_POLL%i_%s.txt");
+        let caps = pat.match_str("CPU_POLL2_201009251001.txt").unwrap();
+        assert_eq!(caps.first_int(), Some(2));
+        let pat = p("%a_%i.log");
+        let caps = pat.match_str("alarms_42.log").unwrap();
+        assert_eq!(caps.text(0), Some("alarms"));
+        assert_eq!(caps.first_int(), Some(42));
+        assert!(!pat.is_match("alarms7_42.log")); // %a can't eat digits
+    }
+
+    #[test]
+    fn adjacent_int_and_timestamp() {
+        // ALARMHISTORYpoller_idTS.gz from paper §2.1: integer directly
+        // followed by a timestamp — backtracking must split them.
+        let pat = p("ALARMHISTORY%i%Y%m%d%H%M.gz");
+        let caps = pat.match_str("ALARMHISTORY17201012301530.gz").unwrap();
+        assert_eq!(caps.first_int(), Some(17));
+        let c = caps.timestamp().unwrap().to_calendar();
+        assert_eq!((c.year, c.month, c.day, c.hour, c.minute), (2010, 12, 30, 15, 30));
+    }
+
+    #[test]
+    fn two_digit_year_window() {
+        let pat = p("f_%y%m%d.csv");
+        let caps = pat.match_str("f_991231.csv").unwrap();
+        assert_eq!(caps.timestamp().unwrap().to_calendar().year, 1999);
+        let caps = pat.match_str("f_100925.csv").unwrap();
+        assert_eq!(caps.timestamp().unwrap().to_calendar().year, 2010);
+    }
+
+    #[test]
+    fn no_timestamp_fields_gives_none() {
+        let pat = p("file_%i.csv");
+        let caps = pat.match_str("file_3.csv").unwrap();
+        assert_eq!(caps.timestamp(), None);
+    }
+
+    #[test]
+    fn hour_only_defaults() {
+        let pat = p("hourly_%Y%m%d_%H.csv");
+        let caps = pat.match_str("hourly_20101230_07.csv").unwrap();
+        let c = caps.timestamp().unwrap().to_calendar();
+        assert_eq!((c.hour, c.minute, c.second), (7, 0, 0));
+    }
+
+    #[test]
+    fn wildcard_false_positive_scenario() {
+        // §2.1.3.2: replacing poller1 with * matches unrelated files
+        let pat = p("*_%Y_%m_%d.csv.gz");
+        assert!(pat.is_match("poller1_2010_12_30.csv.gz"));
+        assert!(pat.is_match("totally_unrelated_2010_12_30.csv.gz"));
+    }
+
+    #[test]
+    fn unicode_in_name() {
+        let pat = p("%s.csv");
+        let caps = pat.match_str("café_münchen.csv").unwrap();
+        assert_eq!(caps.first_str(), Some("café_münchen"));
+    }
+
+    #[test]
+    fn capture_offsets() {
+        let pat = p("AB%iCD%s");
+        let caps = pat.match_str("AB12CDxy").unwrap();
+        assert_eq!(caps.all()[0].start, 2);
+        assert_eq!(caps.all()[1].start, 6);
+    }
+
+    #[test]
+    fn pathological_backtracking_terminates() {
+        // many wildcards against a non-matching input
+        let pat = p("*a*a*a*a*a!");
+        assert!(!pat.is_match(&"a".repeat(40)));
+    }
+}

@@ -1,0 +1,266 @@
+//! Filename tokenization.
+//!
+//! The feed analyzer's first stage (paper §5.1): split a filename into a
+//! sequence of tokens at character-class boundaries. "General problem of
+//! string tokenization is very hard given that some filenames use
+//! fixed-length fields of unknown length instead of traditional
+//! separators" — the heuristics here are the ones the paper lists:
+//! alphabetic/numeric transitions, punctuation separators, and
+//! recognition of common field formats (dates, numbers, version strings,
+//! IPv4 addresses).
+
+use std::fmt;
+
+/// Character class of a token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// A run of ASCII letters.
+    Alpha,
+    /// A run of ASCII digits.
+    Digits,
+    /// A single punctuation / separator character.
+    Punct,
+}
+
+/// One token of a filename.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// Character class.
+    pub kind: TokenKind,
+    /// The matched text.
+    pub text: String,
+}
+
+impl Token {
+    fn new(kind: TokenKind, text: &str) -> Token {
+        Token {
+            kind,
+            text: text.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+/// Tokenize a filename at character-class boundaries.
+///
+/// Every byte of the input appears in exactly one token, in order, so
+/// `tokens.concat() == name`.
+pub fn tokenize(name: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let bytes = name.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_alphabetic() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_alphabetic() {
+                i += 1;
+            }
+            out.push(Token::new(TokenKind::Alpha, &name[start..i]));
+        } else if b.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            out.push(Token::new(TokenKind::Digits, &name[start..i]));
+        } else {
+            // one punctuation char per token; multi-byte UTF-8 chars are
+            // kept whole
+            let ch_len = name[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+            out.push(Token::new(TokenKind::Punct, &name[i..i + ch_len]));
+            i += ch_len;
+        }
+    }
+    out
+}
+
+/// The timestamp layouts the analyzer recognizes inside a single digit
+/// run, in decreasing order of digit count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DigitsFormat {
+    /// `YYYYMMDDHHMMSS` (14 digits).
+    YmdHms,
+    /// `YYYYMMDDHHMM` (12 digits).
+    YmdHm,
+    /// `YYYYMMDDHH` (10 digits).
+    YmdH,
+    /// `YYYYMMDD` (8 digits).
+    Ymd,
+    /// `YYYY` alone (4 digits in a plausible year range).
+    Year,
+    /// A plain integer.
+    Int,
+}
+
+/// Classify a digit run, recognizing embedded timestamps.
+///
+/// A run is only classified as a timestamp if its components are in range
+/// (month 01-12, day 01-31, hour 00-23, minute/second 00-59) and the year
+/// falls in 1970..=2099 — the pragmatic window for feed data.
+pub fn classify_digits(digits: &str) -> DigitsFormat {
+    fn num(s: &str) -> u32 {
+        s.parse().unwrap_or(9999)
+    }
+    let plausible_year = |y: u32| (1970..=2099).contains(&y);
+    let plausible_md = |m: u32, d: u32| (1..=12).contains(&m) && (1..=31).contains(&d);
+
+    match digits.len() {
+        14 => {
+            let (y, m, d, h, mi, s) = (
+                num(&digits[0..4]),
+                num(&digits[4..6]),
+                num(&digits[6..8]),
+                num(&digits[8..10]),
+                num(&digits[10..12]),
+                num(&digits[12..14]),
+            );
+            if plausible_year(y) && plausible_md(m, d) && h < 24 && mi < 60 && s < 60 {
+                return DigitsFormat::YmdHms;
+            }
+            DigitsFormat::Int
+        }
+        12 => {
+            let (y, m, d, h, mi) = (
+                num(&digits[0..4]),
+                num(&digits[4..6]),
+                num(&digits[6..8]),
+                num(&digits[8..10]),
+                num(&digits[10..12]),
+            );
+            if plausible_year(y) && plausible_md(m, d) && h < 24 && mi < 60 {
+                return DigitsFormat::YmdHm;
+            }
+            DigitsFormat::Int
+        }
+        10 => {
+            let (y, m, d, h) = (
+                num(&digits[0..4]),
+                num(&digits[4..6]),
+                num(&digits[6..8]),
+                num(&digits[8..10]),
+            );
+            if plausible_year(y) && plausible_md(m, d) && h < 24 {
+                return DigitsFormat::YmdH;
+            }
+            DigitsFormat::Int
+        }
+        8 => {
+            let (y, m, d) = (num(&digits[0..4]), num(&digits[4..6]), num(&digits[6..8]));
+            if plausible_year(y) && plausible_md(m, d) {
+                return DigitsFormat::Ymd;
+            }
+            DigitsFormat::Int
+        }
+        4 => {
+            if plausible_year(num(digits)) {
+                return DigitsFormat::Year;
+            }
+            DigitsFormat::Int
+        }
+        _ => DigitsFormat::Int,
+    }
+}
+
+/// Recognize a dotted IPv4 address starting at token index `i`.
+/// Returns the number of tokens consumed (7: d.d.d.d) if present.
+pub fn ipv4_at(tokens: &[Token], i: usize) -> Option<usize> {
+    if i + 7 > tokens.len() {
+        return None;
+    }
+    for k in 0..7 {
+        let t = &tokens[i + k];
+        if k % 2 == 0 {
+            if t.kind != TokenKind::Digits || t.text.len() > 3 {
+                return None;
+            }
+            let v: u32 = t.text.parse().ok()?;
+            if v > 255 {
+                return None;
+            }
+        } else if t.kind != TokenKind::Punct || t.text != "." {
+            return None;
+        }
+    }
+    Some(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_paper_example() {
+        let toks = tokenize("MEMORY_POLLER1_2010092504_51.csv.gz");
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "MEMORY", "_", "POLLER", "1", "_", "2010092504", "_", "51", ".", "csv", ".",
+                "gz"
+            ]
+        );
+        assert_eq!(toks[0].kind, TokenKind::Alpha);
+        assert_eq!(toks[3].kind, TokenKind::Digits);
+        assert_eq!(toks[4].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn tokenize_covers_input() {
+        for name in [
+            "",
+            "abc",
+            "123",
+            "___",
+            "CPU_POLL2_201009251001.txt",
+            "Poller1_router_a_2010_12_30_00.csv,gz",
+            "TRAP_2010030817_UVIPTV-PER-BAN-DSPS-IPTV_MOM-rcsntxsqlcv122_9234SEC_klpi.txt",
+        ] {
+            let toks = tokenize(name);
+            let joined: String = toks.iter().map(|t| t.text.as_str()).collect();
+            assert_eq!(joined, name);
+        }
+    }
+
+    #[test]
+    fn tokenize_handles_utf8_punct() {
+        let toks = tokenize("a→b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].text, "→");
+    }
+
+    #[test]
+    fn classify_timestamps() {
+        assert_eq!(classify_digits("20100925"), DigitsFormat::Ymd);
+        assert_eq!(classify_digits("2010092504"), DigitsFormat::YmdH);
+        assert_eq!(classify_digits("201009250502"), DigitsFormat::YmdHm);
+        assert_eq!(classify_digits("20100925050259"), DigitsFormat::YmdHms);
+        assert_eq!(classify_digits("2010"), DigitsFormat::Year);
+    }
+
+    #[test]
+    fn classify_rejects_implausible() {
+        assert_eq!(classify_digits("99999999"), DigitsFormat::Int); // month 99
+        assert_eq!(classify_digits("20101340"), DigitsFormat::Int); // month 13
+        assert_eq!(classify_digits("2010092575"), DigitsFormat::Int); // hour 75
+        assert_eq!(classify_digits("1234"), DigitsFormat::Int); // year 1234
+        assert_eq!(classify_digits("51"), DigitsFormat::Int);
+        assert_eq!(classify_digits("123"), DigitsFormat::Int);
+    }
+
+    #[test]
+    fn ipv4_recognition() {
+        let toks = tokenize("log_192.168.1.254_x");
+        // tokens: log _ 192 . 168 . 1 . 254 _ x → ip starts at index 2
+        assert_eq!(ipv4_at(&toks, 2), Some(7));
+        assert_eq!(ipv4_at(&toks, 0), None);
+        let toks = tokenize("999.1.1.1");
+        assert_eq!(ipv4_at(&toks, 0), None); // 999 > 255
+        let toks = tokenize("1.2.3");
+        assert_eq!(ipv4_at(&toks, 0), None); // too short
+    }
+}

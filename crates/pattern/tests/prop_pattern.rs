@@ -1,0 +1,96 @@
+//! Property-based tests for the pattern language.
+
+use bistro_pattern::{generalize, levenshtein, pattern_similarity, Pattern};
+use proptest::prelude::*;
+
+/// Strategy for realistic feed filenames.
+fn filename() -> impl Strategy<Value = String> {
+    let word = "[A-Za-z]{1,8}";
+    let num = "[0-9]{1,6}";
+    let sep = prop::sample::select(vec!["_", "-", "."]);
+    (
+        word,
+        sep.clone(),
+        num,
+        sep,
+        prop::sample::select(vec!["csv", "txt", "gz", "log"]),
+    )
+        .prop_map(|(w, s1, n, s2, ext)| format!("{w}{s1}{n}{s2}{ext}"))
+}
+
+proptest! {
+    #[test]
+    fn generalized_pattern_matches_origin(name in filename()) {
+        let shape = generalize(&name);
+        let pat = shape.to_pattern();
+        prop_assert!(pat.is_match(&name), "pattern {} vs name {}", pat, name);
+    }
+
+    #[test]
+    fn generalize_arbitrary_printable(name in "[ -~&&[^/]]{1,40}") {
+        // any printable ASCII (no slash): generalization must parse and
+        // match its origin
+        let shape = generalize(&name);
+        let pat = shape.to_pattern();
+        prop_assert!(pat.is_match(&name), "pattern {} vs name {:?}", pat, name);
+    }
+
+    #[test]
+    fn self_similarity_is_one(name in filename()) {
+        let p = generalize(&name).to_pattern();
+        let s = pattern_similarity(&p, &p);
+        prop_assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn similarity_is_symmetric(a in filename(), b in filename()) {
+        let pa = generalize(&a).to_pattern();
+        let pb = generalize(&b).to_pattern();
+        let ab = pattern_similarity(&pa, &pb);
+        let ba = pattern_similarity(&pb, &pa);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn levenshtein_triangle_inequality(
+        a in "[a-z]{0,12}",
+        b in "[a-z]{0,12}",
+        c in "[a-z]{0,12}",
+    ) {
+        let ab = levenshtein(&a, &b);
+        let bc = levenshtein(&b, &c);
+        let ac = levenshtein(&a, &c);
+        prop_assert!(ac <= ab + bc);
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn merge_preserves_matching(
+        base in "[A-Z]{2,6}",
+        p1 in 1u32..9, p2 in 1u32..9,
+        d1 in 1u32..28, d2 in 1u32..28,
+    ) {
+        let n1 = format!("{base}_poller{p1}_201009{d1:02}.gz");
+        let n2 = format!("{base}_poller{p2}_201009{d2:02}.gz");
+        let mut s = generalize(&n1);
+        let s2 = generalize(&n2);
+        prop_assert!(s.merge(&s2, false));
+        let pat = s.to_pattern();
+        prop_assert!(pat.is_match(&n1), "{} vs {}", pat, n1);
+        prop_assert!(pat.is_match(&n2), "{} vs {}", pat, n2);
+    }
+
+    #[test]
+    fn parse_never_panics(text in "[ -~]{0,30}") {
+        let _ = Pattern::parse(&text);
+    }
+
+    #[test]
+    fn match_never_panics(pat in "[A-Za-z_%.*0-9]{1,20}", name in "[ -~]{0,30}") {
+        if let Ok(p) = Pattern::parse(&pat) {
+            let _ = p.match_str(&name);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Receipt record types and their binary encoding.
+
+use bistro_base::{ByteReader, ByteWriter, CodecError, FileId, TimePoint};
+
+/// The durable description of one received file (an *arrival receipt*).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileRecord {
+    /// Stable id assigned on arrival.
+    pub id: FileId,
+    /// The original filename (as deposited in the landing directory,
+    /// relative to it).
+    pub name: String,
+    /// Where the normalized file lives in staging.
+    pub staged_path: String,
+    /// Size in bytes (after normalization).
+    pub size: u64,
+    /// When the file arrived at the server.
+    pub arrival: TimePoint,
+    /// The feed timestamp extracted from the filename, if any.
+    pub feed_time: Option<TimePoint>,
+    /// Names of the feeds the file was classified into (possibly several
+    /// — feed definitions may overlap).
+    pub feeds: Vec<String>,
+}
+
+/// One WAL record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Record {
+    /// A file arrived and was classified.
+    Arrival(FileRecord),
+    /// A file was delivered to a subscriber.
+    Delivery {
+        /// The delivered file.
+        file: FileId,
+        /// The receiving subscriber's name.
+        subscriber: String,
+        /// Delivery completion time.
+        at: TimePoint,
+    },
+    /// A file fell out of the retention window and was expunged.
+    Expire {
+        /// The expired file.
+        file: FileId,
+        /// Expiration time.
+        at: TimePoint,
+    },
+    /// A file's feed membership was recomputed after a feed definition
+    /// changed (§4.2: "a feed definition can be revised at any moment").
+    Reclassify {
+        /// The affected file.
+        file: FileId,
+        /// The new complete feed list.
+        feeds: Vec<String>,
+    },
+}
+
+const TAG_ARRIVAL: u8 = 1;
+const TAG_DELIVERY: u8 = 2;
+const TAG_EXPIRE: u8 = 3;
+const TAG_RECLASSIFY: u8 = 4;
+
+impl Record {
+    /// Encode to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Record::Arrival(f) => {
+                w.put_u8(TAG_ARRIVAL);
+                w.put_varint(f.id.raw());
+                w.put_str(&f.name);
+                w.put_str(&f.staged_path);
+                w.put_varint(f.size);
+                w.put_u64(f.arrival.as_micros());
+                match f.feed_time {
+                    Some(t) => {
+                        w.put_u8(1);
+                        w.put_u64(t.as_micros());
+                    }
+                    None => w.put_u8(0),
+                }
+                w.put_varint(f.feeds.len() as u64);
+                for feed in &f.feeds {
+                    w.put_str(feed);
+                }
+            }
+            Record::Delivery {
+                file,
+                subscriber,
+                at,
+            } => {
+                w.put_u8(TAG_DELIVERY);
+                w.put_varint(file.raw());
+                w.put_str(subscriber);
+                w.put_u64(at.as_micros());
+            }
+            Record::Expire { file, at } => {
+                w.put_u8(TAG_EXPIRE);
+                w.put_varint(file.raw());
+                w.put_u64(at.as_micros());
+            }
+            Record::Reclassify { file, feeds } => {
+                w.put_u8(TAG_RECLASSIFY);
+                w.put_varint(file.raw());
+                w.put_varint(feeds.len() as u64);
+                for feed in feeds {
+                    w.put_str(feed);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode from bytes.
+    pub fn decode(data: &[u8]) -> Result<Record, CodecError> {
+        let mut r = ByteReader::new(data);
+        let tag = r.get_u8()?;
+        let rec = match tag {
+            TAG_ARRIVAL => {
+                let id = FileId(r.get_varint()?);
+                let name = r.get_str()?.to_string();
+                let staged_path = r.get_str()?.to_string();
+                let size = r.get_varint()?;
+                let arrival = TimePoint::from_micros(r.get_u64()?);
+                let feed_time = match r.get_u8()? {
+                    0 => None,
+                    _ => Some(TimePoint::from_micros(r.get_u64()?)),
+                };
+                let n = r.get_varint()? as usize;
+                let mut feeds = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    feeds.push(r.get_str()?.to_string());
+                }
+                Record::Arrival(FileRecord {
+                    id,
+                    name,
+                    staged_path,
+                    size,
+                    arrival,
+                    feed_time,
+                    feeds,
+                })
+            }
+            TAG_DELIVERY => Record::Delivery {
+                file: FileId(r.get_varint()?),
+                subscriber: r.get_str()?.to_string(),
+                at: TimePoint::from_micros(r.get_u64()?),
+            },
+            TAG_EXPIRE => Record::Expire {
+                file: FileId(r.get_varint()?),
+                at: TimePoint::from_micros(r.get_u64()?),
+            },
+            TAG_RECLASSIFY => {
+                let file = FileId(r.get_varint()?);
+                let n = r.get_varint()? as usize;
+                let mut feeds = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    feeds.push(r.get_str()?.to_string());
+                }
+                Record::Reclassify { file, feeds }
+            }
+            other => {
+                return Err(CodecError::BadTag {
+                    what: "receipt record",
+                    tag: other,
+                })
+            }
+        };
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_file() -> FileRecord {
+        FileRecord {
+            id: FileId(42),
+            name: "MEMORY_poller1_20100925.gz".to_string(),
+            staged_path: "staging/SNMP/MEMORY/2010/09/25/MEMORY_poller1_20100925.gz"
+                .to_string(),
+            size: 123_456,
+            arrival: TimePoint::from_secs(1_285_372_800),
+            feed_time: Some(TimePoint::from_secs(1_285_372_800)),
+            feeds: vec!["SNMP/MEMORY".to_string(), "ALL".to_string()],
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let records = vec![
+            Record::Arrival(sample_file()),
+            Record::Arrival(FileRecord {
+                feed_time: None,
+                feeds: vec![],
+                ..sample_file()
+            }),
+            Record::Delivery {
+                file: FileId(42),
+                subscriber: "warehouse_dallas".to_string(),
+                at: TimePoint::from_secs(1_285_372_860),
+            },
+            Record::Expire {
+                file: FileId(42),
+                at: TimePoint::from_secs(1_285_977_600),
+            },
+            Record::Reclassify {
+                file: FileId(42),
+                feeds: vec!["SNMP/MEMORY".to_string()],
+            },
+        ];
+        for rec in records {
+            let bytes = rec.encode();
+            assert_eq!(Record::decode(&bytes).unwrap(), rec, "roundtrip {rec:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(
+            Record::decode(&[99]),
+            Err(CodecError::BadTag { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = Record::Arrival(sample_file()).encode();
+        for cut in [1usize, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Record::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Ready-queue policies.
+//!
+//! A [`ReadyQueue`] holds released, eligible jobs and picks the next one
+//! to run according to a [`PolicyKind`]. The engine parks jobs whose
+//! subscriber is offline or whose in-order predecessor hasn't completed,
+//! so queues only ever see runnable work.
+
+use crate::types::JobSpec;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// The scheduling policies the paper discusses (§4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// First-in-first-out (release order).
+    Fifo,
+    /// Earliest Deadline First (Jackson's rule).
+    Edf,
+    /// Prioritized EDF: strict priority classes, EDF within a class.
+    EdfP,
+    /// Rate-Monotonic: shorter-period feeds first (static priority).
+    RateMonotonic,
+    /// Max-Benefit: greatest benefit density first — benefit 1 for an
+    /// on-time completion decaying linearly with lateness, divided by
+    /// service size.
+    MaxBenefit,
+}
+
+impl PolicyKind {
+    /// All policies, for sweeps.
+    pub fn all() -> [PolicyKind; 5] {
+        [
+            PolicyKind::Fifo,
+            PolicyKind::Edf,
+            PolicyKind::EdfP,
+            PolicyKind::RateMonotonic,
+            PolicyKind::MaxBenefit,
+        ]
+    }
+
+    /// Short display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "FIFO",
+            PolicyKind::Edf => "EDF",
+            PolicyKind::EdfP => "EDF-P",
+            PolicyKind::RateMonotonic => "RM",
+            PolicyKind::MaxBenefit => "MaxBenefit",
+        }
+    }
+}
+
+/// Priority key under a policy; smaller = run sooner. The final `u64` is
+/// the job id, making every key unique and the order deterministic.
+fn key(policy: PolicyKind, job: &JobSpec, now_us: u64) -> (u64, u64, u64) {
+    match policy {
+        PolicyKind::Fifo => (job.release.as_micros(), 0, job.id),
+        PolicyKind::Edf => (job.deadline.as_micros(), 0, job.id),
+        PolicyKind::EdfP => (job.priority as u64, job.deadline.as_micros(), job.id),
+        PolicyKind::RateMonotonic => (job.period.as_micros(), job.deadline.as_micros(), job.id),
+        PolicyKind::MaxBenefit => {
+            // benefit density = benefit / size; benefit decays after the
+            // deadline. We convert to an ordering key: on-time jobs first
+            // by size-scaled slack, late jobs by how late they are.
+            let late = now_us.saturating_sub(job.deadline.as_micros());
+            let density_inv = job.size.max(1).saturating_mul(1 + late / 1_000_000);
+            (density_inv, job.deadline.as_micros(), job.id)
+        }
+    }
+}
+
+/// A ready queue with locality-aware pop.
+pub struct ReadyQueue {
+    policy: PolicyKind,
+    /// Ordered by policy key.
+    ordered: BTreeMap<(u64, u64, u64), JobSpec>,
+    /// file_key → policy keys of queued jobs for that file.
+    by_file: HashMap<u64, BTreeSet<(u64, u64, u64)>>,
+    /// Locality: if a queued job's file is already being read/transferred
+    /// by another worker, prefer it when its deadline is within this many
+    /// microseconds of the queue head's. `None` disables the heuristic.
+    locality_slack_us: Option<u64>,
+}
+
+impl ReadyQueue {
+    /// An empty queue for the given policy.
+    pub fn new(policy: PolicyKind, locality_slack_us: Option<u64>) -> ReadyQueue {
+        ReadyQueue {
+            policy,
+            ordered: BTreeMap::new(),
+            by_file: HashMap::new(),
+            locality_slack_us,
+        }
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// True if no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ordered.is_empty()
+    }
+
+    /// Insert a runnable job.
+    pub fn push(&mut self, job: JobSpec, now_us: u64) {
+        let k = key(self.policy, &job, now_us);
+        self.by_file.entry(job.file_key).or_default().insert(k);
+        self.ordered.insert(k, job);
+    }
+
+    fn remove_key(&mut self, k: (u64, u64, u64)) -> Option<JobSpec> {
+        let job = self.ordered.remove(&k)?;
+        if let Some(set) = self.by_file.get_mut(&job.file_key) {
+            set.remove(&k);
+            if set.is_empty() {
+                self.by_file.remove(&job.file_key);
+            }
+        }
+        Some(job)
+    }
+
+    /// Pop the job to run next. `in_flight` is the set of file keys
+    /// currently being transferred by busy workers; with the locality
+    /// heuristic enabled, a job for an in-flight file is preferred when
+    /// its key is close enough to the head's (so the storage read is
+    /// shared, §4.3's "delivery of a file to several subscribers within a
+    /// group is performed concurrently whenever possible").
+    pub fn pop(&mut self, in_flight: &HashSet<u64>, _now_us: u64) -> Option<JobSpec> {
+        let head_key = *self.ordered.keys().next()?;
+        if let Some(slack) = self.locality_slack_us {
+            let mut best: Option<(u64, u64, u64)> = None;
+            for fk in in_flight {
+                if let Some(set) = self.by_file.get(fk) {
+                    if let Some(&k) = set.iter().next() {
+                        if k.0 <= head_key.0.saturating_add(slack)
+                            && best.map(|b| k < b).unwrap_or(true)
+                        {
+                            best = Some(k);
+                        }
+                    }
+                }
+            }
+            if let Some(k) = best {
+                return self.remove_key(k);
+            }
+        }
+        self.remove_key(head_key)
+    }
+
+    /// Drain every queued job (used when re-parking on subscriber
+    /// failure).
+    pub fn drain(&mut self) -> Vec<JobSpec> {
+        self.by_file.clear();
+        std::mem::take(&mut self.ordered).into_values().collect()
+    }
+
+    /// Remove all queued jobs for one subscriber (it went offline).
+    pub fn remove_subscriber(&mut self, sub: bistro_base::SubscriberId) -> Vec<JobSpec> {
+        let keys: Vec<_> = self
+            .ordered
+            .iter()
+            .filter(|(_, j)| j.subscriber == sub)
+            .map(|(k, _)| *k)
+            .collect();
+        keys.into_iter()
+            .filter_map(|k| self.remove_key(k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bistro_base::{TimePoint, TimeSpan};
+
+    fn job(id: u64, deadline: u64) -> JobSpec {
+        JobSpec::new(id, 1, 0, deadline, 100)
+    }
+
+    #[test]
+    fn edf_orders_by_deadline() {
+        let mut q = ReadyQueue::new(PolicyKind::Edf, None);
+        q.push(job(1, 300), 0);
+        q.push(job(2, 100), 0);
+        q.push(job(3, 200), 0);
+        let empty = HashSet::new();
+        assert_eq!(q.pop(&empty, 0).unwrap().id, 2);
+        assert_eq!(q.pop(&empty, 0).unwrap().id, 3);
+        assert_eq!(q.pop(&empty, 0).unwrap().id, 1);
+        assert!(q.pop(&empty, 0).is_none());
+    }
+
+    #[test]
+    fn fifo_orders_by_release() {
+        let mut q = ReadyQueue::new(PolicyKind::Fifo, None);
+        let mut j1 = job(1, 100);
+        j1.release = TimePoint::from_secs(50);
+        let mut j2 = job(2, 50);
+        j2.release = TimePoint::from_secs(10);
+        q.push(j1, 0);
+        q.push(j2, 0);
+        let empty = HashSet::new();
+        assert_eq!(q.pop(&empty, 0).unwrap().id, 2);
+    }
+
+    #[test]
+    fn edfp_respects_priority_classes() {
+        let mut q = ReadyQueue::new(PolicyKind::EdfP, None);
+        let mut urgent_low_prio = job(1, 10);
+        urgent_low_prio.priority = 5;
+        let mut relaxed_high_prio = job(2, 1000);
+        relaxed_high_prio.priority = 0;
+        q.push(urgent_low_prio, 0);
+        q.push(relaxed_high_prio, 0);
+        let empty = HashSet::new();
+        assert_eq!(q.pop(&empty, 0).unwrap().id, 2);
+    }
+
+    #[test]
+    fn rm_orders_by_period() {
+        let mut q = ReadyQueue::new(PolicyKind::RateMonotonic, None);
+        let mut slow = job(1, 100);
+        slow.period = TimeSpan::from_hours(1);
+        let mut fast = job(2, 1000);
+        fast.period = TimeSpan::from_mins(1);
+        q.push(slow, 0);
+        q.push(fast, 0);
+        let empty = HashSet::new();
+        assert_eq!(q.pop(&empty, 0).unwrap().id, 2);
+    }
+
+    #[test]
+    fn max_benefit_prefers_small_on_time() {
+        let mut q = ReadyQueue::new(PolicyKind::MaxBenefit, None);
+        let mut big = job(1, 1_000);
+        big.size = 1_000_000;
+        let mut small = job(2, 1_000);
+        small.size = 100;
+        q.push(big, 0);
+        q.push(small, 0);
+        let empty = HashSet::new();
+        assert_eq!(q.pop(&empty, 0).unwrap().id, 2);
+    }
+
+    #[test]
+    fn locality_prefers_in_flight_file() {
+        let mut q = ReadyQueue::new(PolicyKind::Edf, Some(60_000_000));
+        let mut j1 = job(1, 100); // earliest deadline, file 10
+        j1.file_key = 10;
+        let mut j2 = job(2, 130); // slightly later, file 20 (in flight)
+        j2.file_key = 20;
+        q.push(j1.clone(), 0);
+        q.push(j2, 0);
+        let mut in_flight = HashSet::new();
+        in_flight.insert(20u64);
+        assert_eq!(q.pop(&in_flight, 0).unwrap().id, 2, "locality wins within slack");
+        // without locality the head would have been job 1
+        let empty = HashSet::new();
+        assert_eq!(q.pop(&empty, 0).unwrap().id, 1);
+    }
+
+    #[test]
+    fn locality_does_not_violate_slack() {
+        let mut q = ReadyQueue::new(PolicyKind::Edf, Some(1_000_000)); // 1s slack
+        let mut j1 = job(1, 100);
+        j1.file_key = 10;
+        let mut j2 = job(2, 10_000); // way past slack
+        j2.file_key = 20;
+        q.push(j1, 0);
+        q.push(j2, 0);
+        let mut in_flight = HashSet::new();
+        in_flight.insert(20u64);
+        assert_eq!(q.pop(&in_flight, 0).unwrap().id, 1);
+    }
+
+    #[test]
+    fn remove_subscriber_parks_jobs() {
+        let mut q = ReadyQueue::new(PolicyKind::Edf, None);
+        let mut j1 = job(1, 100);
+        j1.subscriber = bistro_base::SubscriberId(7);
+        q.push(j1, 0);
+        q.push(job(2, 200), 0);
+        let parked = q.remove_subscriber(bistro_base::SubscriberId(7));
+        assert_eq!(parked.len(), 1);
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,464 @@
+//! # bistro-simnet
+//!
+//! Deterministic workload generation — the substitute for AT&T's
+//! production measurement infrastructure (DESIGN.md substitution table).
+//!
+//! The classifier, analyzer, batcher and scheduler only ever see
+//! *filenames, sizes and arrival times*. This crate reproduces the
+//! statistical structure the paper describes for those observables:
+//!
+//! * fleets of SNMP-style pollers emitting one file per subfeed per
+//!   measurement interval ([`FleetConfig`] / [`generate`]);
+//! * several real naming conventions from the paper's examples
+//!   ([`NameStyle`]);
+//! * out-of-order arrival: per-file jitter plus heavy-tailed stragglers
+//!   (§2.2.1 "feed files can arrive arbitrarily late and frequently
+//!   out-of-order");
+//! * unreliable sources: pollers that skip intervals (§4.1's motivation
+//!   for hybrid batch specs);
+//! * feed evolution events: renamed conventions, new pollers, new
+//!   extensions (§2.1.3) — the ground truth for analyzer experiments.
+//!
+//! Everything is seeded ([`rand::SeedableRng`]): the same config
+//! generates the same trace.
+
+use bistro_base::{TimePoint, TimeSpan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod payload;
+
+/// A naming convention for generated files, drawn from the paper's
+/// examples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NameStyle {
+    /// `MEMORY_POLLER1_2010092504_51.csv.gz` (§5.1).
+    CompactHourMin,
+    /// `CPU_POLL1_201009250502.txt` (§5.1).
+    CompactFull,
+    /// `MEMORY_poller1_20100925.gz` (§5.2) — daily files.
+    Daily,
+    /// `Poller1_router_a_2010_12_30_00.csv.gz` (§2.1.2) — separated
+    /// hourly timestamp.
+    SeparatedHour,
+}
+
+impl NameStyle {
+    /// Render a filename for this style.
+    pub fn render(
+        self,
+        feed_name: &str,
+        poller: u32,
+        t: TimePoint,
+        ext: &str,
+        poller_word: &str,
+    ) -> String {
+        let c = t.to_calendar();
+        match self {
+            NameStyle::CompactHourMin => format!(
+                "{feed_name}_{poller_word}{poller}_{:04}{:02}{:02}{:02}_{:02}.{ext}",
+                c.year, c.month, c.day, c.hour, c.minute
+            ),
+            NameStyle::CompactFull => format!(
+                "{feed_name}_{poller_word}{poller}_{:04}{:02}{:02}{:02}{:02}.{ext}",
+                c.year, c.month, c.day, c.hour, c.minute
+            ),
+            NameStyle::Daily => format!(
+                "{feed_name}_{poller_word}{poller}_{:04}{:02}{:02}.{ext}",
+                c.year, c.month, c.day
+            ),
+            NameStyle::SeparatedHour => format!(
+                "{poller_word}{poller}_{feed_name}_{:04}_{:02}_{:02}_{:02}.{ext}",
+                c.year, c.month, c.day, c.hour
+            ),
+        }
+    }
+}
+
+/// One subfeed emitted by every poller in the fleet.
+#[derive(Clone, Debug)]
+pub struct SubfeedSpec {
+    /// The subfeed's name token (`MEMORY`, `CPU`, `BPS`, …).
+    pub name: String,
+    /// Naming convention.
+    pub style: NameStyle,
+    /// Filename extension (without leading dot).
+    pub ext: String,
+    /// Measurement interval.
+    pub period: TimeSpan,
+    /// Uniform file size range in bytes.
+    pub size_range: (u64, u64),
+}
+
+impl SubfeedSpec {
+    /// A 5-minute compact-style subfeed with small files.
+    pub fn standard(name: &str) -> SubfeedSpec {
+        SubfeedSpec {
+            name: name.to_string(),
+            style: NameStyle::CompactFull,
+            ext: "csv".to_string(),
+            period: TimeSpan::from_mins(5),
+            size_range: (10_000, 100_000),
+        }
+    }
+}
+
+/// A feed-evolution event (§2.1.3): at `at`, the convention changes.
+#[derive(Clone, Debug)]
+pub enum Evolution {
+    /// The poller word changes spelling (e.g. `poller` → `Poller`),
+    /// breaking case-sensitive patterns.
+    RenamePollerWord {
+        /// When the change takes effect (by feed time).
+        at: TimePoint,
+        /// The new word.
+        to: String,
+    },
+    /// New pollers come online: the fleet grows to `count`.
+    GrowFleet {
+        /// When the change takes effect.
+        at: TimePoint,
+        /// New total poller count.
+        count: u32,
+    },
+    /// A subfeed switches extension (e.g. `.csv.gz` → `.csv.bz2`).
+    ChangeExt {
+        /// When the change takes effect.
+        at: TimePoint,
+        /// Affected subfeed name.
+        subfeed: String,
+        /// The new extension.
+        to: String,
+    },
+}
+
+/// Fleet configuration.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// The subfeeds every poller emits.
+    pub subfeeds: Vec<SubfeedSpec>,
+    /// Number of pollers at the start.
+    pub pollers: u32,
+    /// The word before the poller number in filenames.
+    pub poller_word: String,
+    /// First measurement interval.
+    pub start: TimePoint,
+    /// Generation horizon (files with feed time in `[start, start+duration)`).
+    pub duration: TimeSpan,
+    /// Uniform deposit delay after the interval closes.
+    pub delay_range: (TimeSpan, TimeSpan),
+    /// Probability a file becomes a straggler (arrives much later).
+    pub straggler_prob: f64,
+    /// How much later stragglers arrive (uniform up to this).
+    pub straggler_delay: TimeSpan,
+    /// Probability a poller skips an interval entirely (unreliable
+    /// sources, §4.1).
+    pub skip_prob: f64,
+    /// Evolution events.
+    pub evolution: Vec<Evolution>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// A well-behaved fleet: `pollers` pollers, the given subfeeds,
+    /// 2010-09-25 00:00 start, small deposit jitter, no evolution.
+    pub fn standard(pollers: u32, subfeeds: Vec<SubfeedSpec>, duration: TimeSpan) -> FleetConfig {
+        FleetConfig {
+            subfeeds,
+            pollers,
+            poller_word: "poller".to_string(),
+            start: TimePoint::from_secs(1_285_372_800), // 2010-09-25 00:00 UTC
+            duration,
+            delay_range: (TimeSpan::from_secs(1), TimeSpan::from_secs(20)),
+            straggler_prob: 0.0,
+            straggler_delay: TimeSpan::from_hours(6),
+            skip_prob: 0.0,
+            evolution: Vec::new(),
+            seed: 42,
+        }
+    }
+}
+
+/// One generated file.
+#[derive(Clone, Debug)]
+pub struct GenFile {
+    /// The filename (landing-directory relative).
+    pub name: String,
+    /// Which poller produced it.
+    pub poller: u32,
+    /// The subfeed it belongs to.
+    pub subfeed: String,
+    /// The measurement-interval timestamp embedded in the name.
+    pub feed_time: TimePoint,
+    /// When the file lands at the server.
+    pub deposit_time: TimePoint,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// Generate a fleet trace, sorted by deposit time.
+pub fn generate(cfg: &FleetConfig) -> Vec<GenFile> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::new();
+    let end = cfg.start + cfg.duration;
+
+    for spec in &cfg.subfeeds {
+        let mut t = cfg.start;
+        while t < end {
+            // evolution state as of feed time t
+            let mut poller_word = cfg.poller_word.clone();
+            let mut fleet = cfg.pollers;
+            let mut ext = spec.ext.clone();
+            for ev in &cfg.evolution {
+                match ev {
+                    Evolution::RenamePollerWord { at, to } if t >= *at => {
+                        poller_word = to.clone();
+                    }
+                    Evolution::GrowFleet { at, count } if t >= *at => {
+                        fleet = *count;
+                    }
+                    Evolution::ChangeExt { at, subfeed, to }
+                        if t >= *at && *subfeed == spec.name =>
+                    {
+                        ext = to.clone();
+                    }
+                    _ => {}
+                }
+            }
+
+            for poller in 1..=fleet {
+                if cfg.skip_prob > 0.0 && rng.gen_bool(cfg.skip_prob) {
+                    continue;
+                }
+                let name = spec.style.render(&spec.name, poller, t, &ext, &poller_word);
+                let size = rng.gen_range(spec.size_range.0..=spec.size_range.1.max(spec.size_range.0 + 1));
+                let base_delay_us = rng.gen_range(
+                    cfg.delay_range.0.as_micros()..=cfg.delay_range.1.as_micros().max(cfg.delay_range.0.as_micros() + 1),
+                );
+                let mut deposit = t + spec.period + TimeSpan::from_micros(base_delay_us);
+                if cfg.straggler_prob > 0.0 && rng.gen_bool(cfg.straggler_prob) {
+                    deposit += TimeSpan::from_micros(
+                        rng.gen_range(0..=cfg.straggler_delay.as_micros()),
+                    );
+                }
+                out.push(GenFile {
+                    name,
+                    poller,
+                    subfeed: spec.name.clone(),
+                    feed_time: t,
+                    deposit_time: deposit,
+                    size,
+                });
+            }
+            t += spec.period;
+        }
+    }
+    out.sort_by_key(|f| (f.deposit_time, f.name.clone()));
+    out
+}
+
+/// The aggregate-feed scenario of §5.1 / experiment E8: `n_subfeeds`
+/// loosely related subfeeds (numbered name tokens, mixed styles) from
+/// `pollers` pollers over `duration`.
+pub fn aggregate_feed(n_subfeeds: usize, pollers: u32, duration: TimeSpan, seed: u64) -> FleetConfig {
+    let styles = [
+        NameStyle::CompactFull,
+        NameStyle::CompactHourMin,
+        NameStyle::Daily,
+        NameStyle::SeparatedHour,
+    ];
+    let kinds = [
+        "MEMORY", "CPU", "BPS", "PPS", "LINKUTIL", "LINKLOSS", "ALARM", "TOPO", "FAULT",
+        "WORKFLOW",
+    ];
+    let exts = ["csv", "txt", "csv.gz", "dat"];
+    let subfeeds = (0..n_subfeeds)
+        .map(|i| {
+            let base = kinds[i % kinds.len()];
+            // distinct all-alphabetic name tokens (digit suffixes would be
+            // structurally indistinguishable from poller-id fields — the
+            // ambiguity §5.1 leaves to human experts)
+            let name = if i < kinds.len() {
+                base.to_string()
+            } else {
+                let suffix = (b'A' + ((i / kinds.len() - 1) % 26) as u8) as char;
+                format!("{base}{suffix}")
+            };
+            SubfeedSpec {
+                name,
+                style: styles[i % styles.len()],
+                ext: exts[i % exts.len()].to_string(),
+                period: if i % 3 == 0 {
+                    TimeSpan::from_mins(5)
+                } else if i % 3 == 1 {
+                    TimeSpan::from_mins(15)
+                } else {
+                    TimeSpan::from_hours(1)
+                },
+                size_range: (5_000, 200_000),
+            }
+        })
+        .collect();
+    let mut cfg = FleetConfig::standard(pollers, subfeeds, duration);
+    cfg.seed = seed;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn style_rendering_matches_paper_examples() {
+        let t = bistro_base::time::Calendar {
+            year: 2010,
+            month: 9,
+            day: 25,
+            hour: 4,
+            minute: 51,
+            second: 0,
+        }
+        .to_timepoint()
+        .unwrap();
+        assert_eq!(
+            NameStyle::CompactHourMin.render("MEMORY", 1, t, "csv.gz", "POLLER"),
+            "MEMORY_POLLER1_2010092504_51.csv.gz"
+        );
+        assert_eq!(
+            NameStyle::CompactFull.render("CPU", 1, t, "txt", "POLL"),
+            "CPU_POLL1_201009250451.txt"
+        );
+        assert_eq!(
+            NameStyle::Daily.render("MEMORY", 2, t, "gz", "poller"),
+            "MEMORY_poller2_20100925.gz"
+        );
+        assert_eq!(
+            NameStyle::SeparatedHour.render("router_a", 1, t, "csv.gz", "Poller"),
+            "Poller1_router_a_2010_09_25_04.csv.gz"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = FleetConfig::standard(
+            3,
+            vec![SubfeedSpec::standard("MEMORY")],
+            TimeSpan::from_hours(1),
+        );
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.deposit_time, y.deposit_time);
+            assert_eq!(x.size, y.size);
+        }
+    }
+
+    #[test]
+    fn file_counts() {
+        // 3 pollers × 12 intervals × 2 subfeeds
+        let cfg = FleetConfig::standard(
+            3,
+            vec![SubfeedSpec::standard("MEMORY"), SubfeedSpec::standard("CPU")],
+            TimeSpan::from_hours(1),
+        );
+        let files = generate(&cfg);
+        assert_eq!(files.len(), 3 * 12 * 2);
+        // sorted by deposit time
+        for w in files.windows(2) {
+            assert!(w[0].deposit_time <= w[1].deposit_time);
+        }
+    }
+
+    #[test]
+    fn skips_reduce_counts() {
+        let mut cfg = FleetConfig::standard(
+            4,
+            vec![SubfeedSpec::standard("MEMORY")],
+            TimeSpan::from_hours(4),
+        );
+        cfg.skip_prob = 0.3;
+        let files = generate(&cfg);
+        let full = 4 * 48;
+        assert!(files.len() < full, "{} < {full}", files.len());
+        assert!(files.len() > full / 2);
+    }
+
+    #[test]
+    fn stragglers_arrive_late_and_out_of_order() {
+        let mut cfg = FleetConfig::standard(
+            2,
+            vec![SubfeedSpec::standard("MEMORY")],
+            TimeSpan::from_hours(6),
+        );
+        cfg.straggler_prob = 0.2;
+        let files = generate(&cfg);
+        // out-of-order by feed time despite deposit-order sort
+        let ooo = files
+            .windows(2)
+            .filter(|w| w[0].feed_time > w[1].feed_time)
+            .count();
+        assert!(ooo > 0, "expected out-of-order feed times");
+        let max_lag = files
+            .iter()
+            .map(|f| f.deposit_time.since(f.feed_time))
+            .max()
+            .unwrap();
+        assert!(max_lag > TimeSpan::from_hours(1));
+    }
+
+    #[test]
+    fn evolution_rename_changes_names() {
+        let mut cfg = FleetConfig::standard(
+            1,
+            vec![SubfeedSpec {
+                name: "MEMORY".to_string(),
+                style: NameStyle::Daily,
+                ext: "gz".to_string(),
+                period: TimeSpan::from_days(1),
+                size_range: (100, 200),
+            }],
+            TimeSpan::from_days(10),
+        );
+        let switch = cfg.start + TimeSpan::from_days(5);
+        cfg.evolution = vec![Evolution::RenamePollerWord {
+            at: switch,
+            to: "Poller".to_string(),
+        }];
+        let files = generate(&cfg);
+        let lower = files.iter().filter(|f| f.name.contains("_poller")).count();
+        let upper = files.iter().filter(|f| f.name.contains("_Poller")).count();
+        assert_eq!(lower, 5);
+        assert_eq!(upper, 5);
+    }
+
+    #[test]
+    fn evolution_grow_fleet() {
+        let mut cfg = FleetConfig::standard(
+            2,
+            vec![SubfeedSpec::standard("CPU")],
+            TimeSpan::from_hours(2),
+        );
+        cfg.evolution = vec![Evolution::GrowFleet {
+            at: cfg.start + TimeSpan::from_hours(1),
+            count: 5,
+        }];
+        let files = generate(&cfg);
+        assert_eq!(files.len(), 12 * 2 + 12 * 5);
+        assert!(files.iter().any(|f| f.poller == 5));
+    }
+
+    #[test]
+    fn aggregate_scenario_shape() {
+        let cfg = aggregate_feed(25, 3, TimeSpan::from_hours(2), 7);
+        assert_eq!(cfg.subfeeds.len(), 25);
+        let files = generate(&cfg);
+        assert!(!files.is_empty());
+        // distinct subfeed names
+        let names: std::collections::BTreeSet<_> =
+            files.iter().map(|f| f.subfeed.clone()).collect();
+        assert_eq!(names.len(), 25);
+    }
+}

@@ -1,0 +1,243 @@
+//! Adaptive (learned) batch-boundary detection.
+//!
+//! The paper's stated future direction (§4.1): "Ideally, we would like to
+//! incorporate machine learning techniques to dynamically determine end
+//! of batches events by continuously monitoring file arrival patterns."
+//!
+//! [`AdaptiveBatcher`] implements the simplest version that works: it
+//! maintains exponentially weighted moving statistics of the *intra-batch*
+//! inter-arrival gap, and closes the batch when the current silence
+//! exceeds `gap_factor ×` the learned typical gap (plus a learned
+//! variance margin). Batches of files deposited in a burst close as soon
+//! as the burst demonstrably ended — no fixed count to go stale, no fixed
+//! window to pad the delay.
+
+use crate::batching::{BatchCloseReason, BatchOutcome};
+use bistro_base::{FileId, TimePoint, TimeSpan};
+
+/// Batcher that learns arrival gaps.
+#[derive(Debug)]
+pub struct AdaptiveBatcher {
+    /// EWMA of intra-batch gaps (µs).
+    gap_ewma: f64,
+    /// EWMA of absolute deviation (µs).
+    dev_ewma: f64,
+    /// Multiplier on the learned gap for the closing threshold.
+    gap_factor: f64,
+    /// Hard cap: close after this long regardless (safety net).
+    max_wait: TimeSpan,
+    /// EWMA smoothing factor.
+    alpha: f64,
+    open: Vec<FileId>,
+    opened_at: Option<TimePoint>,
+    last_file_at: Option<TimePoint>,
+}
+
+impl AdaptiveBatcher {
+    /// A learner with the given closing factor and safety-net wait.
+    ///
+    /// Until it has observed a few gaps it behaves like a time-based
+    /// batcher with window `max_wait / 4` (conservative warm-up).
+    pub fn new(gap_factor: f64, max_wait: TimeSpan) -> AdaptiveBatcher {
+        AdaptiveBatcher {
+            gap_ewma: 0.0,
+            dev_ewma: 0.0,
+            gap_factor: gap_factor.max(1.1),
+            max_wait,
+            alpha: 0.25,
+            open: Vec::new(),
+            opened_at: None,
+            last_file_at: None,
+        }
+    }
+
+    /// The learned typical intra-batch gap.
+    pub fn learned_gap(&self) -> TimeSpan {
+        TimeSpan::from_micros(self.gap_ewma as u64)
+    }
+
+    /// The current silence threshold that will close the batch.
+    pub fn close_threshold(&self) -> TimeSpan {
+        if self.gap_ewma == 0.0 {
+            // warm-up: quarter of the safety net
+            TimeSpan::from_micros(self.max_wait.as_micros() / 4)
+        } else {
+            let t = (self.gap_ewma * self.gap_factor + 3.0 * self.dev_ewma) as u64;
+            TimeSpan::from_micros(t).min(self.max_wait)
+        }
+    }
+
+    /// The deadline by which [`AdaptiveBatcher::on_tick`] should be
+    /// called (None when no batch is open).
+    pub fn tick_deadline(&self) -> Option<TimePoint> {
+        if self.open.is_empty() {
+            return None;
+        }
+        let last = self.last_file_at?;
+        Some(last + self.close_threshold())
+    }
+
+    /// Number of files in the open batch.
+    pub fn open_len(&self) -> usize {
+        self.open.len()
+    }
+
+    /// A file arrived. Adaptive batching never closes *on* a file — it
+    /// closes when the silence after the last file exceeds the learned
+    /// threshold (see [`AdaptiveBatcher::on_tick`]) — but a file arriving
+    /// after the threshold has lapsed closes the old batch first and
+    /// returns it.
+    pub fn on_file(&mut self, file: FileId, now: TimePoint) -> Option<BatchOutcome> {
+        let mut closed = None;
+        if let Some(deadline) = self.tick_deadline() {
+            if now >= deadline {
+                closed = self.close(deadline);
+            }
+        }
+        if let Some(last) = self.last_file_at {
+            if self.open.is_empty() {
+                // gap to the previous *batch*: not an intra-batch gap
+            } else {
+                let gap = now.since(last).as_micros() as f64;
+                if self.gap_ewma == 0.0 {
+                    self.gap_ewma = gap.max(1.0);
+                    self.dev_ewma = gap / 2.0;
+                } else {
+                    let dev = (gap - self.gap_ewma).abs();
+                    self.gap_ewma += self.alpha * (gap - self.gap_ewma);
+                    self.dev_ewma += self.alpha * (dev - self.dev_ewma);
+                }
+            }
+        }
+        if self.open.is_empty() {
+            self.opened_at = Some(now);
+        }
+        self.open.push(file);
+        self.last_file_at = Some(now);
+        closed
+    }
+
+    /// The clock reached `now`: close the batch if the silence since the
+    /// last file exceeds the learned threshold. The batch is stamped as
+    /// closed at the *deadline* — the instant the boundary became
+    /// detectable — so delay metrics don't depend on tick cadence.
+    pub fn on_tick(&mut self, now: TimePoint) -> Option<BatchOutcome> {
+        let deadline = self.tick_deadline()?;
+        if now >= deadline && !self.open.is_empty() {
+            return self.close(deadline);
+        }
+        None
+    }
+
+    fn close(&mut self, now: TimePoint) -> Option<BatchOutcome> {
+        if self.open.is_empty() {
+            return None;
+        }
+        let files = std::mem::take(&mut self.open);
+        let opened = self.opened_at.take().unwrap_or(now);
+        Some(BatchOutcome {
+            files,
+            opened,
+            closed: now,
+            reason: BatchCloseReason::Window,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> TimePoint {
+        TimePoint::from_secs(s)
+    }
+
+    /// Feed bursts of 3 files 2s apart, bursts separated by 300s.
+    fn run_bursts(b: &mut AdaptiveBatcher, bursts: usize) -> Vec<BatchOutcome> {
+        let mut out = Vec::new();
+        for burst in 0..bursts {
+            let base = burst as u64 * 300;
+            for i in 0..3u64 {
+                if let Some(done) = b.on_file(FileId(burst as u64 * 3 + i), t(base + i * 2)) {
+                    out.push(done);
+                }
+            }
+            // tick halfway to the next burst
+            if let Some(done) = b.on_tick(t(base + 150)) {
+                out.push(done);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn learns_burst_structure() {
+        let mut b = AdaptiveBatcher::new(4.0, TimeSpan::from_mins(10));
+        let batches = run_bursts(&mut b, 5);
+        assert_eq!(batches.len(), 5);
+        for batch in &batches {
+            assert_eq!(batch.files.len(), 3, "{batch:?}");
+        }
+        // learned gap converges near the 2s intra-burst gap
+        let g = b.learned_gap();
+        assert!(
+            g >= TimeSpan::from_secs(1) && g <= TimeSpan::from_secs(4),
+            "learned gap {g}"
+        );
+        // after warm-up the threshold is far below the 150s tick, so the
+        // close time tracks the burst end closely
+        let last = batches.last().unwrap();
+        assert!(
+            last.closed.since(last.opened) < TimeSpan::from_secs(60),
+            "{last:?}"
+        );
+    }
+
+    #[test]
+    fn adapts_to_faster_source() {
+        let mut b = AdaptiveBatcher::new(4.0, TimeSpan::from_mins(10));
+        run_bursts(&mut b, 3);
+        let slow_threshold = b.close_threshold();
+        // source speeds up: 200ms gaps
+        for burst in 0..5u64 {
+            let base = TimePoint::from_secs(10_000 + burst * 300);
+            for i in 0..3u64 {
+                b.on_file(FileId(100 + burst * 3 + i), base + TimeSpan::from_millis(i * 200));
+            }
+            b.on_tick(base + TimeSpan::from_secs(150));
+        }
+        assert!(
+            b.close_threshold() < slow_threshold,
+            "threshold should shrink: {} -> {}",
+            slow_threshold,
+            b.close_threshold()
+        );
+    }
+
+    #[test]
+    fn safety_net_caps_threshold() {
+        let mut b = AdaptiveBatcher::new(1000.0, TimeSpan::from_mins(5));
+        b.on_file(FileId(1), t(0));
+        b.on_file(FileId(2), t(100)); // huge gap learned
+        assert!(b.close_threshold() <= TimeSpan::from_mins(5));
+    }
+
+    #[test]
+    fn late_file_closes_stale_batch_first() {
+        let mut b = AdaptiveBatcher::new(4.0, TimeSpan::from_mins(10));
+        run_bursts(&mut b, 3); // warm up
+        b.on_file(FileId(50), t(5_000));
+        // next file arrives way past the threshold: old batch returned
+        let closed = b.on_file(FileId(51), t(6_000));
+        assert!(closed.is_some());
+        assert_eq!(closed.unwrap().files, vec![FileId(50)]);
+        assert_eq!(b.open_len(), 1);
+    }
+
+    #[test]
+    fn empty_batcher_is_quiet() {
+        let mut b = AdaptiveBatcher::new(4.0, TimeSpan::from_mins(10));
+        assert!(b.on_tick(t(1_000_000)).is_none());
+        assert!(b.tick_deadline().is_none());
+    }
+}

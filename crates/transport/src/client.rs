@@ -1,0 +1,222 @@
+//! Subscriber-side client for hybrid push-pull delivery (paper §4.1).
+//!
+//! "The data feed management server will push notification to
+//! subscribers by invoking registered trigger scripts, while applications
+//! will pull the data after relevant notifications are received at the
+//! time of their choosing."
+//!
+//! The wire protocol adds a fetch request/response pair to the message
+//! set; [`SubscriberClient`] tracks received [`FileAvailable`]
+//! notifications and issues fetches when the application decides to pull.
+//!
+//! [`FileAvailable`]: crate::messages::SubscriberMsg::FileAvailable
+
+use crate::messages::{Message, SubscriberMsg};
+use crate::net::SimNetwork;
+use bistro_base::{FileId, TimePoint};
+use std::collections::BTreeMap;
+
+/// A pending (notified but not yet fetched) file at the subscriber.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PendingFile {
+    /// The file's id at the server.
+    pub file: FileId,
+    /// The feed it belongs to.
+    pub feed: String,
+    /// The server-side staged path to request.
+    pub staged_path: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// When the notification arrived.
+    pub notified_at: TimePoint,
+}
+
+/// Subscriber-side state machine for the hybrid push-pull protocol.
+pub struct SubscriberClient {
+    /// This client's endpoint name on the network.
+    pub endpoint: String,
+    /// The server's endpoint name.
+    pub server: String,
+    pending: BTreeMap<u64, PendingFile>,
+    fetched: Vec<(PendingFile, TimePoint)>,
+}
+
+impl SubscriberClient {
+    /// A client for `endpoint`, pulling from `server`.
+    pub fn new(endpoint: &str, server: &str) -> SubscriberClient {
+        SubscriberClient {
+            endpoint: endpoint.to_string(),
+            server: server.to_string(),
+            pending: BTreeMap::new(),
+            fetched: Vec::new(),
+        }
+    }
+
+    /// Drain the network inbox at `now`, recording availability
+    /// notifications. Returns how many new notifications arrived.
+    pub fn poll_notifications(&mut self, net: &SimNetwork, now: TimePoint) -> usize {
+        let mut n = 0;
+        for delivery in net.recv_ready(&self.endpoint, now) {
+            if let Message::Subscriber(SubscriberMsg::FileAvailable {
+                file,
+                feed,
+                staged_path,
+                size,
+            }) = delivery.msg
+            {
+                self.pending.insert(
+                    file.raw(),
+                    PendingFile {
+                        file,
+                        feed,
+                        staged_path,
+                        size,
+                        notified_at: delivery.at,
+                    },
+                );
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Files notified but not yet fetched, in file-id order.
+    pub fn pending(&self) -> Vec<&PendingFile> {
+        self.pending.values().collect()
+    }
+
+    /// Pull every pending file "at the time of \[our\] choosing": simulate
+    /// the fetch round trip for each (request upstream, payload
+    /// downstream) and mark it fetched. Returns the fetch completion
+    /// times.
+    pub fn fetch_all(&mut self, net: &SimNetwork, now: TimePoint) -> Vec<TimePoint> {
+        let pending: Vec<PendingFile> = self.pending.values().cloned().collect();
+        self.pending.clear();
+        let mut done = Vec::new();
+        for p in pending {
+            // request: a small message to the server
+            let req_arrival = net.send(
+                now,
+                &self.endpoint,
+                &self.server,
+                Message::Subscriber(SubscriberMsg::FileAvailable {
+                    file: p.file,
+                    feed: p.feed.clone(),
+                    staged_path: p.staged_path.clone(),
+                    size: 0, // request carries no payload
+                }),
+            );
+            // response: the payload back to us
+            let resp_arrival = net.send(
+                req_arrival,
+                &self.server,
+                &self.endpoint,
+                Message::Subscriber(SubscriberMsg::FileDelivered {
+                    file: p.file,
+                    feed: p.feed.clone(),
+                    dest_path: p.staged_path.clone(),
+                    size: p.size,
+                }),
+            );
+            done.push(resp_arrival);
+            self.fetched.push((p, resp_arrival));
+        }
+        // drain our own payload deliveries so the inbox stays clean
+        if let Some(&latest) = done.iter().max() {
+            let _ = net.recv_ready(&self.endpoint, latest);
+        }
+        done
+    }
+
+    /// Everything fetched so far, with completion times.
+    pub fn fetched(&self) -> &[(PendingFile, TimePoint)] {
+        &self.fetched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::LinkSpec;
+    use bistro_base::TimeSpan;
+
+    fn t(s: u64) -> TimePoint {
+        TimePoint::from_secs(s)
+    }
+
+    #[test]
+    fn notify_then_pull_roundtrip() {
+        let net = SimNetwork::new(LinkSpec {
+            bandwidth: 1_000_000,
+            latency: TimeSpan::from_millis(10),
+        });
+        let mut client = SubscriberClient::new("app", "bistro");
+
+        // server pushes two availability notifications
+        for i in 1..=2u64 {
+            net.send(
+                t(0),
+                "bistro",
+                "app",
+                Message::Subscriber(SubscriberMsg::FileAvailable {
+                    file: FileId(i),
+                    feed: "F".to_string(),
+                    staged_path: format!("F/f{i}.csv"),
+                    size: 500_000,
+                }),
+            );
+        }
+        assert_eq!(client.poll_notifications(&net, t(1)), 2);
+        assert_eq!(client.pending().len(), 2);
+
+        // the app pulls later, at its own pace
+        let completions = client.fetch_all(&net, t(60));
+        assert_eq!(completions.len(), 2);
+        for c in &completions {
+            assert!(*c > t(60), "fetch takes network time");
+            // 500KB at 1MB/s ≈ 0.5s per payload plus latency
+            assert!(*c < t(63));
+        }
+        assert!(client.pending().is_empty());
+        assert_eq!(client.fetched().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_notifications_dedupe() {
+        let net = SimNetwork::new(LinkSpec::default());
+        let mut client = SubscriberClient::new("app", "bistro");
+        for _ in 0..3 {
+            net.send(
+                t(0),
+                "bistro",
+                "app",
+                Message::Subscriber(SubscriberMsg::FileAvailable {
+                    file: FileId(7),
+                    feed: "F".to_string(),
+                    staged_path: "F/same.csv".to_string(),
+                    size: 10,
+                }),
+            );
+        }
+        client.poll_notifications(&net, t(1));
+        assert_eq!(client.pending().len(), 1);
+    }
+
+    #[test]
+    fn push_deliveries_ignored_by_pull_client() {
+        let net = SimNetwork::new(LinkSpec::default());
+        let mut client = SubscriberClient::new("app", "bistro");
+        net.send(
+            t(0),
+            "bistro",
+            "app",
+            Message::Subscriber(SubscriberMsg::FileDelivered {
+                file: FileId(1),
+                feed: "F".to_string(),
+                dest_path: "x".to_string(),
+                size: 10,
+            }),
+        );
+        assert_eq!(client.poll_notifications(&net, t(1)), 0);
+    }
+}

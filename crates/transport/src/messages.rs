@@ -1,0 +1,314 @@
+//! Protocol messages.
+//!
+//! Encoded with the `bistro-base` codec so the simulated network carries
+//! realistic byte sizes; a Bistro relay (a server subscribing to another
+//! server) exchanges exactly these messages.
+
+use bistro_base::{BatchId, ByteReader, ByteWriter, CodecError, FileId, TimePoint};
+
+/// Messages a data source (or its lightweight client library) sends to a
+/// Bistro server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SourceMsg {
+    /// "I have deposited a file in your landing directory."
+    Deposited {
+        /// Path within the landing directory.
+        path: String,
+        /// Payload size in bytes.
+        size: u64,
+    },
+    /// End-of-batch punctuation: every file of this source for the given
+    /// interval has been deposited (§4.1: "data source specific
+    /// end-of-batch markers perform a function very similar to stream
+    /// punctuations").
+    EndOfBatch {
+        /// The source's name.
+        source: String,
+        /// Start of the covered interval.
+        interval_start: TimePoint,
+        /// End of the covered interval.
+        interval_end: TimePoint,
+    },
+}
+
+/// Messages a Bistro server sends to a subscriber.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubscriberMsg {
+    /// Push delivery: the file body follows (body travels out of band in
+    /// the simulation; `size` accounts for its cost).
+    FileDelivered {
+        /// The file's receipt id.
+        file: FileId,
+        /// The feed it belongs to.
+        feed: String,
+        /// Destination path at the subscriber.
+        dest_path: String,
+        /// Payload size.
+        size: u64,
+    },
+    /// Hybrid push-pull: the file is available for retrieval.
+    FileAvailable {
+        /// The file's receipt id.
+        file: FileId,
+        /// The feed it belongs to.
+        feed: String,
+        /// Path on the server the subscriber may fetch.
+        staged_path: String,
+        /// Payload size.
+        size: u64,
+    },
+    /// A batch closed: fire the subscriber's trigger.
+    BatchComplete {
+        /// Batch identity.
+        batch: BatchId,
+        /// The feed the batch belongs to.
+        feed: String,
+        /// Files in the batch.
+        files: Vec<FileId>,
+        /// Why the batch closed.
+        reason: BatchCloseReason,
+    },
+}
+
+/// Why a batch boundary was emitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchCloseReason {
+    /// The configured file count was reached.
+    Count,
+    /// The configured time window elapsed.
+    Window,
+    /// The source sent end-of-batch punctuation.
+    Punctuation,
+}
+
+/// Any protocol message (what travels on a [`crate::net::SimNetwork`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Source → server.
+    Source(SourceMsg),
+    /// Server → subscriber.
+    Subscriber(SubscriberMsg),
+}
+
+impl BatchCloseReason {
+    fn tag(self) -> u8 {
+        match self {
+            BatchCloseReason::Count => 0,
+            BatchCloseReason::Window => 1,
+            BatchCloseReason::Punctuation => 2,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<Self> {
+        match t {
+            0 => Some(BatchCloseReason::Count),
+            1 => Some(BatchCloseReason::Window),
+            2 => Some(BatchCloseReason::Punctuation),
+            _ => None,
+        }
+    }
+}
+
+const TAG_DEPOSITED: u8 = 1;
+const TAG_EOB: u8 = 2;
+const TAG_DELIVERED: u8 = 3;
+const TAG_AVAILABLE: u8 = 4;
+const TAG_BATCH: u8 = 5;
+
+impl Message {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Message::Source(SourceMsg::Deposited { path, size }) => {
+                w.put_u8(TAG_DEPOSITED);
+                w.put_str(path);
+                w.put_varint(*size);
+            }
+            Message::Source(SourceMsg::EndOfBatch {
+                source,
+                interval_start,
+                interval_end,
+            }) => {
+                w.put_u8(TAG_EOB);
+                w.put_str(source);
+                w.put_u64(interval_start.as_micros());
+                w.put_u64(interval_end.as_micros());
+            }
+            Message::Subscriber(SubscriberMsg::FileDelivered {
+                file,
+                feed,
+                dest_path,
+                size,
+            }) => {
+                w.put_u8(TAG_DELIVERED);
+                w.put_varint(file.raw());
+                w.put_str(feed);
+                w.put_str(dest_path);
+                w.put_varint(*size);
+            }
+            Message::Subscriber(SubscriberMsg::FileAvailable {
+                file,
+                feed,
+                staged_path,
+                size,
+            }) => {
+                w.put_u8(TAG_AVAILABLE);
+                w.put_varint(file.raw());
+                w.put_str(feed);
+                w.put_str(staged_path);
+                w.put_varint(*size);
+            }
+            Message::Subscriber(SubscriberMsg::BatchComplete {
+                batch,
+                feed,
+                files,
+                reason,
+            }) => {
+                w.put_u8(TAG_BATCH);
+                w.put_varint(batch.raw());
+                w.put_str(feed);
+                w.put_u8(reason.tag());
+                w.put_varint(files.len() as u64);
+                for f in files {
+                    w.put_varint(f.raw());
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(data: &[u8]) -> Result<Message, CodecError> {
+        let mut r = ByteReader::new(data);
+        let tag = r.get_u8()?;
+        let msg = match tag {
+            TAG_DEPOSITED => Message::Source(SourceMsg::Deposited {
+                path: r.get_str()?.to_string(),
+                size: r.get_varint()?,
+            }),
+            TAG_EOB => Message::Source(SourceMsg::EndOfBatch {
+                source: r.get_str()?.to_string(),
+                interval_start: TimePoint::from_micros(r.get_u64()?),
+                interval_end: TimePoint::from_micros(r.get_u64()?),
+            }),
+            TAG_DELIVERED => Message::Subscriber(SubscriberMsg::FileDelivered {
+                file: FileId(r.get_varint()?),
+                feed: r.get_str()?.to_string(),
+                dest_path: r.get_str()?.to_string(),
+                size: r.get_varint()?,
+            }),
+            TAG_AVAILABLE => Message::Subscriber(SubscriberMsg::FileAvailable {
+                file: FileId(r.get_varint()?),
+                feed: r.get_str()?.to_string(),
+                staged_path: r.get_str()?.to_string(),
+                size: r.get_varint()?,
+            }),
+            TAG_BATCH => {
+                let batch = BatchId(r.get_varint()?);
+                let feed = r.get_str()?.to_string();
+                let reason = BatchCloseReason::from_tag(r.get_u8()?).ok_or(
+                    CodecError::BadTag {
+                        what: "batch close reason",
+                        tag,
+                    },
+                )?;
+                let n = r.get_varint()? as usize;
+                let mut files = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    files.push(FileId(r.get_varint()?));
+                }
+                Message::Subscriber(SubscriberMsg::BatchComplete {
+                    batch,
+                    feed,
+                    files,
+                    reason,
+                })
+            }
+            other => {
+                return Err(CodecError::BadTag {
+                    what: "transport message",
+                    tag: other,
+                })
+            }
+        };
+        Ok(msg)
+    }
+
+    /// The size used for network-cost accounting: header bytes plus any
+    /// out-of-band payload (for [`SubscriberMsg::FileDelivered`], the
+    /// file body itself).
+    pub fn wire_size(&self) -> u64 {
+        let header = self.encode().len() as u64;
+        match self {
+            Message::Subscriber(SubscriberMsg::FileDelivered { size, .. }) => header + size,
+            _ => header,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let msgs = vec![
+            Message::Source(SourceMsg::Deposited {
+                path: "poller1/MEMORY_poller1_20100925.gz".to_string(),
+                size: 123_456,
+            }),
+            Message::Source(SourceMsg::EndOfBatch {
+                source: "poller1".to_string(),
+                interval_start: TimePoint::from_secs(1000),
+                interval_end: TimePoint::from_secs(1300),
+            }),
+            Message::Subscriber(SubscriberMsg::FileDelivered {
+                file: FileId(7),
+                feed: "SNMP/MEMORY".to_string(),
+                dest_path: "incoming/SNMP/MEMORY/x.gz".to_string(),
+                size: 10,
+            }),
+            Message::Subscriber(SubscriberMsg::FileAvailable {
+                file: FileId(8),
+                feed: "SNMP/CPU".to_string(),
+                staged_path: "staging/SNMP/CPU/y.txt".to_string(),
+                size: 20,
+            }),
+            Message::Subscriber(SubscriberMsg::BatchComplete {
+                batch: BatchId(3),
+                feed: "SNMP/MEMORY".to_string(),
+                files: vec![FileId(1), FileId(2), FileId(3)],
+                reason: BatchCloseReason::Count,
+            }),
+        ];
+        for m in msgs {
+            let bytes = m.encode();
+            assert_eq!(Message::decode(&bytes).unwrap(), m, "roundtrip {m:?}");
+        }
+    }
+
+    #[test]
+    fn wire_size_includes_payload_for_push() {
+        let push = Message::Subscriber(SubscriberMsg::FileDelivered {
+            file: FileId(1),
+            feed: "F".to_string(),
+            dest_path: "d".to_string(),
+            size: 1_000_000,
+        });
+        assert!(push.wire_size() > 1_000_000);
+        let notify = Message::Subscriber(SubscriberMsg::FileAvailable {
+            file: FileId(1),
+            feed: "F".to_string(),
+            staged_path: "s".to_string(),
+            size: 1_000_000,
+        });
+        assert!(notify.wire_size() < 100, "notification is lightweight");
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Message::decode(&[]).is_err());
+        assert!(Message::decode(&[77]).is_err());
+    }
+}

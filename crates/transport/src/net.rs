@@ -1,0 +1,298 @@
+//! Simulated network fabric.
+//!
+//! Named endpoints exchange [`Message`]s over links with bandwidth,
+//! latency and outage windows, all on simulated time. This substitutes
+//! for the paper's production WAN (DESIGN.md substitution table):
+//! propagation-delay experiments (E3) measure the time from a source's
+//! deposit to the subscriber-side notification through this fabric.
+//!
+//! The model is intentionally simple and deterministic: each message
+//! occupies its link for `wire_size / bandwidth` (serialization delay,
+//! FIFO per link) plus a fixed propagation latency. A message entering a
+//! link during an outage window is queued until the link recovers.
+
+use crate::messages::Message;
+use bistro_base::{TimePoint, TimeSpan};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+
+/// Link characteristics.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSpec {
+    /// Bytes per second.
+    pub bandwidth: u64,
+    /// Fixed propagation latency.
+    pub latency: TimeSpan,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec {
+            bandwidth: 100_000_000, // 100 MB/s
+            latency: TimeSpan::from_millis(1),
+        }
+    }
+}
+
+#[derive(Default)]
+struct LinkState {
+    /// The time at which the link becomes free (serialization is FIFO).
+    busy_until: TimePoint,
+}
+
+/// A delivered message waiting in an endpoint's inbox.
+#[derive(Clone, Debug)]
+pub struct Delivery {
+    /// When the message fully arrived.
+    pub at: TimePoint,
+    /// Sender endpoint.
+    pub from: String,
+    /// The message.
+    pub msg: Message,
+}
+
+struct Inner {
+    links: HashMap<(String, String), LinkSpec>,
+    link_state: HashMap<(String, String), LinkState>,
+    outages: HashMap<(String, String), Vec<(TimePoint, TimePoint)>>,
+    default_link: LinkSpec,
+    /// Per-endpoint inbox ordered by arrival time.
+    inboxes: HashMap<String, BTreeMap<(TimePoint, u64), Delivery>>,
+    seq: u64,
+    /// Total bytes that crossed the fabric.
+    bytes_sent: u64,
+    /// Messages sent.
+    messages_sent: u64,
+}
+
+/// The simulated network.
+pub struct SimNetwork {
+    inner: Mutex<Inner>,
+}
+
+impl SimNetwork {
+    /// An empty fabric where every pair is connected by `default_link`.
+    pub fn new(default_link: LinkSpec) -> SimNetwork {
+        SimNetwork {
+            inner: Mutex::new(Inner {
+                links: HashMap::new(),
+                link_state: HashMap::new(),
+                outages: HashMap::new(),
+                default_link,
+                inboxes: HashMap::new(),
+                seq: 0,
+                bytes_sent: 0,
+                messages_sent: 0,
+            }),
+        }
+    }
+
+    /// Configure a specific directed link.
+    pub fn set_link(&self, from: &str, to: &str, spec: LinkSpec) {
+        self.inner
+            .lock()
+            .links
+            .insert((from.to_string(), to.to_string()), spec);
+    }
+
+    /// Add an outage window `[down, up)` on a directed link.
+    pub fn add_outage(&self, from: &str, to: &str, down: TimePoint, up: TimePoint) {
+        self.inner
+            .lock()
+            .outages
+            .entry((from.to_string(), to.to_string()))
+            .or_default()
+            .push((down, up));
+    }
+
+    /// Send a message at simulated time `now`; returns the arrival time.
+    pub fn send(&self, now: TimePoint, from: &str, to: &str, msg: Message) -> TimePoint {
+        let mut inner = self.inner.lock();
+        let key = (from.to_string(), to.to_string());
+        let spec = inner.links.get(&key).copied().unwrap_or(inner.default_link);
+
+        // wait out any outage window covering the send instant
+        let mut start = now;
+        if let Some(outs) = inner.outages.get(&key) {
+            for &(down, up) in outs {
+                if start >= down && start < up {
+                    start = up;
+                }
+            }
+        }
+        // FIFO serialization on the link
+        let state = inner.link_state.entry(key.clone()).or_default();
+        let begin = start.max(state.busy_until);
+        let size = msg.wire_size();
+        let ser = TimeSpan::from_micros(size.saturating_mul(1_000_000) / spec.bandwidth.max(1));
+        let done_sending = begin + ser;
+        state.busy_until = done_sending;
+        let arrival = done_sending + spec.latency;
+
+        inner.seq += 1;
+        let seq = inner.seq;
+        inner.bytes_sent += size;
+        inner.messages_sent += 1;
+        inner
+            .inboxes
+            .entry(to.to_string())
+            .or_default()
+            .insert(
+                (arrival, seq),
+                Delivery {
+                    at: arrival,
+                    from: from.to_string(),
+                    msg,
+                },
+            );
+        arrival
+    }
+
+    /// Drain all messages that have arrived at `endpoint` by `now`.
+    pub fn recv_ready(&self, endpoint: &str, now: TimePoint) -> Vec<Delivery> {
+        let mut inner = self.inner.lock();
+        let Some(inbox) = inner.inboxes.get_mut(endpoint) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let keys: Vec<_> = inbox
+            .range(..=(now, u64::MAX))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in keys {
+            out.push(inbox.remove(&k).unwrap());
+        }
+        out
+    }
+
+    /// The earliest pending arrival time for `endpoint`, if any — lets a
+    /// driver advance the clock to the next interesting instant.
+    pub fn next_arrival(&self, endpoint: &str) -> Option<TimePoint> {
+        let inner = self.inner.lock();
+        inner
+            .inboxes
+            .get(endpoint)?
+            .keys()
+            .next()
+            .map(|(t, _)| *t)
+    }
+
+    /// Earliest pending arrival across all endpoints.
+    pub fn next_arrival_any(&self) -> Option<TimePoint> {
+        let inner = self.inner.lock();
+        inner
+            .inboxes
+            .values()
+            .filter_map(|b| b.keys().next().map(|(t, _)| *t))
+            .min()
+    }
+
+    /// Total bytes sent through the fabric.
+    pub fn bytes_sent(&self) -> u64 {
+        self.inner.lock().bytes_sent
+    }
+
+    /// Total messages sent through the fabric.
+    pub fn messages_sent(&self) -> u64 {
+        self.inner.lock().messages_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::SourceMsg;
+
+    fn msg(size: u64) -> Message {
+        Message::Source(SourceMsg::Deposited {
+            path: "x".to_string(),
+            size,
+        })
+    }
+
+    fn t(s: u64) -> TimePoint {
+        TimePoint::from_secs(s)
+    }
+
+    #[test]
+    fn latency_and_serialization() {
+        let net = SimNetwork::new(LinkSpec {
+            bandwidth: 1_000_000, // 1 MB/s
+            latency: TimeSpan::from_millis(100),
+        });
+        // Deposited msg wire size is header-only (~small)
+        let arrival = net.send(t(0), "a", "b", msg(0));
+        assert!(arrival >= TimePoint::from_millis(100));
+        assert!(arrival < TimePoint::from_millis(200));
+    }
+
+    #[test]
+    fn fifo_serialization_queues() {
+        let net = SimNetwork::new(LinkSpec {
+            bandwidth: 10, // absurdly slow: 10 B/s
+            latency: TimeSpan::ZERO,
+        });
+        let a1 = net.send(t(0), "a", "b", msg(0));
+        let a2 = net.send(t(0), "a", "b", msg(0));
+        assert!(a2 > a1, "second message waits for the first");
+    }
+
+    #[test]
+    fn recv_ready_respects_time() {
+        let net = SimNetwork::new(LinkSpec {
+            bandwidth: 1_000_000_000,
+            latency: TimeSpan::from_secs(5),
+        });
+        net.send(t(0), "a", "b", msg(0));
+        assert!(net.recv_ready("b", t(1)).is_empty());
+        let got = net.recv_ready("b", t(6));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].from, "a");
+        // drained: second call is empty
+        assert!(net.recv_ready("b", t(10)).is_empty());
+    }
+
+    #[test]
+    fn outage_delays_delivery() {
+        let net = SimNetwork::new(LinkSpec {
+            bandwidth: 1_000_000_000,
+            latency: TimeSpan::from_millis(1),
+        });
+        net.add_outage("a", "b", t(0), t(60));
+        let arrival = net.send(t(10), "a", "b", msg(0));
+        assert!(arrival >= t(60));
+        // other direction unaffected
+        let arrival = net.send(t(10), "b", "a", msg(0));
+        assert!(arrival < t(11));
+    }
+
+    #[test]
+    fn per_link_overrides() {
+        let net = SimNetwork::new(LinkSpec::default());
+        net.set_link(
+            "a",
+            "slow",
+            LinkSpec {
+                bandwidth: 1,
+                latency: TimeSpan::from_secs(30),
+            },
+        );
+        let fast = net.send(t(0), "a", "fast", msg(0));
+        let slow = net.send(t(0), "a", "slow", msg(0));
+        assert!(slow > fast + TimeSpan::from_secs(10));
+    }
+
+    #[test]
+    fn next_arrival_ordering() {
+        let net = SimNetwork::new(LinkSpec {
+            bandwidth: 1_000_000_000,
+            latency: TimeSpan::from_secs(3),
+        });
+        net.send(t(0), "a", "b", msg(0));
+        net.send(t(0), "a", "c", msg(0));
+        assert!(net.next_arrival("b").is_some());
+        assert_eq!(net.next_arrival_any(), net.next_arrival("b"));
+        assert_eq!(net.next_arrival("nobody"), None);
+        assert_eq!(net.messages_sent(), 2);
+    }
+}

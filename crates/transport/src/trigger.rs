@@ -1,0 +1,168 @@
+//! Trigger invocation (paper §4.1).
+//!
+//! Subscribers register a lightweight program to be invoked when new
+//! data is available — either *remotely* on the subscriber's host at
+//! delivery, or *locally* on the Bistro server. In this reproduction the
+//! invocation is recorded in a [`TriggerLog`] (the simulation's analogue
+//! of fork/exec); the command string supports the same expansion
+//! specifiers as the rest of the system.
+
+use bistro_base::{BatchId, FileId, TimePoint};
+use bistro_config::{TriggerDef, TriggerKind};
+use parking_lot::Mutex;
+
+/// Context available for command expansion.
+#[derive(Clone, Debug, Default)]
+pub struct TriggerContext<'a> {
+    /// `%N` — the feed name.
+    pub feed: &'a str,
+    /// `%f` — the delivered file's destination path (per-file triggers).
+    pub file_path: &'a str,
+    /// `%b` — the batch id (batch triggers).
+    pub batch: Option<BatchId>,
+    /// `%c` — the number of files in the batch.
+    pub count: usize,
+}
+
+/// Expand `%N`, `%f`, `%b`, `%c` and `%%` in a trigger command.
+pub fn expand_command(command: &str, ctx: &TriggerContext<'_>) -> String {
+    let mut out = String::with_capacity(command.len() + 16);
+    let mut chars = command.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('N') => out.push_str(ctx.feed),
+            Some('f') => out.push_str(ctx.file_path),
+            Some('b') => {
+                if let Some(b) = ctx.batch {
+                    out.push_str(&b.raw().to_string());
+                }
+            }
+            Some('c') => out.push_str(&ctx.count.to_string()),
+            Some('%') => out.push('%'),
+            Some(other) => {
+                out.push('%');
+                out.push(other);
+            }
+            None => out.push('%'),
+        }
+    }
+    out
+}
+
+/// One recorded trigger invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Invocation {
+    /// When it fired.
+    pub at: TimePoint,
+    /// Which subscriber it fired for.
+    pub subscriber: String,
+    /// Local (on the server) or remote (on the subscriber host).
+    pub kind: TriggerKind,
+    /// The fully expanded command line.
+    pub command: String,
+    /// Files the invocation covers.
+    pub files: Vec<FileId>,
+}
+
+/// Thread-safe record of trigger invocations.
+#[derive(Debug, Default)]
+pub struct TriggerLog {
+    entries: Mutex<Vec<Invocation>>,
+}
+
+impl TriggerLog {
+    /// Fresh empty log.
+    pub fn new() -> TriggerLog {
+        TriggerLog::default()
+    }
+
+    /// Fire a subscriber's trigger, expanding its command.
+    pub fn fire(
+        &self,
+        subscriber: &str,
+        def: &TriggerDef,
+        ctx: &TriggerContext<'_>,
+        files: Vec<FileId>,
+        at: TimePoint,
+    ) {
+        let command = expand_command(&def.command, ctx);
+        self.entries.lock().push(Invocation {
+            at,
+            subscriber: subscriber.to_string(),
+            kind: def.kind,
+            command,
+            files,
+        });
+    }
+
+    /// All invocations so far.
+    pub fn entries(&self) -> Vec<Invocation> {
+        self.entries.lock().clone()
+    }
+
+    /// Number of invocations.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True if no triggers have fired.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion() {
+        let ctx = TriggerContext {
+            feed: "SNMP/MEMORY",
+            file_path: "incoming/x.gz",
+            batch: Some(BatchId(17)),
+            count: 3,
+        };
+        assert_eq!(
+            expand_command("load %N %f batch=%b n=%c 100%%", &ctx),
+            "load SNMP/MEMORY incoming/x.gz batch=17 n=3 100%"
+        );
+    }
+
+    #[test]
+    fn expansion_edge_cases() {
+        let ctx = TriggerContext::default();
+        assert_eq!(expand_command("", &ctx), "");
+        assert_eq!(expand_command("%", &ctx), "%");
+        assert_eq!(expand_command("%q", &ctx), "%q"); // unknown passes through
+        assert_eq!(expand_command("%b", &ctx), ""); // no batch id
+    }
+
+    #[test]
+    fn log_records() {
+        let log = TriggerLog::new();
+        let def = TriggerDef {
+            kind: TriggerKind::Remote,
+            command: "ingest %N".to_string(),
+        };
+        log.fire(
+            "warehouse",
+            &def,
+            &TriggerContext {
+                feed: "SNMP/CPU",
+                ..Default::default()
+            },
+            vec![FileId(1), FileId(2)],
+            TimePoint::from_secs(100),
+        );
+        assert_eq!(log.len(), 1);
+        let e = &log.entries()[0];
+        assert_eq!(e.command, "ingest SNMP/CPU");
+        assert_eq!(e.files.len(), 2);
+        assert_eq!(e.kind, TriggerKind::Remote);
+    }
+}

@@ -1,0 +1,286 @@
+//! Real-filesystem backend.
+//!
+//! A [`DiskFs`] exposes one host directory as a store root. All paths are
+//! validated by [`crate::path::normalize`] before touching the host
+//! filesystem, so the store cannot escape its root. Used when a Bistro
+//! server runs against actual landing directories; everything else
+//! (tests, simulations, experiments) uses [`crate::MemFs`].
+
+use crate::path::{normalize, parent};
+use crate::stats::MetaStats;
+use crate::{DirEntry, EntryKind, FileMeta, FileStore, VfsError};
+use bistro_base::TimePoint;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::time::UNIX_EPOCH;
+
+/// On-disk [`FileStore`] rooted at a host directory.
+pub struct DiskFs {
+    root: PathBuf,
+    stats: MetaStats,
+}
+
+fn io_err(e: io::Error, path: &str) -> VfsError {
+    match e.kind() {
+        io::ErrorKind::NotFound => VfsError::NotFound(path.to_string()),
+        io::ErrorKind::AlreadyExists => VfsError::AlreadyExists(path.to_string()),
+        _ => VfsError::Io(format!("{path}: {e}")),
+    }
+}
+
+impl DiskFs {
+    /// Open (creating if necessary) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, VfsError> {
+        let root = root.into();
+        fs::create_dir_all(&root)
+            .map_err(|e| VfsError::Io(format!("creating root {}: {e}", root.display())))?;
+        Ok(DiskFs {
+            root,
+            stats: MetaStats::new(),
+        })
+    }
+
+    fn host_path(&self, path: &str) -> Result<PathBuf, VfsError> {
+        let path = normalize(path)?;
+        let mut p = self.root.clone();
+        if !path.is_empty() {
+            p.push(path);
+        }
+        Ok(p)
+    }
+}
+
+impl FileStore for DiskFs {
+    fn write(&self, path: &str, data: &[u8]) -> Result<(), VfsError> {
+        let host = self.host_path(path)?;
+        if let Some(par) = parent(normalize(path)?) {
+            if !par.is_empty() {
+                fs::create_dir_all(self.root.join(par)).map_err(|e| io_err(e, par))?;
+            }
+        }
+        // write-then-rename for atomicity (readers never see partial files,
+        // the "landing zone" discipline of §4.1)
+        let tmp = host.with_extension("bistro_tmp");
+        fs::write(&tmp, data).map_err(|e| io_err(e, path))?;
+        fs::rename(&tmp, &host).map_err(|e| io_err(e, path))?;
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> Result<(), VfsError> {
+        let host = self.host_path(path)?;
+        if host.is_dir() {
+            return Err(VfsError::IsADirectory(path.to_string()));
+        }
+        if let Some(par) = parent(normalize(path)?) {
+            if !par.is_empty() {
+                fs::create_dir_all(self.root.join(par)).map_err(|e| io_err(e, par))?;
+            }
+        }
+        use std::io::Write;
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&host)
+            .map_err(|e| io_err(e, path))?;
+        f.write_all(data).map_err(|e| io_err(e, path))?;
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn read(&self, path: &str) -> Result<Vec<u8>, VfsError> {
+        let host = self.host_path(path)?;
+        if host.is_dir() {
+            return Err(VfsError::IsADirectory(path.to_string()));
+        }
+        let data = fs::read(&host).map_err(|e| io_err(e, path))?;
+        self.stats.record_read(data.len() as u64);
+        Ok(data)
+    }
+
+    fn metadata(&self, path: &str) -> Result<FileMeta, VfsError> {
+        let host = self.host_path(path)?;
+        self.stats.record_stat();
+        let md = fs::metadata(&host).map_err(|e| io_err(e, path))?;
+        let mtime = md
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+            .map(|d| TimePoint::from_micros(d.as_micros() as u64))
+            .unwrap_or(TimePoint::EPOCH);
+        Ok(FileMeta {
+            size: md.len(),
+            mtime,
+            kind: if md.is_dir() {
+                EntryKind::Dir
+            } else {
+                EntryKind::File
+            },
+        })
+    }
+
+    fn remove(&self, path: &str) -> Result<(), VfsError> {
+        let host = self.host_path(path)?;
+        if host.is_dir() {
+            return Err(VfsError::IsADirectory(path.to_string()));
+        }
+        fs::remove_file(&host).map_err(|e| io_err(e, path))?;
+        self.stats.record_remove();
+        Ok(())
+    }
+
+    fn remove_dir(&self, path: &str) -> Result<(), VfsError> {
+        let host = self.host_path(path)?;
+        if host.is_file() {
+            return Err(VfsError::NotADirectory(path.to_string()));
+        }
+        fs::remove_dir(&host).map_err(|e| io_err(e, path))?;
+        self.stats.record_remove();
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), VfsError> {
+        let host_from = self.host_path(from)?;
+        let host_to = self.host_path(to)?;
+        if !host_from.exists() {
+            return Err(VfsError::NotFound(from.to_string()));
+        }
+        if host_from.is_dir() {
+            return Err(VfsError::IsADirectory(from.to_string()));
+        }
+        if host_to.exists() {
+            return Err(VfsError::AlreadyExists(to.to_string()));
+        }
+        if let Some(par) = parent(normalize(to)?) {
+            if !par.is_empty() {
+                fs::create_dir_all(self.root.join(par)).map_err(|e| io_err(e, par))?;
+            }
+        }
+        fs::rename(&host_from, &host_to).map_err(|e| io_err(e, from))?;
+        self.stats.record_rename();
+        Ok(())
+    }
+
+    fn create_dir_all(&self, path: &str) -> Result<(), VfsError> {
+        let host = self.host_path(path)?;
+        if host.is_file() {
+            return Err(VfsError::NotADirectory(path.to_string()));
+        }
+        fs::create_dir_all(&host).map_err(|e| io_err(e, path))
+    }
+
+    fn list_dir(&self, path: &str) -> Result<Vec<DirEntry>, VfsError> {
+        let host = self.host_path(path)?;
+        if host.is_file() {
+            return Err(VfsError::NotADirectory(path.to_string()));
+        }
+        let rd = fs::read_dir(&host).map_err(|e| io_err(e, path))?;
+        let mut out = Vec::new();
+        for entry in rd {
+            let entry = entry.map_err(|e| io_err(e, path))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".bistro_tmp") {
+                continue; // in-flight atomic writes are invisible
+            }
+            let kind = if entry.file_type().map(|t| t.is_dir()).unwrap_or(false) {
+                EntryKind::Dir
+            } else {
+                EntryKind::File
+            };
+            out.push(DirEntry { name, kind });
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        self.stats.record_list(out.len() as u64);
+        Ok(out)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        match self.host_path(path) {
+            Ok(p) => p.exists(),
+            Err(_) => false,
+        }
+    }
+
+    fn stats(&self) -> &MetaStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(name: &str) -> DiskFs {
+        let dir = std::env::temp_dir().join(format!(
+            "bistro_vfs_test_{name}_{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        DiskFs::open(dir).unwrap()
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let fs = tmp_store("roundtrip");
+        fs.write("a/b/file.csv", b"hello").unwrap();
+        assert_eq!(fs.read("a/b/file.csv").unwrap(), b"hello");
+        let names: Vec<_> = fs
+            .list_dir("a")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names, vec!["b"]);
+    }
+
+    #[test]
+    fn disk_rename_and_remove() {
+        let fs = tmp_store("rename");
+        fs.write("landing/x.csv", b"data").unwrap();
+        fs.rename("landing/x.csv", "staging/x.csv").unwrap();
+        assert!(!fs.exists("landing/x.csv"));
+        assert_eq!(fs.read("staging/x.csv").unwrap(), b"data");
+        fs.remove("staging/x.csv").unwrap();
+        assert!(!fs.exists("staging/x.csv"));
+    }
+
+    #[test]
+    fn disk_rejects_escape() {
+        let fs = tmp_store("escape");
+        assert!(fs.write("../evil", b"x").is_err());
+        assert!(fs.read("/etc/passwd").is_err());
+    }
+
+    #[test]
+    fn disk_metadata() {
+        let fs = tmp_store("meta");
+        fs.write("f.bin", &[0u8; 123]).unwrap();
+        let md = fs.metadata("f.bin").unwrap();
+        assert_eq!(md.size, 123);
+        assert_eq!(md.kind, EntryKind::File);
+    }
+
+    #[test]
+    fn disk_rename_no_overwrite() {
+        let fs = tmp_store("no_overwrite");
+        fs.write("a", b"1").unwrap();
+        fs.write("b", b"2").unwrap();
+        assert!(matches!(
+            fs.rename("a", "b"),
+            Err(VfsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn disk_stats_recorded() {
+        let fs = tmp_store("stats");
+        fs.write("d/one", b"x").unwrap();
+        fs.write("d/two", b"y").unwrap();
+        let before = fs.stats().snapshot();
+        fs.list_dir("d").unwrap();
+        let d = fs.stats().snapshot().since(&before);
+        assert_eq!(d.list_dir_calls, 1);
+        assert_eq!(d.entries_scanned, 2);
+    }
+}

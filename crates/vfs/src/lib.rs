@@ -1,0 +1,195 @@
+//! # bistro-vfs
+//!
+//! A virtual filesystem abstraction for Bistro's landing and staging
+//! directories.
+//!
+//! Two backends implement the same [`FileStore`] trait:
+//!
+//! * [`MemFs`] — an in-memory tree driven by a [`bistro_base::Clock`];
+//!   deterministic and fast, used by tests, simulations and experiments.
+//! * [`DiskFs`] — a sandboxed view of a real directory tree, used when a
+//!   Bistro server runs against actual data.
+//!
+//! The abstraction exists for a second reason: **metadata-operation
+//! accounting**. The paper's central argument against pull-based feed
+//! delivery (§2.2.1) and rsync/cron (§2.2.2) is that their cost is
+//! dominated by directory scans whose cost grows linearly with stored
+//! history. Every [`FileStore`] keeps a [`MetaStats`] ledger counting
+//! directory listings, entries scanned, stats, reads, writes and renames,
+//! which is exactly what experiments E1/E2 measure.
+
+pub mod disk;
+pub mod mem;
+pub mod path;
+pub mod stats;
+
+pub use disk::DiskFs;
+pub use mem::MemFs;
+pub use path::{join, normalize, parent, PathError};
+pub use stats::MetaStats;
+
+use bistro_base::TimePoint;
+use std::fmt;
+use std::sync::Arc;
+
+/// Kind of a directory entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryKind {
+    /// A regular file.
+    File,
+    /// A directory.
+    Dir,
+}
+
+/// One entry returned by [`FileStore::list_dir`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Name within the parent directory (no separators).
+    pub name: String,
+    /// File or directory.
+    pub kind: EntryKind,
+}
+
+/// Metadata for a single file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Size in bytes.
+    pub size: u64,
+    /// Last-modified time.
+    pub mtime: TimePoint,
+    /// File or directory.
+    pub kind: EntryKind,
+}
+
+/// Errors from filesystem operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// The path does not exist.
+    NotFound(String),
+    /// The destination already exists.
+    AlreadyExists(String),
+    /// Expected a directory, found a file.
+    NotADirectory(String),
+    /// Expected a file, found a directory.
+    IsADirectory(String),
+    /// The path was syntactically invalid (absolute, `..`, empty segment).
+    InvalidPath(String),
+    /// An underlying I/O error (DiskFs only).
+    Io(String),
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::NotFound(p) => write!(f, "not found: {p}"),
+            VfsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            VfsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            VfsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            VfsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+            VfsError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+impl From<PathError> for VfsError {
+    fn from(e: PathError) -> Self {
+        VfsError::InvalidPath(e.to_string())
+    }
+}
+
+/// A filesystem namespace with slash-separated relative paths.
+///
+/// All paths are relative to the store's root; `normalize` rules apply
+/// (no leading `/`, no `.`/`..` segments, no empty segments). The root is
+/// the empty string `""`.
+pub trait FileStore: Send + Sync {
+    /// Write a file, creating parent directories implicitly and replacing
+    /// any existing file at `path`.
+    fn write(&self, path: &str, data: &[u8]) -> Result<(), VfsError>;
+
+    /// Append to a file, creating it (and parent directories) if absent.
+    /// This is the write-ahead-log primitive used by `bistro-receipts`.
+    fn append(&self, path: &str, data: &[u8]) -> Result<(), VfsError>;
+
+    /// Read a file's entire contents.
+    fn read(&self, path: &str) -> Result<Vec<u8>, VfsError>;
+
+    /// File or directory metadata.
+    fn metadata(&self, path: &str) -> Result<FileMeta, VfsError>;
+
+    /// Remove a file (not a directory).
+    fn remove(&self, path: &str) -> Result<(), VfsError>;
+
+    /// Remove an empty directory.
+    fn remove_dir(&self, path: &str) -> Result<(), VfsError>;
+
+    /// Atomically move a file. Fails if `to` exists. Parent directories of
+    /// `to` are created implicitly (this is the landing → staging move,
+    /// which must be cheap and atomic per §4.1).
+    fn rename(&self, from: &str, to: &str) -> Result<(), VfsError>;
+
+    /// Create a directory and any missing parents.
+    fn create_dir_all(&self, path: &str) -> Result<(), VfsError>;
+
+    /// List the entries of a directory, sorted by name.
+    fn list_dir(&self, path: &str) -> Result<Vec<DirEntry>, VfsError>;
+
+    /// True if the path exists (file or directory).
+    fn exists(&self, path: &str) -> bool;
+
+    /// The metadata-operation ledger for this store.
+    fn stats(&self) -> &MetaStats;
+}
+
+/// Shared handle to a file store.
+pub type SharedStore = Arc<dyn FileStore>;
+
+/// Recursively list all *files* under `root` (depth-first, sorted),
+/// returning store-relative paths.
+///
+/// This is what a pull-based subscriber or an rsync-style comparator has
+/// to do on every poll; its cost shows up in the store's [`MetaStats`].
+pub fn walk_files(store: &dyn FileStore, root: &str) -> Result<Vec<String>, VfsError> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_string()];
+    while let Some(dir) = stack.pop() {
+        for entry in store.list_dir(&dir)? {
+            let full = join(&dir, &entry.name);
+            match entry.kind {
+                EntryKind::File => out.push(full),
+                EntryKind::Dir => stack.push(full),
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bistro_base::SimClock;
+
+    #[test]
+    fn walk_files_collects_nested() {
+        let clock = SimClock::new();
+        let fs = MemFs::new(clock);
+        fs.write("a/b/one.csv", b"1").unwrap();
+        fs.write("a/two.csv", b"2").unwrap();
+        fs.write("three.csv", b"3").unwrap();
+        let files = walk_files(&fs, "").unwrap();
+        assert_eq!(files, vec!["a/b/one.csv", "a/two.csv", "three.csv"]);
+    }
+
+    #[test]
+    fn walk_files_subtree() {
+        let clock = SimClock::new();
+        let fs = MemFs::new(clock);
+        fs.write("landing/p1/x.csv", b"x").unwrap();
+        fs.write("staging/p1/y.csv", b"y").unwrap();
+        let files = walk_files(&fs, "landing").unwrap();
+        assert_eq!(files, vec!["landing/p1/x.csv"]);
+    }
+}

@@ -1,0 +1,509 @@
+//! In-memory filesystem backend.
+//!
+//! A `BTreeMap<String, Node>` keyed by normalized path. The BTree ordering
+//! makes `list_dir` a range scan over the directory's prefix, mirroring
+//! how real directory listings cost O(entries). File bodies are
+//! `Arc<[u8]>` so reads are cheap clones.
+
+use crate::path::{ancestors, normalize};
+use crate::stats::MetaStats;
+use crate::{DirEntry, EntryKind, FileMeta, FileStore, VfsError};
+use bistro_base::{SharedClock, TimePoint};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Clone)]
+enum Node {
+    File {
+        // Arc<Vec> (not Arc<[u8]>) so `append` can extend in place via
+        // Arc::get_mut when no reader holds a reference — keeping WAL
+        // appends O(appended bytes) instead of O(file size).
+        data: Arc<Vec<u8>>,
+        mtime: TimePoint,
+    },
+    Dir { mtime: TimePoint },
+}
+
+/// In-memory [`FileStore`].
+pub struct MemFs {
+    clock: SharedClock,
+    tree: RwLock<BTreeMap<String, Node>>,
+    stats: MetaStats,
+}
+
+impl MemFs {
+    /// Create an empty store whose mtimes come from `clock`.
+    pub fn new(clock: SharedClock) -> Self {
+        MemFs {
+            clock,
+            tree: RwLock::new(BTreeMap::new()),
+            stats: MetaStats::new(),
+        }
+    }
+
+    /// Create an empty store wrapped in an `Arc`.
+    pub fn shared(clock: SharedClock) -> Arc<Self> {
+        Arc::new(Self::new(clock))
+    }
+
+    /// Number of files (not directories) in the store.
+    pub fn file_count(&self) -> usize {
+        self.tree
+            .read()
+            .values()
+            .filter(|n| matches!(n, Node::File { .. }))
+            .count()
+    }
+
+    /// Total bytes across all files.
+    pub fn total_bytes(&self) -> u64 {
+        self.tree
+            .read()
+            .values()
+            .map(|n| match n {
+                Node::File { data, .. } => data.len() as u64,
+                Node::Dir { .. } => 0,
+            })
+            .sum()
+    }
+
+    fn ensure_parents(
+        tree: &mut BTreeMap<String, Node>,
+        path: &str,
+        now: TimePoint,
+    ) -> Result<(), VfsError> {
+        for anc in ancestors(path) {
+            match tree.get(anc) {
+                None => {
+                    tree.insert(anc.to_string(), Node::Dir { mtime: now });
+                }
+                Some(Node::Dir { .. }) => {}
+                Some(Node::File { .. }) => {
+                    return Err(VfsError::NotADirectory(anc.to_string()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True if `dir` has any children in `tree`.
+    fn has_children(tree: &BTreeMap<String, Node>, dir: &str) -> bool {
+        let prefix = if dir.is_empty() {
+            String::new()
+        } else {
+            format!("{dir}/")
+        };
+        tree.range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&prefix))
+            .next()
+            .is_some()
+    }
+}
+
+impl FileStore for MemFs {
+    fn write(&self, path: &str, data: &[u8]) -> Result<(), VfsError> {
+        let path = normalize(path)?;
+        if path.is_empty() {
+            return Err(VfsError::IsADirectory(String::new()));
+        }
+        let now = self.clock.now();
+        let mut tree = self.tree.write();
+        Self::ensure_parents(&mut tree, path, now)?;
+        if let Some(Node::Dir { .. }) = tree.get(path) {
+            return Err(VfsError::IsADirectory(path.to_string()));
+        }
+        tree.insert(
+            path.to_string(),
+            Node::File {
+                data: Arc::new(data.to_vec()),
+                mtime: now,
+            },
+        );
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> Result<(), VfsError> {
+        let path = normalize(path)?;
+        if path.is_empty() {
+            return Err(VfsError::IsADirectory(String::new()));
+        }
+        let now = self.clock.now();
+        let mut tree = self.tree.write();
+        Self::ensure_parents(&mut tree, path, now)?;
+        match tree.get_mut(path) {
+            Some(Node::File { data: existing, mtime }) => {
+                match Arc::get_mut(existing) {
+                    Some(buf) => buf.extend_from_slice(data),
+                    None => {
+                        // a reader holds the old contents: copy-on-write
+                        let mut buf = Vec::with_capacity(existing.len() + data.len());
+                        buf.extend_from_slice(existing);
+                        buf.extend_from_slice(data);
+                        *existing = Arc::new(buf);
+                    }
+                }
+                *mtime = now;
+            }
+            Some(Node::Dir { .. }) => return Err(VfsError::IsADirectory(path.to_string())),
+            None => {
+                tree.insert(
+                    path.to_string(),
+                    Node::File {
+                        data: Arc::new(data.to_vec()),
+                        mtime: now,
+                    },
+                );
+            }
+        }
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn read(&self, path: &str) -> Result<Vec<u8>, VfsError> {
+        let path = normalize(path)?;
+        let tree = self.tree.read();
+        match tree.get(path) {
+            Some(Node::File { data, .. }) => {
+                self.stats.record_read(data.len() as u64);
+                Ok(data.to_vec())
+            }
+            Some(Node::Dir { .. }) => Err(VfsError::IsADirectory(path.to_string())),
+            None => Err(VfsError::NotFound(path.to_string())),
+        }
+    }
+
+    fn metadata(&self, path: &str) -> Result<FileMeta, VfsError> {
+        let path = normalize(path)?;
+        self.stats.record_stat();
+        if path.is_empty() {
+            return Ok(FileMeta {
+                size: 0,
+                mtime: TimePoint::EPOCH,
+                kind: EntryKind::Dir,
+            });
+        }
+        let tree = self.tree.read();
+        match tree.get(path) {
+            Some(Node::File { data, mtime }) => Ok(FileMeta {
+                size: data.len() as u64,
+                mtime: *mtime,
+                kind: EntryKind::File,
+            }),
+            Some(Node::Dir { mtime }) => Ok(FileMeta {
+                size: 0,
+                mtime: *mtime,
+                kind: EntryKind::Dir,
+            }),
+            None => Err(VfsError::NotFound(path.to_string())),
+        }
+    }
+
+    fn remove(&self, path: &str) -> Result<(), VfsError> {
+        let path = normalize(path)?;
+        let mut tree = self.tree.write();
+        match tree.get(path) {
+            Some(Node::File { .. }) => {
+                tree.remove(path);
+                self.stats.record_remove();
+                Ok(())
+            }
+            Some(Node::Dir { .. }) => Err(VfsError::IsADirectory(path.to_string())),
+            None => Err(VfsError::NotFound(path.to_string())),
+        }
+    }
+
+    fn remove_dir(&self, path: &str) -> Result<(), VfsError> {
+        let path = normalize(path)?;
+        if path.is_empty() {
+            return Err(VfsError::InvalidPath("cannot remove root".to_string()));
+        }
+        let mut tree = self.tree.write();
+        match tree.get(path) {
+            Some(Node::Dir { .. }) => {
+                if Self::has_children(&tree, path) {
+                    return Err(VfsError::Io(format!("directory not empty: {path}")));
+                }
+                tree.remove(path);
+                self.stats.record_remove();
+                Ok(())
+            }
+            Some(Node::File { .. }) => Err(VfsError::NotADirectory(path.to_string())),
+            None => Err(VfsError::NotFound(path.to_string())),
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), VfsError> {
+        let from = normalize(from)?;
+        let to = normalize(to)?;
+        let now = self.clock.now();
+        let mut tree = self.tree.write();
+        if tree.contains_key(to) {
+            return Err(VfsError::AlreadyExists(to.to_string()));
+        }
+        let node = match tree.get(from) {
+            Some(Node::File { .. }) => tree.remove(from).unwrap(),
+            Some(Node::Dir { .. }) => return Err(VfsError::IsADirectory(from.to_string())),
+            None => return Err(VfsError::NotFound(from.to_string())),
+        };
+        if let Err(e) = Self::ensure_parents(&mut tree, to, now) {
+            // restore on failure to keep the operation atomic
+            tree.insert(from.to_string(), node);
+            return Err(e);
+        }
+        tree.insert(to.to_string(), node);
+        self.stats.record_rename();
+        Ok(())
+    }
+
+    fn create_dir_all(&self, path: &str) -> Result<(), VfsError> {
+        let path = normalize(path)?;
+        if path.is_empty() {
+            return Ok(());
+        }
+        let now = self.clock.now();
+        let mut tree = self.tree.write();
+        Self::ensure_parents(&mut tree, path, now)?;
+        match tree.get(path) {
+            Some(Node::Dir { .. }) => Ok(()),
+            Some(Node::File { .. }) => Err(VfsError::NotADirectory(path.to_string())),
+            None => {
+                tree.insert(path.to_string(), Node::Dir { mtime: now });
+                Ok(())
+            }
+        }
+    }
+
+    fn list_dir(&self, path: &str) -> Result<Vec<DirEntry>, VfsError> {
+        let path = normalize(path)?;
+        let tree = self.tree.read();
+        if !path.is_empty() {
+            match tree.get(path) {
+                Some(Node::Dir { .. }) => {}
+                Some(Node::File { .. }) => {
+                    return Err(VfsError::NotADirectory(path.to_string()))
+                }
+                None => return Err(VfsError::NotFound(path.to_string())),
+            }
+        }
+        let prefix = if path.is_empty() {
+            String::new()
+        } else {
+            format!("{path}/")
+        };
+        let mut out = Vec::new();
+        for (k, node) in tree
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&prefix))
+        {
+            let rest = &k[prefix.len()..];
+            if rest.contains('/') {
+                continue; // deeper descendant; its parent dir node will be seen
+            }
+            out.push(DirEntry {
+                name: rest.to_string(),
+                kind: match node {
+                    Node::File { .. } => EntryKind::File,
+                    Node::Dir { .. } => EntryKind::Dir,
+                },
+            });
+        }
+        self.stats.record_list(out.len() as u64);
+        Ok(out)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        match normalize(path) {
+            Ok("") => true,
+            Ok(p) => self.tree.read().contains_key(p),
+            Err(_) => false,
+        }
+    }
+
+    fn stats(&self) -> &MetaStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bistro_base::{SimClock, TimeSpan};
+
+    fn fs() -> (Arc<bistro_base::clock::SimClock>, MemFs) {
+        let clock = SimClock::new();
+        let fs = MemFs::new(clock.clone());
+        (clock, fs)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let (_c, fs) = fs();
+        fs.write("a/b/file.csv", b"hello").unwrap();
+        assert_eq!(fs.read("a/b/file.csv").unwrap(), b"hello");
+        assert!(fs.exists("a"));
+        assert!(fs.exists("a/b"));
+        assert_eq!(fs.metadata("a").unwrap().kind, EntryKind::Dir);
+    }
+
+    #[test]
+    fn write_overwrites() {
+        let (_c, fs) = fs();
+        fs.write("f", b"one").unwrap();
+        fs.write("f", b"two").unwrap();
+        assert_eq!(fs.read("f").unwrap(), b"two");
+        assert_eq!(fs.file_count(), 1);
+    }
+
+    #[test]
+    fn mtime_tracks_clock() {
+        let (c, fs) = fs();
+        fs.write("f1", b"x").unwrap();
+        c.advance(TimeSpan::from_secs(100));
+        fs.write("f2", b"y").unwrap();
+        let m1 = fs.metadata("f1").unwrap().mtime;
+        let m2 = fs.metadata("f2").unwrap().mtime;
+        assert_eq!(m2 - m1, TimeSpan::from_secs(100));
+    }
+
+    #[test]
+    fn list_dir_sorted_and_shallow() {
+        let (_c, fs) = fs();
+        fs.write("d/b.csv", b"").unwrap();
+        fs.write("d/a.csv", b"").unwrap();
+        fs.write("d/sub/deep.csv", b"").unwrap();
+        let entries = fs.list_dir("d").unwrap();
+        let names: Vec<_> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["a.csv", "b.csv", "sub"]);
+        assert_eq!(entries[2].kind, EntryKind::Dir);
+    }
+
+    #[test]
+    fn list_root() {
+        let (_c, fs) = fs();
+        fs.write("top.csv", b"").unwrap();
+        fs.write("dir/x.csv", b"").unwrap();
+        let names: Vec<_> = fs
+            .list_dir("")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names, vec!["dir", "top.csv"]);
+    }
+
+    #[test]
+    fn list_missing_dir_errors() {
+        let (_c, fs) = fs();
+        assert!(matches!(fs.list_dir("nope"), Err(VfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn rename_moves_atomically() {
+        let (_c, fs) = fs();
+        fs.write("landing/x.csv", b"data").unwrap();
+        fs.rename("landing/x.csv", "staging/feed1/x.csv").unwrap();
+        assert!(!fs.exists("landing/x.csv"));
+        assert_eq!(fs.read("staging/feed1/x.csv").unwrap(), b"data");
+    }
+
+    #[test]
+    fn rename_refuses_overwrite() {
+        let (_c, fs) = fs();
+        fs.write("a", b"1").unwrap();
+        fs.write("b", b"2").unwrap();
+        assert!(matches!(
+            fs.rename("a", "b"),
+            Err(VfsError::AlreadyExists(_))
+        ));
+        assert_eq!(fs.read("a").unwrap(), b"1");
+    }
+
+    #[test]
+    fn rename_missing_source_errors() {
+        let (_c, fs) = fs();
+        assert!(matches!(
+            fs.rename("missing", "dest"),
+            Err(VfsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn remove_file_and_dir() {
+        let (_c, fs) = fs();
+        fs.write("d/f", b"x").unwrap();
+        assert!(matches!(fs.remove_dir("d"), Err(VfsError::Io(_)))); // not empty
+        fs.remove("d/f").unwrap();
+        fs.remove_dir("d").unwrap();
+        assert!(!fs.exists("d"));
+    }
+
+    #[test]
+    fn cannot_write_over_dir() {
+        let (_c, fs) = fs();
+        fs.create_dir_all("d").unwrap();
+        assert!(matches!(fs.write("d", b"x"), Err(VfsError::IsADirectory(_))));
+    }
+
+    #[test]
+    fn cannot_treat_file_as_dir() {
+        let (_c, fs) = fs();
+        fs.write("f", b"x").unwrap();
+        assert!(matches!(
+            fs.write("f/child", b"y"),
+            Err(VfsError::NotADirectory(_))
+        ));
+        assert!(matches!(
+            fs.list_dir("f"),
+            Err(VfsError::NotADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn stats_count_scans() {
+        let (_c, fs) = fs();
+        for i in 0..10 {
+            fs.write(&format!("d/f{i}.csv"), b"x").unwrap();
+        }
+        let before = fs.stats().snapshot();
+        fs.list_dir("d").unwrap();
+        fs.list_dir("d").unwrap();
+        let after = fs.stats().snapshot().since(&before);
+        assert_eq!(after.list_dir_calls, 2);
+        assert_eq!(after.entries_scanned, 20);
+    }
+
+    #[test]
+    fn invalid_paths_rejected_everywhere() {
+        let (_c, fs) = fs();
+        assert!(fs.write("../escape", b"x").is_err());
+        assert!(fs.read("/abs").is_err());
+        assert!(!fs.exists("a//b"));
+    }
+}
+
+#[cfg(test)]
+mod append_tests {
+    use super::*;
+    use crate::FileStore;
+    use bistro_base::SimClock;
+
+    #[test]
+    fn append_creates_and_extends() {
+        let fs = MemFs::new(SimClock::new());
+        fs.append("wal/seg1", b"abc").unwrap();
+        fs.append("wal/seg1", b"def").unwrap();
+        assert_eq!(fs.read("wal/seg1").unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn append_to_dir_errors() {
+        let fs = MemFs::new(SimClock::new());
+        fs.create_dir_all("d").unwrap();
+        assert!(matches!(
+            fs.append("d", b"x"),
+            Err(VfsError::IsADirectory(_))
+        ));
+    }
+}

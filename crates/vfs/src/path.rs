@@ -1,0 +1,158 @@
+//! Store-relative path handling.
+//!
+//! Paths are UTF-8, slash-separated, and always relative to the store
+//! root. The empty string is the root itself. Normalization rejects
+//! anything that could escape the root — this is the sandbox that lets
+//! `DiskFs` safely expose a real directory.
+
+use std::fmt;
+
+/// Errors from path validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// Path began with `/`.
+    Absolute(String),
+    /// Path contained a `.` or `..` segment.
+    DotSegment(String),
+    /// Path contained an empty segment (`a//b`) or trailing slash.
+    EmptySegment(String),
+    /// Path contained a backslash (platform confusion guard).
+    Backslash(String),
+    /// Path contained a NUL byte.
+    Nul(String),
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Absolute(p) => write!(f, "absolute path not allowed: {p:?}"),
+            PathError::DotSegment(p) => write!(f, "dot segment not allowed: {p:?}"),
+            PathError::EmptySegment(p) => write!(f, "empty path segment: {p:?}"),
+            PathError::Backslash(p) => write!(f, "backslash in path: {p:?}"),
+            PathError::Nul(p) => write!(f, "NUL byte in path: {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// Validate and normalize a store path. Returns the path unchanged on
+/// success (normalization is pure validation — there is exactly one
+/// spelling of every valid path).
+pub fn normalize(path: &str) -> Result<&str, PathError> {
+    if path.is_empty() {
+        return Ok(path); // the root
+    }
+    if path.contains('\0') {
+        return Err(PathError::Nul(path.to_string()));
+    }
+    if path.contains('\\') {
+        return Err(PathError::Backslash(path.to_string()));
+    }
+    if path.starts_with('/') {
+        return Err(PathError::Absolute(path.to_string()));
+    }
+    for seg in path.split('/') {
+        if seg.is_empty() {
+            return Err(PathError::EmptySegment(path.to_string()));
+        }
+        if seg == "." || seg == ".." {
+            return Err(PathError::DotSegment(path.to_string()));
+        }
+    }
+    Ok(path)
+}
+
+/// Join a directory path and a child name.
+pub fn join(dir: &str, name: &str) -> String {
+    if dir.is_empty() {
+        name.to_string()
+    } else {
+        format!("{dir}/{name}")
+    }
+}
+
+/// The parent directory of a path (`""` for top-level entries), or `None`
+/// for the root itself.
+pub fn parent(path: &str) -> Option<&str> {
+    if path.is_empty() {
+        return None;
+    }
+    match path.rfind('/') {
+        Some(i) => Some(&path[..i]),
+        None => Some(""),
+    }
+}
+
+/// The final component of a path (`None` for the root).
+pub fn file_name(path: &str) -> Option<&str> {
+    if path.is_empty() {
+        return None;
+    }
+    match path.rfind('/') {
+        Some(i) => Some(&path[i + 1..]),
+        None => Some(path),
+    }
+}
+
+/// All strict ancestors of a path, outermost first (excluding the root).
+/// `ancestors("a/b/c")` yields `["a", "a/b"]`.
+pub fn ancestors(path: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut idx = 0;
+    for (i, ch) in path.char_indices() {
+        if ch == '/' {
+            out.push(&path[..i]);
+            idx = i;
+        }
+    }
+    let _ = idx;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_accepts_good_paths() {
+        for p in ["", "a", "a/b", "landing/poller1/MEMORY_20100925.gz", "x.y.z"] {
+            assert_eq!(normalize(p), Ok(p));
+        }
+    }
+
+    #[test]
+    fn normalize_rejects_bad_paths() {
+        assert!(matches!(normalize("/abs"), Err(PathError::Absolute(_))));
+        assert!(matches!(normalize("a/../b"), Err(PathError::DotSegment(_))));
+        assert!(matches!(normalize("./a"), Err(PathError::DotSegment(_))));
+        assert!(matches!(normalize("a//b"), Err(PathError::EmptySegment(_))));
+        assert!(matches!(normalize("a/"), Err(PathError::EmptySegment(_))));
+        assert!(matches!(normalize("a\\b"), Err(PathError::Backslash(_))));
+        assert!(matches!(normalize("a\0b"), Err(PathError::Nul(_))));
+    }
+
+    #[test]
+    fn join_handles_root() {
+        assert_eq!(join("", "a"), "a");
+        assert_eq!(join("a", "b"), "a/b");
+        assert_eq!(join("a/b", "c.csv"), "a/b/c.csv");
+    }
+
+    #[test]
+    fn parent_and_file_name() {
+        assert_eq!(parent(""), None);
+        assert_eq!(parent("a"), Some(""));
+        assert_eq!(parent("a/b/c"), Some("a/b"));
+        assert_eq!(file_name(""), None);
+        assert_eq!(file_name("a"), Some("a"));
+        assert_eq!(file_name("a/b/c.csv"), Some("c.csv"));
+    }
+
+    #[test]
+    fn ancestors_list() {
+        assert_eq!(ancestors("a/b/c"), vec!["a", "a/b"]);
+        assert_eq!(ancestors("a"), Vec::<&str>::new());
+        assert_eq!(ancestors(""), Vec::<&str>::new());
+    }
+}

@@ -1,0 +1,157 @@
+//! Metadata-operation accounting.
+//!
+//! The paper argues (§2.2) that pull-based delivery and rsync/cron both
+//! collapse under the weight of filesystem *metadata* operations — "serving
+//! file metadata is always a bottleneck due to a more significant
+//! synchronization overhead" — while Bistro's receipt-driven push touches
+//! only the new files. [`MetaStats`] is the ledger that makes those costs
+//! measurable: every backend increments it on every operation, and the E1
+//! and E2 experiments report these counters directly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters for filesystem operations, all monotonically increasing.
+#[derive(Debug, Default)]
+pub struct MetaStats {
+    /// `list_dir` calls.
+    pub list_dir_calls: AtomicU64,
+    /// Total directory entries returned across all `list_dir` calls — the
+    /// dominant cost term for polling subscribers.
+    pub entries_scanned: AtomicU64,
+    /// `metadata` (stat) calls.
+    pub stat_calls: AtomicU64,
+    /// File reads.
+    pub reads: AtomicU64,
+    /// Bytes read.
+    pub bytes_read: AtomicU64,
+    /// File writes.
+    pub writes: AtomicU64,
+    /// Bytes written.
+    pub bytes_written: AtomicU64,
+    /// Renames (landing → staging moves).
+    pub renames: AtomicU64,
+    /// File/dir removals.
+    pub removes: AtomicU64,
+}
+
+/// A point-in-time copy of [`MetaStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetaSnapshot {
+    pub list_dir_calls: u64,
+    pub entries_scanned: u64,
+    pub stat_calls: u64,
+    pub reads: u64,
+    pub bytes_read: u64,
+    pub writes: u64,
+    pub bytes_written: u64,
+    pub renames: u64,
+    pub removes: u64,
+}
+
+impl MetaStats {
+    /// Fresh zeroed ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_list(&self, entries: u64) {
+        self.list_dir_calls.fetch_add(1, Ordering::Relaxed);
+        self.entries_scanned.fetch_add(entries, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_stat(&self) {
+        self.stat_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_read(&self, bytes: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_write(&self, bytes: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rename(&self) {
+        self.renames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_remove(&self) {
+        self.removes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> MetaSnapshot {
+        MetaSnapshot {
+            list_dir_calls: self.list_dir_calls.load(Ordering::Relaxed),
+            entries_scanned: self.entries_scanned.load(Ordering::Relaxed),
+            stat_calls: self.stat_calls.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            renames: self.renames.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl MetaSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &MetaSnapshot) -> MetaSnapshot {
+        MetaSnapshot {
+            list_dir_calls: self.list_dir_calls.saturating_sub(earlier.list_dir_calls),
+            entries_scanned: self.entries_scanned.saturating_sub(earlier.entries_scanned),
+            stat_calls: self.stat_calls.saturating_sub(earlier.stat_calls),
+            reads: self.reads.saturating_sub(earlier.reads),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            writes: self.writes.saturating_sub(earlier.writes),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            renames: self.renames.saturating_sub(earlier.renames),
+            removes: self.removes.saturating_sub(earlier.removes),
+        }
+    }
+
+    /// Total metadata operations (listings + entries + stats) — the
+    /// quantity the paper's pull-vs-push argument is about.
+    pub fn metadata_ops(&self) -> u64 {
+        self.list_dir_calls + self.entries_scanned + self.stat_calls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_diff() {
+        let s = MetaStats::new();
+        s.record_list(10);
+        s.record_list(5);
+        s.record_stat();
+        s.record_read(100);
+        s.record_write(200);
+        s.record_rename();
+        s.record_remove();
+
+        let snap = s.snapshot();
+        assert_eq!(snap.list_dir_calls, 2);
+        assert_eq!(snap.entries_scanned, 15);
+        assert_eq!(snap.stat_calls, 1);
+        assert_eq!(snap.reads, 1);
+        assert_eq!(snap.bytes_read, 100);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.bytes_written, 200);
+        assert_eq!(snap.renames, 1);
+        assert_eq!(snap.removes, 1);
+        assert_eq!(snap.metadata_ops(), 2 + 15 + 1);
+
+        s.record_list(3);
+        let later = s.snapshot();
+        let d = later.since(&snap);
+        assert_eq!(d.list_dir_calls, 1);
+        assert_eq!(d.entries_scanned, 3);
+        assert_eq!(d.reads, 0);
+    }
+}

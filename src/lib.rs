@@ -1,0 +1,12 @@
+//! Umbrella crate re-exporting the Bistro workspace.
+pub use bistro_analyzer as analyzer;
+pub use bistro_base as base;
+pub use bistro_compress as compress;
+pub use bistro_config as config;
+pub use bistro_core as server;
+pub use bistro_pattern as pattern;
+pub use bistro_receipts as receipts;
+pub use bistro_scheduler as scheduler;
+pub use bistro_simnet as simnet;
+pub use bistro_transport as transport;
+pub use bistro_vfs as vfs;

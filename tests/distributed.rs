@@ -1,0 +1,141 @@
+//! Workspace-level integration: a three-tier Bistro relay network
+//! (paper §3: "organizing Bistro servers into a network of cooperating
+//! feed managers").
+
+use bistro::base::{Clock, SimClock, TimePoint, TimeSpan};
+use bistro::config::parse_config;
+use bistro::server::relay::pump;
+use bistro::server::Server;
+use bistro::transport::{LinkSpec, SimNetwork};
+use bistro::vfs::MemFs;
+use std::sync::Arc;
+
+const START: TimePoint = TimePoint::from_secs(1_285_372_800);
+
+fn server(name: &str, cfg: &str, clock: Arc<bistro::base::clock::SimClock>, net: Arc<SimNetwork>) -> Server {
+    Server::new(
+        name,
+        parse_config(cfg).unwrap(),
+        clock.clone(),
+        MemFs::shared(clock),
+    )
+    .unwrap()
+    .with_network(net)
+}
+
+#[test]
+fn three_tier_relay_chain() {
+    let clock = SimClock::starting_at(START);
+    let net = Arc::new(SimNetwork::new(LinkSpec {
+        bandwidth: 50_000_000,
+        latency: TimeSpan::from_millis(10),
+    }));
+
+    // tier 1: collector near the sources, relays everything to tier 2
+    let mut collector = server(
+        "collector",
+        r#"
+        feed SNMP/MEMORY { pattern "MEMORY_poller%i_%Y%m%d%H%M.csv"; }
+        feed SNMP/CPU { pattern "CPU_poller%i_%Y%m%d%H%M.csv"; }
+        subscriber regional { endpoint "regional"; subscribe SNMP; delivery push; }
+        "#,
+        clock.clone(),
+        net.clone(),
+    );
+
+    // tier 2: regional hub, relays only MEMORY onward
+    let mut regional = server(
+        "regional",
+        r#"
+        feed SNMP/MEMORY { pattern "MEMORY_poller%i_%Y%m%d%H%M.csv"; }
+        feed SNMP/CPU { pattern "CPU_poller%i_%Y%m%d%H%M.csv"; }
+        subscriber edge { endpoint "edge"; subscribe SNMP/MEMORY; delivery push; }
+        "#,
+        clock.clone(),
+        net.clone(),
+    );
+
+    // tier 3: edge server delivering to the analyst
+    let mut edge = server(
+        "edge",
+        r#"
+        feed SNMP/MEMORY { pattern "MEMORY_poller%i_%Y%m%d%H%M.csv"; }
+        subscriber analyst { endpoint "analyst"; subscribe SNMP/MEMORY; delivery push; }
+        "#,
+        clock.clone(),
+        net.clone(),
+    );
+
+    // a polling round lands at the collector
+    for p in 1..=4 {
+        collector
+            .deposit(&format!("MEMORY_poller{p}_201009250000.csv"), b"mem")
+            .unwrap();
+        collector
+            .deposit(&format!("CPU_poller{p}_201009250000.csv"), b"cpu")
+            .unwrap();
+    }
+
+    // pump each hop in turn
+    clock.advance(TimeSpan::from_secs(2));
+    let hop1 = pump(&net, &collector, &mut regional, clock.now()).unwrap();
+    assert_eq!(hop1, 8, "regional subscribes to everything");
+
+    clock.advance(TimeSpan::from_secs(2));
+    let hop2 = pump(&net, &regional, &mut edge, clock.now()).unwrap();
+    assert_eq!(hop2, 4, "edge subscribes to MEMORY only");
+
+    clock.advance(TimeSpan::from_secs(2));
+    let final_msgs = net.recv_ready("analyst", clock.now());
+    assert_eq!(final_msgs.len(), 4);
+
+    // end-to-end latency across three tiers is seconds, not minutes
+    let worst = final_msgs.iter().map(|d| d.at.since(START)).max().unwrap();
+    assert!(worst < TimeSpan::from_secs(60), "3-hop latency {worst}");
+
+    // receipts are consistent at every tier
+    assert_eq!(collector.receipts().live_count(), 8);
+    assert_eq!(regional.receipts().live_count(), 8);
+    assert_eq!(edge.receipts().live_count(), 4);
+    assert_eq!(edge.stats().deliveries, 4);
+}
+
+#[test]
+fn relay_survives_downstream_outage() {
+    let clock = SimClock::starting_at(START);
+    let net = Arc::new(SimNetwork::new(LinkSpec::default()));
+
+    let mut hub = server(
+        "hub",
+        r#"
+        feed F { pattern "f_%i.csv"; }
+        subscriber edge { endpoint "edge"; subscribe F; delivery push; }
+        "#,
+        clock.clone(),
+        net.clone(),
+    );
+    let mut edge = server(
+        "edge",
+        r#"
+        feed F { pattern "f_%i.csv"; }
+        subscriber app { endpoint "app"; subscribe F; delivery push; }
+        "#,
+        clock.clone(),
+        net.clone(),
+    );
+
+    // edge goes down (from the hub's perspective)
+    hub.set_subscriber_online("edge", false).unwrap();
+    for i in 0..5 {
+        hub.deposit(&format!("f_{i}.csv"), b"x").unwrap();
+    }
+    clock.advance(TimeSpan::from_secs(5));
+    assert_eq!(pump(&net, &hub, &mut edge, clock.now()).unwrap(), 0);
+
+    // recovery: hub backfills, relay pumps everything through
+    hub.set_subscriber_online("edge", true).unwrap();
+    clock.advance(TimeSpan::from_secs(5));
+    assert_eq!(pump(&net, &hub, &mut edge, clock.now()).unwrap(), 5);
+    clock.advance(TimeSpan::from_secs(5));
+    assert_eq!(net.recv_ready("app", clock.now()).len(), 5);
+}

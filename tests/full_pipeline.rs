@@ -1,0 +1,174 @@
+//! Workspace-level integration: drive the full SNMP scenario through the
+//! umbrella crate, exercising config → classification → normalization →
+//! compression → delivery → batching → monitoring → expiration →
+//! archival → analyzer in one continuous run.
+
+use bistro::base::{Clock, SimClock, TimePoint, TimeSpan};
+use bistro::compress::container;
+use bistro::config::parse_config;
+use bistro::server::Server;
+use bistro::simnet::{generate, payload::payload_for, FleetConfig, SubfeedSpec};
+use bistro::vfs::{FileStore, MemFs};
+
+const START: TimePoint = TimePoint::from_secs(1_285_372_800);
+
+#[test]
+fn day_in_the_life() {
+    let config = parse_config(
+        r#"
+        server { retention 12h; archive on; }
+
+        feed SNMP/BPS    { pattern "BPS_poller%i_%Y%m%d%H%M.csv"; }
+        feed SNMP/CPU    { pattern "CPU_poller%i_%Y%m%d%H%M.csv"; compress lzss; }
+        feed SNMP/MEMORY { pattern "MEMORY_poller%i_%Y%m%d%H%M.csv"; normalize "%Y/%m/%d/%H/%f"; }
+
+        subscriber warehouse {
+            endpoint "wh";
+            subscribe SNMP;
+            delivery push;
+            deadline 60s;
+            batch count 3 window 10m;
+            trigger remote "refresh %N n=%c";
+        }
+        subscriber monitor_app {
+            endpoint "mon";
+            subscribe SNMP/CPU;
+            delivery notify;
+            deadline 5s;
+        }
+        "#,
+    )
+    .unwrap();
+
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let mut server = Server::new("bistro", config, clock.clone(), store.clone()).unwrap();
+    for feed in ["SNMP/BPS", "SNMP/CPU", "SNMP/MEMORY"] {
+        server.monitor_feed(feed, TimeSpan::from_mins(5), 3);
+    }
+
+    // one day of traffic from 3 pollers × 3 subfeeds at 5-minute intervals
+    let mut fleet = FleetConfig::standard(
+        3,
+        vec![
+            SubfeedSpec::standard("BPS"),
+            SubfeedSpec::standard("CPU"),
+            SubfeedSpec::standard("MEMORY"),
+        ],
+        TimeSpan::from_hours(24),
+    );
+    fleet.skip_prob = 0.01;
+    let files = generate(&fleet);
+    let total = files.len();
+    let mut minute = 0;
+    for f in &files {
+        clock.set(f.deposit_time);
+        server.deposit(&f.name, &payload_for(f)).unwrap();
+        if clock.now().as_secs() / 60 > minute {
+            minute = clock.now().as_secs() / 60;
+            server.tick();
+        }
+        // periodic housekeeping mid-day
+        if server.receipts().live_count().is_multiple_of(500) {
+            server.snapshot().unwrap();
+        }
+    }
+    server.tick();
+
+    // everything classified and delivered (warehouse gets all, monitor CPU only)
+    assert_eq!(server.stats().files_ingested as usize, total);
+    assert_eq!(server.stats().files_unknown, 0);
+    let cpu_files = server.receipts().files_in_feed("SNMP/CPU").len();
+    assert_eq!(
+        server.stats().deliveries as usize,
+        total + cpu_files,
+        "warehouse all + monitor cpu"
+    );
+
+    // CPU staged files are sealed compressed containers
+    let one_cpu = &server.receipts().files_in_feed("SNMP/CPU")[0];
+    let staged = store
+        .read(&format!("staging/{}", one_cpu.staged_path))
+        .unwrap();
+    assert!(container::is_container(&staged));
+    assert!(container::open(&staged).is_ok());
+
+    // MEMORY staged files landed in hour-structured directories
+    let mem = &server.receipts().files_in_feed("SNMP/MEMORY")[0];
+    assert!(
+        mem.staged_path.starts_with("SNMP/MEMORY/2010/09/25/"),
+        "{}",
+        mem.staged_path
+    );
+
+    // batch triggers fired (count=3 per polling round, 3 feeds × 288 rounds)
+    let triggers = server.trigger_log().len();
+    assert!(triggers > 500, "expected many batch triggers, got {triggers}");
+
+    // skipped intervals produced missing-data alarms
+    assert!(server.event_log().count(bistro::server::LogLevel::Alarm) > 0);
+
+    // expire the first half of the day into the archive
+    clock.set(START + TimeSpan::from_hours(26));
+    let expired = server.expire().unwrap();
+    assert!(expired > total / 3, "expired {expired} of {total}");
+    assert_eq!(
+        server.archiver().unwrap().archived_files().unwrap().len(),
+        expired
+    );
+    assert_eq!(server.receipts().live_count(), total - expired);
+
+    // archived payloads are retrievable
+    let archived = server.archiver().unwrap().archived_files().unwrap();
+    let payload = server
+        .archiver()
+        .unwrap()
+        .fetch(&archived[0].staged_path)
+        .unwrap();
+    assert!(!payload.is_empty());
+
+    // a snapshot now bounds recovery: reopen and verify state survives
+    server.snapshot().unwrap();
+    drop(server);
+    let config2 = parse_config(
+        r#"
+        server { retention 12h; archive on; }
+        feed SNMP/BPS    { pattern "BPS_poller%i_%Y%m%d%H%M.csv"; }
+        feed SNMP/CPU    { pattern "CPU_poller%i_%Y%m%d%H%M.csv"; compress lzss; }
+        feed SNMP/MEMORY { pattern "MEMORY_poller%i_%Y%m%d%H%M.csv"; normalize "%Y/%m/%d/%H/%f"; }
+        subscriber warehouse { endpoint "wh"; subscribe SNMP; }
+        subscriber monitor_app { endpoint "mon"; subscribe SNMP/CPU; }
+        "#,
+    )
+    .unwrap();
+    let server2 = Server::new("bistro", config2, clock.clone(), store).unwrap();
+    assert_eq!(server2.receipts().live_count(), total - expired);
+    // nothing pending: all deliveries were receipted before the restart
+    assert!(server2
+        .receipts()
+        .pending_for("warehouse", &["SNMP/BPS".into(), "SNMP/CPU".into(), "SNMP/MEMORY".into()])
+        .is_empty());
+}
+
+#[test]
+fn compression_roundtrip_through_delivery() {
+    // a subscriber that receives compressed staging data can open it
+    let config = parse_config(
+        r#"
+        feed LOGS { pattern "log_%i.txt"; compress lzss; }
+        subscriber s { endpoint "s"; subscribe LOGS; }
+        "#,
+    )
+    .unwrap();
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let mut server = Server::new("b", config, clock, store.clone()).unwrap();
+
+    let body = b"repetitive log line\n".repeat(100);
+    server.deposit("log_1.txt", &body).unwrap();
+
+    let rec = &server.receipts().files_in_feed("LOGS")[0];
+    let staged = store.read(&format!("staging/{}", rec.staged_path)).unwrap();
+    assert!(staged.len() < body.len(), "compressed on staging");
+    assert_eq!(container::open(&staged).unwrap(), body);
+}
