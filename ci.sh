@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Offline CI gate: the whole workspace must build, test, lint, and
+# format-check without touching the network or a registry cache.
+# Bistro has zero external dependencies by construction — this script
+# is what enforces that invariant.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --offline --all-targets -- -D warnings
+cargo fmt --check

@@ -83,8 +83,7 @@ fn classify_value(v: &str) -> ColumnType {
             return ColumnType::Timestamp;
         }
         if (8..=14).contains(&v.len())
-            && bistro_pattern::token::classify_digits(v)
-                != bistro_pattern::token::DigitsFormat::Int
+            && bistro_pattern::token::classify_digits(v) != bistro_pattern::token::DigitsFormat::Int
         {
             return ColumnType::Timestamp;
         }
@@ -129,9 +128,7 @@ pub fn infer_schema(data: &[u8]) -> Option<RecordSchema> {
         if first == 0 {
             continue;
         }
-        if counts.iter().all(|&c| c == first)
-            && best.map(|(_, n)| first > n).unwrap_or(true)
-        {
+        if counts.iter().all(|&c| c == first) && best.map(|(_, n)| first > n).unwrap_or(true) {
             best = Some((d, first));
         }
     }
@@ -233,7 +230,8 @@ mod tests {
         // the §2.1.3.2 hazard: BPS and PPS files carry an identical schema
         let bps = b"1285372800,router_001,1024\n1285372805,router_002,2048\n";
         let pps = b"1285372800,router_001,17\n1285372805,router_002,23\n";
-        let alarm = b"1285372800,router_001,LINK_DOWN,critical\n1285372805,router_002,LINK_UP,info\n";
+        let alarm =
+            b"1285372800,router_001,LINK_DOWN,critical\n1285372805,router_002,LINK_UP,info\n";
         assert_eq!(infer_schema(bps), infer_schema(pps));
         assert_ne!(infer_schema(bps), infer_schema(alarm));
     }

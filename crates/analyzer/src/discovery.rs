@@ -114,16 +114,21 @@ impl FeedDiscoverer {
             match merged.get_mut(&key) {
                 Some(target) => {
                     if target.shape.merge(&cluster.shape, true) {
-                        target
-                            .examples
-                            .extend(cluster.examples.iter().take(
-                                EXAMPLE_CAP.saturating_sub(target.examples.len()),
-                            ).cloned());
+                        target.examples.extend(
+                            cluster
+                                .examples
+                                .iter()
+                                .take(EXAMPLE_CAP.saturating_sub(target.examples.len()))
+                                .cloned(),
+                        );
                         target.feed_times.extend(&cluster.feed_times);
                     } else {
                         // structurally incompatible despite equal keys —
                         // keep separate under a disambiguated key
-                        let alt = (key.0.clone(), format!("{}#{}", key.1, cluster.shape.to_pattern()));
+                        let alt = (
+                            key.0.clone(),
+                            format!("{}#{}", key.1, cluster.shape.to_pattern()),
+                        );
                         merged.insert(
                             alt,
                             Cluster {
@@ -163,7 +168,11 @@ impl FeedDiscoverer {
                 }
             })
             .collect();
-        out.sort_by(|a, b| b.support.cmp(&a.support).then(a.pattern.text().cmp(b.pattern.text())));
+        out.sort_by(|a, b| {
+            b.support
+                .cmp(&a.support)
+                .then(a.pattern.text().cmp(b.pattern.text()))
+        });
         out
     }
 }
@@ -173,9 +182,7 @@ impl FeedDiscoverer {
 pub(crate) fn leading_name(shape: &Shape) -> Option<&str> {
     for e in shape.elems() {
         match e {
-            ShapeElem::Lit(s) if s.chars().all(|c| c.is_ascii_alphabetic()) => {
-                return Some(s)
-            }
+            ShapeElem::Lit(s) if s.chars().all(|c| c.is_ascii_alphabetic()) => return Some(s),
             ShapeElem::Lit(_) => continue, // leading punctuation
             _ => return None,              // starts with a variable field
         }
@@ -212,7 +219,10 @@ fn infer_period(times: &[TimePoint]) -> Option<TimeSpan> {
 fn infer_sources(shape: &Shape) -> Option<usize> {
     let mut candidates: Vec<usize> = Vec::new();
     for e in shape.elems() {
-        if let ShapeElem::IntVar { domain, min, max, .. } = e {
+        if let ShapeElem::IntVar {
+            domain, min, max, ..
+        } = e
+        {
             // a source-id field: small domain, small values
             if domain.len() >= 2 && domain.len() <= 32 && *max - *min <= 64 {
                 candidates.push(domain.len());
@@ -253,8 +263,14 @@ mod tests {
         let feeds = d.suggestions(1);
         assert_eq!(feeds.len(), 2, "{feeds:#?}");
         let patterns: Vec<_> = feeds.iter().map(|f| f.pattern.text().to_string()).collect();
-        assert!(patterns.contains(&"MEMORY_POLLER%i_%Y%m%d%H_%M.csv.gz".to_string()), "{patterns:?}");
-        assert!(patterns.contains(&"CPU_POLL%i_%Y%m%d%H%M.txt".to_string()), "{patterns:?}");
+        assert!(
+            patterns.contains(&"MEMORY_POLLER%i_%Y%m%d%H_%M.csv.gz".to_string()),
+            "{patterns:?}"
+        );
+        assert!(
+            patterns.contains(&"CPU_POLL%i_%Y%m%d%H%M.txt".to_string()),
+            "{patterns:?}"
+        );
         // the id field domain {1, 2} ⇒ two sources
         for f in &feeds {
             assert_eq!(f.sources, Some(2), "feed {}", f.pattern);
@@ -270,9 +286,7 @@ mod tests {
             let h = 4 + (slot * 5 + 51) / 60;
             let m = (slot * 5 + 51) % 60;
             for poller in 1..=2 {
-                d.observe(&format!(
-                    "MEMORY_POLLER{poller}_201009250{h}_{m:02}.csv.gz"
-                ));
+                d.observe(&format!("MEMORY_POLLER{poller}_201009250{h}_{m:02}.csv.gz"));
             }
         }
         let feeds = d.suggestions(1);

@@ -140,14 +140,14 @@ impl FnDetector {
     /// The paper's strawman: flag `name` as a false negative for feeds
     /// whose pattern text is within `max_distance` byte edits. Kept for
     /// the E9 comparison.
-    pub fn edit_distance_candidates(&self, name: &str, max_distance: usize) -> Vec<(String, usize)> {
+    pub fn edit_distance_candidates(
+        &self,
+        name: &str,
+        max_distance: usize,
+    ) -> Vec<(String, usize)> {
         let mut out = Vec::new();
         for (feed, patterns) in &self.feeds {
-            if let Some(d) = patterns
-                .iter()
-                .map(|p| levenshtein(p.text(), name))
-                .min()
-            {
+            if let Some(d) = patterns.iter().map(|p| levenshtein(p.text(), name)).min() {
                 if d <= max_distance {
                     out.push((feed.clone(), d));
                 }
@@ -237,8 +237,7 @@ mod tests {
         // Edit distance is 51 — any per-file distance threshold that
         // catches it would drown in noise; pattern similarity catches it.
         let mut det = FnDetector::new(feeds());
-        let file =
-            "TRAP_2010030817_UVIPTV-PER-BAN-DSPS-IPTV_MOM-rcsntxsqlcv122_9234SEC_klpi.txt";
+        let file = "TRAP_2010030817_UVIPTV-PER-BAN-DSPS-IPTV_MOM-rcsntxsqlcv122_9234SEC_klpi.txt";
         det.observe(file);
         // baseline: edit distance
         let d = levenshtein("TRAP__%Y%m%d_DCTAGN_klpi.txt", file);
@@ -269,10 +268,13 @@ mod tests {
         // §2.1.3.1: more pollers / format change
         let mut det = FnDetector::new(feeds());
         det.observe("CPU_POLL7_201009251505.txt"); // poller 7 is new but matches? no — it matches the pattern!
-        // this file actually matches CPU's %i; simulate a format change:
+                                                   // this file actually matches CPU's %i; simulate a format change:
         det.observe("CPU_POLLER7_201009251505.txt"); // POLL→POLLER drift
         let warnings = det.warnings();
-        assert!(warnings.iter().any(|w| w.feed == "SNMP/CPU"), "{warnings:#?}");
+        assert!(
+            warnings.iter().any(|w| w.feed == "SNMP/CPU"),
+            "{warnings:#?}"
+        );
     }
 
     #[test]

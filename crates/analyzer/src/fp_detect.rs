@@ -49,9 +49,8 @@ pub fn fp_report<'a>(
     }
     let all = disc.suggestions(1);
     let threshold = ((total as f64) * outlier_fraction).ceil() as usize;
-    let (composition, outliers): (Vec<_>, Vec<_>) = all
-        .into_iter()
-        .partition(|f| f.support >= threshold.max(1));
+    let (composition, outliers): (Vec<_>, Vec<_>) =
+        all.into_iter().partition(|f| f.support >= threshold.max(1));
     FpReport {
         feed: feed.to_string(),
         total_files: total,

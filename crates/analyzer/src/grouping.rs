@@ -76,10 +76,7 @@ pub fn suggest_groups(feeds: &[DiscoveredFeed], threshold: f64) -> Vec<GroupSugg
                     cohesion = cohesion.min(sim[a][b]);
                 }
             }
-            let names: Vec<&str> = members
-                .iter()
-                .map(|&i| feeds[i].pattern.text())
-                .collect();
+            let names: Vec<&str> = members.iter().map(|&i| feeds[i].pattern.text()).collect();
             let prefix = common_prefix(&names);
             let suggested_name = if prefix.len() >= 3 {
                 prefix.trim_end_matches(['_', '-', '.']).to_string()

@@ -27,13 +27,13 @@
 pub mod content;
 pub mod discovery;
 pub mod fn_detect;
-pub mod grouping;
 pub mod fp_detect;
+pub mod grouping;
 pub mod progress;
 
 pub use content::{infer_schema, ColumnType, RecordSchema};
 pub use discovery::{DiscoveredFeed, FeedDiscoverer};
-pub use grouping::{suggest_groups, GroupSuggestion};
 pub use fn_detect::{FnDetector, FnWarning};
 pub use fp_detect::{fp_report, FpReport};
+pub use grouping::{suggest_groups, GroupSuggestion};
 pub use progress::{FeedProgress, ProgressAlert};

@@ -181,7 +181,10 @@ mod tests {
         p.record(t(0));
         p.record(t(0) + TimeSpan::from_secs(1));
         let alerts = p.audit(t(5));
-        assert!(matches!(alerts[0], ProgressAlert::SurplusData { got: 2, .. }));
+        assert!(matches!(
+            alerts[0],
+            ProgressAlert::SurplusData { got: 2, .. }
+        ));
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! reliability experiments deterministic and laptop-fast: a day of feed
 //! traffic replays in milliseconds.
 
+use crate::sync::Mutex;
 use crate::time::{TimePoint, TimeSpan};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};

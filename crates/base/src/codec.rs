@@ -196,9 +196,9 @@ impl<'a> ByteReader<'a> {
         let mut result: u64 = 0;
         let mut shift = 0u32;
         loop {
-            let byte = self.get_u8().map_err(|_| CodecError::UnexpectedEof {
-                what: "varint",
-            })?;
+            let byte = self
+                .get_u8()
+                .map_err(|_| CodecError::UnexpectedEof { what: "varint" })?;
             if shift == 63 && byte > 1 {
                 return Err(CodecError::VarintOverflow);
             }
@@ -282,10 +282,7 @@ mod tests {
         let mut r = ByteReader::new(&[0x01]);
         assert!(r.get_u32().is_err());
         let mut r = ByteReader::new(&[]);
-        assert!(matches!(
-            r.get_u8(),
-            Err(CodecError::UnexpectedEof { .. })
-        ));
+        assert!(matches!(r.get_u8(), Err(CodecError::UnexpectedEof { .. })));
     }
 
     #[test]

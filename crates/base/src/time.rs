@@ -332,10 +332,8 @@ impl Calendar {
             days += Self::days_in_month(self.year, m) as u64;
         }
         days += (self.day - 1) as u64;
-        let secs = days * 86_400
-            + self.hour as u64 * 3_600
-            + self.minute as u64 * 60
-            + self.second as u64;
+        let secs =
+            days * 86_400 + self.hour as u64 * 3_600 + self.minute as u64 * 60 + self.second as u64;
         Some(TimePoint::from_secs(secs))
     }
 

@@ -1,70 +1,111 @@
-//! Property-based tests for bistro-base invariants.
+//! Property-based tests for bistro-base invariants, on the in-tree
+//! `base::prop` harness.
 
-use bistro_base::{crc32, ByteReader, ByteWriter, TimePoint, TimeSpan};
+use bistro_base::prop::{self, Runner};
 use bistro_base::time::Calendar;
-use proptest::prelude::*;
+use bistro_base::{crc32, ByteReader, ByteWriter, TimePoint, TimeSpan};
+use bistro_base::{prop_assert, prop_assert_eq, prop_assert_ne};
 
-proptest! {
-    #[test]
-    fn varint_roundtrips(v in any::<u64>()) {
-        let mut w = ByteWriter::new();
-        w.put_varint(v);
-        let bytes = w.into_bytes();
-        let mut r = ByteReader::new(&bytes);
-        prop_assert_eq!(r.get_varint().unwrap(), v);
-        prop_assert!(r.is_exhausted());
-    }
+#[test]
+fn varint_roundtrips() {
+    Runner::new("varint_roundtrips").run(
+        |rng| rng.next_u64(),
+        |&v| {
+            let mut w = ByteWriter::new();
+            w.put_varint(v);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            prop_assert_eq!(r.get_varint().unwrap(), v);
+            prop_assert!(r.is_exhausted());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
-        let mut w = ByteWriter::new();
-        w.put_bytes(&data);
-        let bytes = w.into_bytes();
-        let mut r = ByteReader::new(&bytes);
-        prop_assert_eq!(r.get_bytes().unwrap(), &data[..]);
-    }
+#[test]
+fn bytes_roundtrip() {
+    Runner::new("bytes_roundtrip").run(
+        |rng| prop::vec_of(rng, 0..=511, |r| r.gen_range(0u8..=255)),
+        |data| {
+            let mut w = ByteWriter::new();
+            w.put_bytes(data);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            prop_assert_eq!(r.get_bytes().unwrap(), &data[..]);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn string_roundtrip(s in "\\PC{0,64}") {
-        let mut w = ByteWriter::new();
-        w.put_str(&s);
-        let bytes = w.into_bytes();
-        let mut r = ByteReader::new(&bytes);
-        prop_assert_eq!(r.get_str().unwrap(), s);
-    }
+#[test]
+fn string_roundtrip() {
+    Runner::new("string_roundtrip").run(
+        |rng| prop::unicode_string(rng, 0..=64),
+        |s| {
+            let mut w = ByteWriter::new();
+            w.put_str(s);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            prop_assert_eq!(r.get_str().unwrap(), s.as_str());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn crc_differs_on_mutation(
-        data in proptest::collection::vec(any::<u8>(), 1..256),
-        idx in any::<prop::sample::Index>(),
-        bit in 0u8..8,
-    ) {
-        let orig = crc32(&data);
-        let mut mutated = data.clone();
-        let i = idx.index(mutated.len());
-        mutated[i] ^= 1 << bit;
-        prop_assert_ne!(crc32(&mutated), orig);
-    }
+#[test]
+fn crc_differs_on_mutation() {
+    Runner::new("crc_differs_on_mutation").run(
+        |rng| {
+            (
+                prop::vec_of(rng, 1..=255, |r| r.gen_range(0u8..=255)),
+                rng.gen_range(0usize..4096),
+                rng.gen_range(0u8..8),
+            )
+        },
+        |(data, idx, bit)| {
+            if data.is_empty() {
+                return Ok(()); // shrunk out of domain
+            }
+            let orig = crc32(data);
+            let mut mutated = data.clone();
+            let i = idx % mutated.len();
+            mutated[i] ^= 1 << bit;
+            prop_assert_ne!(crc32(&mutated), orig);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn calendar_roundtrips(secs in 0u64..=253_402_300_799) {
+#[test]
+fn calendar_roundtrips() {
+    Runner::new("calendar_roundtrips").run(
         // up to year 9999
-        let tp = TimePoint::from_secs(secs);
-        let c = Calendar::from_timepoint(tp);
-        prop_assert!(c.is_valid());
-        prop_assert_eq!(c.to_timepoint().unwrap(), tp);
-    }
+        |rng| rng.gen_range(0u64..=253_402_300_799),
+        |&secs| {
+            let tp = TimePoint::from_secs(secs);
+            let c = Calendar::from_timepoint(tp);
+            prop_assert!(c.is_valid());
+            prop_assert_eq!(c.to_timepoint().unwrap(), tp);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn truncate_is_idempotent_and_lower(
-        t in any::<u64>(),
-        g in 1u64..10_000_000_000,
-    ) {
-        let tp = TimePoint::from_micros(t);
-        let g = TimeSpan::from_micros(g);
-        let once = tp.truncate_to(g);
-        prop_assert!(once <= tp);
-        prop_assert_eq!(once.truncate_to(g), once);
-        prop_assert_eq!(once.as_micros() % g.as_micros(), 0);
-    }
+#[test]
+fn truncate_is_idempotent_and_lower() {
+    Runner::new("truncate_is_idempotent_and_lower").run(
+        |rng| (rng.next_u64(), rng.gen_range(1u64..10_000_000_000)),
+        |&(t, g)| {
+            if g == 0 {
+                return Ok(()); // shrunk out of domain
+            }
+            let tp = TimePoint::from_micros(t);
+            let g = TimeSpan::from_micros(g);
+            let once = tp.truncate_to(g);
+            prop_assert!(once <= tp);
+            prop_assert_eq!(once.truncate_to(g), once);
+            prop_assert_eq!(once.as_micros() % g.as_micros(), 0);
+            Ok(())
+        },
+    );
 }

@@ -1,13 +1,16 @@
-//! Criterion microbenchmarks over the hot kernels of every experiment:
-//! pattern matching and classification (E11), generalization and
-//! similarity (E8/E9), WAL append and queue computation (E2/E5),
-//! compression codecs, batch processing (E4) and the scheduling engine
-//! (E6/E7).
+//! Microbenchmarks over the hot kernels of every experiment: pattern
+//! matching and classification (E11), generalization and similarity
+//! (E8/E9), WAL append and queue computation (E2/E5), compression
+//! codecs, batch processing (E4) and the scheduling engine (E6/E7).
+//!
+//! Runs on the in-tree harness (`bistro_bench::harness`) — no external
+//! benchmarking crate — and writes `BENCH_micro.json` next to the
+//! summary it prints.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::sync::Arc;
 
 use bistro_base::{FileId, SimClock, TimePoint, TimeSpan};
+use bistro_bench::harness::{BatchSize, Criterion, Throughput};
 use bistro_bench::{e4_batching, e6_scheduling};
 use bistro_compress::Codec;
 use bistro_config::{parse_config, BatchSpec};
@@ -22,8 +25,12 @@ fn bench_pattern_match(c: &mut Criterion) {
     let hit = "MEMORY_POLLER12_2010092504_51.csv.gz";
     let miss = "MEMORY_POLLER12_2010092504_51.csv.bz2";
     let mut g = c.benchmark_group("pattern_match");
-    g.bench_function("hit", |b| b.iter(|| pat.match_str(std::hint::black_box(hit))));
-    g.bench_function("miss", |b| b.iter(|| pat.match_str(std::hint::black_box(miss))));
+    g.bench_function("hit", |b| {
+        b.iter(|| pat.match_str(std::hint::black_box(hit)))
+    });
+    g.bench_function("miss", |b| {
+        b.iter(|| pat.match_str(std::hint::black_box(miss)))
+    });
     g.finish();
 }
 
@@ -95,7 +102,8 @@ fn bench_wal_and_queue(c: &mut Criterion) {
                 )
                 .unwrap();
             if i % 2 == 0 {
-                db.record_delivery(id, "sub", TimePoint::from_secs(i)).unwrap();
+                db.record_delivery(id, "sub", TimePoint::from_secs(i))
+                    .unwrap();
             }
         }
         let feeds = vec!["F".to_string()];
@@ -135,9 +143,7 @@ fn bench_batching(c: &mut Criterion) {
             },
             |mut batcher| {
                 for i in 0..30u64 {
-                    std::hint::black_box(
-                        batcher.on_file(FileId(i), TimePoint::from_secs(i)),
-                    );
+                    std::hint::black_box(batcher.on_file(FileId(i), TimePoint::from_secs(i)));
                 }
             },
             BatchSize::SmallInput,
@@ -156,14 +162,17 @@ fn bench_scheduler(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_pattern_match,
-    bench_classifier,
-    bench_generalize_similarity,
-    bench_wal_and_queue,
-    bench_compression,
-    bench_batching,
-    bench_scheduler,
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_pattern_match(&mut c);
+    bench_classifier(&mut c);
+    bench_generalize_similarity(&mut c);
+    bench_wal_and_queue(&mut c);
+    bench_compression(&mut c);
+    bench_batching(&mut c);
+    bench_scheduler(&mut c);
+    c.print_summary();
+    c.write_json("BENCH_micro.json")
+        .expect("write BENCH_micro.json");
+    println!("\nwrote BENCH_micro.json");
+}

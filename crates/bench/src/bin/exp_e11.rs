@@ -1,8 +1,32 @@
 //! E11: deployment-scale throughput.
+//!
+//! Prints the experiment tables and writes the machine-readable perf
+//! trajectory files `BENCH_classify.json` and `BENCH_throughput.json`
+//! (schema `bistro-bench-v1`: median/p95 per-file latency plus
+//! files/sec / bytes/sec throughput).
 use bistro_bench::e11_throughput as e11;
+use bistro_bench::harness;
+
 fn main() {
     let classify = e11::run_classifier(&[10, 50, 100, 250, 500]);
     let ingest = e11::run_ingest(5_000, 60_000);
     let (t1, t2) = e11::tables(&classify, &ingest);
     print!("{t1}{t2}");
+
+    let classify_bench = e11::bench_classify(250, 30);
+    harness::write_json("BENCH_classify.json", &classify_bench).expect("write BENCH_classify.json");
+    let ingest_bench = e11::bench_ingest(60_000, 30);
+    harness::write_json("BENCH_throughput.json", &ingest_bench)
+        .expect("write BENCH_throughput.json");
+    for r in classify_bench.iter().chain(&ingest_bench) {
+        println!(
+            "{}/{}: median {:.0} ns, p95 {:.0} ns, {:.0} /s",
+            r.group,
+            r.name,
+            r.median_ns,
+            r.p95_ns,
+            r.per_sec().unwrap_or(0.0)
+        );
+    }
+    println!("wrote BENCH_classify.json, BENCH_throughput.json");
 }

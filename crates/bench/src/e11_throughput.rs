@@ -9,6 +9,7 @@
 //! registered feeds grows, and (b) end-to-end server ingest+delivery
 //! throughput in MB/s, then report the headroom over the paper's rate.
 
+use crate::harness::{time_fn, BenchResult, Throughput};
 use crate::table::Table;
 use bistro_base::{SimClock, TimePoint};
 use bistro_config::{parse_config, Config};
@@ -45,7 +46,15 @@ pub fn run_classifier(feed_counts: &[usize]) -> Vec<ClassifyPoint> {
         let cfg = config_with_feeds(n);
         let classifier = Classifier::compile(&cfg);
         let hits: Vec<String> = (0..2_000)
-            .map(|i| format!("KIND{}_poller{}_20100925{:02}{:02}.csv", i % n, i % 7, i % 24, i % 60))
+            .map(|i| {
+                format!(
+                    "KIND{}_poller{}_20100925{:02}{:02}.csv",
+                    i % n,
+                    i % 7,
+                    i % 24,
+                    i % 60
+                )
+            })
             .collect();
         let misses: Vec<String> = (0..2_000)
             .map(|i| format!("UNKNOWN{}_thing_{i}.dat", i % 50))
@@ -123,6 +132,69 @@ pub fn run_ingest(files: usize, file_size: usize) -> IngestPoint {
     }
 }
 
+/// Harness-measured classification latency (median/p95 + files/sec)
+/// at `feeds` registered feeds, for the `BENCH_classify.json`
+/// trajectory file.
+pub fn bench_classify(feeds: usize, samples: usize) -> Vec<BenchResult> {
+    let cfg = config_with_feeds(feeds);
+    let classifier = Classifier::compile(&cfg);
+    let group = format!("classify_{feeds}_feeds");
+    let hit = time_fn(
+        &group,
+        "hit",
+        samples,
+        Some(Throughput::Elements(1)),
+        || {
+            std::hint::black_box(
+                classifier.classify(std::hint::black_box("KIND137_poller3_201009250455.csv")),
+            );
+        },
+    );
+    let miss = time_fn(
+        &group,
+        "miss",
+        samples,
+        Some(Throughput::Elements(1)),
+        || {
+            std::hint::black_box(
+                classifier.classify(std::hint::black_box("NOPE_poller3_201009250455.csv")),
+            );
+        },
+    );
+    vec![hit, miss]
+}
+
+/// Harness-measured end-to-end per-file deposit latency (classify +
+/// normalize + stage + receipts + delivery) on a 100-feed server, for
+/// the `BENCH_throughput.json` trajectory file.
+pub fn bench_ingest(file_size: usize, samples: usize) -> Vec<BenchResult> {
+    let clock = SimClock::starting_at(TimePoint::from_secs(1_285_372_800));
+    let store = MemFs::shared(clock.clone());
+    let cfg = config_with_feeds(100);
+    let mut server = Server::new("b", cfg, clock.clone(), store).unwrap();
+    let payload = vec![b'x'; file_size];
+    let mut i = 0u64;
+    let deposit = time_fn(
+        "server_ingest_100_feeds",
+        &format!("deposit_{file_size}b"),
+        samples,
+        // Elements(1): per_sec is files/sec (bytes/sec = files/sec × size)
+        Some(Throughput::Elements(1)),
+        || {
+            i += 1;
+            let name = format!(
+                "KIND{}_poller{}_20100925{:02}{:02}.csv",
+                i % 100,
+                i % 7,
+                (i / 60) % 24,
+                i % 60
+            );
+            server.deposit(&name, &payload).unwrap();
+        },
+    );
+    vec![deposit]
+}
+
 /// Render both tables.
 pub fn tables(classify: &[ClassifyPoint], ingest: &IngestPoint) -> (Table, Table) {
     let mut t1 = Table::new(
@@ -164,10 +236,7 @@ mod tests {
     fn classifier_scales_to_hundreds_of_feeds() {
         let points = run_classifier(&[10, 100]);
         for p in &points {
-            assert!(
-                p.hits_per_sec > 10_000.0,
-                "classification too slow: {p:?}"
-            );
+            assert!(p.hits_per_sec > 10_000.0, "classification too slow: {p:?}");
         }
     }
 

@@ -32,11 +32,8 @@ pub struct Point {
 fn provider(history: usize) -> Arc<MemFs> {
     let fs = MemFs::shared(SimClock::new());
     for i in 0..history {
-        fs.write(
-            &format!("staging/F/day{:04}/f{i:06}.csv", i / 100),
-            b"data",
-        )
-        .unwrap();
+        fs.write(&format!("staging/F/day{:04}/f{i:06}.csv", i / 100), b"data")
+            .unwrap();
     }
     fs
 }
@@ -70,8 +67,8 @@ pub fn run(histories: &[usize], subscribers: u64) -> Vec<Point> {
                 .rename(f, &format!("staging/F/new/{name}"))
                 .unwrap();
         }
-        let bistro_ops = bistro_fs.stats().snapshot().since(&before).metadata_ops()
-            + landed.len() as u64; // renames counted separately
+        let bistro_ops =
+            bistro_fs.stats().snapshot().since(&before).metadata_ops() + landed.len() as u64; // renames counted separately
         out.push(Point {
             history,
             pull_ops_per_poll: per_poll,

@@ -50,9 +50,8 @@ fn config_src() -> &'static str {
 fn stats(mode: &str, latencies: &mut [TimeSpan]) -> Point {
     latencies.sort_unstable();
     let n = latencies.len().max(1);
-    let mean = TimeSpan::from_micros(
-        latencies.iter().map(|t| t.as_micros()).sum::<u64>() / n as u64,
-    );
+    let mean =
+        TimeSpan::from_micros(latencies.iter().map(|t| t.as_micros()).sum::<u64>() / n as u64);
     let p95 = latencies
         .get(((n as f64 * 0.95).ceil() as usize).saturating_sub(1))
         .copied()
@@ -107,7 +106,9 @@ pub fn run(scan_intervals: &[TimeSpan]) -> Vec<Point> {
         for f in &files {
             clock.set(f.deposit_time);
             deposit_times.insert(f.name.clone(), f.deposit_time);
-            server.deposit(&f.name, &vec![b'x'; f.size as usize]).unwrap();
+            server
+                .deposit(&f.name, &vec![b'x'; f.size as usize])
+                .unwrap();
         }
         clock.advance(TimeSpan::from_mins(5));
         let mut latencies: Vec<TimeSpan> = net
@@ -115,9 +116,7 @@ pub fn run(scan_intervals: &[TimeSpan]) -> Vec<Point> {
             .into_iter()
             .filter_map(|d| match d.msg {
                 bistro_transport::messages::Message::Subscriber(
-                    bistro_transport::messages::SubscriberMsg::FileDelivered {
-                        dest_path, ..
-                    },
+                    bistro_transport::messages::SubscriberMsg::FileDelivered { dest_path, .. },
                 ) => {
                     let name = dest_path.rsplit('/').next().unwrap().to_string();
                     deposit_times.get(&name).map(|t| d.at.since(*t))
@@ -156,10 +155,7 @@ pub fn run(scan_intervals: &[TimeSpan]) -> Vec<Point> {
                 let f = &files[idx];
                 clock.set(f.deposit_time);
                 store
-                    .write(
-                        &format!("landing/{}", f.name),
-                        &vec![b'x'; f.size as usize],
-                    )
+                    .write(&format!("landing/{}", f.name), &vec![b'x'; f.size as usize])
                     .unwrap();
                 deposit_times.insert(f.name.clone(), f.deposit_time);
                 idx += 1;
@@ -174,9 +170,7 @@ pub fn run(scan_intervals: &[TimeSpan]) -> Vec<Point> {
             .into_iter()
             .filter_map(|d| match d.msg {
                 bistro_transport::messages::Message::Subscriber(
-                    bistro_transport::messages::SubscriberMsg::FileDelivered {
-                        dest_path, ..
-                    },
+                    bistro_transport::messages::SubscriberMsg::FileDelivered { dest_path, .. },
                 ) => {
                     let name = dest_path.rsplit('/').next().unwrap().to_string();
                     deposit_times.get(&name).map(|t| d.at.since(*t))
@@ -184,7 +178,10 @@ pub fn run(scan_intervals: &[TimeSpan]) -> Vec<Point> {
                 _ => None,
             })
             .collect();
-        out.push(stats(&format!("landing scan every {interval}"), &mut latencies));
+        out.push(stats(
+            &format!("landing scan every {interval}"),
+            &mut latencies,
+        ));
     }
     out
 }

@@ -12,12 +12,10 @@
 //! deliveries, full backfill after every recovery.
 
 use crate::table::Table;
-use bistro_base::{Clock, SimClock, TimePoint, TimeSpan};
+use bistro_base::{Clock, Rng, SimClock, TimePoint, TimeSpan};
 use bistro_config::parse_config;
 use bistro_core::Server;
 use bistro_vfs::MemFs;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The outcome of one fault-injected run.
 #[derive(Clone, Debug)]
@@ -47,16 +45,15 @@ const CONFIG: &str = r#"
 
 /// Run one fault-injected schedule.
 pub fn run_one(seed: u64, rounds: usize) -> Outcome {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let clock = SimClock::starting_at(TimePoint::from_secs(1_285_372_800));
     let store = MemFs::shared(clock.clone());
     // the durable configuration: restarts rebuild the server from this
     // (runtime-added subscribers are appended, as a real deployment would
     // persist them)
     let mut durable_config = parse_config(CONFIG).unwrap();
-    let mut server = Some(
-        Server::new("b", durable_config.clone(), clock.clone(), store.clone()).unwrap(),
-    );
+    let mut server =
+        Some(Server::new("b", durable_config.clone(), clock.clone(), store.clone()).unwrap());
 
     let mut files = 0usize;
     let mut restarts = 0usize;
@@ -103,8 +100,7 @@ pub fn run_one(seed: u64, rounds: usize) -> Outcome {
             drop(server.take()); // crash: no shutdown, no snapshot
             restarts += 1;
             let mut fresh =
-                Server::new("b", durable_config.clone(), clock.clone(), store.clone())
-                    .unwrap();
+                Server::new("b", durable_config.clone(), clock.clone(), store.clone()).unwrap();
             // after restart everyone is presumed online; re-apply downs
             for sub in &down {
                 fresh.set_subscriber_online(sub, false).unwrap();

@@ -111,10 +111,7 @@ pub fn run() -> Vec<Point> {
     ));
     let mut no_locality = EngineConfig::partitioned(&[2, 1]);
     no_locality.locality_slack = None;
-    out.push(measure(
-        "partitioned EDF, locality OFF",
-        no_locality,
-    ));
+    out.push(measure("partitioned EDF, locality OFF", no_locality));
     out.push(measure_auto_partitioned());
     out
 }

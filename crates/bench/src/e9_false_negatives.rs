@@ -203,7 +203,10 @@ mod tests {
         let trap = points.iter().find(|p| p.scenario.contains("TRAP")).unwrap();
         assert!(trap.bistro_correct && !trap.edit_correct, "{trap:?}");
         // warning dedup: many drifted files, ONE warning
-        let cap = points.iter().find(|p| p.scenario.contains("capitalization")).unwrap();
+        let cap = points
+            .iter()
+            .find(|p| p.scenario.contains("capitalization"))
+            .unwrap();
         assert_eq!(cap.bistro_warnings, 1);
         assert!(cap.files > 1);
     }

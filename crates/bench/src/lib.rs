@@ -8,8 +8,15 @@
 //!
 //! Every experiment has a binary (`cargo run --release -p bistro-bench
 //! --bin exp_e1` …) printing a markdown table, and the hot kernels are
-//! additionally covered by Criterion benches (`cargo bench`).
+//! additionally covered by the in-tree micro-benchmark harness
+//! ([`harness`], `cargo bench`), which emits machine-readable
+//! `BENCH_*.json` result files — the canonical perf trajectory.
 
+pub mod harness;
+pub mod json;
+
+pub mod e10_false_positives;
+pub mod e11_throughput;
 pub mod e1_pull_scan;
 pub mod e2_rsync;
 pub mod e3_propagation;
@@ -19,8 +26,6 @@ pub mod e6_scheduling;
 pub mod e7_backfill;
 pub mod e8_discovery;
 pub mod e9_false_negatives;
-pub mod e10_false_positives;
-pub mod e11_throughput;
 pub mod table;
 
 pub use table::Table;

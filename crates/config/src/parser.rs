@@ -401,8 +401,7 @@ mod tests {
 
     #[test]
     fn bad_template_reported() {
-        let err =
-            parse_config(r#"feed F { pattern "a%i"; normalize "%Q"; }"#).unwrap_err();
+        let err = parse_config(r#"feed F { pattern "a%i"; normalize "%Q"; }"#).unwrap_err();
         assert!(matches!(err, ConfigError::BadTemplate { .. }));
     }
 

@@ -140,7 +140,7 @@ impl Config {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::parse_config;
 
     const FULL: &str = r#"
@@ -169,9 +169,8 @@ mod tests {
     fn roundtrip_preserves_everything() {
         let cfg = parse_config(FULL).unwrap();
         let rendered = cfg.to_source();
-        let reparsed = parse_config(&rendered).unwrap_or_else(|e| {
-            panic!("rendered config failed to parse: {e}\n{rendered}")
-        });
+        let reparsed = parse_config(&rendered)
+            .unwrap_or_else(|e| panic!("rendered config failed to parse: {e}\n{rendered}"));
 
         assert_eq!(reparsed.server.retention, cfg.server.retention);
         assert_eq!(reparsed.server.landing, cfg.server.landing);

@@ -1,63 +1,109 @@
 //! Property tests: config parse → render → parse is lossless, and the
 //! parser never panics on arbitrary input.
 
-use bistro_base::TimeSpan;
+use bistro_base::prop::{self, Runner};
+use bistro_base::rng::Rng;
+use bistro_base::{prop_assert_eq, TimeSpan};
 use bistro_config::{parse_config, BatchSpec, DeliveryMode};
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
-fn feed_name() -> impl Strategy<Value = String> {
-    "[A-Z]{2,8}(/[A-Z]{2,8}){0,2}"
+fn feed_name(rng: &mut Rng) -> String {
+    let segments = rng.gen_range(1usize..=3);
+    (0..segments)
+        .map(|_| prop::string(rng, "A-Z", 2..=8))
+        .collect::<Vec<_>>()
+        .join("/")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn valid_feed_name(n: &str) -> bool {
+    !n.is_empty()
+        && n.split('/')
+            .all(|seg| !seg.is_empty() && seg.chars().all(|c| c.is_ascii_alphabetic()))
+}
 
-    #[test]
-    fn parser_never_panics(src in "[ -~\\n]{0,200}") {
-        let _ = parse_config(&src);
-    }
+#[test]
+fn parser_never_panics() {
+    Runner::new("parser_never_panics").cases(64).run(
+        |rng| prop::string(rng, " -~\n", 0..=200),
+        |src| {
+            let _ = parse_config(src);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn render_roundtrip(
-        names in proptest::collection::btree_set(feed_name(), 1..6),
-        deadline_s in 1u64..7200,
-        count in proptest::option::of(1u32..20),
-        window_m in proptest::option::of(1u64..120),
-        notify in any::<bool>(),
-    ) {
-        let names: Vec<String> = names.into_iter().collect();
-        let mut src = String::new();
-        for n in &names {
-            src.push_str(&format!("feed {n} {{ pattern \"{}_p%i_%Y%m%d.csv\"; }}\n",
-                n.replace('/', "_")));
-        }
-        src.push_str(&format!(
-            "subscriber s {{ endpoint \"h:1\"; subscribe {}; delivery {}; deadline {deadline_s}s;",
-            names.join(", "),
-            if notify { "notify" } else { "push" },
-        ));
-        match (count, window_m) {
-            (Some(c), Some(w)) => src.push_str(&format!(" batch count {c} window {w}m;")),
-            (Some(c), None) => src.push_str(&format!(" batch count {c};")),
-            (None, Some(w)) => src.push_str(&format!(" batch window {w}m;")),
-            (None, None) => {}
-        }
-        src.push_str(" }\n");
+#[test]
+fn render_roundtrip() {
+    Runner::new("render_roundtrip").cases(64).run(
+        |rng| {
+            let names: BTreeSet<String> = {
+                let n = rng.gen_range(1usize..=5);
+                (0..n).map(|_| feed_name(rng)).collect()
+            };
+            (
+                names.into_iter().collect::<Vec<String>>(),
+                rng.gen_range(1u64..7200),
+                prop::option_of(rng, |r| r.gen_range(1u32..20)),
+                prop::option_of(rng, |r| r.gen_range(1u64..120)),
+                rng.gen_bool(0.5),
+            )
+        },
+        |(names, deadline_s, count, window_m, notify)| {
+            // shrunk values can leave the generator's domain; skip those
+            let distinct: BTreeSet<&String> = names.iter().collect();
+            if names.is_empty()
+                || distinct.len() != names.len()
+                || !names.iter().all(|n| valid_feed_name(n))
+                || *deadline_s == 0
+                || *count == Some(0)
+                || *window_m == Some(0)
+            {
+                return Ok(());
+            }
+            let (deadline_s, count, window_m, notify) = (*deadline_s, *count, *window_m, *notify);
+            let mut src = String::new();
+            for n in names {
+                src.push_str(&format!(
+                    "feed {n} {{ pattern \"{}_p%i_%Y%m%d.csv\"; }}\n",
+                    n.replace('/', "_")
+                ));
+            }
+            src.push_str(&format!(
+                "subscriber s {{ endpoint \"h:1\"; subscribe {}; delivery {}; deadline {deadline_s}s;",
+                names.join(", "),
+                if notify { "notify" } else { "push" },
+            ));
+            match (count, window_m) {
+                (Some(c), Some(w)) => src.push_str(&format!(" batch count {c} window {w}m;")),
+                (Some(c), None) => src.push_str(&format!(" batch count {c};")),
+                (None, Some(w)) => src.push_str(&format!(" batch window {w}m;")),
+                (None, None) => {}
+            }
+            src.push_str(" }\n");
 
-        let cfg = parse_config(&src).unwrap();
-        let rendered = cfg.to_source();
-        let reparsed = parse_config(&rendered).expect("rendered config parses");
+            let cfg = parse_config(&src).unwrap();
+            let rendered = cfg.to_source();
+            let reparsed = parse_config(&rendered).expect("rendered config parses");
 
-        prop_assert_eq!(reparsed.feeds.len(), cfg.feeds.len());
-        let sub = reparsed.subscriber("s").unwrap();
-        prop_assert_eq!(sub.deadline, TimeSpan::from_secs(deadline_s));
-        prop_assert_eq!(sub.delivery, if notify { DeliveryMode::Notify } else { DeliveryMode::Push });
-        let expect_batch = BatchSpec {
-            count,
-            window: window_m.map(TimeSpan::from_mins),
-        };
-        prop_assert_eq!(sub.batch, expect_batch);
-        // idempotence
-        prop_assert_eq!(parse_config(&rendered).unwrap().to_source(), rendered);
-    }
+            prop_assert_eq!(reparsed.feeds.len(), cfg.feeds.len());
+            let sub = reparsed.subscriber("s").unwrap();
+            prop_assert_eq!(sub.deadline, TimeSpan::from_secs(deadline_s));
+            prop_assert_eq!(
+                sub.delivery,
+                if notify {
+                    DeliveryMode::Notify
+                } else {
+                    DeliveryMode::Push
+                }
+            );
+            let expect_batch = BatchSpec {
+                count,
+                window: window_m.map(TimeSpan::from_mins),
+            };
+            prop_assert_eq!(sub.batch, expect_batch);
+            // idempotence
+            prop_assert_eq!(parse_config(&rendered).unwrap().to_source(), rendered);
+            Ok(())
+        },
+    );
 }

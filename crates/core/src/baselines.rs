@@ -85,7 +85,11 @@ pub fn rsync_cron_sync(
     dst.create_dir_all(dst_root)?;
     let dst_files: HashSet<String> = walk_files(dst, dst_root)?
         .into_iter()
-        .map(|p| p.strip_prefix(&format!("{dst_root}/")).unwrap_or(&p).to_string())
+        .map(|p| {
+            p.strip_prefix(&format!("{dst_root}/"))
+                .unwrap_or(&p)
+                .to_string()
+        })
         .collect();
 
     let mut copied = 0;
@@ -197,7 +201,10 @@ mod tests {
         let dst = MemFs::shared(SimClock::new());
         rsync_cron_sync(src.as_ref(), "s", dst.as_ref(), "d").unwrap();
         src.write("s/a.csv", b"longer-content").unwrap();
-        assert_eq!(rsync_cron_sync(src.as_ref(), "s", dst.as_ref(), "d").unwrap(), 1);
+        assert_eq!(
+            rsync_cron_sync(src.as_ref(), "s", dst.as_ref(), "d").unwrap(),
+            1
+        );
         assert_eq!(dst.read("d/a.csv").unwrap(), b"longer-content");
     }
 

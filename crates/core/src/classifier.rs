@@ -157,7 +157,10 @@ mod tests {
     #[test]
     fn classifies_to_correct_feed() {
         let c = classifier();
-        assert_eq!(c.feeds_for("MEMORY_poller1_20100925.gz"), vec!["SNMP/MEMORY"]);
+        assert_eq!(
+            c.feeds_for("MEMORY_poller1_20100925.gz"),
+            vec!["SNMP/MEMORY"]
+        );
         assert_eq!(c.feeds_for("CPU_POLL2_201009251001.txt"), vec!["SNMP/CPU"]);
         assert!(c.feeds_for("unknown_thing.bin").is_empty());
     }

@@ -6,8 +6,8 @@
 //! (the highest level) are additionally retained in full so none is lost
 //! to ring eviction.
 
+use bistro_base::sync::Mutex;
 use bistro_base::TimePoint;
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
 

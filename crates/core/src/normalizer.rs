@@ -6,9 +6,9 @@
 //! directories from the embedded timestamp) and applies the feed's
 //! compression option via the `bistro-compress` container.
 
-use bistro_compress::{container, CompressError};
 #[cfg(test)]
 use bistro_compress::Codec;
+use bistro_compress::{container, CompressError};
 use bistro_config::{CompressOpt, FeedDef};
 use bistro_pattern::Captures;
 use std::fmt;
@@ -107,7 +107,9 @@ mod tests {
     #[test]
     fn default_layout_is_feed_slash_name() {
         let f = feed(r#"feed SNMP/MEMORY { pattern "MEMORY_poller%i_%Y%m%d.gz"; }"#);
-        let caps = f.patterns[0].match_str("MEMORY_poller1_20100925.gz").unwrap();
+        let caps = f.patterns[0]
+            .match_str("MEMORY_poller1_20100925.gz")
+            .unwrap();
         let n = normalize(&f, "MEMORY_poller1_20100925.gz", &caps, b"body").unwrap();
         assert_eq!(n.staged_path, "SNMP/MEMORY/MEMORY_poller1_20100925.gz");
         assert_eq!(n.data, b"body");
@@ -121,7 +123,9 @@ mod tests {
                 normalize "%Y/%m/%d/%f";
             }"#,
         );
-        let caps = f.patterns[0].match_str("MEMORY_poller1_20100925.gz").unwrap();
+        let caps = f.patterns[0]
+            .match_str("MEMORY_poller1_20100925.gz")
+            .unwrap();
         let n = normalize(&f, "MEMORY_poller1_20100925.gz", &caps, b"x").unwrap();
         assert_eq!(
             n.staged_path,
@@ -131,9 +135,7 @@ mod tests {
 
     #[test]
     fn compress_to_codec_seals() {
-        let f = feed(
-            r#"feed F { pattern "f_%i.csv"; compress lzss; }"#,
-        );
+        let f = feed(r#"feed F { pattern "f_%i.csv"; compress lzss; }"#);
         let caps = f.patterns[0].match_str("f_1.csv").unwrap();
         let body = b"measurement,1,2,3\n".repeat(50);
         let n = normalize(&f, "f_1.csv", &caps, &body).unwrap();

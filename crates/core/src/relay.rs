@@ -45,11 +45,7 @@ pub fn pump(
                     Some(r) => r,
                     None => continue, // expired upstream before relay
                 };
-                let staged = format!(
-                    "{}/{}",
-                    upstream.config().server.staging,
-                    rec.staged_path
-                );
+                let staged = format!("{}/{}", upstream.config().server.staging, rec.staged_path);
                 let payload = upstream.store().read(&staged)?;
                 // the original *filename* is what downstream classifies;
                 // dest_path is upstream's layout choice for us
@@ -113,8 +109,10 @@ mod tests {
             .with_network(net.clone());
 
         // sources deposit at the hub
-        hub.deposit("MEMORY_poller1_20100925.gz", b"memory-data").unwrap();
-        hub.deposit("CPU_POLL1_201009250000.txt", b"cpu-data").unwrap();
+        hub.deposit("MEMORY_poller1_20100925.gz", b"memory-data")
+            .unwrap();
+        hub.deposit("CPU_POLL1_201009250000.txt", b"cpu-data")
+            .unwrap();
 
         // advance past network latency and pump the relay hop
         clock.advance(TimeSpan::from_secs(1));

@@ -10,9 +10,11 @@
 use crate::classifier::Classifier;
 use crate::log::{EventLog, LogLevel};
 use crate::normalizer::{normalize, NormalizeError};
-use bistro_analyzer::{fp_report, FeedDiscoverer, FeedProgress, FnDetector, FpReport, ProgressAlert};
 use bistro_analyzer::discovery::DiscoveredFeed;
 use bistro_analyzer::fn_detect::FnWarning;
+use bistro_analyzer::{
+    fp_report, FeedDiscoverer, FeedProgress, FnDetector, FpReport, ProgressAlert,
+};
 use bistro_base::{BatchId, IdGen, SharedClock, TimeSpan};
 use bistro_config::validate::validate;
 use bistro_config::{BatchSpec, Config, DeliveryMode, FeedDef, SubscriberDef};
@@ -235,8 +237,10 @@ impl Server {
     /// Register progress monitoring for a feed: expect
     /// `files_per_interval` files every `period`.
     pub fn monitor_feed(&mut self, feed: &str, period: TimeSpan, files_per_interval: usize) {
-        self.progress
-            .insert(feed.to_string(), FeedProgress::new(period, files_per_interval));
+        self.progress.insert(
+            feed.to_string(),
+            FeedProgress::new(period, files_per_interval),
+        );
     }
 
     /// Deposit a file into the landing zone *with* a source notification
@@ -308,10 +312,7 @@ impl Server {
                 .expect("classifier only yields configured feeds")
                 .clone();
             let normalized = normalize(&feed, rel_path, &c.captures, &payload)?;
-            let staged = format!(
-                "{}/{}",
-                self.config.server.staging, normalized.staged_path
-            );
+            let staged = format!("{}/{}", self.config.server.staging, normalized.staged_path);
             self.store.write(&staged, &normalized.data)?;
             staged_paths.push((c.feed.clone(), normalized.staged_path));
             if feed_time.is_none() {
@@ -413,7 +414,8 @@ impl Server {
             None => now,
         };
 
-        self.receipts.record_delivery(rec.id, sub_name, delivered_at)?;
+        self.receipts
+            .record_delivery(rec.id, sub_name, delivered_at)?;
         self.stats.deliveries += 1;
         if st.def.delivery == DeliveryMode::Push {
             self.stats.bytes_delivered += size;
@@ -588,7 +590,10 @@ impl Server {
             let batch = self.batchers.get_mut(&key).and_then(|b| b.on_tick(now));
             if let Some(batch) = batch {
                 let (feed, sub) = &key;
-                let trigger = self.subscribers.get(sub).and_then(|s| s.def.trigger.clone());
+                let trigger = self
+                    .subscribers
+                    .get(sub)
+                    .and_then(|s| s.def.trigger.clone());
                 let batch_id: BatchId = self.batch_ids.next();
                 if let Some(def) = trigger {
                     self.triggers.fire(
@@ -624,7 +629,9 @@ impl Server {
                         got,
                     } => (
                         LogLevel::Warn,
-                        format!("feed {feed}: interval {interval} has {got} files, expected {expected}"),
+                        format!(
+                            "feed {feed}: interval {interval} has {got} files, expected {expected}"
+                        ),
                     ),
                     ProgressAlert::FeedSilent { silent_for, .. } => (
                         LogLevel::Alarm,
@@ -653,7 +660,10 @@ impl Server {
                 .and_then(|b| b.on_punctuation(now));
             if let Some(batch) = batch {
                 let (feed, sub) = &key;
-                let trigger = self.subscribers.get(sub).and_then(|s| s.def.trigger.clone());
+                let trigger = self
+                    .subscribers
+                    .get(sub)
+                    .and_then(|s| s.def.trigger.clone());
                 let batch_id: BatchId = self.batch_ids.next();
                 if let Some(def) = trigger {
                     self.triggers.fire(
@@ -684,7 +694,8 @@ impl Server {
             let staged = format!("{}/{}", self.config.server.staging, rec.staged_path);
             if let Some(arch) = &self.archiver {
                 if let Ok(payload) = self.store.read(&staged) {
-                    arch.archive_file(&rec, &payload, now).map_err(ServerError::Vfs)?;
+                    arch.archive_file(&rec, &payload, now)
+                        .map_err(ServerError::Vfs)?;
                 }
             }
             let _ = self.store.remove(&staged);

@@ -1,65 +1,87 @@
 //! Property tests for the server's classification → normalization path.
 
+use bistro_base::prop::{self, Runner};
+use bistro_base::{prop_assert, prop_assert_eq};
 use bistro_config::parse_config;
 use bistro_core::{normalizer::normalize, Classifier};
 use bistro_vfs::normalize as vfs_normalize;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Staged paths rendered from arbitrary matched filenames are always
+/// valid store paths (no traversal, no absolute paths) — the
+/// invariant that keeps a hostile source from escaping the staging
+/// sandbox through crafted capture text.
+#[test]
+fn normalized_paths_stay_inside_staging() {
+    Runner::new("normalized_paths_stay_inside_staging")
+        .cases(128)
+        .run(
+            |rng| {
+                (
+                    rng.gen_range(1u64..10_000),
+                    rng.gen_range(1990u32..2090),
+                    rng.gen_range(1u32..=12),
+                    rng.gen_range(1u32..=28),
+                    prop::string(rng, "A-Za-z0-9.-", 0..=12),
+                )
+            },
+            |(poller, y, m, d, extra)| {
+                let cfg = parse_config(
+                    r#"
+                feed F/SUB {
+                    pattern "MEM%s_poller%i_%Y%m%d.gz";
+                    normalize "%Y/%m/%d/%1/%f";
+                }
+                "#,
+                )
+                .unwrap();
+                let feed = cfg.feed("F/SUB").unwrap();
+                let name = format!("MEM_{extra}_poller{poller}_{y:04}{m:02}{d:02}.gz");
+                if let Some(caps) = feed.patterns[0].match_str(&name) {
+                    if let Ok(n) = normalize(feed, &name, &caps, b"data") {
+                        prop_assert!(
+                            vfs_normalize(&n.staged_path).is_ok(),
+                            "invalid staged path {:?}",
+                            n.staged_path
+                        );
+                        prop_assert!(n.staged_path.starts_with("F/SUB/"));
+                    }
+                }
+                Ok(())
+            },
+        );
+}
 
-    /// Staged paths rendered from arbitrary matched filenames are always
-    /// valid store paths (no traversal, no absolute paths) — the
-    /// invariant that keeps a hostile source from escaping the staging
-    /// sandbox through crafted capture text.
-    #[test]
-    fn normalized_paths_stay_inside_staging(
-        poller in 1u64..10_000,
-        y in 1990u32..2090,
-        m in 1u32..=12,
-        d in 1u32..=28,
-        extra in "[A-Za-z0-9.-]{0,12}",
-    ) {
-        let cfg = parse_config(
-            r#"
-            feed F/SUB {
-                pattern "MEM%s_poller%i_%Y%m%d.gz";
-                normalize "%Y/%m/%d/%1/%f";
-            }
-            "#,
-        ).unwrap();
-        let feed = cfg.feed("F/SUB").unwrap();
-        let name = format!("MEM_{extra}_poller{poller}_{y:04}{m:02}{d:02}.gz");
-        if let Some(caps) = feed.patterns[0].match_str(&name) {
-            if let Ok(n) = normalize(feed, &name, &caps, b"data") {
-                prop_assert!(vfs_normalize(&n.staged_path).is_ok(),
-                    "invalid staged path {:?}", n.staged_path);
-                prop_assert!(n.staged_path.starts_with("F/SUB/"));
-            }
-        }
-    }
-
-    /// Classification is deterministic and consistent with the matcher:
-    /// if the classifier says a file belongs to a feed, one of the feed's
-    /// patterns matches it, and vice versa.
-    #[test]
-    fn classifier_agrees_with_matcher(name in "[A-Za-z0-9_.]{1,40}") {
-        let cfg = parse_config(
-            r#"
-            feed A { pattern "A_%i.csv"; }
-            feed B { pattern "B%s.log"; }
-            feed C { pattern "*_%Y%m%d.gz"; }
-            "#,
-        ).unwrap();
-        let classifier = Classifier::compile(&cfg);
-        let got = classifier.feeds_for(&name);
-        for feed in &cfg.feeds {
-            let matches = feed.patterns.iter().any(|p| p.is_match(&name));
-            prop_assert_eq!(
-                got.contains(&feed.name),
-                matches,
-                "feed {} vs file {}", feed.name, name
-            );
-        }
-    }
+/// Classification is deterministic and consistent with the matcher:
+/// if the classifier says a file belongs to a feed, one of the feed's
+/// patterns matches it, and vice versa.
+#[test]
+fn classifier_agrees_with_matcher() {
+    Runner::new("classifier_agrees_with_matcher")
+        .cases(128)
+        .run(
+            |rng| prop::string(rng, "A-Za-z0-9_.", 1..=40),
+            |name| {
+                let cfg = parse_config(
+                    r#"
+                feed A { pattern "A_%i.csv"; }
+                feed B { pattern "B%s.log"; }
+                feed C { pattern "*_%Y%m%d.gz"; }
+                "#,
+                )
+                .unwrap();
+                let classifier = Classifier::compile(&cfg);
+                let got = classifier.feeds_for(name);
+                for feed in &cfg.feeds {
+                    let matches = feed.patterns.iter().any(|p| p.is_match(name));
+                    prop_assert_eq!(
+                        got.contains(&feed.name),
+                        matches,
+                        "feed {} vs file {}",
+                        feed.name,
+                        name
+                    );
+                }
+                Ok(())
+            },
+        );
 }

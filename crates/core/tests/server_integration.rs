@@ -53,8 +53,12 @@ fn ingest_classify_stage_deliver() {
     let store = MemFs::shared(clock.clone());
     let mut server = new_server(clock.clone(), store.clone());
 
-    server.deposit("MEMORY_poller1_20100925.gz", b"mem-data").unwrap();
-    server.deposit("CPU_poller1_201009250000.csv", b"cpu-data").unwrap();
+    server
+        .deposit("MEMORY_poller1_20100925.gz", b"mem-data")
+        .unwrap();
+    server
+        .deposit("CPU_poller1_201009250000.csv", b"cpu-data")
+        .unwrap();
     server.deposit("garbage.bin", b"???").unwrap();
 
     // staging layout honors the normalize template
@@ -177,7 +181,9 @@ fn expiration_archives_and_removes() {
     let store = MemFs::shared(clock.clone());
     let mut server = new_server(clock.clone(), store.clone());
 
-    server.deposit("MEMORY_poller1_20100925.gz", b"old-data").unwrap();
+    server
+        .deposit("MEMORY_poller1_20100925.gz", b"old-data")
+        .unwrap();
     let staged = "staging/SNMP/MEMORY/2010/09/25/MEMORY_poller1_20100925.gz";
     assert!(store.exists(staged));
 
@@ -189,7 +195,8 @@ fn expiration_archives_and_removes() {
     // archived copy exists
     let arch = server.archiver().unwrap();
     assert_eq!(
-        arch.fetch("SNMP/MEMORY/2010/09/25/MEMORY_poller1_20100925.gz").unwrap(),
+        arch.fetch("SNMP/MEMORY/2010/09/25/MEMORY_poller1_20100925.gz")
+            .unwrap(),
         b"old-data"
     );
     assert_eq!(arch.archived_files().unwrap().len(), 1);
@@ -205,7 +212,9 @@ fn feed_redefinition_recovers_drifted_files() {
     let mut server = new_server(clock.clone(), store.clone());
 
     server.deposit("MEMORY_poller1_20100925.gz", b"ok").unwrap();
-    server.deposit("MEMORY_Poller1_20100926.gz", b"drifted").unwrap();
+    server
+        .deposit("MEMORY_Poller1_20100926.gz", b"drifted")
+        .unwrap();
     assert_eq!(server.stats().files_unknown, 1);
 
     // analyzer flags the drift
@@ -223,7 +232,10 @@ fn feed_redefinition_recovers_drifted_files() {
     let pending = server
         .receipts()
         .pending_for("warehouse", &["SNMP/MEMORY".to_string()]);
-    assert!(pending.is_empty(), "drifted file delivered after redefinition");
+    assert!(
+        pending.is_empty(),
+        "drifted file delivered after redefinition"
+    );
 }
 
 #[test]
@@ -238,7 +250,9 @@ fn sub_minute_propagation_with_network() {
     }));
     let mut server = new_server(clock.clone(), store).with_network(net.clone());
 
-    server.deposit("CPU_poller1_201009250000.csv", &vec![0u8; 1_000_000]).unwrap();
+    server
+        .deposit("CPU_poller1_201009250000.csv", &vec![0u8; 1_000_000])
+        .unwrap();
     clock.advance(TimeSpan::from_secs(30));
     let msgs = net.recv_ready("viz", clock.now());
     assert_eq!(msgs.len(), 1);
@@ -263,9 +277,15 @@ fn progress_monitoring_raises_alarms() {
     server.monitor_feed("SNMP/CPU", TimeSpan::from_mins(5), 2);
 
     // interval 1: both pollers; interval 2: poller 2 missing
-    server.deposit("CPU_poller1_201009250000.csv", b"a").unwrap();
-    server.deposit("CPU_poller2_201009250000.csv", b"b").unwrap();
-    server.deposit("CPU_poller1_201009250005.csv", b"c").unwrap();
+    server
+        .deposit("CPU_poller1_201009250000.csv", b"a")
+        .unwrap();
+    server
+        .deposit("CPU_poller2_201009250000.csv", b"b")
+        .unwrap();
+    server
+        .deposit("CPU_poller1_201009250005.csv", b"c")
+        .unwrap();
     clock.advance(TimeSpan::from_mins(12));
     server.tick();
 
@@ -293,7 +313,10 @@ fn fleet_scale_ingest() {
 
     let mut fleet = FleetConfig::standard(
         4,
-        vec![SubfeedSpec::standard("MEMORY"), SubfeedSpec::standard("CPU")],
+        vec![
+            SubfeedSpec::standard("MEMORY"),
+            SubfeedSpec::standard("CPU"),
+        ],
         TimeSpan::from_hours(1),
     );
     fleet.skip_prob = 0.1;
@@ -324,7 +347,9 @@ fn composition_report_flags_leakage() {
     .unwrap();
     let mut server = Server::new("b", cfg, clock.clone(), store).unwrap();
     for d in 1..=28 {
-        server.deposit(&format!("BPS_{:04}{:02}{d:02}.csv", 2010, 9), b"x").unwrap();
+        server
+            .deposit(&format!("BPS_{:04}{:02}{d:02}.csv", 2010, 9), b"x")
+            .unwrap();
     }
     server.deposit("PPS_20100901.csv", b"x").unwrap();
     let report = server.feed_composition("CATCHALL");
@@ -379,7 +404,10 @@ fn persisted_config_survives_restart_with_runtime_changes() {
     // restart purely from the store: config + receipts both recovered
     let mut server = Server::open_existing("bistro", clock.clone(), store.clone()).unwrap();
     assert!(server.config().subscriber("late").is_some());
-    assert_eq!(server.config().feed("SNMP/MEMORY").unwrap().patterns.len(), 2);
+    assert_eq!(
+        server.config().feed("SNMP/MEMORY").unwrap().patterns.len(),
+        2
+    );
     // the redefined pattern is live: a drifted file classifies directly
     server.deposit("MEMORY_Poller2_20100926.gz", b"y").unwrap();
     assert_eq!(server.stats().files_unknown, 0);

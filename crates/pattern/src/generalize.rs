@@ -159,10 +159,16 @@ fn scan_ts_run(tokens: &[Token], i: usize) -> Option<(TsRun, usize)> {
         // Separated form: require at least Y <sep> m <sep> d to commit to a
         // timestamp (a bare 4-digit number is too ambiguous, §5.1).
         let month_ok = |s: &str| {
-            s.len() == 2 && s.parse::<u32>().map(|v| (1..=12).contains(&v)).unwrap_or(false)
+            s.len() == 2
+                && s.parse::<u32>()
+                    .map(|v| (1..=12).contains(&v))
+                    .unwrap_or(false)
         };
         let day_ok = |s: &str| {
-            s.len() == 2 && s.parse::<u32>().map(|v| (1..=31).contains(&v)).unwrap_or(false)
+            s.len() == 2
+                && s.parse::<u32>()
+                    .map(|v| (1..=31).contains(&v))
+                    .unwrap_or(false)
         };
         if i + 4 < tokens.len()
             && tokens[i + 1].kind == TokenKind::Punct
@@ -428,10 +434,7 @@ impl Shape {
                         domain,
                     }
                 }
-                (ShapeElem::Ts(ra), ShapeElem::Ts(rb))
-                    if ra == rb => {
-                        ShapeElem::Ts(ra.clone())
-                    }
+                (ShapeElem::Ts(ra), ShapeElem::Ts(rb)) if ra == rb => ShapeElem::Ts(ra.clone()),
                 (ShapeElem::Ipv4(da), ShapeElem::Ipv4(db)) => {
                     let mut dom = da.clone();
                     for v in db {
@@ -485,11 +488,12 @@ impl Shape {
                     ));
                 }
                 ShapeElem::IntVar {
-                    min, max, width, domain,
+                    min,
+                    max,
+                    width,
+                    domain,
                 } => {
-                    let w = width
-                        .map(|w| format!(", width {w}"))
-                        .unwrap_or_default();
+                    let w = width.map(|w| format!(", width {w}")).unwrap_or_default();
                     parts.push(format!(
                         "field {idx}: integer {min}..={max}{w} ({} values)",
                         domain.len()
@@ -569,7 +573,9 @@ mod tests {
         assert!(a.merge(&b, false));
         assert_eq!(a.support, 2);
         match &a.elems()[3] {
-            ShapeElem::IntVar { min, max, domain, .. } => {
+            ShapeElem::IntVar {
+                min, max, domain, ..
+            } => {
                 assert_eq!((*min, *max), (1, 2));
                 assert_eq!(domain.len(), 2);
             }
@@ -619,7 +625,9 @@ mod tests {
         let b = generalize("f_123.csv");
         assert!(a.merge(&b, false));
         match &a.elems()[2] {
-            ShapeElem::IntVar { width, min, max, .. } => {
+            ShapeElem::IntVar {
+                width, min, max, ..
+            } => {
                 assert_eq!(*width, None);
                 assert_eq!((*min, *max), (7, 123));
             }

@@ -187,9 +187,13 @@ impl<'a> MatchState<'a> {
                 self.caps.pop();
                 false
             }
-            Elem::Int => self.var_field(elem_idx, pos, 1, |b| b.is_ascii_digit(), |t| {
-                CaptureValue::Int(t.parse().unwrap_or(u64::MAX))
-            }),
+            Elem::Int => self.var_field(
+                elem_idx,
+                pos,
+                1,
+                |b| b.is_ascii_digit(),
+                |t| CaptureValue::Int(t.parse().unwrap_or(u64::MAX)),
+            ),
             Elem::Alpha => self.var_field(
                 elem_idx,
                 pos,
@@ -197,12 +201,20 @@ impl<'a> MatchState<'a> {
                 |b| b.is_ascii_alphabetic(),
                 |t| CaptureValue::Alpha(t.to_string()),
             ),
-            Elem::Str => self.var_field(elem_idx, pos, 1, |b| b != b'/', |t| {
-                CaptureValue::Str(t.to_string())
-            }),
-            Elem::Any => self.var_field(elem_idx, pos, 0, |b| b != b'/', |t| {
-                CaptureValue::Any(t.to_string())
-            }),
+            Elem::Str => self.var_field(
+                elem_idx,
+                pos,
+                1,
+                |b| b != b'/',
+                |t| CaptureValue::Str(t.to_string()),
+            ),
+            Elem::Any => self.var_field(
+                elem_idx,
+                pos,
+                0,
+                |b| b != b'/',
+                |t| CaptureValue::Any(t.to_string()),
+            ),
         }
     }
 
@@ -272,7 +284,7 @@ impl Pattern {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::ast::Pattern;
 
     fn p(s: &str) -> Pattern {
@@ -377,7 +389,10 @@ mod tests {
         let caps = pat.match_str("ALARMHISTORY17201012301530.gz").unwrap();
         assert_eq!(caps.first_int(), Some(17));
         let c = caps.timestamp().unwrap().to_calendar();
-        assert_eq!((c.year, c.month, c.day, c.hour, c.minute), (2010, 12, 30, 15, 30));
+        assert_eq!(
+            (c.year, c.month, c.day, c.hour, c.minute),
+            (2010, 12, 30, 15, 30)
+        );
     }
 
     #[test]

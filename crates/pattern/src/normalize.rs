@@ -57,7 +57,10 @@ impl fmt::Display for TemplateError {
                 write!(f, "capture reference %{n} exceeds available captures")
             }
             TemplateError::NoTimestamp => {
-                write!(f, "template uses timestamp fields but match has no timestamp")
+                write!(
+                    f,
+                    "template uses timestamp fields but match has no timestamp"
+                )
             }
         }
     }
@@ -173,7 +176,10 @@ impl Template {
                 TElem::OrigName => out.push_str(orig_name),
                 TElem::FeedName => out.push_str(feed_name),
                 TElem::CaptureRef(n) => {
-                    let cap = caps.all().get(*n).ok_or(TemplateError::CaptureOutOfRange(n + 1))?;
+                    let cap = caps
+                        .all()
+                        .get(*n)
+                        .ok_or(TemplateError::CaptureOutOfRange(n + 1))?;
                     out.push_str(&cap.text);
                 }
                 TElem::Ts(part) => {
@@ -219,7 +225,8 @@ mod tests {
         let caps = pat.match_str("MEMORY_poller2_20100925.gz").unwrap();
         let tpl = Template::parse("%Y/%m/%d/%f").unwrap();
         assert_eq!(
-            tpl.render(&caps, "MEMORY_poller2_20100925.gz", "MEMORY").unwrap(),
+            tpl.render(&caps, "MEMORY_poller2_20100925.gz", "MEMORY")
+                .unwrap(),
             "2010/09/25/MEMORY_poller2_20100925.gz"
         );
     }
@@ -230,7 +237,8 @@ mod tests {
         let caps = pat.match_str("CPU_POLL2_201009251001.txt").unwrap();
         let tpl = Template::parse("%N/poller%1/%Y-%m-%d/%H%M.txt").unwrap();
         assert_eq!(
-            tpl.render(&caps, "CPU_POLL2_201009251001.txt", "SNMP/CPU").unwrap(),
+            tpl.render(&caps, "CPU_POLL2_201009251001.txt", "SNMP/CPU")
+                .unwrap(),
             "SNMP/CPU/poller2/2010-09-25/1001.txt"
         );
     }
@@ -240,7 +248,10 @@ mod tests {
         let pat = Pattern::parse("%a_%i.log").unwrap();
         let caps = pat.match_str("alarms_42.log").unwrap();
         let tpl = Template::parse("%2/%1").unwrap();
-        assert_eq!(tpl.render(&caps, "alarms_42.log", "F").unwrap(), "42/alarms");
+        assert_eq!(
+            tpl.render(&caps, "alarms_42.log", "F").unwrap(),
+            "42/alarms"
+        );
         let tpl = Template::parse("%3").unwrap();
         assert_eq!(
             tpl.render(&caps, "alarms_42.log", "F"),
@@ -267,7 +278,10 @@ mod tests {
         assert_eq!(tpl.render(&caps, "x1", "F").unwrap(), "100%/x1");
         assert_eq!(Template::parse(""), Err(TemplateError::Empty));
         assert_eq!(Template::parse("a%"), Err(TemplateError::TrailingPercent));
-        assert_eq!(Template::parse("a%z"), Err(TemplateError::UnknownSpecifier('z')));
+        assert_eq!(
+            Template::parse("a%z"),
+            Err(TemplateError::UnknownSpecifier('z'))
+        );
     }
 
     #[test]
@@ -275,6 +289,9 @@ mod tests {
         let pat = Pattern::parse("f_%Y%m%d").unwrap();
         let caps = pat.match_str("f_20100925").unwrap();
         let tpl = Template::parse("%y-%m-%d/%f").unwrap();
-        assert_eq!(tpl.render(&caps, "f_20100925", "F").unwrap(), "10-09-25/f_20100925");
+        assert_eq!(
+            tpl.render(&caps, "f_20100925", "F").unwrap(),
+            "10-09-25/f_20100925"
+        );
     }
 }

@@ -123,7 +123,10 @@ fn atom_score(a: &Atom<'_>, b: &Atom<'_>) -> f64 {
             }
         }
         (Atom::Int, Atom::Int) | (Atom::Alpha, Atom::Alpha) => 2.0,
-        (Atom::Str, Atom::Str) | (Atom::Any, Atom::Any) | (Atom::Str, Atom::Any) | (Atom::Any, Atom::Str) => 2.0,
+        (Atom::Str, Atom::Str)
+        | (Atom::Any, Atom::Any)
+        | (Atom::Str, Atom::Any)
+        | (Atom::Any, Atom::Str) => 2.0,
         // a variable string field happily absorbs any literal or field
         (Atom::Str | Atom::Any, _) | (_, Atom::Str | Atom::Any) => 0.75,
         // int fields align with digit literals, alpha fields with alpha
@@ -171,7 +174,11 @@ pub fn pattern_similarity(a: &Pattern, b: &Pattern) -> f64 {
     let aa = atoms(a);
     let bb = atoms(b);
     if aa.is_empty() || bb.is_empty() {
-        return if aa.is_empty() && bb.is_empty() { 1.0 } else { 0.0 };
+        return if aa.is_empty() && bb.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
 
     // Needleman-Wunsch global alignment (index-based DP reads clearer
@@ -305,9 +312,6 @@ mod tests {
             .iter()
             .map(|f| pattern_similarity(f, &drifted))
             .collect();
-        assert!(
-            sims[0] > sims[1] && sims[0] > sims[2],
-            "sims = {sims:?}"
-        );
+        assert!(sims[0] > sims[1] && sims[0] > sims[2], "sims = {sims:?}");
     }
 }

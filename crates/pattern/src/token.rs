@@ -200,7 +200,17 @@ mod tests {
         assert_eq!(
             texts,
             vec![
-                "MEMORY", "_", "POLLER", "1", "_", "2010092504", "_", "51", ".", "csv", ".",
+                "MEMORY",
+                "_",
+                "POLLER",
+                "1",
+                "_",
+                "2010092504",
+                "_",
+                "51",
+                ".",
+                "csv",
+                ".",
                 "gz"
             ]
         );

@@ -133,7 +133,8 @@ mod tests {
         let store = MemFs::shared(SimClock::new());
         let arch = Archiver::new(store.clone() as Arc<dyn FileStore>, "archive").unwrap();
         let rec = record(1, "a.csv");
-        arch.archive_file(&rec, b"payload-bytes", TimePoint::from_secs(1000)).unwrap();
+        arch.archive_file(&rec, b"payload-bytes", TimePoint::from_secs(1000))
+            .unwrap();
         assert_eq!(arch.fetch("F/a.csv").unwrap(), b"payload-bytes");
     }
 
@@ -167,7 +168,8 @@ mod tests {
     fn torn_log_tail_ignored() {
         let store = MemFs::shared(SimClock::new());
         let arch = Archiver::new(store.clone() as Arc<dyn FileStore>, "archive").unwrap();
-        arch.archive_file(&record(1, "a.csv"), b"x", TimePoint::from_secs(1)).unwrap();
+        arch.archive_file(&record(1, "a.csv"), b"x", TimePoint::from_secs(1))
+            .unwrap();
         store.append("archive/receipts.log", &[0x01, 0x02]).unwrap();
         assert_eq!(arch.replay().unwrap().len(), 2);
     }

@@ -177,8 +177,7 @@ mod tests {
         FileRecord {
             id: FileId(42),
             name: "MEMORY_poller1_20100925.gz".to_string(),
-            staged_path: "staging/SNMP/MEMORY/2010/09/25/MEMORY_poller1_20100925.gz"
-                .to_string(),
+            staged_path: "staging/SNMP/MEMORY/2010/09/25/MEMORY_poller1_20100925.gz".to_string(),
             size: 123_456,
             arrival: TimePoint::from_secs(1_285_372_800),
             feed_time: Some(TimePoint::from_secs(1_285_372_800)),

@@ -9,9 +9,9 @@
 use crate::records::{FileRecord, Record};
 use crate::wal::{Wal, WalError};
 use bistro_base::checksum::crc32;
+use bistro_base::sync::Mutex;
 use bistro_base::{ByteReader, ByteWriter, FileId, IdGen, TimePoint};
 use bistro_vfs::{FileStore, VfsError};
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
@@ -73,7 +73,10 @@ impl Tables {
         match rec {
             Record::Arrival(f) => {
                 for feed in &f.feeds {
-                    self.by_feed.entry(feed.clone()).or_default().insert(f.id.raw());
+                    self.by_feed
+                        .entry(feed.clone())
+                        .or_default()
+                        .insert(f.id.raw());
                 }
                 self.files.insert(f.id.raw(), f);
             }
@@ -173,7 +176,9 @@ impl ReceiptStore {
         let crc_expected = u32::from_le_bytes(data[5..9].try_into().unwrap());
         let expired_count = u32::from_le_bytes(data[9..13].try_into().unwrap());
         if crc32(body) != crc_expected {
-            return Err(ReceiptError::CorruptSnapshot("checksum mismatch".to_string()));
+            return Err(ReceiptError::CorruptSnapshot(
+                "checksum mismatch".to_string(),
+            ));
         }
         tables.expired_count = expired_count as u64;
         let mut r = ByteReader::new(body);
@@ -376,7 +381,8 @@ impl ReceiptStore {
         out.extend_from_slice(&crc32(&body).to_le_bytes());
         out.extend_from_slice(&(inner.tables.expired_count as u32).to_le_bytes());
         out.extend_from_slice(&body);
-        self.store.write(&format!("{}/snapshot.bin", self.dir), &out)?;
+        self.store
+            .write(&format!("{}/snapshot.bin", self.dir), &out)?;
 
         let covered = inner.wal.next_seq().saturating_sub(1);
         inner.wal.rotate();
@@ -420,7 +426,8 @@ mod tests {
         assert_eq!(queue[0].id, f1);
         assert_eq!(queue[1].id, f2);
 
-        db.record_delivery(f1, "sub1", TimePoint::from_secs(101)).unwrap();
+        db.record_delivery(f1, "sub1", TimePoint::from_secs(101))
+            .unwrap();
         let queue = db.pending_for("sub1", &["F".to_string()]);
         assert_eq!(queue.len(), 1);
         assert_eq!(queue[0].id, f2);
@@ -436,7 +443,8 @@ mod tests {
             let db = open(&store);
             f1 = arrive(&db, "a.csv", &["F"], 100);
             f2 = arrive(&db, "b.csv", &["F", "G"], 200);
-            db.record_delivery(f1, "sub1", TimePoint::from_secs(150)).unwrap();
+            db.record_delivery(f1, "sub1", TimePoint::from_secs(150))
+                .unwrap();
         } // "crash"
         let db = open(&store);
         assert_eq!(db.live_count(), 2);
@@ -460,7 +468,8 @@ mod tests {
         let victims = db.expire_candidates(TimePoint::from_secs(1_000));
         assert_eq!(victims.len(), 1);
         assert_eq!(victims[0].id, f1);
-        db.record_expiration(f1, TimePoint::from_secs(10_001)).unwrap();
+        db.record_expiration(f1, TimePoint::from_secs(10_001))
+            .unwrap();
 
         assert_eq!(db.live_count(), 1);
         assert_eq!(db.expired_count(), 1);
@@ -472,7 +481,8 @@ mod tests {
         let store = MemFs::shared(SimClock::new());
         let db = open(&store);
         let f1 = arrive(&db, "a.csv", &["OLD"], 100);
-        db.record_reclassification(f1, vec!["NEW".to_string()]).unwrap();
+        db.record_reclassification(f1, vec!["NEW".to_string()])
+            .unwrap();
         assert!(db.pending_for("s", &["OLD".to_string()]).is_empty());
         assert_eq!(db.pending_for("s", &["NEW".to_string()]).len(), 1);
         // survives recovery
@@ -489,11 +499,13 @@ mod tests {
             for i in 0..100 {
                 let id = arrive(&db, &format!("f{i}.csv"), &["F"], 100 + i);
                 if i % 2 == 0 {
-                    db.record_delivery(id, "sub1", TimePoint::from_secs(200 + i)).unwrap();
+                    db.record_delivery(id, "sub1", TimePoint::from_secs(200 + i))
+                        .unwrap();
                 }
             }
             let f_exp = db.pending_for("never", &["F".to_string()])[0].id;
-            db.record_expiration(f_exp, TimePoint::from_secs(9_999)).unwrap();
+            db.record_expiration(f_exp, TimePoint::from_secs(9_999))
+                .unwrap();
             db.snapshot().unwrap();
             // post-snapshot activity must also survive
             arrive(&db, "post.csv", &["F"], 500);

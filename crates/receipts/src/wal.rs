@@ -246,8 +246,7 @@ mod tests {
     fn append_and_replay() {
         let store = mem();
         {
-            let mut wal =
-                Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
+            let mut wal = Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
             assert_eq!(wal.append(b"one").unwrap(), 1);
             assert_eq!(wal.append(b"two").unwrap(), 2);
             assert_eq!(wal.append(b"three").unwrap(), 3);
@@ -267,13 +266,11 @@ mod tests {
     fn reopen_continues_sequence() {
         let store = mem();
         {
-            let mut wal =
-                Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
+            let mut wal = Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
             wal.append(b"a").unwrap();
         }
         {
-            let mut wal =
-                Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
+            let mut wal = Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
             assert_eq!(wal.append(b"b").unwrap(), 2);
         }
         assert_eq!(replayed(&store).len(), 2);
@@ -283,18 +280,18 @@ mod tests {
     fn torn_tail_discarded_and_truncated() {
         let store = mem();
         {
-            let mut wal =
-                Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
+            let mut wal = Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
             wal.append(b"good").unwrap();
         }
         // simulate a torn write: append a partial frame
-        store.append("wal/0000000001.seg", &[0x55, 0x00, 0x00]).unwrap();
+        store
+            .append("wal/0000000001.seg", &[0x55, 0x00, 0x00])
+            .unwrap();
         let recs = replayed(&store);
         assert_eq!(recs, vec![(1, b"good".to_vec())]);
         // after recovery the torn bytes are gone; appends resume cleanly
         {
-            let mut wal =
-                Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
+            let mut wal = Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
             wal.append(b"after").unwrap();
         }
         assert_eq!(replayed(&store).len(), 2);
@@ -304,8 +301,7 @@ mod tests {
     fn corrupt_payload_stops_replay() {
         let store = mem();
         {
-            let mut wal =
-                Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
+            let mut wal = Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
             wal.append(b"first").unwrap();
             wal.append(b"second").unwrap();
         }
@@ -323,15 +319,18 @@ mod tests {
     fn segment_rotation() {
         let store = mem();
         {
-            let mut wal =
-                Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
+            let mut wal = Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
             wal.set_segment_bytes(64);
             for i in 0..50u32 {
                 wal.append(format!("record-{i:04}").as_bytes()).unwrap();
             }
         }
         let segs = store.list_dir("wal").unwrap();
-        assert!(segs.len() > 1, "expected rotation, got {} segments", segs.len());
+        assert!(
+            segs.len() > 1,
+            "expected rotation, got {} segments",
+            segs.len()
+        );
         let recs = replayed(&store);
         assert_eq!(recs.len(), 50);
         assert_eq!(recs[49].1, b"record-0049");
@@ -351,8 +350,7 @@ mod tests {
         assert_eq!(store.list_dir("wal").unwrap().len(), before - removed);
         // replay after prune yields only the active segment's records, and
         // appends continue with fresh sequence numbering per replay result
-        let mut wal2 =
-            Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
+        let mut wal2 = Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
         let seq = wal2.append(b"post-prune").unwrap();
         assert!(seq >= 1);
     }
@@ -373,8 +371,7 @@ mod tests {
     fn empty_record_roundtrips() {
         let store = mem();
         {
-            let mut wal =
-                Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
+            let mut wal = Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
             wal.append(b"").unwrap();
         }
         let recs = replayed(&store);

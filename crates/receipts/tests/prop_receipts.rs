@@ -2,10 +2,11 @@
 //! a trivial model under arbitrary interleavings of operations, and
 //! recovery must be lossless at every prefix.
 
-use bistro_base::{FileId, SimClock, TimePoint};
-use bistro_receipts::{Record, ReceiptStore};
+use bistro_base::prop::{self, Runner, Shrink};
+use bistro_base::rng::Rng;
+use bistro_base::{prop_assert_eq, FileId, SimClock, TimePoint};
+use bistro_receipts::{ReceiptStore, Record};
 use bistro_vfs::{FileStore, MemFs};
-use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -18,22 +19,32 @@ enum Op {
     Crash,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0u8..3).prop_map(|feed| Op::Arrive { feed }),
-        4 => (any::<prop::sample::Index>(), 0u8..3)
-            .prop_map(|(i, sub)| Op::Deliver { file_idx: i.index(64), sub }),
-        1 => any::<prop::sample::Index>().prop_map(|i| Op::Expire { file_idx: i.index(64) }),
-        1 => Just(Op::Snapshot),
-        1 => Just(Op::Crash),
-    ]
+// ops don't shrink individually; the op *sequence* shrinks structurally
+impl Shrink for Op {}
+
+fn op_gen(rng: &mut Rng) -> Op {
+    // weights 4:4:1:1:1, as the original proptest strategy had
+    match rng.gen_range(0u32..11) {
+        0..=3 => Op::Arrive {
+            feed: rng.gen_range(0u8..3),
+        },
+        4..=7 => Op::Deliver {
+            file_idx: rng.gen_range(0usize..64),
+            sub: rng.gen_range(0u8..3),
+        },
+        8 => Op::Expire {
+            file_idx: rng.gen_range(0usize..64),
+        },
+        9 => Op::Snapshot,
+        _ => Op::Crash,
+    }
 }
 
 /// Reference model: plain sets.
 #[derive(Default)]
 struct Model {
-    files: BTreeMap<u64, String>,          // id -> feed
-    delivered: BTreeSet<(u64, String)>,    // (id, sub)
+    files: BTreeMap<u64, String>,       // id -> feed
+    delivered: BTreeSet<(u64, String)>, // (id, sub)
     expired: BTreeSet<u64>,
 }
 
@@ -51,94 +62,119 @@ impl Model {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn store_matches_model() {
+    Runner::new("store_matches_model").cases(48).run(
+        |rng| prop::vec_of(rng, 1..=59, op_gen),
+        |ops| {
+            let store = MemFs::shared(SimClock::new());
+            let mut db = ReceiptStore::open(store.clone() as Arc<dyn FileStore>, "r").unwrap();
+            let mut model = Model::default();
+            let mut live_ids: Vec<u64> = Vec::new();
+            let mut t = 0u64;
 
-    #[test]
-    fn store_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
-        let store = MemFs::shared(SimClock::new());
-        let mut db = ReceiptStore::open(store.clone() as Arc<dyn FileStore>, "r").unwrap();
-        let mut model = Model::default();
-        let mut live_ids: Vec<u64> = Vec::new();
-        let mut t = 0u64;
+            for op in ops {
+                t += 1;
+                match op {
+                    Op::Arrive { feed } => {
+                        let feed = format!("feed{feed}");
+                        let id = db
+                            .record_arrival(
+                                &format!("f{t}.csv"),
+                                &format!("staging/f{t}.csv"),
+                                10,
+                                TimePoint::from_secs(t),
+                                None,
+                                vec![feed.clone()],
+                            )
+                            .unwrap();
+                        model.files.insert(id.raw(), feed);
+                        live_ids.push(id.raw());
+                    }
+                    Op::Deliver { file_idx, sub } => {
+                        if live_ids.is_empty() {
+                            continue;
+                        }
+                        let id = live_ids[file_idx % live_ids.len()];
+                        if model.expired.contains(&id) {
+                            continue;
+                        }
+                        let sub = format!("sub{sub}");
+                        db.record_delivery(FileId(id), &sub, TimePoint::from_secs(t))
+                            .unwrap();
+                        model.delivered.insert((id, sub));
+                    }
+                    Op::Expire { file_idx } => {
+                        if live_ids.is_empty() {
+                            continue;
+                        }
+                        let id = live_ids[file_idx % live_ids.len()];
+                        if model.expired.contains(&id) {
+                            continue;
+                        }
+                        db.record_expiration(FileId(id), TimePoint::from_secs(t))
+                            .unwrap();
+                        model.expired.insert(id);
+                    }
+                    Op::Snapshot => {
+                        db.snapshot().unwrap();
+                    }
+                    Op::Crash => {
+                        drop(db);
+                        db = ReceiptStore::open(store.clone() as Arc<dyn FileStore>, "r").unwrap();
+                    }
+                }
 
-        for op in ops {
-            t += 1;
-            match op {
-                Op::Arrive { feed } => {
-                    let feed = format!("feed{feed}");
-                    let id = db
-                        .record_arrival(
-                            &format!("f{t}.csv"),
-                            &format!("staging/f{t}.csv"),
-                            10,
-                            TimePoint::from_secs(t),
-                            None,
-                            vec![feed.clone()],
-                        )
-                        .unwrap();
-                    model.files.insert(id.raw(), feed);
-                    live_ids.push(id.raw());
-                }
-                Op::Deliver { file_idx, sub } => {
-                    if live_ids.is_empty() { continue; }
-                    let id = live_ids[file_idx % live_ids.len()];
-                    if model.expired.contains(&id) { continue; }
-                    let sub = format!("sub{sub}");
-                    db.record_delivery(FileId(id), &sub, TimePoint::from_secs(t)).unwrap();
-                    model.delivered.insert((id, sub));
-                }
-                Op::Expire { file_idx } => {
-                    if live_ids.is_empty() { continue; }
-                    let id = live_ids[file_idx % live_ids.len()];
-                    if model.expired.contains(&id) { continue; }
-                    db.record_expiration(FileId(id), TimePoint::from_secs(t)).unwrap();
-                    model.expired.insert(id);
-                }
-                Op::Snapshot => {
-                    db.snapshot().unwrap();
-                }
-                Op::Crash => {
-                    drop(db);
-                    db = ReceiptStore::open(store.clone() as Arc<dyn FileStore>, "r").unwrap();
+                // invariant: queues match the model for every (sub, feed)
+                for sub_i in 0..3u8 {
+                    for feed_i in 0..3u8 {
+                        let sub = format!("sub{sub_i}");
+                        let feed = format!("feed{feed_i}");
+                        let got: Vec<u64> = db
+                            .pending_for(&sub, std::slice::from_ref(&feed))
+                            .into_iter()
+                            .map(|f| f.id.raw())
+                            .collect();
+                        let want = model.pending(&sub, &feed);
+                        prop_assert_eq!(&got, &want, "sub {} feed {}", sub, feed);
+                    }
                 }
             }
+            Ok(())
+        },
+    );
+}
 
-            // invariant: queues match the model for every (sub, feed)
-            for sub_i in 0..3u8 {
-                for feed_i in 0..3u8 {
-                    let sub = format!("sub{sub_i}");
-                    let feed = format!("feed{feed_i}");
-                    let got: Vec<u64> = db
-                        .pending_for(&sub, std::slice::from_ref(&feed))
-                        .into_iter()
-                        .map(|f| f.id.raw())
-                        .collect();
-                    let want = model.pending(&sub, &feed);
-                    prop_assert_eq!(&got, &want, "sub {} feed {}", sub, feed);
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn record_encoding_roundtrips(
-        id in any::<u64>(),
-        name in "[A-Za-z0-9_.]{1,30}",
-        size in any::<u64>(),
-        t in any::<u64>(),
-        nfeeds in 0usize..5,
-    ) {
-        let rec = Record::Arrival(bistro_receipts::FileRecord {
-            id: FileId(id),
-            name: name.clone(),
-            staged_path: format!("s/{name}"),
-            size,
-            arrival: TimePoint::from_micros(t),
-            feed_time: if t % 2 == 0 { Some(TimePoint::from_micros(t)) } else { None },
-            feeds: (0..nfeeds).map(|i| format!("feed{i}")).collect(),
-        });
-        let bytes = rec.encode();
-        prop_assert_eq!(Record::decode(&bytes).unwrap(), rec);
-    }
+#[test]
+fn record_encoding_roundtrips() {
+    Runner::new("record_encoding_roundtrips").run(
+        |rng| {
+            (
+                rng.next_u64(),
+                prop::string(rng, "A-Za-z0-9_.", 1..=30),
+                rng.next_u64(),
+                rng.next_u64(),
+                rng.gen_range(0usize..5),
+            )
+        },
+        |(id, name, size, t, nfeeds)| {
+            let (id, size, t) = (*id, *size, *t);
+            let rec = Record::Arrival(bistro_receipts::FileRecord {
+                id: FileId(id),
+                name: name.clone(),
+                staged_path: format!("s/{name}"),
+                size,
+                arrival: TimePoint::from_micros(t),
+                feed_time: if t % 2 == 0 {
+                    Some(TimePoint::from_micros(t))
+                } else {
+                    None
+                },
+                feeds: (0..*nfeeds).map(|i| format!("feed{i}")).collect(),
+            });
+            let bytes = rec.encode();
+            prop_assert_eq!(Record::decode(&bytes).unwrap(), rec);
+            Ok(())
+        },
+    );
 }

@@ -20,7 +20,10 @@ use std::collections::HashMap;
 
 /// Observed per-subscriber throughput from a calibration run:
 /// total bytes over total service time, in bytes/second.
-pub fn observed_throughput(report: &SimReport, sizes: &HashMap<u64, u64>) -> HashMap<SubscriberId, f64> {
+pub fn observed_throughput(
+    report: &SimReport,
+    sizes: &HashMap<u64, u64>,
+) -> HashMap<SubscriberId, f64> {
     let mut bytes: HashMap<SubscriberId, u64> = HashMap::new();
     let mut service_us: HashMap<SubscriberId, u64> = HashMap::new();
     for o in &report.outcomes {
@@ -56,7 +59,11 @@ pub fn classify_subscribers(
         .iter()
         .map(|(&s, &t)| (s, t.max(f64::MIN_POSITIVE)))
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.raw().cmp(&b.0.raw())));
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap()
+            .then(a.0.raw().cmp(&b.0.raw()))
+    });
     if ranked.is_empty() {
         return HashMap::new();
     }
@@ -120,7 +127,14 @@ mod tests {
 
     #[test]
     fn three_way_split() {
-        let t = tp(&[(1, 100e6), (2, 90e6), (3, 1e6), (4, 1.2e6), (5, 1e3), (6, 2e3)]);
+        let t = tp(&[
+            (1, 100e6),
+            (2, 90e6),
+            (3, 1e6),
+            (4, 1.2e6),
+            (5, 1e3),
+            (6, 2e3),
+        ]);
         let classes = classify_subscribers(&t, 3);
         assert_eq!(classes[&SubscriberId(1)], 0);
         assert_eq!(classes[&SubscriberId(2)], 0);

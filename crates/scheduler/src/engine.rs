@@ -12,7 +12,7 @@ use crate::report::{JobOutcome, SimReport};
 use crate::types::{BackfillMode, JobSpec, SubscriberSpec};
 use bistro_base::{SubscriberId, TimePoint, TimeSpan};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
 
 /// A partition of the worker pool.
 #[derive(Clone, Debug)]
@@ -161,7 +161,12 @@ impl Engine {
             }
         }
         for job in jobs.values() {
-            push_event(&mut events, &mut seq, job.release, EventKind::Release(job.id));
+            push_event(
+                &mut events,
+                &mut seq,
+                job.release,
+                EventKind::Release(job.id),
+            );
         }
 
         // runtime state
@@ -264,8 +269,7 @@ impl Engine {
                             cache.insert(job.file_key);
                             cache_order.push_back(job.file_key);
                             TimeSpan::from_micros(
-                                job.size.saturating_mul(1_000_000)
-                                    / cfg.storage_bandwidth.max(1),
+                                job.size.saturating_mul(1_000_000) / cfg.storage_bandwidth.max(1),
                             )
                         };
                         let xfer = TimeSpan::from_micros(
@@ -310,99 +314,99 @@ impl Engine {
             }
             for kind in batch {
                 match kind {
-                EventKind::Release(id) => {
-                    let job = jobs[&id].clone();
-                    admit!(job, now);
-                }
-                EventKind::SubDown(sub_id) => {
-                    online.insert(sub_id, false);
-                    // abort in-flight transfers to this subscriber
-                    if let Some(ids) = in_flight_by_sub.remove(&sub_id) {
-                        for jid in ids {
-                            if let Some(fl) = in_flight.remove(&jid) {
-                                partitions[fl.partition].busy -= 1;
-                                if let Some(n) = in_flight_files.get_mut(&fl.job.file_key) {
-                                    *n -= 1;
-                                    if *n == 0 {
-                                        in_flight_files.remove(&fl.job.file_key);
+                    EventKind::Release(id) => {
+                        let job = jobs[&id].clone();
+                        admit!(job, now);
+                    }
+                    EventKind::SubDown(sub_id) => {
+                        online.insert(sub_id, false);
+                        // abort in-flight transfers to this subscriber
+                        if let Some(ids) = in_flight_by_sub.remove(&sub_id) {
+                            for jid in ids {
+                                if let Some(fl) = in_flight.remove(&jid) {
+                                    partitions[fl.partition].busy -= 1;
+                                    if let Some(n) = in_flight_files.get_mut(&fl.job.file_key) {
+                                        *n -= 1;
+                                        if *n == 0 {
+                                            in_flight_files.remove(&fl.job.file_key);
+                                        }
                                     }
+                                    parked_offline.entry(sub_id).or_default().push(fl.job);
                                 }
-                                parked_offline.entry(sub_id).or_default().push(fl.job);
+                            }
+                        }
+                        seq_busy.remove(&sub_id);
+                        // park queued jobs for this subscriber
+                        for part in partitions.iter_mut() {
+                            for j in part.rt.remove_subscriber(sub_id) {
+                                parked_offline.entry(sub_id).or_default().push(j);
+                            }
+                            for j in part.backfill.remove_subscriber(sub_id) {
+                                parked_offline.entry(sub_id).or_default().push(j);
+                            }
+                        }
+                        // and any sequencer-pending jobs stay where they are;
+                        // move them to parked so recovery re-admits in order
+                        if let Some(map) = seq_pending.remove(&sub_id) {
+                            parked_offline
+                                .entry(sub_id)
+                                .or_default()
+                                .extend(map.into_values());
+                        }
+                    }
+                    EventKind::SubUp(sub_id) => {
+                        online.insert(sub_id, true);
+                        if let Some(mut parked) = parked_offline.remove(&sub_id) {
+                            parked.sort_by_key(|j| j.id);
+                            for job in parked {
+                                admit!(job, now);
                             }
                         }
                     }
-                    seq_busy.remove(&sub_id);
-                    // park queued jobs for this subscriber
-                    for part in partitions.iter_mut() {
-                        for j in part.rt.remove_subscriber(sub_id) {
-                            parked_offline.entry(sub_id).or_default().push(j);
+                    EventKind::Complete(id) => {
+                        let Some(fl) = in_flight.remove(&id) else {
+                            continue; // aborted transfer's stale completion
+                        };
+                        partitions[fl.partition].busy -= 1;
+                        if let Some(n) = in_flight_files.get_mut(&fl.job.file_key) {
+                            *n -= 1;
+                            if *n == 0 {
+                                in_flight_files.remove(&fl.job.file_key);
+                            }
                         }
-                        for j in part.backfill.remove_subscriber(sub_id) {
-                            parked_offline.entry(sub_id).or_default().push(j);
+                        if let Some(v) = in_flight_by_sub.get_mut(&fl.job.subscriber) {
+                            v.retain(|&j| j != id);
                         }
-                    }
-                    // and any sequencer-pending jobs stay where they are;
-                    // move them to parked so recovery re-admits in order
-                    if let Some(map) = seq_pending.remove(&sub_id) {
-                        parked_offline
-                            .entry(sub_id)
-                            .or_default()
-                            .extend(map.into_values());
-                    }
-                }
-                EventKind::SubUp(sub_id) => {
-                    online.insert(sub_id, true);
-                    if let Some(mut parked) = parked_offline.remove(&sub_id) {
-                        parked.sort_by_key(|j| j.id);
-                        for job in parked {
-                            admit!(job, now);
-                        }
-                    }
-                }
-                EventKind::Complete(id) => {
-                    let Some(fl) = in_flight.remove(&id) else {
-                        continue; // aborted transfer's stale completion
-                    };
-                    partitions[fl.partition].busy -= 1;
-                    if let Some(n) = in_flight_files.get_mut(&fl.job.file_key) {
-                        *n -= 1;
-                        if *n == 0 {
-                            in_flight_files.remove(&fl.job.file_key);
-                        }
-                    }
-                    if let Some(v) = in_flight_by_sub.get_mut(&fl.job.subscriber) {
-                        v.retain(|&j| j != id);
-                    }
-                    bytes_delivered += fl.job.size;
-                    let sub = &subs[&fl.job.subscriber];
-                    let tardiness = now.since(fl.job.deadline);
-                    outcomes.insert(
-                        id,
-                        JobOutcome {
-                            job: id,
-                            subscriber: fl.job.subscriber,
-                            class: sub.class,
-                            release: fl.job.release,
-                            deadline: fl.job.deadline,
-                            completed: Some(now),
-                            tardiness: Some(tardiness),
-                            attempts: attempts.get(&id).copied().unwrap_or(1),
-                            service: Some(now.since(fl.started)),
-                            backfill: fl.job.backfill,
-                        },
-                    );
-                    // in-order: admit the subscriber's next job
-                    if cfg.backfill == BackfillMode::InOrder {
-                        seq_busy.remove(&fl.job.subscriber);
-                        if let Some(map) = seq_pending.get_mut(&fl.job.subscriber) {
-                            if let Some((&first, _)) = map.iter().next() {
-                                let j = map.remove(&first).unwrap();
-                                seq_busy.insert(fl.job.subscriber);
-                                enqueue(j, now, &mut partitions, &subs, &cfg);
+                        bytes_delivered += fl.job.size;
+                        let sub = &subs[&fl.job.subscriber];
+                        let tardiness = now.since(fl.job.deadline);
+                        outcomes.insert(
+                            id,
+                            JobOutcome {
+                                job: id,
+                                subscriber: fl.job.subscriber,
+                                class: sub.class,
+                                release: fl.job.release,
+                                deadline: fl.job.deadline,
+                                completed: Some(now),
+                                tardiness: Some(tardiness),
+                                attempts: attempts.get(&id).copied().unwrap_or(1),
+                                service: Some(now.since(fl.started)),
+                                backfill: fl.job.backfill,
+                            },
+                        );
+                        // in-order: admit the subscriber's next job
+                        if cfg.backfill == BackfillMode::InOrder {
+                            seq_busy.remove(&fl.job.subscriber);
+                            if let Some(map) = seq_pending.get_mut(&fl.job.subscriber) {
+                                if let Some((&first, _)) = map.iter().next() {
+                                    let j = map.remove(&first).unwrap();
+                                    seq_busy.insert(fl.job.subscriber);
+                                    enqueue(j, now, &mut partitions, &subs, &cfg);
+                                }
                             }
                         }
                     }
-                }
                 }
             }
             dispatch!(now);
@@ -512,7 +516,10 @@ mod tests {
         let report = eng.run();
         for o in &report.outcomes {
             let done = o.completed.expect("all jobs eventually delivered");
-            assert!(done >= TimePoint::from_secs(100), "delivered only after recovery");
+            assert!(
+                done >= TimePoint::from_secs(100),
+                "delivered only after recovery"
+            );
         }
         assert_eq!(report.overall().completed, 5);
     }
@@ -586,7 +593,10 @@ mod tests {
             parted_fast.max_tardiness,
             global_fast.max_tardiness
         );
-        assert_eq!(parted_fast.misses, 0, "partitioned fast class fully on time");
+        assert_eq!(
+            parted_fast.misses, 0,
+            "partitioned fast class fully on time"
+        );
     }
 
     #[test]

@@ -254,7 +254,11 @@ mod tests {
         q.push(j2, 0);
         let mut in_flight = HashSet::new();
         in_flight.insert(20u64);
-        assert_eq!(q.pop(&in_flight, 0).unwrap().id, 2, "locality wins within slack");
+        assert_eq!(
+            q.pop(&in_flight, 0).unwrap().id,
+            2,
+            "locality wins within slack"
+        );
         // without locality the head would have been job 1
         let empty = HashSet::new();
         assert_eq!(q.pop(&empty, 0).unwrap().id, 1);

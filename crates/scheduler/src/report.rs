@@ -69,7 +69,8 @@ impl ClassStats {
             let sum: u64 = tards.iter().sum();
             stats.mean_tardiness = TimeSpan::from_micros(sum / tards.len() as u64);
             let idx = ((tards.len() as f64) * 0.95).ceil() as usize;
-            stats.p95_tardiness = TimeSpan::from_micros(tards[idx.saturating_sub(1).min(tards.len() - 1)]);
+            stats.p95_tardiness =
+                TimeSpan::from_micros(tards[idx.saturating_sub(1).min(tards.len() - 1)]);
             stats.max_tardiness = TimeSpan::from_micros(*tards.last().unwrap());
         }
         stats
@@ -152,10 +153,12 @@ mod tests {
 
     #[test]
     fn stats_aggregate() {
-        let outcomes = [outcome(Some(0), 0),
+        let outcomes = [
+            outcome(Some(0), 0),
             outcome(Some(10), 0),
             outcome(Some(20), 0),
-            outcome(None, 0)];
+            outcome(None, 0),
+        ];
         let s = ClassStats::from_outcomes(outcomes.iter());
         assert_eq!(s.count, 4);
         assert_eq!(s.completed, 3);
@@ -175,7 +178,11 @@ mod tests {
     #[test]
     fn per_class_split() {
         let report = SimReport {
-            outcomes: vec![outcome(Some(0), 0), outcome(Some(5), 1), outcome(Some(7), 1)],
+            outcomes: vec![
+                outcome(Some(0), 0),
+                outcome(Some(5), 1),
+                outcome(Some(7), 1),
+            ],
             ..Default::default()
         };
         let per = report.per_class();

@@ -19,12 +19,10 @@
 //! * feed evolution events: renamed conventions, new pollers, new
 //!   extensions (§2.1.3) — the ground truth for analyzer experiments.
 //!
-//! Everything is seeded ([`rand::SeedableRng`]): the same config
-//! generates the same trace.
+//! Everything is seeded ([`bistro_base::Rng::seed_from_u64`]): the
+//! same config generates the same trace.
 
-use bistro_base::{TimePoint, TimeSpan};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bistro_base::{Rng, TimePoint, TimeSpan};
 
 pub mod payload;
 
@@ -199,7 +197,7 @@ pub struct GenFile {
 
 /// Generate a fleet trace, sorted by deposit time.
 pub fn generate(cfg: &FleetConfig) -> Vec<GenFile> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut out = Vec::new();
     let end = cfg.start + cfg.duration;
 
@@ -232,15 +230,20 @@ pub fn generate(cfg: &FleetConfig) -> Vec<GenFile> {
                     continue;
                 }
                 let name = spec.style.render(&spec.name, poller, t, &ext, &poller_word);
-                let size = rng.gen_range(spec.size_range.0..=spec.size_range.1.max(spec.size_range.0 + 1));
+                let size =
+                    rng.gen_range(spec.size_range.0..=spec.size_range.1.max(spec.size_range.0 + 1));
                 let base_delay_us = rng.gen_range(
-                    cfg.delay_range.0.as_micros()..=cfg.delay_range.1.as_micros().max(cfg.delay_range.0.as_micros() + 1),
+                    cfg.delay_range.0.as_micros()
+                        ..=cfg
+                            .delay_range
+                            .1
+                            .as_micros()
+                            .max(cfg.delay_range.0.as_micros() + 1),
                 );
                 let mut deposit = t + spec.period + TimeSpan::from_micros(base_delay_us);
                 if cfg.straggler_prob > 0.0 && rng.gen_bool(cfg.straggler_prob) {
-                    deposit += TimeSpan::from_micros(
-                        rng.gen_range(0..=cfg.straggler_delay.as_micros()),
-                    );
+                    deposit +=
+                        TimeSpan::from_micros(rng.gen_range(0..=cfg.straggler_delay.as_micros()));
                 }
                 out.push(GenFile {
                     name,
@@ -261,7 +264,12 @@ pub fn generate(cfg: &FleetConfig) -> Vec<GenFile> {
 /// The aggregate-feed scenario of §5.1 / experiment E8: `n_subfeeds`
 /// loosely related subfeeds (numbered name tokens, mixed styles) from
 /// `pollers` pollers over `duration`.
-pub fn aggregate_feed(n_subfeeds: usize, pollers: u32, duration: TimeSpan, seed: u64) -> FleetConfig {
+pub fn aggregate_feed(
+    n_subfeeds: usize,
+    pollers: u32,
+    duration: TimeSpan,
+    seed: u64,
+) -> FleetConfig {
     let styles = [
         NameStyle::CompactFull,
         NameStyle::CompactHourMin,
@@ -269,8 +277,7 @@ pub fn aggregate_feed(n_subfeeds: usize, pollers: u32, duration: TimeSpan, seed:
         NameStyle::SeparatedHour,
     ];
     let kinds = [
-        "MEMORY", "CPU", "BPS", "PPS", "LINKUTIL", "LINKLOSS", "ALARM", "TOPO", "FAULT",
-        "WORKFLOW",
+        "MEMORY", "CPU", "BPS", "PPS", "LINKUTIL", "LINKLOSS", "ALARM", "TOPO", "FAULT", "WORKFLOW",
     ];
     let exts = ["csv", "txt", "csv.gz", "dat"];
     let subfeeds = (0..n_subfeeds)
@@ -361,7 +368,10 @@ mod tests {
         // 3 pollers × 12 intervals × 2 subfeeds
         let cfg = FleetConfig::standard(
             3,
-            vec![SubfeedSpec::standard("MEMORY"), SubfeedSpec::standard("CPU")],
+            vec![
+                SubfeedSpec::standard("MEMORY"),
+                SubfeedSpec::standard("CPU"),
+            ],
             TimeSpan::from_hours(1),
         );
         let files = generate(&cfg);

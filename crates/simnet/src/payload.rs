@@ -6,15 +6,14 @@
 
 use crate::GenFile;
 use bistro_base::checksum::fnv1a64;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bistro_base::Rng;
 use std::fmt::Write as _;
 
 /// Synthesize a measurement-CSV payload of approximately
 /// `file.size` bytes, deterministic in the file's name.
 pub fn payload_for(file: &GenFile) -> Vec<u8> {
     let seed = fnv1a64(file.name.as_bytes());
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut out = String::with_capacity(file.size as usize + 128);
     out.push_str("timestamp,element,metric,value\n");
     let secs = file.feed_time.as_secs();

@@ -202,7 +202,10 @@ mod tests {
         for burst in 0..5u64 {
             let base = TimePoint::from_secs(10_000 + burst * 300);
             for i in 0..3u64 {
-                b.on_file(FileId(100 + burst * 3 + i), base + TimeSpan::from_millis(i * 200));
+                b.on_file(
+                    FileId(100 + burst * 3 + i),
+                    base + TimeSpan::from_millis(i * 200),
+                );
             }
             b.on_tick(base + TimeSpan::from_secs(150));
         }

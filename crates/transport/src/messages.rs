@@ -207,12 +207,10 @@ impl Message {
             TAG_BATCH => {
                 let batch = BatchId(r.get_varint()?);
                 let feed = r.get_str()?.to_string();
-                let reason = BatchCloseReason::from_tag(r.get_u8()?).ok_or(
-                    CodecError::BadTag {
-                        what: "batch close reason",
-                        tag,
-                    },
-                )?;
+                let reason = BatchCloseReason::from_tag(r.get_u8()?).ok_or(CodecError::BadTag {
+                    what: "batch close reason",
+                    tag,
+                })?;
                 let n = r.get_varint()? as usize;
                 let mut files = Vec::with_capacity(n.min(4096));
                 for _ in 0..n {

@@ -12,8 +12,8 @@
 //! link during an outage window is queued until the link recovers.
 
 use crate::messages::Message;
+use bistro_base::sync::Mutex;
 use bistro_base::{TimePoint, TimeSpan};
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 
 /// Link characteristics.
@@ -133,18 +133,14 @@ impl SimNetwork {
         let seq = inner.seq;
         inner.bytes_sent += size;
         inner.messages_sent += 1;
-        inner
-            .inboxes
-            .entry(to.to_string())
-            .or_default()
-            .insert(
-                (arrival, seq),
-                Delivery {
-                    at: arrival,
-                    from: from.to_string(),
-                    msg,
-                },
-            );
+        inner.inboxes.entry(to.to_string()).or_default().insert(
+            (arrival, seq),
+            Delivery {
+                at: arrival,
+                from: from.to_string(),
+                msg,
+            },
+        );
         arrival
     }
 
@@ -155,10 +151,7 @@ impl SimNetwork {
             return Vec::new();
         };
         let mut out = Vec::new();
-        let keys: Vec<_> = inbox
-            .range(..=(now, u64::MAX))
-            .map(|(k, _)| *k)
-            .collect();
+        let keys: Vec<_> = inbox.range(..=(now, u64::MAX)).map(|(k, _)| *k).collect();
         for k in keys {
             out.push(inbox.remove(&k).unwrap());
         }
@@ -169,12 +162,7 @@ impl SimNetwork {
     /// driver advance the clock to the next interesting instant.
     pub fn next_arrival(&self, endpoint: &str) -> Option<TimePoint> {
         let inner = self.inner.lock();
-        inner
-            .inboxes
-            .get(endpoint)?
-            .keys()
-            .next()
-            .map(|(t, _)| *t)
+        inner.inboxes.get(endpoint)?.keys().next().map(|(t, _)| *t)
     }
 
     /// Earliest pending arrival across all endpoints.

@@ -7,9 +7,9 @@
 //! of fork/exec); the command string supports the same expansion
 //! specifiers as the rest of the system.
 
+use bistro_base::sync::Mutex;
 use bistro_base::{BatchId, FileId, TimePoint};
 use bistro_config::{TriggerDef, TriggerKind};
-use parking_lot::Mutex;
 
 /// Context available for command expansion.
 #[derive(Clone, Debug, Default)]

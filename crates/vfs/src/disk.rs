@@ -212,10 +212,8 @@ mod tests {
     use super::*;
 
     fn tmp_store(name: &str) -> DiskFs {
-        let dir = std::env::temp_dir().join(format!(
-            "bistro_vfs_test_{name}_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("bistro_vfs_test_{name}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         DiskFs::open(dir).unwrap()
     }

@@ -8,8 +8,8 @@
 use crate::path::{ancestors, normalize};
 use crate::stats::MetaStats;
 use crate::{DirEntry, EntryKind, FileMeta, FileStore, VfsError};
+use bistro_base::sync::RwLock;
 use bistro_base::{SharedClock, TimePoint};
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -22,7 +22,9 @@ enum Node {
         data: Arc<Vec<u8>>,
         mtime: TimePoint,
     },
-    Dir { mtime: TimePoint },
+    Dir {
+        mtime: TimePoint,
+    },
 }
 
 /// In-memory [`FileStore`].
@@ -133,7 +135,10 @@ impl FileStore for MemFs {
         let mut tree = self.tree.write();
         Self::ensure_parents(&mut tree, path, now)?;
         match tree.get_mut(path) {
-            Some(Node::File { data: existing, mtime }) => {
+            Some(Node::File {
+                data: existing,
+                mtime,
+            }) => {
                 match Arc::get_mut(existing) {
                     Some(buf) => buf.extend_from_slice(data),
                     None => {
@@ -281,9 +286,7 @@ impl FileStore for MemFs {
         if !path.is_empty() {
             match tree.get(path) {
                 Some(Node::Dir { .. }) => {}
-                Some(Node::File { .. }) => {
-                    return Err(VfsError::NotADirectory(path.to_string()))
-                }
+                Some(Node::File { .. }) => return Err(VfsError::NotADirectory(path.to_string())),
                 None => return Err(VfsError::NotFound(path.to_string())),
             }
         }
@@ -443,7 +446,10 @@ mod tests {
     fn cannot_write_over_dir() {
         let (_c, fs) = fs();
         fs.create_dir_all("d").unwrap();
-        assert!(matches!(fs.write("d", b"x"), Err(VfsError::IsADirectory(_))));
+        assert!(matches!(
+            fs.write("d", b"x"),
+            Err(VfsError::IsADirectory(_))
+        ));
     }
 
     #[test]
@@ -454,10 +460,7 @@ mod tests {
             fs.write("f/child", b"y"),
             Err(VfsError::NotADirectory(_))
         ));
-        assert!(matches!(
-            fs.list_dir("f"),
-            Err(VfsError::NotADirectory(_))
-        ));
+        assert!(matches!(fs.list_dir("f"), Err(VfsError::NotADirectory(_))));
     }
 
     #[test]

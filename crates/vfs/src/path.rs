@@ -116,7 +116,13 @@ mod tests {
 
     #[test]
     fn normalize_accepts_good_paths() {
-        for p in ["", "a", "a/b", "landing/poller1/MEMORY_20100925.gz", "x.y.z"] {
+        for p in [
+            "",
+            "a",
+            "a/b",
+            "landing/poller1/MEMORY_20100925.gz",
+            "x.y.z",
+        ] {
             assert_eq!(normalize(p), Ok(p));
         }
     }

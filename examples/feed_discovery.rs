@@ -62,11 +62,12 @@ fn main() {
         server.deposit(&f.name, b"data").unwrap();
     }
 
-    let unknown_pct =
-        100.0 * server.stats().files_unknown as f64 / (server.stats().files_ingested + server.stats().files_unknown) as f64;
+    let unknown_pct = 100.0 * server.stats().files_unknown as f64
+        / (server.stats().files_ingested + server.stats().files_unknown) as f64;
     println!(
         "{} files ingested, {} ({unknown_pct:.0}%) matched no feed",
-        server.stats().files_ingested, server.stats().files_unknown
+        server.stats().files_ingested,
+        server.stats().files_unknown
     );
 
     // §5.1 — new feed discovery over the unknown stream
@@ -76,8 +77,12 @@ fn main() {
             "  {}   support={} period={} sources={}",
             feed.pattern,
             feed.support,
-            feed.period.map(|p| p.to_string()).unwrap_or_else(|| "?".to_string()),
-            feed.sources.map(|s| s.to_string()).unwrap_or_else(|| "?".to_string()),
+            feed.period
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "?".to_string()),
+            feed.sources
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "?".to_string()),
         );
         println!("      {}", feed.description);
     }
@@ -116,7 +121,9 @@ fn main() {
         println!(
             "\nafter approving the revised definition: {} live files, {} still unknown on disk",
             server.receipts().live_count(),
-            bistro::vfs::walk_files(server.store().as_ref(), "unknown").unwrap().len()
+            bistro::vfs::walk_files(server.store().as_ref(), "unknown")
+                .unwrap()
+                .len()
         );
     }
 }

@@ -59,13 +59,13 @@ fn main() {
 
     // …but only pulls at 02:00, when the warehouse is quiet
     clock.set(TimePoint::from_secs(1_285_372_800) + TimeSpan::from_hours(26));
-    println!("\n02:00 — nightly ETL pulls {} files:", client.pending().len());
+    println!(
+        "\n02:00 — nightly ETL pulls {} files:",
+        client.pending().len()
+    );
     let completions = client.fetch_all(&net, clock.now());
     for (p, done) in client.fetched() {
-        println!(
-            "  fetched {} ({} bytes) at {done}",
-            p.staged_path, p.size
-        );
+        println!("  fetched {} ({} bytes) at {done}", p.staged_path, p.size);
     }
     let last = completions.iter().max().unwrap();
     println!(

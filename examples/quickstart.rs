@@ -77,7 +77,9 @@ fn main() {
     }
 
     // 5. Reliability: everything is in the receipt database.
-    println!("\nreceipts: {} live files, {} deliveries recorded",
+    println!(
+        "\nreceipts: {} live files, {} deliveries recorded",
         server.receipts().live_count(),
-        server.receipts().delivery_count());
+        server.receipts().delivery_count()
+    );
 }

@@ -8,8 +8,8 @@
 
 use bistro::base::{Clock, SimClock, TimePoint, TimeSpan};
 use bistro::config::parse_config;
-use bistro::server::Server;
 use bistro::server as core;
+use bistro::server::Server;
 use bistro::transport::{LinkSpec, SimNetwork};
 use bistro::vfs::MemFs;
 use std::sync::Arc;
@@ -36,8 +36,22 @@ fn main() {
         latency: TimeSpan::from_millis(2),
     }));
     // slow WAN pipes hub → edges (the "low-bandwidth network pipes" §3)
-    net.set_link("hub", "edge_atlanta", LinkSpec { bandwidth: 2_000_000, latency: TimeSpan::from_millis(40) });
-    net.set_link("hub", "edge_dallas", LinkSpec { bandwidth: 1_000_000, latency: TimeSpan::from_millis(60) });
+    net.set_link(
+        "hub",
+        "edge_atlanta",
+        LinkSpec {
+            bandwidth: 2_000_000,
+            latency: TimeSpan::from_millis(40),
+        },
+    );
+    net.set_link(
+        "hub",
+        "edge_dallas",
+        LinkSpec {
+            bandwidth: 1_000_000,
+            latency: TimeSpan::from_millis(60),
+        },
+    );
 
     let hub_cfg = parse_config(
         r#"
@@ -48,14 +62,9 @@ fn main() {
         "#,
     )
     .unwrap();
-    let mut hub = Server::new(
-        "hub",
-        hub_cfg,
-        clock.clone(),
-        MemFs::shared(clock.clone()),
-    )
-    .unwrap()
-    .with_network(net.clone());
+    let mut hub = Server::new("hub", hub_cfg, clock.clone(), MemFs::shared(clock.clone()))
+        .unwrap()
+        .with_network(net.clone());
 
     let mut atlanta = Server::new(
         "edge_atlanta",
@@ -78,8 +87,16 @@ fn main() {
     // sources deposit a polling round at the hub
     let t0 = clock.now();
     for p in 1..=4 {
-        hub.deposit(&format!("BPS_poller{p}_201009250000.csv"), &vec![b'x'; 200_000]).unwrap();
-        hub.deposit(&format!("GPS_truck{p}_201009250000.csv"), &vec![b'y'; 50_000]).unwrap();
+        hub.deposit(
+            &format!("BPS_poller{p}_201009250000.csv"),
+            &vec![b'x'; 200_000],
+        )
+        .unwrap();
+        hub.deposit(
+            &format!("GPS_truck{p}_201009250000.csv"),
+            &vec![b'y'; 50_000],
+        )
+        .unwrap();
     }
     println!("hub ingested {} files", hub.stats().files_ingested);
 

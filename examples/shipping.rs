@@ -10,12 +10,10 @@
 //! cargo run --example shipping
 //! ```
 
-use bistro::base::{Clock, SimClock, TimePoint, TimeSpan};
+use bistro::base::{Clock, Rng, SimClock, TimePoint, TimeSpan};
 use bistro::config::parse_config;
 use bistro::server::Server;
 use bistro::vfs::MemFs;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let config = parse_config(
@@ -67,7 +65,7 @@ fn main() {
     let mut server = Server::new("bistro", config, clock.clone(), store).unwrap();
 
     // a simulated business day
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
     let day = clock.now().to_calendar();
     let mut deposited = 0u32;
     for hour in 8..18 {
@@ -75,7 +73,10 @@ fn main() {
         for center in 1..=5 {
             server
                 .deposit(
-                    &format!("dropoff_center{center}_{:04}{:02}{:02}{hour:02}.csv", day.year, day.month, day.day),
+                    &format!(
+                        "dropoff_center{center}_{:04}{:02}{:02}{hour:02}.csv",
+                        day.year, day.month, day.day
+                    ),
                     b"pkg,weight,dest\n",
                 )
                 .unwrap();
@@ -94,7 +95,9 @@ fn main() {
                         &format!(
                             "scan_{site}_{}_{:04}{:02}{:02}{hour:02}{minute:02}.log",
                             rng.gen_range(1..20),
-                            day.year, day.month, day.day
+                            day.year,
+                            day.month,
+                            day.day
                         ),
                         b"barcode scan data",
                     )
@@ -120,7 +123,9 @@ fn main() {
                     .deposit(
                         &format!(
                             "sig_{:04}{:02}{:02}{hour:02}{minute:02}00_{}.xml",
-                            day.year, day.month, day.day,
+                            day.year,
+                            day.month,
+                            day.day,
                             rng.gen_range(10_000..99_999)
                         ),
                         b"<signature/>",
@@ -134,10 +139,17 @@ fn main() {
     clock.set(TimePoint::from_secs(1_285_372_800) + TimeSpan::from_hours(20));
     server.tick();
 
-    println!("business day complete: {deposited} files deposited, {} unknown",
-        server.stats().files_unknown);
+    println!(
+        "business day complete: {deposited} files deposited, {} unknown",
+        server.stats().files_unknown
+    );
     println!("\nper-subscriber deliveries:");
-    for sub in ["marketing_atlanta", "operations_dallas", "corporate_warehouse", "delivery_alerts"] {
+    for sub in [
+        "marketing_atlanta",
+        "operations_dallas",
+        "corporate_warehouse",
+        "delivery_alerts",
+    ] {
         let n = server
             .trigger_log()
             .entries()

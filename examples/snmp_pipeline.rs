@@ -89,8 +89,15 @@ fn main() {
     println!("ingested          : {}", server.stats().files_ingested);
     println!("deliveries        : {}", server.stats().deliveries);
     println!("bytes delivered   : {}", server.stats().bytes_delivered);
-    println!("billing triggers  : {}",
-        server.trigger_log().entries().iter().filter(|e| e.subscriber == "billing").count());
+    println!(
+        "billing triggers  : {}",
+        server
+            .trigger_log()
+            .entries()
+            .iter()
+            .filter(|e| e.subscriber == "billing")
+            .count()
+    );
 
     println!("\n--- progress alarms (skipped intervals detected) ---");
     for alarm in server.event_log().alarms().iter().take(5) {
@@ -110,5 +117,8 @@ fn main() {
 
     // compression ablation: CPU staged files are sealed containers
     let cpu_files = server.receipts().files_in_feed("SNMP/CPU");
-    println!("\n(SNMP/CPU is stored compressed; {} files remain live)", cpu_files.len());
+    println!(
+        "\n(SNMP/CPU is stored compressed; {} files remain live)",
+        cpu_files.len()
+    );
 }

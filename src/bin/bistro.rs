@@ -60,9 +60,7 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         cfg.subscribers.len()
     );
     for sub in &cfg.subscribers {
-        let feeds = cfg
-            .subscriber_feeds(&sub.name)
-            .map_err(|e| e.to_string())?;
+        let feeds = cfg.subscriber_feeds(&sub.name).map_err(|e| e.to_string())?;
         println!("  subscriber {} receives {} feeds", sub.name, feeds.len());
     }
     Ok(())
@@ -95,7 +93,9 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_discover(args: &[String]) -> Result<(), String> {
-    let dir = args.first().ok_or("usage: bistro discover <dir> [min-support]")?;
+    let dir = args
+        .first()
+        .ok_or("usage: bistro discover <dir> [min-support]")?;
     let min_support: usize = args
         .get(1)
         .map(|s| s.parse().map_err(|_| format!("bad min-support: {s}")))

@@ -12,7 +12,12 @@ use std::sync::Arc;
 
 const START: TimePoint = TimePoint::from_secs(1_285_372_800);
 
-fn server(name: &str, cfg: &str, clock: Arc<bistro::base::clock::SimClock>, net: Arc<SimNetwork>) -> Server {
+fn server(
+    name: &str,
+    cfg: &str,
+    clock: Arc<bistro::base::clock::SimClock>,
+    net: Arc<SimNetwork>,
+) -> Server {
     Server::new(
         name,
         parse_config(cfg).unwrap(),

@@ -103,7 +103,10 @@ fn day_in_the_life() {
 
     // batch triggers fired (count=3 per polling round, 3 feeds × 288 rounds)
     let triggers = server.trigger_log().len();
-    assert!(triggers > 500, "expected many batch triggers, got {triggers}");
+    assert!(
+        triggers > 500,
+        "expected many batch triggers, got {triggers}"
+    );
 
     // skipped intervals produced missing-data alarms
     assert!(server.event_log().count(bistro::server::LogLevel::Alarm) > 0);
@@ -146,7 +149,10 @@ fn day_in_the_life() {
     // nothing pending: all deliveries were receipted before the restart
     assert!(server2
         .receipts()
-        .pending_for("warehouse", &["SNMP/BPS".into(), "SNMP/CPU".into(), "SNMP/MEMORY".into()])
+        .pending_for(
+            "warehouse",
+            &["SNMP/BPS".into(), "SNMP/CPU".into(), "SNMP/MEMORY".into()]
+        )
         .is_empty());
 }
 

@@ -37,8 +37,12 @@ fn full_pipeline_on_real_filesystem() {
             store.clone(),
         )
         .unwrap();
-        server.deposit("MEMORY_poller1_20100925.gz", b"real bytes").unwrap();
-        server.deposit("MEMORY_poller2_20100925.gz", b"more bytes").unwrap();
+        server
+            .deposit("MEMORY_poller1_20100925.gz", b"real bytes")
+            .unwrap();
+        server
+            .deposit("MEMORY_poller2_20100925.gz", b"more bytes")
+            .unwrap();
         server.deposit("stray.tmp", b"???").unwrap();
 
         assert_eq!(server.stats().files_ingested, 2);
@@ -95,14 +99,12 @@ fn wal_survives_partial_disk_writes() {
     std::fs::write(&seg, &bytes).unwrap();
 
     let store2: Arc<dyn FileStore> = Arc::new(DiskFs::open(&root).unwrap());
-    let server = Server::new(
-        "bistro",
-        parse_config(CONFIG).unwrap(),
-        clock,
-        store2,
-    )
-    .unwrap();
-    assert_eq!(server.receipts().live_count(), 1, "torn tail discarded, data intact");
+    let server = Server::new("bistro", parse_config(CONFIG).unwrap(), clock, store2).unwrap();
+    assert_eq!(
+        server.receipts().live_count(),
+        1,
+        "torn tail discarded, data intact"
+    );
 
     let _ = std::fs::remove_dir_all(&root);
 }
