@@ -8,5 +8,11 @@ cd "$(dirname "$0")"
 
 cargo build --release --offline
 cargo test -q --offline
+
+# Fault-injection suite, run explicitly and uncaptured so a failure
+# surfaces its replay seed (scenario asserts embed `seed 0x...`; the
+# property harness prints `BISTRO_PROP_SEED=...`).
+cargo test --offline --test fault_injection -- --nocapture
+
 cargo clippy --offline --all-targets -- -D warnings
 cargo fmt --check

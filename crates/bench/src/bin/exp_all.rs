@@ -20,6 +20,8 @@ fn main() {
     print!("{}", e4_batching::table(&p));
     let p = e5_reliability::run(&[1, 7, 42, 99, 1234], 80);
     print!("{}", e5_reliability::table(&p));
+    let p = e5_reliability::run_faulty(&[1, 7, 42, 99, 1234], 60);
+    print!("{}", e5_reliability::table_faulty(&p));
     let p = e6_scheduling::run();
     print!("{}", e6_scheduling::table(&p));
     let p = e7_backfill::run(&[20, 100, 300]);

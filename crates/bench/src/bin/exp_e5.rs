@@ -3,4 +3,6 @@ use bistro_bench::e5_reliability as e5;
 fn main() {
     let outcomes = e5::run(&[1, 7, 42, 99, 1234], 80);
     print!("{}", e5::table(&outcomes));
+    let faulty = e5::run_faulty(&[1, 7, 42, 99, 1234], 60);
+    print!("{}", e5::table_faulty(&faulty));
 }

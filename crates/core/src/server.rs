@@ -15,13 +15,13 @@ use bistro_analyzer::fn_detect::FnWarning;
 use bistro_analyzer::{
     fp_report, FeedDiscoverer, FeedProgress, FnDetector, FpReport, ProgressAlert,
 };
-use bistro_base::{BatchId, IdGen, SharedClock, TimeSpan};
+use bistro_base::{BatchId, FileId, IdGen, SharedClock, TimePoint, TimeSpan};
 use bistro_config::validate::validate;
 use bistro_config::{BatchSpec, Config, DeliveryMode, FeedDef, SubscriberDef};
 use bistro_receipts::{Archiver, FileRecord, ReceiptError, ReceiptStore};
-use bistro_transport::messages::{Message, SubscriberMsg};
+use bistro_transport::messages::{Message, ReliableMsg, SubscriberMsg};
 use bistro_transport::trigger::TriggerContext;
-use bistro_transport::{Batcher, SimNetwork, TriggerLog};
+use bistro_transport::{Batcher, RetryPolicy, RetryTracker, SimNetwork, TriggerLog};
 use bistro_vfs::{FileStore, VfsError};
 use std::collections::HashMap;
 use std::fmt;
@@ -119,6 +119,15 @@ struct SubscriberState {
     consecutive_failures: u32,
 }
 
+/// Ack/retry state when reliable delivery is enabled (§4.2): the
+/// unacked-send table plus counters surfaced to benchmarks.
+struct ReliableState {
+    tracker: RetryTracker,
+    acks_received: u64,
+    retries_sent: u64,
+    gave_up: u64,
+}
+
 /// A Bistro server instance.
 pub struct Server {
     name: String,
@@ -134,6 +143,7 @@ pub struct Server {
     batch_ids: IdGen,
     subscribers: HashMap<String, SubscriberState>,
     net: Option<Arc<SimNetwork>>,
+    reliable: Option<ReliableState>,
     progress: HashMap<String, FeedProgress>,
     discoverer: FeedDiscoverer,
     fn_detector: FnDetector,
@@ -210,6 +220,7 @@ impl Server {
             batch_ids: IdGen::new(),
             subscribers,
             net: None,
+            reliable: None,
             progress: HashMap::new(),
             discoverer,
             fn_detector,
@@ -221,6 +232,22 @@ impl Server {
     /// travel through it (with its bandwidth/latency/outages).
     pub fn with_network(mut self, net: Arc<SimNetwork>) -> Server {
         self.net = Some(net);
+        self
+    }
+
+    /// Route deliveries through the ack/retry protocol (§4.2): every
+    /// send travels as a [`ReliableMsg::Attempt`] envelope, the delivery
+    /// receipt is written only when the subscriber's acknowledgement
+    /// comes back, and unacked sends are retransmitted with seeded
+    /// exponential backoff (drive via [`Server::poll_network`] and
+    /// [`Server::retry_tick`]). Requires an attached network.
+    pub fn with_reliable_delivery(mut self, policy: RetryPolicy, seed: u64) -> Server {
+        self.reliable = Some(ReliableState {
+            tracker: RetryTracker::new(policy, seed),
+            acks_received: 0,
+            retries_sent: 0,
+            gave_up: 0,
+        });
         self
     }
 
@@ -339,9 +366,12 @@ impl Server {
             }
         }
 
-        // delivery to online subscribers of any matched feed
+        // delivery to online subscribers of any matched feed (sorted so
+        // the network send order — and hence a faulty run's RNG stream —
+        // replays bit-for-bit)
         let rec = self.receipts.file(file).expect("just recorded");
-        let sub_names: Vec<String> = self.subscribers.keys().cloned().collect();
+        let mut sub_names: Vec<String> = self.subscribers.keys().cloned().collect();
+        sub_names.sort();
         for sub in sub_names {
             let interested = {
                 let st = &self.subscribers[&sub];
@@ -354,17 +384,13 @@ impl Server {
         Ok(())
     }
 
-    /// Deliver (push or notify) one file to one subscriber, record the
-    /// receipt, and run the subscriber's batcher/trigger.
-    fn deliver_one(&mut self, rec: &FileRecord, sub_name: &str) -> Result<(), ServerError> {
-        if self.receipts.is_delivered(rec.id, sub_name) {
-            return Ok(());
-        }
-        let now = self.clock.now();
-        let st = self
-            .subscribers
-            .get(sub_name)
-            .ok_or_else(|| ServerError::UnknownSubscriber(sub_name.to_string()))?;
+    /// The wire message for delivering `rec` to `st`, plus the metadata
+    /// the receipt/batcher tail needs: `(feed, dest_path, size, msg)`.
+    fn delivery_parts(
+        &self,
+        rec: &FileRecord,
+        st: &SubscriberState,
+    ) -> (String, String, u64, SubscriberMsg) {
         let feed_name = rec
             .feeds
             .iter()
@@ -395,29 +421,92 @@ impl Server {
             .unwrap_or(rec.size);
 
         let msg = match st.def.delivery {
-            DeliveryMode::Push => Message::Subscriber(SubscriberMsg::FileDelivered {
+            DeliveryMode::Push => SubscriberMsg::FileDelivered {
                 file: rec.id,
                 feed: feed_name.clone(),
                 dest_path: dest_path.clone(),
                 size,
-            }),
-            DeliveryMode::Notify => Message::Subscriber(SubscriberMsg::FileAvailable {
+            },
+            DeliveryMode::Notify => SubscriberMsg::FileAvailable {
                 file: rec.id,
                 feed: feed_name.clone(),
                 staged_path: rec.staged_path.clone(),
                 size,
-            }),
+            },
         };
+        (feed_name, dest_path, size, msg)
+    }
+
+    /// Deliver (push or notify) one file to one subscriber. In reliable
+    /// mode this sends an [`ReliableMsg::Attempt`] and returns — the
+    /// receipt is written by [`Server::poll_network`] when the ack comes
+    /// back. Otherwise the receipt, stats and batcher/trigger run
+    /// immediately.
+    fn deliver_one(&mut self, rec: &FileRecord, sub_name: &str) -> Result<(), ServerError> {
+        if self.receipts.is_delivered(rec.id, sub_name) {
+            return Ok(());
+        }
+        let now = self.clock.now();
+        let (endpoint, feed_name, dest_path, size, submsg) = {
+            let st = self
+                .subscribers
+                .get(sub_name)
+                .ok_or_else(|| ServerError::UnknownSubscriber(sub_name.to_string()))?;
+            let (feed_name, dest_path, size, submsg) = self.delivery_parts(rec, st);
+            (st.def.endpoint.clone(), feed_name, dest_path, size, submsg)
+        };
+
+        if let (Some(rel), Some(net)) = (self.reliable.as_mut(), self.net.clone()) {
+            if rel.tracker.is_outstanding(sub_name, rec.id) {
+                return Ok(()); // a send is already in flight
+            }
+            let attempt = rel.tracker.track(sub_name, rec.id, submsg.clone(), now);
+            net.send(
+                now,
+                &self.name,
+                &endpoint,
+                Message::Reliable(ReliableMsg::Attempt {
+                    attempt,
+                    inner: submsg,
+                }),
+            );
+            return Ok(());
+        }
 
         let delivered_at = match &self.net {
-            Some(net) => net.send(now, &self.name, &st.def.endpoint, msg),
+            Some(net) => net.send(now, &self.name, &endpoint, Message::Subscriber(submsg)),
             None => now,
         };
+        self.finish_delivery(sub_name, rec, &feed_name, &dest_path, size, delivered_at)
+    }
 
+    /// The post-delivery tail: write the receipt, update stats, and run
+    /// the subscriber's batcher/trigger. `delivered_at` is the arrival
+    /// time (reliable mode: the ack's arrival).
+    fn finish_delivery(
+        &mut self,
+        sub_name: &str,
+        rec: &FileRecord,
+        feed_name: &str,
+        dest_path: &str,
+        size: u64,
+        delivered_at: TimePoint,
+    ) -> Result<(), ServerError> {
+        let (push, spec, trigger) = {
+            let st = self
+                .subscribers
+                .get(sub_name)
+                .ok_or_else(|| ServerError::UnknownSubscriber(sub_name.to_string()))?;
+            (
+                st.def.delivery == DeliveryMode::Push,
+                st.def.batch,
+                st.def.trigger.clone(),
+            )
+        };
         self.receipts
             .record_delivery(rec.id, sub_name, delivered_at)?;
         self.stats.deliveries += 1;
-        if st.def.delivery == DeliveryMode::Push {
+        if push {
             self.stats.bytes_delivered += size;
         }
         self.stats
@@ -427,9 +516,8 @@ impl Server {
             .push(delivered_at.since(rec.arrival));
 
         // batching + trigger
-        let key = (feed_name.clone(), sub_name.to_string());
-        let spec: BatchSpec = st.def.batch;
-        let trigger = st.def.trigger.clone();
+        let key = (feed_name.to_string(), sub_name.to_string());
+        let spec: BatchSpec = spec;
         let batcher = self
             .batchers
             .entry(key)
@@ -441,8 +529,8 @@ impl Server {
                     sub_name,
                     def,
                     &TriggerContext {
-                        feed: &feed_name,
-                        file_path: &dest_path,
+                        feed: feed_name,
+                        file_path: dest_path,
                         batch: Some(batch_id),
                         count: batch.files.len(),
                     },
@@ -456,6 +544,165 @@ impl Server {
             .unwrap()
             .consecutive_failures = 0;
         Ok(())
+    }
+
+    /// Complete a delivery proven by an ack: idempotent (late and
+    /// duplicate acks are no-ops once the receipt exists).
+    fn complete_delivery(
+        &mut self,
+        sub_name: &str,
+        file: FileId,
+        at: TimePoint,
+    ) -> Result<(), ServerError> {
+        if self.receipts.is_delivered(file, sub_name) {
+            return Ok(());
+        }
+        let Some(rec) = self.receipts.file(file) else {
+            return Ok(()); // ack for a file we no longer track
+        };
+        let (feed_name, dest_path, size) = {
+            let st = self
+                .subscribers
+                .get(sub_name)
+                .ok_or_else(|| ServerError::UnknownSubscriber(sub_name.to_string()))?;
+            let (feed_name, dest_path, size, _) = self.delivery_parts(&rec, st);
+            (feed_name, dest_path, size)
+        };
+        self.finish_delivery(sub_name, &rec, &feed_name, &dest_path, size, at)
+    }
+
+    /// Drain the server's network inbox: acknowledgements clear their
+    /// unacked-send entries and write the delivery receipts. An ack that
+    /// the tracker no longer knows (late duplicate, or sent before a
+    /// server restart) still proves delivery and completes idempotently.
+    /// Returns the number of acks processed.
+    pub fn poll_network(&mut self) -> Result<usize, ServerError> {
+        let Some(net) = self.net.clone() else {
+            return Ok(0);
+        };
+        let now = self.clock.now();
+        let mut n = 0;
+        for d in net.recv_ready(&self.name, now) {
+            let Message::Reliable(ReliableMsg::Ack { file, attempt }) = d.msg else {
+                continue;
+            };
+            let Some(sub) = self.subscriber_by_endpoint(&d.from) else {
+                continue;
+            };
+            if let Some(rel) = self.reliable.as_mut() {
+                rel.tracker.on_ack(&sub, file, attempt);
+                rel.acks_received += 1;
+            }
+            self.complete_delivery(&sub, file, d.at)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Resolve a subscriber name from its configured endpoint (acks
+    /// carry no name on the wire; the sender's endpoint identifies it).
+    fn subscriber_by_endpoint(&self, endpoint: &str) -> Option<String> {
+        let mut names: Vec<&String> = self
+            .subscribers
+            .iter()
+            .filter(|(_, st)| st.def.endpoint == endpoint)
+            .map(|(name, _)| name)
+            .collect();
+        names.sort();
+        names.first().map(|s| s.to_string())
+    }
+
+    /// Sweep the unacked-send table: lapsed sends are retransmitted
+    /// (Warn) with exponential backoff; sends that exhausted the policy's
+    /// attempt budget raise an Alarm and flag the subscriber offline
+    /// (recovery then goes through backfill, §4.2).
+    pub fn retry_tick(&mut self) -> Result<(), ServerError> {
+        let now = self.clock.now();
+        let round = match self.reliable.as_mut() {
+            Some(rel) => {
+                let round = rel.tracker.due(now);
+                rel.retries_sent += round.resend.len() as u64;
+                rel.gave_up += round.exhausted.len() as u64;
+                round
+            }
+            None => return Ok(()),
+        };
+        let Some(net) = self.net.clone() else {
+            return Ok(());
+        };
+        for r in &round.resend {
+            let Some(st) = self.subscribers.get(&r.subscriber) else {
+                continue;
+            };
+            net.send(
+                now,
+                &self.name,
+                &st.def.endpoint,
+                Message::Reliable(ReliableMsg::Attempt {
+                    attempt: r.attempt,
+                    inner: r.msg.clone(),
+                }),
+            );
+            self.log.log(
+                now,
+                LogLevel::Warn,
+                "delivery",
+                format!(
+                    "retrying file {} to {} (attempt {})",
+                    r.file.raw(),
+                    r.subscriber,
+                    r.attempt
+                ),
+            );
+        }
+        for (sub, file) in &round.exhausted {
+            self.log.log(
+                now,
+                LogLevel::Alarm,
+                "delivery",
+                format!(
+                    "delivery of file {} to {sub} abandoned after {} attempts",
+                    file.raw(),
+                    self.reliable
+                        .as_ref()
+                        .map(|r| r.tracker.policy().max_attempts)
+                        .unwrap_or(0)
+                ),
+            );
+            self.set_subscriber_online(sub, false)?;
+        }
+        Ok(())
+    }
+
+    /// Re-deliver everything the receipt store does not show as
+    /// delivered, across all online subscribers (sorted for determinism).
+    /// In reliable mode receipts record only acked sends, so after a
+    /// crash-restart this is exactly the unacked backfill.
+    pub fn backfill_unacked(&mut self) -> Result<usize, ServerError> {
+        let mut subs: Vec<String> = self.subscribers.keys().cloned().collect();
+        subs.sort();
+        let mut n = 0;
+        for sub in subs {
+            n += self.deliver_pending_for(&sub)?;
+        }
+        Ok(n)
+    }
+
+    /// Unacked reliable sends currently in flight.
+    pub fn unacked_count(&self) -> usize {
+        self.reliable
+            .as_ref()
+            .map(|r| r.tracker.outstanding_count())
+            .unwrap_or(0)
+    }
+
+    /// `(acks received, retries sent, deliveries abandoned)` since start;
+    /// all zero when reliable delivery is not enabled.
+    pub fn reliability_counters(&self) -> (u64, u64, u64) {
+        self.reliable
+            .as_ref()
+            .map(|r| (r.acks_received, r.retries_sent, r.gave_up))
+            .unwrap_or((0, 0, 0))
     }
 
     /// Mark a subscriber offline (failure detected) or online
@@ -472,6 +719,12 @@ impl Server {
                 return Ok(());
             }
             st.online = online;
+        }
+        if !online {
+            // stop retrying into a dead subscriber; recovery backfills
+            if let Some(rel) = self.reliable.as_mut() {
+                rel.tracker.forget_subscriber(sub);
+            }
         }
         if online {
             self.log.log(
@@ -566,8 +819,9 @@ impl Server {
                 self.ingest(&rel)?;
             }
         }
-        // deliver any newly pending files
-        let subs: Vec<String> = self.subscribers.keys().cloned().collect();
+        // deliver any newly pending files (sorted: see `ingest`)
+        let mut subs: Vec<String> = self.subscribers.keys().cloned().collect();
+        subs.sort();
         for sub in subs {
             self.deliver_pending_for(&sub)?;
         }
@@ -584,8 +838,9 @@ impl Server {
     /// triggers) and audit feed progress (raising alarms).
     pub fn tick(&mut self) {
         let now = self.clock.now();
-        // batch windows
-        let keys: Vec<(String, String)> = self.batchers.keys().cloned().collect();
+        // batch windows (sorted so trigger-log order is deterministic)
+        let mut keys: Vec<(String, String)> = self.batchers.keys().cloned().collect();
+        keys.sort();
         for key in keys {
             let batch = self.batchers.get_mut(&key).and_then(|b| b.on_tick(now));
             if let Some(batch) = batch {
@@ -647,12 +902,13 @@ impl Server {
     /// feed's open batches immediately (§4.1 punctuation).
     pub fn punctuate_feed(&mut self, feed: &str) {
         let now = self.clock.now();
-        let keys: Vec<(String, String)> = self
+        let mut keys: Vec<(String, String)> = self
             .batchers
             .keys()
             .filter(|(f, _)| f == feed)
             .cloned()
             .collect();
+        keys.sort();
         for key in keys {
             let batch = self
                 .batchers

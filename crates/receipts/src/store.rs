@@ -385,7 +385,7 @@ impl ReceiptStore {
             .write(&format!("{}/snapshot.bin", self.dir), &out)?;
 
         let covered = inner.wal.next_seq().saturating_sub(1);
-        inner.wal.rotate();
+        inner.wal.rotate()?;
         let removed = inner.wal.prune(covered)?;
         Ok(removed)
     }

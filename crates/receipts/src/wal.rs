@@ -1,8 +1,15 @@
 //! Segmented, CRC-framed write-ahead log.
 //!
 //! Records are appended to numbered segment files
-//! (`<dir>/0000000001.seg`, …) under a [`FileStore`]. Each record is
-//! framed as:
+//! (`<dir>/0000000001.seg`, …) under a [`FileStore`]. Each segment
+//! starts with a small header pinning the sequence number of its first
+//! record:
+//!
+//! ```text
+//! [4B magic "BSG1"][u64 first-record sequence]
+//! ```
+//!
+//! followed by records framed as:
 //!
 //! ```text
 //! [u32 payload length][u32 CRC-32 of payload][payload bytes]
@@ -13,7 +20,11 @@
 //! as a crashed-in-flight write and discarded (and the segment is
 //! truncated on the next append). A snapshot records the highest record
 //! sequence number it covers; segments whose records are all covered can
-//! be deleted.
+//! be deleted. The per-segment base sequence is what keeps numbering
+//! *stable* across pruning: surviving records replay with their original
+//! sequence numbers instead of being renumbered from 1, so external
+//! state keyed by WAL sequence never dangles. Headerless (legacy)
+//! segments are still readable and number from the running sequence.
 
 use bistro_base::checksum::crc32;
 use bistro_vfs::{FileStore, VfsError};
@@ -49,14 +60,31 @@ impl From<VfsError> for WalError {
 /// Frame header size.
 const FRAME_HEADER: usize = 8;
 
+/// Segment header: magic + first-record sequence.
+const SEG_MAGIC: &[u8; 4] = b"BSG1";
+/// Segment header size.
+const SEG_HEADER: usize = 12;
+
+/// Parse an optional segment header; returns `(first_seq, body_offset)`.
+fn segment_header(data: &[u8]) -> Option<(u64, usize)> {
+    if data.len() >= SEG_HEADER && &data[0..4] == SEG_MAGIC {
+        let first = u64::from_le_bytes(data[4..12].try_into().unwrap());
+        Some((first, SEG_HEADER))
+    } else {
+        None
+    }
+}
+
 /// A segmented write-ahead log.
 pub struct Wal {
     store: Arc<dyn FileStore>,
     dir: String,
     /// Segment currently being appended to.
     active_segment: u64,
-    /// Bytes in the active segment.
+    /// Bytes in the active segment (header included).
     active_bytes: u64,
+    /// Whether the active segment holds at least one record.
+    active_has_records: bool,
     /// Records are numbered from 1 across segments.
     next_seq: u64,
     /// Rotate segments at this size.
@@ -96,13 +124,25 @@ impl Wal {
         let mut seq = 0u64;
         let mut active_segment = *segments.last().unwrap_or(&1);
         let mut active_bytes = 0u64;
+        let mut active_has_records = false;
 
         for &seg in &segments {
             let path = segment_path(dir, seg);
             let data = store.read(&path)?;
-            let valid = Self::replay_segment(&data, &mut seq, &mut apply);
+            let body_off = match segment_header(&data) {
+                Some((first_seq, off)) => {
+                    // the header pins this segment's numbering even when
+                    // every earlier segment has been pruned away
+                    seq = first_seq.saturating_sub(1);
+                    off
+                }
+                None => 0, // legacy headerless segment
+            };
+            let before = seq;
+            let valid = body_off + Self::replay_segment(&data[body_off..], &mut seq, &mut apply);
             if seg == active_segment {
                 active_bytes = valid as u64;
+                active_has_records = seq > before;
                 if valid < data.len() {
                     // torn tail: truncate so future appends are clean
                     store.write(&path, &data[..valid])?;
@@ -117,6 +157,7 @@ impl Wal {
                 }
                 active_segment = seg;
                 active_bytes = valid as u64;
+                active_has_records = seq > before;
                 break;
             }
         }
@@ -126,6 +167,7 @@ impl Wal {
             dir: dir.to_string(),
             active_segment,
             active_bytes,
+            active_has_records,
             next_seq: seq + 1,
             segment_bytes: DEFAULT_SEGMENT_BYTES,
         })
@@ -163,14 +205,21 @@ impl Wal {
         if self.active_bytes >= self.segment_bytes {
             self.active_segment += 1;
             self.active_bytes = 0;
+            self.active_has_records = false;
         }
-        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        let mut frame = Vec::with_capacity(SEG_HEADER + FRAME_HEADER + payload.len());
+        if self.active_bytes == 0 {
+            // first bytes of a fresh segment: pin its base sequence
+            frame.extend_from_slice(SEG_MAGIC);
+            frame.extend_from_slice(&self.next_seq.to_le_bytes());
+        }
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
         self.store
             .append(&segment_path(&self.dir, self.active_segment), &frame)?;
         self.active_bytes += frame.len() as u64;
+        self.active_has_records = true;
         let seq = self.next_seq;
         self.next_seq += 1;
         Ok(seq)
@@ -183,12 +232,21 @@ impl Wal {
 
     /// Start a fresh segment so that every record logged so far lives in
     /// a non-active segment (and can be pruned once covered by a
-    /// snapshot).
-    pub fn rotate(&mut self) {
-        if self.active_bytes > 0 {
+    /// snapshot). The new segment's header is written eagerly so the base
+    /// sequence survives even if every older segment is pruned before the
+    /// next append.
+    pub fn rotate(&mut self) -> Result<(), WalError> {
+        if self.active_has_records {
             self.active_segment += 1;
-            self.active_bytes = 0;
+            let mut header = Vec::with_capacity(SEG_HEADER);
+            header.extend_from_slice(SEG_MAGIC);
+            header.extend_from_slice(&self.next_seq.to_le_bytes());
+            self.store
+                .append(&segment_path(&self.dir, self.active_segment), &header)?;
+            self.active_bytes = SEG_HEADER as u64;
+            self.active_has_records = false;
         }
+        Ok(())
     }
 
     /// Delete all segments strictly older than the active one whose
@@ -210,9 +268,13 @@ impl Wal {
         for &seg in &segments {
             let path = segment_path(&self.dir, seg);
             let data = self.store.read(&path)?;
-            let mut last_in_seg = seq;
-            Self::replay_segment(&data, &mut last_in_seg, &mut |_, _| {});
-            // records in this segment are (seq, last_in_seg]
+            let (body_off, base) = match segment_header(&data) {
+                Some((first_seq, off)) => (off, first_seq.saturating_sub(1)),
+                None => (0, seq),
+            };
+            let mut last_in_seg = base;
+            Self::replay_segment(&data[body_off..], &mut last_in_seg, &mut |_, _| {});
+            // records in this segment are (base, last_in_seg]
             if seg != self.active_segment && last_in_seg <= covered_seq {
                 self.store.remove(&path)?;
                 removed += 1;
@@ -348,11 +410,54 @@ mod tests {
         let removed = wal.prune(50).unwrap();
         assert!(removed > 0);
         assert_eq!(store.list_dir("wal").unwrap().len(), before - removed);
-        // replay after prune yields only the active segment's records, and
-        // appends continue with fresh sequence numbering per replay result
+        // numbering must not restart after prune: the surviving segments'
+        // headers pin the base sequence, so the next record is exactly 51
         let mut wal2 = Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
         let seq = wal2.append(b"post-prune").unwrap();
-        assert!(seq >= 1);
+        assert_eq!(seq, 51);
+    }
+
+    #[test]
+    fn prune_all_then_reopen_preserves_numbering() {
+        let store = mem();
+        let mut wal = Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
+        for i in 0..50u32 {
+            wal.append(format!("record-{i:04}").as_bytes()).unwrap();
+        }
+        // rotate so every record lives in a prunable segment, then cover
+        // all of them: only the (empty) active segment remains on disk
+        wal.rotate().unwrap();
+        assert!(wal.prune(50).unwrap() > 0);
+        drop(wal);
+        let mut recs = Vec::new();
+        let mut wal2 = Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |seq, p| {
+            recs.push((seq, p.to_vec()))
+        })
+        .unwrap();
+        assert!(recs.is_empty(), "pruned records must not replay");
+        assert_eq!(wal2.next_seq(), 51, "sequence restarted after prune");
+        assert_eq!(wal2.append(b"later").unwrap(), 51);
+        // and the replayed sequence numbers stay pinned on the next reopen
+        drop(wal2);
+        let replayed = replayed(&store);
+        assert_eq!(replayed, vec![(51, b"later".to_vec())]);
+    }
+
+    #[test]
+    fn legacy_headerless_segment_replays_from_one() {
+        let store = mem();
+        // hand-build a pre-header segment: raw frames, no magic
+        let payload = b"old-style";
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        store.create_dir_all("wal").unwrap();
+        store.write("wal/0000000001.seg", &frame).unwrap();
+        let recs = replayed(&store);
+        assert_eq!(recs, vec![(1, b"old-style".to_vec())]);
+        let mut wal = Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
+        assert_eq!(wal.append(b"new").unwrap(), 2);
     }
 
     #[test]

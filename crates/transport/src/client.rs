@@ -11,10 +11,10 @@
 //!
 //! [`FileAvailable`]: crate::messages::SubscriberMsg::FileAvailable
 
-use crate::messages::{Message, SubscriberMsg};
+use crate::messages::{Message, ReliableMsg, SubscriberMsg};
 use crate::net::SimNetwork;
 use bistro_base::{FileId, TimePoint};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A pending (notified but not yet fetched) file at the subscriber.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,7 +31,8 @@ pub struct PendingFile {
     pub notified_at: TimePoint,
 }
 
-/// Subscriber-side state machine for the hybrid push-pull protocol.
+/// Subscriber-side state machine for the hybrid push-pull protocol and
+/// the reliable (acked) delivery path.
 pub struct SubscriberClient {
     /// This client's endpoint name on the network.
     pub endpoint: String,
@@ -39,6 +40,14 @@ pub struct SubscriberClient {
     pub server: String,
     pending: BTreeMap<u64, PendingFile>,
     fetched: Vec<(PendingFile, TimePoint)>,
+    /// File ids already handled once (reliable-path redelivery dedupe).
+    seen: BTreeSet<u64>,
+    /// Files received through the reliable push path, with receive time.
+    delivered: Vec<(FileId, String, TimePoint)>,
+    /// Redeliveries ignored by the dedupe (every one was still acked).
+    duplicates: u64,
+    /// Acks sent back to the server.
+    acks_sent: u64,
 }
 
 impl SubscriberClient {
@@ -49,21 +58,85 @@ impl SubscriberClient {
             server: server.to_string(),
             pending: BTreeMap::new(),
             fetched: Vec::new(),
+            seen: BTreeSet::new(),
+            delivered: Vec::new(),
+            duplicates: 0,
+            acks_sent: 0,
         }
     }
 
     /// Drain the network inbox at `now`, recording availability
-    /// notifications. Returns how many new notifications arrived.
+    /// notifications and reliable delivery attempts (each attempt is
+    /// acked; redeliveries of an already-seen file are acked but
+    /// otherwise ignored). Returns how many *new* files arrived.
     pub fn poll_notifications(&mut self, net: &SimNetwork, now: TimePoint) -> usize {
         let mut n = 0;
         for delivery in net.recv_ready(&self.endpoint, now) {
-            if let Message::Subscriber(SubscriberMsg::FileAvailable {
+            match delivery.msg {
+                Message::Subscriber(SubscriberMsg::FileAvailable {
+                    file,
+                    feed,
+                    staged_path,
+                    size,
+                }) => {
+                    self.pending.insert(
+                        file.raw(),
+                        PendingFile {
+                            file,
+                            feed,
+                            staged_path,
+                            size,
+                            notified_at: delivery.at,
+                        },
+                    );
+                    n += 1;
+                }
+                Message::Reliable(ReliableMsg::Attempt { attempt, inner }) => {
+                    n += usize::from(self.on_attempt(net, now, attempt, inner));
+                }
+                _ => {}
+            }
+        }
+        n
+    }
+
+    /// Handle one reliable delivery attempt: always ack (acks may race a
+    /// retransmission already in flight — the server dedupes), and
+    /// process the wrapped message only the first time its file is seen.
+    /// Returns true if the file was new.
+    fn on_attempt(
+        &mut self,
+        net: &SimNetwork,
+        now: TimePoint,
+        attempt: u32,
+        inner: SubscriberMsg,
+    ) -> bool {
+        let file = match &inner {
+            SubscriberMsg::FileDelivered { file, .. }
+            | SubscriberMsg::FileAvailable { file, .. } => *file,
+            SubscriberMsg::BatchComplete { .. } => return false, // not file-bearing
+        };
+        net.send(
+            now,
+            &self.endpoint,
+            &self.server,
+            Message::Reliable(ReliableMsg::Ack { file, attempt }),
+        );
+        self.acks_sent += 1;
+        if !self.seen.insert(file.raw()) {
+            self.duplicates += 1;
+            return false;
+        }
+        match inner {
+            SubscriberMsg::FileDelivered { file, feed, .. } => {
+                self.delivered.push((file, feed, now));
+            }
+            SubscriberMsg::FileAvailable {
                 file,
                 feed,
                 staged_path,
                 size,
-            }) = delivery.msg
-            {
+            } => {
                 self.pending.insert(
                     file.raw(),
                     PendingFile {
@@ -71,13 +144,29 @@ impl SubscriberClient {
                         feed,
                         staged_path,
                         size,
-                        notified_at: delivery.at,
+                        notified_at: now,
                     },
                 );
-                n += 1;
             }
+            SubscriberMsg::BatchComplete { .. } => unreachable!("filtered above"),
         }
-        n
+        true
+    }
+
+    /// Files received through the reliable push path (exactly once per
+    /// file, in receive order).
+    pub fn delivered(&self) -> &[(FileId, String, TimePoint)] {
+        &self.delivered
+    }
+
+    /// Redeliveries the dedupe ignored.
+    pub fn duplicates_ignored(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Acks sent back to the server.
+    pub fn acks_sent(&self) -> u64 {
+        self.acks_sent
     }
 
     /// Files notified but not yet fetched, in file-id order.
@@ -121,9 +210,19 @@ impl SubscriberClient {
             done.push(resp_arrival);
             self.fetched.push((p, resp_arrival));
         }
-        // drain our own payload deliveries so the inbox stays clean
+        // Drain exactly our own payload deliveries so the inbox stays
+        // clean. Anything else that arrived in the fetch window — e.g. a
+        // fresh FileAvailable notification — must stay queued for the
+        // next poll, not be silently discarded.
         if let Some(&latest) = done.iter().max() {
-            let _ = net.recv_ready(&self.endpoint, latest);
+            let expected: BTreeSet<u64> = self.fetched.iter().map(|(p, _)| p.file.raw()).collect();
+            let _ = net.recv_where(&self.endpoint, latest, |d| {
+                matches!(
+                    &d.msg,
+                    Message::Subscriber(SubscriberMsg::FileDelivered { file, .. })
+                        if expected.contains(&file.raw())
+                )
+            });
         }
         done
     }
@@ -200,6 +299,111 @@ mod tests {
         }
         client.poll_notifications(&net, t(1));
         assert_eq!(client.pending().len(), 1);
+    }
+
+    #[test]
+    fn notification_arriving_mid_fetch_survives() {
+        // Regression: fetch_all drained the whole inbox up to the latest
+        // fetch completion, silently discarding any unrelated
+        // FileAvailable that arrived in that window.
+        let net = SimNetwork::new(LinkSpec {
+            bandwidth: 1_000_000, // 500 KB payload => ~0.5 s fetch window
+            latency: TimeSpan::from_millis(10),
+        });
+        let mut client = SubscriberClient::new("app", "bistro");
+        net.send(
+            t(0),
+            "bistro",
+            "app",
+            Message::Subscriber(SubscriberMsg::FileAvailable {
+                file: FileId(1),
+                feed: "F".to_string(),
+                staged_path: "F/one.csv".to_string(),
+                size: 500_000,
+            }),
+        );
+        client.poll_notifications(&net, t(1));
+
+        // a second notification lands *during* the fetch round trip
+        net.send(
+            t(60),
+            "bistro",
+            "app",
+            Message::Subscriber(SubscriberMsg::FileAvailable {
+                file: FileId(2),
+                feed: "F".to_string(),
+                staged_path: "F/two.csv".to_string(),
+                size: 10,
+            }),
+        );
+        let completions = client.fetch_all(&net, t(60));
+        assert_eq!(completions.len(), 1);
+
+        // the mid-fetch notification is still pending delivery to us
+        let latest = *completions.iter().max().unwrap();
+        assert_eq!(client.poll_notifications(&net, latest), 1);
+        assert_eq!(client.pending().len(), 1);
+        assert_eq!(client.pending()[0].file, FileId(2));
+    }
+
+    #[test]
+    fn reliable_attempts_acked_and_deduped() {
+        let net = SimNetwork::new(LinkSpec::default());
+        let mut client = SubscriberClient::new("app", "bistro");
+        let push = |attempt: u32| {
+            Message::Reliable(crate::messages::ReliableMsg::Attempt {
+                attempt,
+                inner: SubscriberMsg::FileDelivered {
+                    file: FileId(5),
+                    feed: "F".to_string(),
+                    dest_path: "incoming/x".to_string(),
+                    size: 10,
+                },
+            })
+        };
+        net.send(t(0), "bistro", "app", push(1));
+        net.send(t(0), "bistro", "app", push(2)); // spurious retransmission
+        let new = client.poll_notifications(&net, t(1));
+        assert_eq!(new, 1, "redelivery is not a new file");
+        assert_eq!(client.delivered().len(), 1);
+        assert_eq!(client.duplicates_ignored(), 1);
+        assert_eq!(client.acks_sent(), 2, "every attempt is acked");
+
+        // both acks arrived at the server, echoing their attempt ids
+        let acks = net.recv_ready("bistro", t(10));
+        assert_eq!(acks.len(), 2);
+        for (i, d) in acks.iter().enumerate() {
+            match &d.msg {
+                Message::Reliable(crate::messages::ReliableMsg::Ack { file, attempt }) => {
+                    assert_eq!(*file, FileId(5));
+                    assert_eq!(*attempt, i as u32 + 1);
+                }
+                other => panic!("expected ack, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reliable_notify_attempt_lands_in_pending() {
+        let net = SimNetwork::new(LinkSpec::default());
+        let mut client = SubscriberClient::new("app", "bistro");
+        net.send(
+            t(0),
+            "bistro",
+            "app",
+            Message::Reliable(crate::messages::ReliableMsg::Attempt {
+                attempt: 1,
+                inner: SubscriberMsg::FileAvailable {
+                    file: FileId(3),
+                    feed: "F".to_string(),
+                    staged_path: "F/three.csv".to_string(),
+                    size: 10,
+                },
+            }),
+        );
+        assert_eq!(client.poll_notifications(&net, t(1)), 1);
+        assert_eq!(client.pending().len(), 1);
+        assert_eq!(client.acks_sent(), 1);
     }
 
     #[test]

@@ -18,20 +18,26 @@
 //!   expansion, local or remote;
 //! * [`net`] — a simulated network of named endpoints with per-link
 //!   bandwidth, latency and outage windows, driven by the simulated
-//!   clock. This is the substitute for the paper's production WAN (see
+//!   clock, plus a seeded fault-injection plan (drops, duplicates, link
+//!   flaps). This is the substitute for the paper's production WAN (see
 //!   DESIGN.md): propagation-delay experiments measure time through this
-//!   fabric.
+//!   fabric;
+//! * [`reliable`] — the acknowledgement/retry bookkeeping behind
+//!   reliable delivery (§4.2): unacked-send table, per-subscriber
+//!   timeout, exponential backoff with seeded jitter.
 
 pub mod adaptive;
 pub mod batching;
 pub mod client;
 pub mod messages;
 pub mod net;
+pub mod reliable;
 pub mod trigger;
 
 pub use adaptive::AdaptiveBatcher;
 pub use batching::{BatchOutcome, Batcher};
 pub use client::{PendingFile, SubscriberClient};
-pub use messages::{Message, SourceMsg, SubscriberMsg};
-pub use net::{LinkSpec, SimNetwork};
+pub use messages::{Message, ReliableMsg, SourceMsg, SubscriberMsg};
+pub use net::{FaultPlan, FaultSpec, LinkFlap, LinkSpec, SimNetwork};
+pub use reliable::{RetryPolicy, RetryRound, RetryTracker};
 pub use trigger::{expand_command, Invocation, TriggerLog};

@@ -81,6 +81,32 @@ pub enum BatchCloseReason {
     Punctuation,
 }
 
+/// The acknowledgement/retry envelope for reliable delivery (§4.2).
+///
+/// A server that delivers reliably wraps each subscriber message in an
+/// [`ReliableMsg::Attempt`] carrying an attempt number; the subscriber
+/// answers every attempt with an [`ReliableMsg::Ack`] echoing the
+/// `(file, attempt)` pair, and dedupes redeliveries on its side. The
+/// server writes the `delivery_receipt` only when the ack arrives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReliableMsg {
+    /// Server → subscriber: delivery attempt `attempt` of `inner`.
+    Attempt {
+        /// 1-based attempt number (bumped on every retransmission).
+        attempt: u32,
+        /// The wrapped delivery or notification.
+        inner: SubscriberMsg,
+    },
+    /// Subscriber → server: `file` received; echoes the attempt id so
+    /// the server can match it against its unacked-send table.
+    Ack {
+        /// The acknowledged file.
+        file: FileId,
+        /// The attempt number being acknowledged.
+        attempt: u32,
+    },
+}
+
 /// Any protocol message (what travels on a [`crate::net::SimNetwork`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Message {
@@ -88,6 +114,8 @@ pub enum Message {
     Source(SourceMsg),
     /// Server → subscriber.
     Subscriber(SubscriberMsg),
+    /// The reliable-delivery envelope (either direction).
+    Reliable(ReliableMsg),
 }
 
 impl BatchCloseReason {
@@ -114,6 +142,8 @@ const TAG_EOB: u8 = 2;
 const TAG_DELIVERED: u8 = 3;
 const TAG_AVAILABLE: u8 = 4;
 const TAG_BATCH: u8 = 5;
+const TAG_ATTEMPT: u8 = 6;
+const TAG_ACK: u8 = 7;
 
 impl Message {
     /// Encode to wire bytes.
@@ -174,6 +204,16 @@ impl Message {
                     w.put_varint(f.raw());
                 }
             }
+            Message::Reliable(ReliableMsg::Attempt { attempt, inner }) => {
+                w.put_u8(TAG_ATTEMPT);
+                w.put_varint(*attempt as u64);
+                w.put_bytes(&Message::Subscriber(inner.clone()).encode());
+            }
+            Message::Reliable(ReliableMsg::Ack { file, attempt }) => {
+                w.put_u8(TAG_ACK);
+                w.put_varint(file.raw());
+                w.put_varint(*attempt as u64);
+            }
         }
         w.into_bytes()
     }
@@ -223,6 +263,25 @@ impl Message {
                     reason,
                 })
             }
+            TAG_ATTEMPT => {
+                let attempt = r.get_varint()? as u32;
+                let inner_bytes = r.get_bytes()?;
+                match Message::decode(inner_bytes)? {
+                    Message::Subscriber(inner) => {
+                        Message::Reliable(ReliableMsg::Attempt { attempt, inner })
+                    }
+                    _ => {
+                        return Err(CodecError::BadTag {
+                            what: "reliable attempt inner message",
+                            tag,
+                        })
+                    }
+                }
+            }
+            TAG_ACK => Message::Reliable(ReliableMsg::Ack {
+                file: FileId(r.get_varint()?),
+                attempt: r.get_varint()? as u32,
+            }),
             other => {
                 return Err(CodecError::BadTag {
                     what: "transport message",
@@ -239,7 +298,11 @@ impl Message {
     pub fn wire_size(&self) -> u64 {
         let header = self.encode().len() as u64;
         match self {
-            Message::Subscriber(SubscriberMsg::FileDelivered { size, .. }) => header + size,
+            Message::Subscriber(SubscriberMsg::FileDelivered { size, .. })
+            | Message::Reliable(ReliableMsg::Attempt {
+                inner: SubscriberMsg::FileDelivered { size, .. },
+                ..
+            }) => header + size,
             _ => header,
         }
     }
@@ -279,6 +342,19 @@ mod tests {
                 files: vec![FileId(1), FileId(2), FileId(3)],
                 reason: BatchCloseReason::Count,
             }),
+            Message::Reliable(ReliableMsg::Attempt {
+                attempt: 3,
+                inner: SubscriberMsg::FileDelivered {
+                    file: FileId(9),
+                    feed: "SNMP/MEMORY".to_string(),
+                    dest_path: "incoming/x.gz".to_string(),
+                    size: 42,
+                },
+            }),
+            Message::Reliable(ReliableMsg::Ack {
+                file: FileId(9),
+                attempt: 3,
+            }),
         ];
         for m in msgs {
             let bytes = m.encode();
@@ -302,6 +378,22 @@ mod tests {
             size: 1_000_000,
         });
         assert!(notify.wire_size() < 100, "notification is lightweight");
+        // the reliable envelope does not hide the payload cost
+        let wrapped = Message::Reliable(ReliableMsg::Attempt {
+            attempt: 1,
+            inner: SubscriberMsg::FileDelivered {
+                file: FileId(1),
+                feed: "F".to_string(),
+                dest_path: "d".to_string(),
+                size: 1_000_000,
+            },
+        });
+        assert!(wrapped.wire_size() > 1_000_000);
+        let ack = Message::Reliable(ReliableMsg::Ack {
+            file: FileId(1),
+            attempt: 1,
+        });
+        assert!(ack.wire_size() < 16, "acks are tiny");
     }
 
     #[test]

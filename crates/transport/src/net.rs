@@ -10,10 +10,19 @@
 //! occupies its link for `wire_size / bandwidth` (serialization delay,
 //! FIFO per link) plus a fixed propagation latency. A message entering a
 //! link during an outage window is queued until the link recovers.
+//!
+//! ## Fault injection
+//!
+//! A seeded [`FaultPlan`] turns the fabric hostile: per-link message
+//! *drop* probability, *duplication* probability, and programmatic link
+//! *flaps* (scheduled outage windows, optionally jittered). Every fault
+//! decision is drawn from a [`bistro_base::Rng`] seeded by the plan, so
+//! a faulty run replays bit-for-bit from its seed — the foundation of
+//! the delivery-reliability tests (DESIGN.md, "Failure model").
 
 use crate::messages::Message;
 use bistro_base::sync::Mutex;
-use bistro_base::{TimePoint, TimeSpan};
+use bistro_base::{Rng, TimePoint, TimeSpan};
 use std::collections::{BTreeMap, HashMap};
 
 /// Link characteristics.
@@ -40,6 +49,87 @@ struct LinkState {
     busy_until: TimePoint,
 }
 
+/// Per-link fault probabilities.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultSpec {
+    /// Probability a message is silently lost in transit.
+    pub drop_prob: f64,
+    /// Probability a message is delivered a second time.
+    pub dup_prob: f64,
+    /// Extra delay on the duplicated copy (after the original arrival).
+    pub dup_delay: TimeSpan,
+}
+
+impl FaultSpec {
+    /// A spec that drops `drop_prob` and duplicates `dup_prob` of
+    /// messages, duplicates trailing by one second.
+    pub fn lossy(drop_prob: f64, dup_prob: f64) -> FaultSpec {
+        FaultSpec {
+            drop_prob,
+            dup_prob,
+            dup_delay: TimeSpan::from_secs(1),
+        }
+    }
+}
+
+/// A programmatic link flap: `count` outages of `down_for` each,
+/// starting at `first_down` and separated by `period`. Each window start
+/// is jittered by up to `jitter` (drawn from the plan's seeded RNG), so
+/// flap schedules vary across seeds but replay exactly for a given one.
+#[derive(Clone, Debug)]
+pub struct LinkFlap {
+    /// Sender endpoint of the flapping directed link.
+    pub from: String,
+    /// Receiver endpoint of the flapping directed link.
+    pub to: String,
+    /// Start of the first outage window (before jitter).
+    pub first_down: TimePoint,
+    /// Spacing between consecutive window starts.
+    pub period: TimeSpan,
+    /// Length of each outage window.
+    pub down_for: TimeSpan,
+    /// Number of outage windows.
+    pub count: usize,
+    /// Maximum random forward shift applied per window.
+    pub jitter: TimeSpan,
+}
+
+/// A seeded description of everything that can go wrong on the fabric.
+///
+/// Installed with [`SimNetwork::install_fault_plan`]; all fault
+/// decisions (drops, duplicates, flap jitter) are drawn from a single
+/// [`Rng`] seeded by `seed`, so identical send sequences produce
+/// identical fault sequences.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for every fault decision.
+    pub seed: u64,
+    /// Faults applied to links without a per-link override.
+    pub default_faults: FaultSpec,
+    /// Per-directed-link overrides `(from, to, spec)`.
+    pub link_faults: Vec<(String, String, FaultSpec)>,
+    /// Scheduled link flaps, installed as outage windows.
+    pub flaps: Vec<LinkFlap>,
+}
+
+impl FaultPlan {
+    /// A plan with uniform faults on every link and no flaps.
+    pub fn uniform(seed: u64, spec: FaultSpec) -> FaultPlan {
+        FaultPlan {
+            seed,
+            default_faults: spec,
+            link_faults: Vec::new(),
+            flaps: Vec::new(),
+        }
+    }
+}
+
+struct FaultState {
+    rng: Rng,
+    default_faults: FaultSpec,
+    per_link: HashMap<(String, String), FaultSpec>,
+}
+
 /// A delivered message waiting in an endpoint's inbox.
 #[derive(Clone, Debug)]
 pub struct Delivery {
@@ -56,6 +146,7 @@ struct Inner {
     link_state: HashMap<(String, String), LinkState>,
     outages: HashMap<(String, String), Vec<(TimePoint, TimePoint)>>,
     default_link: LinkSpec,
+    faults: Option<FaultState>,
     /// Per-endpoint inbox ordered by arrival time.
     inboxes: HashMap<String, BTreeMap<(TimePoint, u64), Delivery>>,
     seq: u64,
@@ -63,6 +154,10 @@ struct Inner {
     bytes_sent: u64,
     /// Messages sent.
     messages_sent: u64,
+    /// Messages lost to fault injection.
+    messages_dropped: u64,
+    /// Extra copies created by fault injection.
+    messages_duplicated: u64,
 }
 
 /// The simulated network.
@@ -79,12 +174,46 @@ impl SimNetwork {
                 link_state: HashMap::new(),
                 outages: HashMap::new(),
                 default_link,
+                faults: None,
                 inboxes: HashMap::new(),
                 seq: 0,
                 bytes_sent: 0,
                 messages_sent: 0,
+                messages_dropped: 0,
+                messages_duplicated: 0,
             }),
         }
+    }
+
+    /// Install a seeded fault plan: drops and duplicates apply to every
+    /// subsequent [`SimNetwork::send`], and the plan's flaps are
+    /// registered as outage windows (with seeded jitter) immediately.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        let mut rng = Rng::seed_from_u64(plan.seed);
+        let mut inner = self.inner.lock();
+        for flap in &plan.flaps {
+            for i in 0..flap.count {
+                let shift = if flap.jitter > TimeSpan::ZERO {
+                    TimeSpan::from_micros(rng.gen_range(0..=flap.jitter.as_micros()))
+                } else {
+                    TimeSpan::ZERO
+                };
+                let down = flap.first_down + flap.period.saturating_mul(i as u64) + shift;
+                let key = (flap.from.clone(), flap.to.clone());
+                let windows = inner.outages.entry(key).or_default();
+                windows.push((down, down + flap.down_for));
+                windows.sort_unstable();
+            }
+        }
+        inner.faults = Some(FaultState {
+            rng,
+            default_faults: plan.default_faults,
+            per_link: plan
+                .link_faults
+                .iter()
+                .map(|(f, t, s)| ((f.clone(), t.clone()), *s))
+                .collect(),
+        });
     }
 
     /// Configure a specific directed link.
@@ -95,67 +224,112 @@ impl SimNetwork {
             .insert((from.to_string(), to.to_string()), spec);
     }
 
-    /// Add an outage window `[down, up)` on a directed link.
+    /// Add an outage window `[down, up)` on a directed link. Windows are
+    /// kept sorted by start so the send path can bump past adjacent or
+    /// overlapping windows in one forward pass.
     pub fn add_outage(&self, from: &str, to: &str, down: TimePoint, up: TimePoint) {
-        self.inner
-            .lock()
+        let mut inner = self.inner.lock();
+        let windows = inner
             .outages
             .entry((from.to_string(), to.to_string()))
-            .or_default()
-            .push((down, up));
+            .or_default();
+        windows.push((down, up));
+        windows.sort_unstable();
     }
 
-    /// Send a message at simulated time `now`; returns the arrival time.
+    /// Send a message at simulated time `now`; returns the arrival time
+    /// the sender would observe. Under an installed [`FaultPlan`] the
+    /// message may additionally be dropped (never delivered — the
+    /// returned arrival is when it *would* have arrived) or duplicated.
     pub fn send(&self, now: TimePoint, from: &str, to: &str, msg: Message) -> TimePoint {
         let mut inner = self.inner.lock();
         let key = (from.to_string(), to.to_string());
         let spec = inner.links.get(&key).copied().unwrap_or(inner.default_link);
 
-        // wait out any outage window covering the send instant
-        let mut start = now;
+        // FIFO merge first: serialization cannot begin before the link is
+        // free. Then bump past every outage window covering that instant,
+        // to a fixpoint — a bump past one window can land inside another
+        // (adjacent, overlapping, or merely listed out of order).
+        let busy_until = inner
+            .link_state
+            .get(&key)
+            .map(|s| s.busy_until)
+            .unwrap_or_default();
+        let mut begin = now.max(busy_until);
         if let Some(outs) = inner.outages.get(&key) {
-            for &(down, up) in outs {
-                if start >= down && start < up {
-                    start = up;
-                }
+            while let Some(&(_, up)) = outs.iter().find(|&&(down, up)| begin >= down && begin < up)
+            {
+                begin = up;
             }
         }
-        // FIFO serialization on the link
-        let state = inner.link_state.entry(key.clone()).or_default();
-        let begin = start.max(state.busy_until);
         let size = msg.wire_size();
         let ser = TimeSpan::from_micros(size.saturating_mul(1_000_000) / spec.bandwidth.max(1));
         let done_sending = begin + ser;
-        state.busy_until = done_sending;
+        inner.link_state.entry(key.clone()).or_default().busy_until = done_sending;
         let arrival = done_sending + spec.latency;
 
-        inner.seq += 1;
-        let seq = inner.seq;
         inner.bytes_sent += size;
         inner.messages_sent += 1;
-        inner.inboxes.entry(to.to_string()).or_default().insert(
-            (arrival, seq),
-            Delivery {
-                at: arrival,
-                from: from.to_string(),
-                msg,
-            },
-        );
+
+        // fault injection: drop or duplicate, decided by the seeded plan
+        let inner = &mut *inner; // split field borrows through the guard
+        let mut deliver_at = vec![arrival];
+        if let Some(faults) = &mut inner.faults {
+            let fspec = faults
+                .per_link
+                .get(&key)
+                .copied()
+                .unwrap_or(faults.default_faults);
+            if fspec.drop_prob > 0.0 && faults.rng.gen_bool(fspec.drop_prob) {
+                deliver_at.clear();
+                inner.messages_dropped += 1;
+            } else if fspec.dup_prob > 0.0 && faults.rng.gen_bool(fspec.dup_prob) {
+                deliver_at.push(arrival + fspec.dup_delay);
+                inner.messages_duplicated += 1;
+            }
+        }
+        for at in deliver_at {
+            inner.seq += 1;
+            let seq = inner.seq;
+            inner.inboxes.entry(to.to_string()).or_default().insert(
+                (at, seq),
+                Delivery {
+                    at,
+                    from: from.to_string(),
+                    msg: msg.clone(),
+                },
+            );
+        }
         arrival
     }
 
     /// Drain all messages that have arrived at `endpoint` by `now`.
     pub fn recv_ready(&self, endpoint: &str, now: TimePoint) -> Vec<Delivery> {
+        self.recv_where(endpoint, now, |_| true)
+    }
+
+    /// Drain only the messages arrived at `endpoint` by `now` that match
+    /// `pred`; everything else stays queued. Lets a protocol client pick
+    /// its own responses out of the inbox without discarding unrelated
+    /// traffic that arrived in the same window.
+    pub fn recv_where(
+        &self,
+        endpoint: &str,
+        now: TimePoint,
+        mut pred: impl FnMut(&Delivery) -> bool,
+    ) -> Vec<Delivery> {
         let mut inner = self.inner.lock();
         let Some(inbox) = inner.inboxes.get_mut(endpoint) else {
             return Vec::new();
         };
-        let mut out = Vec::new();
-        let keys: Vec<_> = inbox.range(..=(now, u64::MAX)).map(|(k, _)| *k).collect();
-        for k in keys {
-            out.push(inbox.remove(&k).unwrap());
-        }
-        out
+        let keys: Vec<_> = inbox
+            .range(..=(now, u64::MAX))
+            .filter(|(_, d)| pred(d))
+            .map(|(k, _)| *k)
+            .collect();
+        keys.into_iter()
+            .map(|k| inbox.remove(&k).unwrap())
+            .collect()
     }
 
     /// The earliest pending arrival time for `endpoint`, if any — lets a
@@ -183,6 +357,16 @@ impl SimNetwork {
     /// Total messages sent through the fabric.
     pub fn messages_sent(&self) -> u64 {
         self.inner.lock().messages_sent
+    }
+
+    /// Messages lost to the installed fault plan.
+    pub fn messages_dropped(&self) -> u64 {
+        self.inner.lock().messages_dropped
+    }
+
+    /// Extra copies created by the installed fault plan.
+    pub fn messages_duplicated(&self) -> u64 {
+        self.inner.lock().messages_duplicated
     }
 }
 
@@ -268,6 +452,155 @@ mod tests {
         let fast = net.send(t(0), "a", "fast", msg(0));
         let slow = net.send(t(0), "a", "slow", msg(0));
         assert!(slow > fast + TimeSpan::from_secs(10));
+    }
+
+    #[test]
+    fn adjacent_outages_registered_out_of_order() {
+        // Regression: windows were scanned in insertion order with at
+        // most one bump each, so bumping past the second-listed window
+        // could land inside the first-listed (adjacent) one and deliver
+        // during an outage.
+        let net = SimNetwork::new(LinkSpec {
+            bandwidth: 1_000_000_000,
+            latency: TimeSpan::ZERO,
+        });
+        net.add_outage("a", "b", t(60), t(120)); // registered first
+        net.add_outage("a", "b", t(0), t(60)); // adjacent, earlier
+        let arrival = net.send(t(10), "a", "b", msg(0));
+        assert!(
+            arrival >= t(120),
+            "send at t=10 must wait out both adjacent windows, got {arrival:?}"
+        );
+        // overlapping windows likewise resolve to the latest recovery
+        net.add_outage("a", "b", t(200), t(400));
+        net.add_outage("a", "b", t(150), t(250));
+        let arrival = net.send(t(160), "a", "b", msg(0));
+        assert!(arrival >= t(400), "{arrival:?}");
+    }
+
+    #[test]
+    fn fifo_merge_cannot_land_in_outage() {
+        // Regression: `begin = start.max(busy_until)` could push the
+        // send *back into* an outage after the outage check had passed.
+        let net = SimNetwork::new(LinkSpec {
+            bandwidth: 10, // 10 B/s: a 500-byte message occupies 50 s
+            latency: TimeSpan::ZERO,
+        });
+        net.add_outage("a", "b", t(40), t(100));
+        // a push delivery's wire size includes its payload (500 bytes)
+        let first = net.send(
+            t(0),
+            "a",
+            "b",
+            Message::Subscriber(crate::messages::SubscriberMsg::FileDelivered {
+                file: bistro_base::FileId(1),
+                feed: "F".to_string(),
+                dest_path: "d".to_string(),
+                size: 500,
+            }),
+        );
+        assert!(first >= t(50));
+        // the second send starts clear of any outage but the FIFO merge
+        // lands it at busy_until = 50s, inside [40, 100)
+        let second = net.send(t(0), "a", "b", msg(0));
+        assert!(
+            second >= t(100),
+            "FIFO-merged send must wait out the outage, got {second:?}"
+        );
+    }
+
+    #[test]
+    fn fault_plan_drops_are_seeded_and_counted() {
+        let run = |seed: u64| {
+            let net = SimNetwork::new(LinkSpec::default());
+            net.install_fault_plan(FaultPlan::uniform(seed, FaultSpec::lossy(0.5, 0.0)));
+            for _ in 0..100 {
+                net.send(t(0), "a", "b", msg(0));
+            }
+            let delivered = net.recv_ready("b", t(100)).len() as u64;
+            (delivered, net.messages_dropped())
+        };
+        let (delivered, dropped) = run(7);
+        assert_eq!(delivered + dropped, 100);
+        assert!(dropped > 20 && dropped < 80, "dropped {dropped}");
+        // same seed, same faults — bit-for-bit replay
+        assert_eq!(run(7), (delivered, dropped));
+        // a different seed gives a different fault sequence
+        assert_ne!(run(8), (delivered, dropped));
+    }
+
+    #[test]
+    fn fault_plan_duplicates_messages() {
+        let net = SimNetwork::new(LinkSpec::default());
+        net.install_fault_plan(FaultPlan::uniform(
+            3,
+            FaultSpec {
+                drop_prob: 0.0,
+                dup_prob: 1.0,
+                dup_delay: TimeSpan::from_secs(5),
+            },
+        ));
+        let arrival = net.send(t(0), "a", "b", msg(0));
+        assert_eq!(net.messages_duplicated(), 1);
+        // the original arrives on time, the copy 5 s later
+        assert_eq!(net.recv_ready("b", arrival).len(), 1);
+        assert_eq!(
+            net.recv_ready("b", arrival + TimeSpan::from_secs(5)).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn fault_plan_per_link_overrides() {
+        let net = SimNetwork::new(LinkSpec::default());
+        let mut plan = FaultPlan::uniform(1, FaultSpec::default());
+        plan.link_faults.push((
+            "a".to_string(),
+            "lossy".to_string(),
+            FaultSpec::lossy(1.0, 0.0),
+        ));
+        net.install_fault_plan(plan);
+        net.send(t(0), "a", "lossy", msg(0));
+        net.send(t(0), "a", "clean", msg(0));
+        assert!(net.recv_ready("lossy", t(10)).is_empty());
+        assert_eq!(net.recv_ready("clean", t(10)).len(), 1);
+    }
+
+    #[test]
+    fn fault_plan_flaps_become_outages() {
+        let net = SimNetwork::new(LinkSpec {
+            bandwidth: 1_000_000_000,
+            latency: TimeSpan::ZERO,
+        });
+        let mut plan = FaultPlan::uniform(9, FaultSpec::default());
+        plan.flaps.push(LinkFlap {
+            from: "a".to_string(),
+            to: "b".to_string(),
+            first_down: t(100),
+            period: TimeSpan::from_secs(100),
+            down_for: TimeSpan::from_secs(20),
+            count: 3,
+            jitter: TimeSpan::ZERO,
+        });
+        net.install_fault_plan(plan);
+        // before the first flap: unaffected
+        assert!(net.send(t(50), "a", "b", msg(0)) < t(60));
+        // inside the second flap window [200, 220): held until recovery
+        assert!(net.send(t(205), "a", "b", msg(0)) >= t(220));
+    }
+
+    #[test]
+    fn recv_where_leaves_unmatched_queued() {
+        let net = SimNetwork::new(LinkSpec::default());
+        net.send(t(0), "a", "b", msg(10));
+        net.send(t(0), "c", "b", msg(20));
+        let picked = net.recv_where("b", t(10), |d| d.from == "a");
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].from, "a");
+        // the other message is still there
+        let rest = net.recv_ready("b", t(10));
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].from, "c");
     }
 
     #[test]

@@ -1,0 +1,354 @@
+//! Server-side acknowledgement/retry bookkeeping for reliable delivery.
+//!
+//! The paper's §4.2 requires that "every file received from a data
+//! source that matches definition of a particular feed will be delivered
+//! to all the feed's subscribers" — over a network that may drop,
+//! duplicate, or delay messages ([`crate::net::FaultPlan`]). The
+//! [`RetryTracker`] holds every unacked send and schedules
+//! retransmissions under a [`RetryPolicy`]: per-subscriber timeout with
+//! exponential backoff and seeded jitter (so two servers retrying into
+//! the same congested link desynchronize, yet a run still replays
+//! bit-for-bit from its seed).
+//!
+//! The tracker is pure bookkeeping: it never touches the network or the
+//! receipt store. The server sends [`ReliableMsg::Attempt`] envelopes,
+//! feeds acks into [`RetryTracker::on_ack`], polls
+//! [`RetryTracker::due`] on its clock ticks, and writes the delivery
+//! receipt only once the ack arrives.
+//!
+//! [`ReliableMsg::Attempt`]: crate::messages::ReliableMsg::Attempt
+
+use crate::messages::SubscriberMsg;
+use bistro_base::{FileId, Rng, TimePoint, TimeSpan};
+use std::collections::BTreeMap;
+
+/// Retransmission policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Timeout before the first retransmission.
+    pub base_timeout: TimeSpan,
+    /// Multiplier applied to the timeout after every failed attempt.
+    pub backoff: u32,
+    /// Ceiling on the per-attempt timeout.
+    pub max_timeout: TimeSpan,
+    /// Give up (and alarm) after this many attempts.
+    pub max_attempts: u32,
+    /// Fraction of the timeout randomized (`0.2` = ±20 %), drawn from
+    /// the tracker's seeded RNG.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_timeout: TimeSpan::from_secs(30),
+            backoff: 2,
+            max_timeout: TimeSpan::from_mins(10),
+            max_attempts: 6,
+            jitter: 0.2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The nominal (pre-jitter) timeout for `attempt` (1-based):
+    /// `base_timeout * backoff^(attempt-1)`, capped at `max_timeout`.
+    pub fn timeout_for(&self, attempt: u32) -> TimeSpan {
+        let factor = (self.backoff.max(1) as u64).saturating_pow(attempt.saturating_sub(1));
+        self.base_timeout
+            .saturating_mul(factor)
+            .min(self.max_timeout)
+    }
+}
+
+/// One unacked send.
+#[derive(Clone, Debug)]
+struct Outstanding {
+    attempt: u32,
+    deadline: TimePoint,
+    first_sent: TimePoint,
+    msg: SubscriberMsg,
+}
+
+/// A retransmission scheduled by [`RetryTracker::due`].
+#[derive(Clone, Debug)]
+pub struct Resend {
+    /// The subscriber to retransmit to.
+    pub subscriber: String,
+    /// The file being redelivered.
+    pub file: FileId,
+    /// The new (bumped) attempt number to stamp on the envelope.
+    pub attempt: u32,
+    /// The message to wrap and resend.
+    pub msg: SubscriberMsg,
+}
+
+/// The outcome of one [`RetryTracker::due`] sweep.
+#[derive(Clone, Debug, Default)]
+pub struct RetryRound {
+    /// Sends whose timeout lapsed: retransmit these.
+    pub resend: Vec<Resend>,
+    /// Sends that exhausted [`RetryPolicy::max_attempts`]; they are no
+    /// longer tracked — the caller should alarm and fall back to
+    /// failure-detection + backfill.
+    pub exhausted: Vec<(String, FileId)>,
+}
+
+/// The unacked-send table (deterministic iteration: `BTreeMap`).
+pub struct RetryTracker {
+    policy: RetryPolicy,
+    rng: Rng,
+    outstanding: BTreeMap<(String, u64), Outstanding>,
+}
+
+impl RetryTracker {
+    /// A tracker under `policy`; `seed` drives the backoff jitter.
+    pub fn new(policy: RetryPolicy, seed: u64) -> RetryTracker {
+        RetryTracker {
+            policy,
+            rng: Rng::seed_from_u64(seed),
+            outstanding: BTreeMap::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    fn jittered(&mut self, nominal: TimeSpan) -> TimeSpan {
+        if self.policy.jitter <= 0.0 {
+            return nominal;
+        }
+        // uniform in [1-jitter, 1+jitter]
+        let f = 1.0 + self.policy.jitter * (2.0 * self.rng.next_f64() - 1.0);
+        TimeSpan::from_micros((nominal.as_micros() as f64 * f) as u64)
+    }
+
+    /// Register attempt 1 of a send made at `now`; returns the attempt
+    /// number to stamp on the envelope. If the `(subscriber, file)` pair
+    /// is already outstanding, the existing attempt is kept (the caller
+    /// should not double-send; [`RetryTracker::is_outstanding`] guards).
+    pub fn track(
+        &mut self,
+        subscriber: &str,
+        file: FileId,
+        msg: SubscriberMsg,
+        now: TimePoint,
+    ) -> u32 {
+        let key = (subscriber.to_string(), file.raw());
+        if let Some(o) = self.outstanding.get(&key) {
+            return o.attempt;
+        }
+        let deadline = now + self.jittered(self.policy.timeout_for(1));
+        self.outstanding.insert(
+            key,
+            Outstanding {
+                attempt: 1,
+                deadline,
+                first_sent: now,
+                msg,
+            },
+        );
+        1
+    }
+
+    /// An ack for `(subscriber, file)` arrived. Returns `true` if the
+    /// pair was outstanding (any attempt number proves delivery — a late
+    /// ack of an earlier attempt is just as good).
+    pub fn on_ack(&mut self, subscriber: &str, file: FileId, _attempt: u32) -> bool {
+        self.outstanding
+            .remove(&(subscriber.to_string(), file.raw()))
+            .is_some()
+    }
+
+    /// True if `(subscriber, file)` has an unacked send in flight.
+    pub fn is_outstanding(&self, subscriber: &str, file: FileId) -> bool {
+        self.outstanding
+            .contains_key(&(subscriber.to_string(), file.raw()))
+    }
+
+    /// Number of unacked sends.
+    pub fn outstanding_count(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Drop every outstanding entry for `subscriber` (it was flagged
+    /// offline; recovery goes through backfill instead of retries).
+    pub fn forget_subscriber(&mut self, subscriber: &str) {
+        self.outstanding.retain(|(sub, _), _| sub != subscriber);
+    }
+
+    /// Sweep the table at `now`: every entry past its deadline is either
+    /// scheduled for retransmission (attempt bumped, backoff applied) or,
+    /// if `max_attempts` is spent, reported as exhausted and dropped.
+    pub fn due(&mut self, now: TimePoint) -> RetryRound {
+        let mut round = RetryRound::default();
+        let lapsed: Vec<(String, u64)> = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| o.deadline <= now)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in lapsed {
+            let o = self.outstanding.get_mut(&key).expect("collected above");
+            if o.attempt >= self.policy.max_attempts {
+                self.outstanding.remove(&key);
+                round.exhausted.push((key.0, FileId(key.1)));
+                continue;
+            }
+            o.attempt += 1;
+            let attempt = o.attempt;
+            let msg = o.msg.clone();
+            let nominal = self.policy.timeout_for(attempt);
+            let deadline = now + self.jittered(nominal);
+            let o = self.outstanding.get_mut(&key).expect("still present");
+            o.deadline = deadline;
+            round.resend.push(Resend {
+                subscriber: key.0,
+                file: FileId(key.1),
+                attempt,
+                msg,
+            });
+        }
+        round
+    }
+
+    /// How long the oldest unacked send has been waiting, as of `now`.
+    pub fn oldest_unacked_age(&self, now: TimePoint) -> Option<TimeSpan> {
+        self.outstanding
+            .values()
+            .map(|o| now.since(o.first_sent))
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> TimePoint {
+        TimePoint::from_secs(s)
+    }
+
+    fn msg(id: u64) -> SubscriberMsg {
+        SubscriberMsg::FileDelivered {
+            file: FileId(id),
+            feed: "F".to_string(),
+            dest_path: "d".to_string(),
+            size: 1,
+        }
+    }
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            base_timeout: TimeSpan::from_secs(10),
+            backoff: 2,
+            max_timeout: TimeSpan::from_secs(100),
+            max_attempts: 3,
+            jitter: 0.0, // deterministic deadlines for the unit tests
+        }
+    }
+
+    #[test]
+    fn backoff_schedule() {
+        let p = policy();
+        assert_eq!(p.timeout_for(1), TimeSpan::from_secs(10));
+        assert_eq!(p.timeout_for(2), TimeSpan::from_secs(20));
+        assert_eq!(p.timeout_for(3), TimeSpan::from_secs(40));
+        // capped
+        assert_eq!(p.timeout_for(7), TimeSpan::from_secs(100));
+    }
+
+    #[test]
+    fn ack_clears_before_deadline() {
+        let mut tr = RetryTracker::new(policy(), 1);
+        assert_eq!(tr.track("s", FileId(1), msg(1), t(0)), 1);
+        assert!(tr.is_outstanding("s", FileId(1)));
+        assert!(tr.on_ack("s", FileId(1), 1));
+        assert!(!tr.is_outstanding("s", FileId(1)));
+        // nothing to retry
+        assert!(tr.due(t(1000)).resend.is_empty());
+        // a second ack for the same pair is a no-op
+        assert!(!tr.on_ack("s", FileId(1), 1));
+    }
+
+    #[test]
+    fn timeout_bumps_attempt_with_backoff() {
+        let mut tr = RetryTracker::new(policy(), 1);
+        tr.track("s", FileId(1), msg(1), t(0));
+        assert!(tr.due(t(5)).resend.is_empty(), "not due yet");
+        let r = tr.due(t(10));
+        assert_eq!(r.resend.len(), 1);
+        assert_eq!(r.resend[0].attempt, 2);
+        // next deadline is 10 + 20 (backoff doubled)
+        assert!(tr.due(t(29)).resend.is_empty());
+        let r = tr.due(t(30));
+        assert_eq!(r.resend.len(), 1);
+        assert_eq!(r.resend[0].attempt, 3);
+    }
+
+    #[test]
+    fn exhaustion_after_max_attempts() {
+        let mut tr = RetryTracker::new(policy(), 1);
+        tr.track("s", FileId(1), msg(1), t(0));
+        tr.due(t(10)); // attempt 2
+        tr.due(t(100)); // attempt 3 == max
+        let r = tr.due(t(1000));
+        assert!(r.resend.is_empty());
+        assert_eq!(r.exhausted, vec![("s".to_string(), FileId(1))]);
+        assert_eq!(tr.outstanding_count(), 0);
+    }
+
+    #[test]
+    fn late_ack_of_earlier_attempt_counts() {
+        let mut tr = RetryTracker::new(policy(), 1);
+        tr.track("s", FileId(1), msg(1), t(0));
+        tr.due(t(10)); // now at attempt 2
+        assert!(
+            tr.on_ack("s", FileId(1), 1),
+            "attempt-1 ack still proves delivery"
+        );
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_bounded() {
+        let mut p = policy();
+        p.jitter = 0.5;
+        let deadlines = |seed: u64| {
+            let mut tr = RetryTracker::new(p, seed);
+            tr.track("s", FileId(1), msg(1), t(0));
+            // find the deadline by probing
+            let mut out = Vec::new();
+            for s in 0..30u64 {
+                if !tr.due(t(s)).resend.is_empty() {
+                    out.push(s);
+                }
+            }
+            out
+        };
+        let a = deadlines(1);
+        assert_eq!(a, deadlines(1), "same seed, same schedule");
+        // bounded by [5, 15] for a 10-second base timeout
+        assert!(a[0] >= 5 && a[0] <= 15, "{a:?}");
+    }
+
+    #[test]
+    fn forget_subscriber_drops_entries() {
+        let mut tr = RetryTracker::new(policy(), 1);
+        tr.track("a", FileId(1), msg(1), t(0));
+        tr.track("b", FileId(2), msg(2), t(0));
+        tr.forget_subscriber("a");
+        assert!(!tr.is_outstanding("a", FileId(1)));
+        assert!(tr.is_outstanding("b", FileId(2)));
+    }
+
+    #[test]
+    fn oldest_unacked_age_tracks_first_send() {
+        let mut tr = RetryTracker::new(policy(), 1);
+        assert_eq!(tr.oldest_unacked_age(t(10)), None);
+        tr.track("s", FileId(1), msg(1), t(0));
+        tr.due(t(10)); // retry does not reset the age
+        assert_eq!(tr.oldest_unacked_age(t(15)), Some(TimeSpan::from_secs(15)));
+    }
+}
