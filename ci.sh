@@ -14,5 +14,18 @@ cargo test -q --offline
 # property harness prints `BISTRO_PROP_SEED=...`).
 cargo test --offline --test fault_injection -- --nocapture
 
+# Telemetry subsystem: its own suite plus a `bistro status --json` smoke
+# check — two same-seed runs must render byte-identical, well-formed JSON
+# carrying a known metric key.
+cargo test -q --offline -p bistro-telemetry
+cargo test -q --offline --test status_smoke
+snap_a=$(./target/release/bistro status --json --seed 11)
+snap_b=$(./target/release/bistro status --json --seed 11)
+[ "$snap_a" = "$snap_b" ] || { echo "status --json is not deterministic" >&2; exit 1; }
+case "$snap_a" in
+  '{'*'"delivery.receipts"'*'}') ;;
+  *) echo "status --json missing delivery.receipts or malformed: $snap_a" >&2; exit 1 ;;
+esac
+
 cargo clippy --offline --all-targets -- -D warnings
 cargo fmt --check

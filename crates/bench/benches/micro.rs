@@ -1,7 +1,8 @@
 //! Microbenchmarks over the hot kernels of every experiment: pattern
 //! matching and classification (E11), generalization and similarity
 //! (E8/E9), WAL append and queue computation (E2/E5), compression
-//! codecs, batch processing (E4) and the scheduling engine (E6/E7).
+//! codecs, batch processing (E4), the scheduling engine (E6/E7), and the
+//! telemetry record path (enabled vs no-op registry).
 //!
 //! Runs on the in-tree harness (`bistro_bench::harness`) — no external
 //! benchmarking crate — and writes `BENCH_micro.json` next to the
@@ -162,6 +163,32 @@ fn bench_scheduler(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    // record cost through an enabled registry vs the no-op baseline —
+    // the number that justifies always-on instrumentation in the server
+    let enabled = bistro_telemetry::Registry::new();
+    let disabled = bistro_telemetry::Registry::disabled();
+    let mut g = c.benchmark_group("telemetry");
+    g.throughput(Throughput::Elements(1));
+    for (label, reg) in [("enabled", &enabled), ("disabled", &disabled)] {
+        let counter = reg.counter("bench.counter");
+        g.bench_function(format!("counter_inc_{label}"), |b| {
+            b.iter(|| std::hint::black_box(&counter).inc())
+        });
+        let hist = reg.histogram("bench.hist");
+        let mut v = 0u64;
+        g.bench_function(format!("histogram_record_{label}"), |b| {
+            b.iter(|| {
+                v = v
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                hist.record(std::hint::black_box(v >> 40));
+            })
+        });
+    }
+    g.finish();
+}
+
 fn main() {
     let mut c = Criterion::new();
     bench_pattern_match(&mut c);
@@ -171,6 +198,7 @@ fn main() {
     bench_compression(&mut c);
     bench_batching(&mut c);
     bench_scheduler(&mut c);
+    bench_telemetry(&mut c);
     c.print_summary();
     c.write_json("BENCH_micro.json")
         .expect("write BENCH_micro.json");

@@ -54,6 +54,9 @@ struct LogInner {
     ring: VecDeque<LogEvent>,
     capacity: usize,
     alarms: Vec<LogEvent>,
+    // Monotone totals-seen per level, indexed by `LogLevel as usize`.
+    // These count every event ever logged — NOT the current ring
+    // contents — so `count()` keeps growing after eviction starts.
     counts: [u64; 3],
 }
 
@@ -99,7 +102,9 @@ impl EventLog {
         self.inner.lock().alarms.clone()
     }
 
-    /// Count of events at a level.
+    /// Count of events ever logged at a level — a monotone total, not
+    /// the number currently held in the ring (evicted events stay
+    /// counted).
     pub fn count(&self, level: LogLevel) -> u64 {
         self.inner.lock().counts[level as usize]
     }
@@ -127,6 +132,44 @@ mod tests {
         assert_eq!(log.alarms().len(), 1);
         assert_eq!(log.count(LogLevel::Info), 5);
         assert_eq!(log.count(LogLevel::Alarm), 1);
+    }
+
+    #[test]
+    fn counts_are_totals_seen_not_ring_contents() {
+        let log = EventLog::new(2);
+        let t = TimePoint::from_secs(1);
+        for i in 0..10 {
+            log.log(t, LogLevel::Info, "c", format!("e{i}"));
+        }
+        // the ring holds only the last 2, the totals keep all 10
+        assert_eq!(log.recent().len(), 2);
+        assert_eq!(log.recent()[0].message, "e8");
+        assert_eq!(log.recent()[1].message, "e9");
+        assert_eq!(log.count(LogLevel::Info), 10);
+        assert_eq!(log.count(LogLevel::Warn), 0);
+    }
+
+    #[test]
+    fn alarm_retention_is_unbounded_at_and_over_capacity() {
+        let cap = 4;
+        let log = EventLog::new(cap);
+        let t = TimePoint::from_secs(2);
+        // log exactly capacity alarms, then well past it
+        for i in 0..cap {
+            log.log(t, LogLevel::Alarm, "d", format!("a{i}"));
+        }
+        assert_eq!(log.alarms().len(), cap);
+        for i in cap..(3 * cap) {
+            log.log(t, LogLevel::Alarm, "d", format!("a{i}"));
+        }
+        // the ring evicted most of them; the alarm archive kept every one
+        assert_eq!(log.recent().len(), cap);
+        assert_eq!(log.alarms().len(), 3 * cap);
+        assert_eq!(log.count(LogLevel::Alarm), 3 * cap as u64);
+        // order preserved, none lost
+        for (i, ev) in log.alarms().iter().enumerate() {
+            assert_eq!(ev.message, format!("a{i}"));
+        }
     }
 
     #[test]

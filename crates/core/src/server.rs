@@ -19,6 +19,9 @@ use bistro_base::{BatchId, FileId, IdGen, SharedClock, TimePoint, TimeSpan};
 use bistro_config::validate::validate;
 use bistro_config::{BatchSpec, Config, DeliveryMode, FeedDef, SubscriberDef};
 use bistro_receipts::{Archiver, FileRecord, ReceiptError, ReceiptStore};
+use bistro_telemetry::{
+    AlarmRule, AlarmSet, Condition, Counter, Histogram, Json, Registry, SharedRegistry, Span,
+};
 use bistro_transport::messages::{Message, ReliableMsg, SubscriberMsg};
 use bistro_transport::trigger::TriggerContext;
 use bistro_transport::{Batcher, RetryPolicy, RetryTracker, SimNetwork, TriggerLog};
@@ -120,12 +123,40 @@ struct SubscriberState {
 }
 
 /// Ack/retry state when reliable delivery is enabled (§4.2): the
-/// unacked-send table plus counters surfaced to benchmarks.
+/// unacked-send table. Its tallies live in the server's telemetry
+/// registry (`reliable.*`), not here.
 struct ReliableState {
     tracker: RetryTracker,
-    acks_received: u64,
-    retries_sent: u64,
-    gave_up: u64,
+}
+
+/// Handles into the server's telemetry registry, resolved once at
+/// construction so the hot paths never re-look-up metric names.
+struct ServerMetrics {
+    ingest_total: Arc<Counter>,
+    ingest_files: Arc<Counter>,
+    ingest_unknown: Arc<Counter>,
+    ingest_bytes_staged: Arc<Counter>,
+    classify_us: Arc<Histogram>,
+    normalize_us: Arc<Histogram>,
+    delivery_receipts: Arc<Counter>,
+    delivery_bytes: Arc<Counter>,
+    acks_processed: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn new(reg: &Registry) -> ServerMetrics {
+        ServerMetrics {
+            ingest_total: reg.counter("ingest.total"),
+            ingest_files: reg.counter("ingest.files"),
+            ingest_unknown: reg.counter("ingest.unknown"),
+            ingest_bytes_staged: reg.counter("ingest.bytes_staged"),
+            classify_us: reg.histogram("ingest.classify_us"),
+            normalize_us: reg.histogram("ingest.normalize_us"),
+            delivery_receipts: reg.counter("delivery.receipts"),
+            delivery_bytes: reg.counter("delivery.bytes"),
+            acks_processed: reg.counter("reliable.acks_processed"),
+        }
+    }
 }
 
 /// A Bistro server instance.
@@ -148,6 +179,9 @@ pub struct Server {
     discoverer: FeedDiscoverer,
     fn_detector: FnDetector,
     stats: DeliveryStats,
+    telemetry: SharedRegistry,
+    metrics: ServerMetrics,
+    alarms: AlarmSet,
 }
 
 impl Server {
@@ -165,7 +199,10 @@ impl Server {
         store.create_dir_all(&config.server.staging)?;
         store.create_dir_all("unknown")?;
 
+        let telemetry = Registry::new();
+        let metrics = ServerMetrics::new(&telemetry);
         let receipts = ReceiptStore::open(store.clone(), "receipts")?;
+        receipts.set_telemetry(&telemetry, clock.clone());
         let archiver = if config.server.archive {
             Some(Archiver::new(store.clone(), "archive").map_err(ServerError::Vfs)?)
         } else {
@@ -225,7 +262,44 @@ impl Server {
             discoverer,
             fn_detector,
             stats: DeliveryStats::default(),
+            telemetry,
+            metrics,
+            alarms: Server::default_alarms(),
         })
+    }
+
+    /// The alarm rules every server starts with (checked on each
+    /// [`Server::tick`]; firings land in the event log at `Alarm` level).
+    fn default_alarms() -> AlarmSet {
+        let mut set = AlarmSet::new();
+        set.add(AlarmRule::new(
+            "retry-exhaustion",
+            Condition::CounterAtLeast {
+                metric: "reliable.exhausted".into(),
+                threshold: 1,
+            },
+            "reliable delivery abandoned after exhausting its retry budget",
+        ));
+        set.add(AlarmRule::new(
+            "classifier-miss-ratio",
+            Condition::RatioAtLeast {
+                num: "ingest.unknown".into(),
+                den: "ingest.total".into(),
+                threshold: 0.5,
+                min_den: 8,
+            },
+            "at least half of ingested files match no configured feed",
+        ));
+        set.add(AlarmRule::new(
+            "wal-fsync-p99",
+            Condition::QuantileAtLeast {
+                metric: "wal.fsync_us".into(),
+                q: 0.99,
+                threshold: 50_000,
+            },
+            "receipt WAL fsync p99 above 50ms",
+        ));
+        set
     }
 
     /// Attach a simulated network; deliveries and notifications then
@@ -243,10 +317,7 @@ impl Server {
     /// [`Server::retry_tick`]). Requires an attached network.
     pub fn with_reliable_delivery(mut self, policy: RetryPolicy, seed: u64) -> Server {
         self.reliable = Some(ReliableState {
-            tracker: RetryTracker::new(policy, seed),
-            acks_received: 0,
-            retries_sent: 0,
-            gave_up: 0,
+            tracker: RetryTracker::with_telemetry(policy, seed, &self.telemetry),
         });
         self
     }
@@ -306,8 +377,11 @@ impl Server {
         let now = self.clock.now();
         let landing_path = format!("{}/{rel_path}", self.config.server.landing);
         let payload = self.store.read(&landing_path)?;
+        self.metrics.ingest_total.inc();
 
+        let span = Span::start(self.clock.clone(), self.metrics.classify_us.clone());
         let classifications = self.classifier.classify(rel_path);
+        span.finish();
         if classifications.is_empty() {
             // unknown feed: park for the analyzer. A duplicate deposit of
             // the same unknown name (sources do retransmit) replaces the
@@ -320,6 +394,7 @@ impl Server {
             self.discoverer.observe(rel_path);
             self.fn_detector.observe(rel_path);
             self.stats.files_unknown += 1;
+            self.metrics.ingest_unknown.inc();
             self.log.log(
                 now,
                 LogLevel::Warn,
@@ -330,6 +405,7 @@ impl Server {
         }
 
         // normalize and stage once per matching feed
+        let span = Span::start(self.clock.clone(), self.metrics.normalize_us.clone());
         let mut staged_paths: Vec<(String, String)> = Vec::new(); // (feed, staged)
         let mut feed_time = None;
         for c in &classifications {
@@ -341,11 +417,15 @@ impl Server {
             let normalized = normalize(&feed, rel_path, &c.captures, &payload)?;
             let staged = format!("{}/{}", self.config.server.staging, normalized.staged_path);
             self.store.write(&staged, &normalized.data)?;
+            self.metrics
+                .ingest_bytes_staged
+                .add(normalized.data.len() as u64);
             staged_paths.push((c.feed.clone(), normalized.staged_path));
             if feed_time.is_none() {
                 feed_time = c.captures.timestamp();
             }
         }
+        span.finish();
         self.store.remove(&landing_path)?;
 
         let feeds: Vec<String> = staged_paths.iter().map(|(f, _)| f.clone()).collect();
@@ -359,6 +439,7 @@ impl Server {
             feeds.clone(),
         )?;
         self.stats.files_ingested += 1;
+        self.metrics.ingest_files.inc();
 
         for feed in &feeds {
             if let Some(p) = self.progress.get_mut(feed) {
@@ -506,8 +587,10 @@ impl Server {
         self.receipts
             .record_delivery(rec.id, sub_name, delivered_at)?;
         self.stats.deliveries += 1;
+        self.metrics.delivery_receipts.inc();
         if push {
             self.stats.bytes_delivered += size;
+            self.metrics.delivery_bytes.add(size);
         }
         self.stats
             .latencies
@@ -591,7 +674,9 @@ impl Server {
             };
             if let Some(rel) = self.reliable.as_mut() {
                 rel.tracker.on_ack(&sub, file, attempt);
-                rel.acks_received += 1;
+                // counts every processed ack — including late duplicates
+                // the tracker no longer knows (those still prove delivery)
+                self.metrics.acks_processed.inc();
             }
             self.complete_delivery(&sub, file, d.at)?;
             n += 1;
@@ -619,12 +704,7 @@ impl Server {
     pub fn retry_tick(&mut self) -> Result<(), ServerError> {
         let now = self.clock.now();
         let round = match self.reliable.as_mut() {
-            Some(rel) => {
-                let round = rel.tracker.due(now);
-                rel.retries_sent += round.resend.len() as u64;
-                rel.gave_up += round.exhausted.len() as u64;
-                round
-            }
+            Some(rel) => rel.tracker.due(now),
             None => return Ok(()),
         };
         let Some(net) = self.net.clone() else {
@@ -697,12 +777,18 @@ impl Server {
     }
 
     /// `(acks received, retries sent, deliveries abandoned)` since start;
-    /// all zero when reliable delivery is not enabled.
+    /// all zero when reliable delivery is not enabled. Acks counts every
+    /// processed acknowledgement (late duplicates included), which is why
+    /// it reads `reliable.acks_processed` rather than the tracker's
+    /// `reliable.acks` (only acks that cleared an outstanding entry).
     pub fn reliability_counters(&self) -> (u64, u64, u64) {
-        self.reliable
-            .as_ref()
-            .map(|r| (r.acks_received, r.retries_sent, r.gave_up))
-            .unwrap_or((0, 0, 0))
+        match &self.reliable {
+            Some(rel) => {
+                let (_cleared, resends, exhausted) = rel.tracker.totals();
+                (self.metrics.acks_processed.get(), resends, exhausted)
+            }
+            None => (0, 0, 0),
+        }
     }
 
     /// Mark a subscriber offline (failure detected) or online
@@ -896,6 +982,17 @@ impl Server {
                 self.log.log(now, level, "monitor", msg);
             }
         }
+        // bridge the store's metadata ledger, then sweep the alarm rules;
+        // edge-triggered firings land in the event log
+        self.store.stats().publish(&self.telemetry);
+        for firing in self.alarms.check(&self.telemetry) {
+            self.log.log(
+                now,
+                LogLevel::Alarm,
+                "telemetry",
+                format!("{}: {} ({})", firing.rule, firing.message, firing.detail),
+            );
+        }
     }
 
     /// A cooperative source marked end-of-batch for a feed: close the
@@ -1064,5 +1161,124 @@ impl Server {
     /// The archiver, if archiving is enabled.
     pub fn archiver(&self) -> Option<&Archiver> {
         self.archiver.as_ref()
+    }
+
+    /// The telemetry registry every pipeline stage records into.
+    pub fn telemetry(&self) -> &SharedRegistry {
+        &self.telemetry
+    }
+
+    /// Add an alarm rule to the set checked on every [`Server::tick`].
+    pub fn add_alarm_rule(&mut self, rule: AlarmRule) {
+        self.alarms.add(rule);
+    }
+
+    /// One-screen health snapshot as JSON: identity, subscriber states,
+    /// receipt totals, event-log counts, and the full metric registry.
+    /// Deterministic — identical runs render byte-identical snapshots.
+    pub fn status_json(&self) -> Json {
+        self.store.stats().publish(&self.telemetry);
+        let mut subs: Vec<(&String, &SubscriberState)> = self.subscribers.iter().collect();
+        subs.sort_by_key(|(name, _)| name.to_string());
+        let subscribers = Json::Arr(
+            subs.into_iter()
+                .map(|(name, st)| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::Str(name.clone())),
+                        ("online".into(), Json::Bool(st.online)),
+                        ("feeds".into(), Json::Num(st.feeds.len() as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("server".into(), Json::Str(self.name.clone())),
+            (
+                "now_us".into(),
+                Json::Num(self.clock.now().as_micros() as f64),
+            ),
+            ("subscribers".into(), subscribers),
+            (
+                "receipts".into(),
+                Json::Obj(vec![
+                    (
+                        "deliveries".into(),
+                        Json::Num(self.receipts.delivery_count() as f64),
+                    ),
+                    ("unacked".into(), Json::Num(self.unacked_count() as f64)),
+                ]),
+            ),
+            (
+                "events".into(),
+                Json::Obj(vec![
+                    (
+                        "info".into(),
+                        Json::Num(self.log.count(LogLevel::Info) as f64),
+                    ),
+                    (
+                        "warn".into(),
+                        Json::Num(self.log.count(LogLevel::Warn) as f64),
+                    ),
+                    (
+                        "alarm".into(),
+                        Json::Num(self.log.count(LogLevel::Alarm) as f64),
+                    ),
+                ]),
+            ),
+            ("metrics".into(), self.telemetry.snapshot_json()),
+        ])
+    }
+
+    /// Human-readable rendering of the [`Server::status_json`] snapshot.
+    pub fn status_text(&self) -> String {
+        self.store.stats().publish(&self.telemetry);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "server {} @ {}\n",
+            self.name,
+            self.clock.now().as_micros()
+        ));
+        let mut subs: Vec<(&String, &SubscriberState)> = self.subscribers.iter().collect();
+        subs.sort_by_key(|(name, _)| name.to_string());
+        for (name, st) in subs {
+            out.push_str(&format!(
+                "  subscriber {name}: {} ({} feeds)\n",
+                if st.online { "online" } else { "OFFLINE" },
+                st.feeds.len()
+            ));
+        }
+        out.push_str(&format!(
+            "  receipts: {} deliveries, {} unacked\n",
+            self.receipts.delivery_count(),
+            self.unacked_count()
+        ));
+        out.push_str(&format!(
+            "  events: {} info / {} warn / {} alarm\n",
+            self.log.count(LogLevel::Info),
+            self.log.count(LogLevel::Warn),
+            self.log.count(LogLevel::Alarm)
+        ));
+        out.push_str("  counters:\n");
+        for (name, v) in self.telemetry.counters_sorted() {
+            out.push_str(&format!("    {name} = {v}\n"));
+        }
+        let gauges = self.telemetry.gauges_sorted();
+        if !gauges.is_empty() {
+            out.push_str("  gauges:\n");
+            for (name, v) in gauges {
+                out.push_str(&format!("    {name} = {v}\n"));
+            }
+        }
+        let hists = self.telemetry.histograms_sorted();
+        if !hists.is_empty() {
+            out.push_str("  histograms (us):\n");
+            for (name, s) in hists {
+                out.push_str(&format!(
+                    "    {name}: count={} p50={} p99={} max={}\n",
+                    s.count, s.p50, s.p99, s.max
+                ));
+            }
+        }
+        out
     }
 }

@@ -196,6 +196,12 @@ impl ReceiptStore {
         Ok(())
     }
 
+    /// Attach `wal.*` telemetry (append/rotation counters, durable-write
+    /// latency histogram timed on `clock`) to the underlying WAL.
+    pub fn set_telemetry(&self, reg: &bistro_telemetry::Registry, clock: bistro_base::SharedClock) {
+        self.inner.lock().wal.set_telemetry(reg, clock);
+    }
+
     fn log_and_apply(&self, rec: Record) -> Result<(), ReceiptError> {
         let mut inner = self.inner.lock();
         inner.wal.append(&rec.encode())?;

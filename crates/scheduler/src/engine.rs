@@ -11,8 +11,10 @@ use crate::queue::{PolicyKind, ReadyQueue};
 use crate::report::{JobOutcome, SimReport};
 use crate::types::{BackfillMode, JobSpec, SubscriberSpec};
 use bistro_base::{SubscriberId, TimePoint, TimeSpan};
+use bistro_telemetry::{Counter, Histogram, SharedRegistry};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// A partition of the worker pool.
 #[derive(Clone, Debug)]
@@ -94,11 +96,67 @@ struct Partition {
     backfill: ReadyQueue,
 }
 
+/// The engine's tallies. Registered in a telemetry registry when one is
+/// attached, detached otherwise — either way these counters are the only
+/// copy; [`SimReport`] is populated by reading them back at the end of
+/// the run.
+struct EngineMetrics {
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    bytes_delivered: Arc<Counter>,
+    registry: Option<SharedRegistry>,
+    /// Per-responsiveness-class tardiness histograms, populated lazily
+    /// (`sched.tardiness_us.class<N>`), only when a registry is attached.
+    tardiness: HashMap<usize, Arc<Histogram>>,
+}
+
+impl EngineMetrics {
+    fn new(registry: Option<SharedRegistry>) -> EngineMetrics {
+        let (cache_hits, cache_misses, bytes_delivered) = match &registry {
+            Some(reg) => (
+                reg.counter("sched.cache_hits"),
+                reg.counter("sched.cache_misses"),
+                reg.counter("sched.bytes_delivered"),
+            ),
+            None => (
+                Arc::new(Counter::detached()),
+                Arc::new(Counter::detached()),
+                Arc::new(Counter::detached()),
+            ),
+        };
+        EngineMetrics {
+            cache_hits,
+            cache_misses,
+            bytes_delivered,
+            registry,
+            tardiness: HashMap::new(),
+        }
+    }
+
+    fn record_tardiness(&mut self, class: usize, tardiness: TimeSpan) {
+        let Some(reg) = &self.registry else { return };
+        let hist = self
+            .tardiness
+            .entry(class)
+            .or_insert_with(|| reg.histogram(&format!("sched.tardiness_us.class{class}")));
+        hist.record(tardiness.as_micros());
+    }
+
+    fn record_queue_depths(&self, partitions: &[Partition]) {
+        let Some(reg) = &self.registry else { return };
+        for (pi, part) in partitions.iter().enumerate() {
+            reg.gauge(&format!("sched.queue_depth.part{pi}"))
+                .set_max((part.rt.len() + part.backfill.len()) as i64);
+        }
+    }
+}
+
 /// The simulator. Construct, add subscribers and jobs, then [`Engine::run`].
 pub struct Engine {
     cfg: EngineConfig,
     subs: HashMap<SubscriberId, SubscriberSpec>,
     jobs: BTreeMap<u64, JobSpec>,
+    telemetry: Option<SharedRegistry>,
 }
 
 impl Engine {
@@ -108,7 +166,17 @@ impl Engine {
             cfg,
             subs: HashMap::new(),
             jobs: BTreeMap::new(),
+            telemetry: None,
         }
+    }
+
+    /// Surface the run's tallies in `reg`: `sched.cache_hits` /
+    /// `sched.cache_misses` / `sched.bytes_delivered` counters,
+    /// per-class tardiness histograms (`sched.tardiness_us.class<N>`)
+    /// and per-partition high-water queue depth gauges
+    /// (`sched.queue_depth.part<N>`). The simulation itself is unchanged.
+    pub fn set_telemetry(&mut self, reg: SharedRegistry) {
+        self.telemetry = Some(reg);
     }
 
     /// Register a subscriber.
@@ -129,7 +197,13 @@ impl Engine {
 
     /// Run the simulation to completion and return the report.
     pub fn run(self) -> SimReport {
-        let Engine { cfg, subs, jobs } = self;
+        let Engine {
+            cfg,
+            subs,
+            jobs,
+            telemetry,
+        } = self;
+        let mut metrics = EngineMetrics::new(telemetry);
         let locality_us = cfg.locality_slack.map(|s| s.as_micros());
 
         let mut partitions: Vec<Partition> = cfg
@@ -185,12 +259,9 @@ impl Engine {
         // storage cache (FIFO eviction)
         let mut cache: HashSet<u64> = HashSet::new();
         let mut cache_order: VecDeque<u64> = VecDeque::new();
-        // metrics
+        // per-job bookkeeping (counter tallies live in `metrics`)
         let mut outcomes: HashMap<u64, JobOutcome> = HashMap::new();
         let mut attempts: HashMap<u64, u32> = HashMap::new();
-        let mut cache_hits = 0u64;
-        let mut cache_misses = 0u64;
-        let mut bytes_delivered = 0u64;
         let mut makespan = TimePoint::EPOCH;
 
         // enqueue a runnable job into its partition's queues
@@ -256,10 +327,10 @@ impl Engine {
                         let read_cost = if cache.contains(&job.file_key)
                             || in_flight_files.contains_key(&job.file_key)
                         {
-                            cache_hits += 1;
+                            metrics.cache_hits.inc();
                             TimeSpan::ZERO
                         } else {
-                            cache_misses += 1;
+                            metrics.cache_misses.inc();
                             // insert into cache
                             if cache.len() >= cfg.cache_files.max(1) {
                                 if let Some(victim) = cache_order.pop_front() {
@@ -377,9 +448,10 @@ impl Engine {
                         if let Some(v) = in_flight_by_sub.get_mut(&fl.job.subscriber) {
                             v.retain(|&j| j != id);
                         }
-                        bytes_delivered += fl.job.size;
                         let sub = &subs[&fl.job.subscriber];
                         let tardiness = now.since(fl.job.deadline);
+                        metrics.bytes_delivered.add(fl.job.size);
+                        metrics.record_tardiness(sub.class, tardiness);
                         outcomes.insert(
                             id,
                             JobOutcome {
@@ -410,6 +482,7 @@ impl Engine {
                 }
             }
             dispatch!(now);
+            metrics.record_queue_depths(&partitions);
         }
 
         // jobs that never completed (subscriber stayed offline)
@@ -438,9 +511,9 @@ impl Engine {
         SimReport {
             outcomes: all_outcomes,
             makespan,
-            cache_hits,
-            cache_misses,
-            bytes_delivered,
+            cache_hits: metrics.cache_hits.get(),
+            cache_misses: metrics.cache_misses.get(),
+            bytes_delivered: metrics.bytes_delivered.get(),
         }
     }
 }
@@ -679,6 +752,39 @@ mod tests {
         let ams: Vec<_> = a.outcomes.iter().map(|o| o.completed).collect();
         let bms: Vec<_> = b.outcomes.iter().map(|o| o.completed).collect();
         assert_eq!(ams, bms);
+    }
+
+    #[test]
+    fn telemetry_mirrors_report_tallies() {
+        use bistro_telemetry::Registry;
+        let reg = Registry::new();
+        let mut eng = Engine::new(EngineConfig::global(2, PolicyKind::Edf));
+        eng.set_telemetry(reg.clone());
+        eng.add_subscriber(SubscriberSpec::simple(1, 10 * MB));
+        // deadline at release: guaranteed tardy by the service time
+        eng.add_job(JobSpec::new(0, 1, 0, 0, 10 * MB));
+        eng.add_job(JobSpec::new(1, 1, 0, 100, 3 * MB));
+        let report = eng.run();
+        assert_eq!(
+            reg.counter_value("sched.bytes_delivered"),
+            Some(report.bytes_delivered)
+        );
+        assert_eq!(
+            reg.counter_value("sched.cache_misses"),
+            Some(report.cache_misses)
+        );
+        // both completions recorded in the class-0 tardiness histogram,
+        // one of them tardy
+        let p_max = reg
+            .histogram_quantile("sched.tardiness_us.class0", 1.0)
+            .unwrap();
+        assert!(p_max > 0, "tardy job must show in the histogram");
+        assert!(reg.gauge_value("sched.queue_depth.part0").unwrap() >= 0);
+        // the report bridge publishes the same totals
+        report.publish(&reg);
+        assert_eq!(reg.counter_value("sched.jobs"), Some(2));
+        assert_eq!(reg.counter_value("sched.completed"), Some(2));
+        assert_eq!(reg.counter_value("sched.deadline_misses"), Some(1));
     }
 
     #[test]

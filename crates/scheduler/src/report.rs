@@ -130,6 +130,25 @@ impl SimReport {
     pub fn backfill_only(&self) -> ClassStats {
         ClassStats::from_outcomes(self.outcomes.iter().filter(|o| o.backfill))
     }
+
+    /// Bridge the report's aggregates into a telemetry registry as
+    /// `sched.*` counters/gauges (absolute totals for this run), overall
+    /// and per responsiveness class.
+    pub fn publish(&self, reg: &bistro_telemetry::Registry) {
+        let overall = self.overall();
+        reg.counter("sched.jobs").set(overall.count as u64);
+        reg.counter("sched.completed").set(overall.completed as u64);
+        reg.counter("sched.deadline_misses")
+            .set(overall.misses as u64);
+        reg.gauge("sched.max_tardiness_us")
+            .set(overall.max_tardiness.as_micros() as i64);
+        for (class, stats) in self.per_class() {
+            reg.counter(&format!("sched.completed.class{class}"))
+                .set(stats.completed as u64);
+            reg.counter(&format!("sched.deadline_misses.class{class}"))
+                .set(stats.misses as u64);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,253 @@
+//! Threshold alarm rules over registry metrics.
+//!
+//! A rule names a [`Condition`] on one or two metrics; an [`AlarmSet`]
+//! evaluates its rules against a [`Registry`] and returns *edge-
+//! triggered* firings — a rule fires once when its condition first turns
+//! true, stays silent while it remains true, and re-arms if the
+//! condition clears (a ratio can recover; monotone counters cannot).
+//! The owner of an `EventLog` forwards firings at `Alarm` level; the
+//! telemetry crate itself has no view of the log, keeping the dependency
+//! direction base → telemetry → everything-else.
+
+use crate::registry::Registry;
+
+/// What a rule tests. All comparisons are `>= threshold`.
+#[derive(Clone, Debug)]
+pub enum Condition {
+    /// A counter reached an absolute value.
+    CounterAtLeast { metric: String, threshold: u64 },
+    /// A gauge level reached a value.
+    GaugeAtLeast { metric: String, threshold: i64 },
+    /// `num / den` reached a fraction, evaluated only once `den >=
+    /// min_den` (avoids firing a miss-ratio rule on the first file).
+    RatioAtLeast {
+        num: String,
+        den: String,
+        threshold: f64,
+        min_den: u64,
+    },
+    /// A histogram's `q`-quantile (conservative upper-bound estimate)
+    /// reached a value.
+    QuantileAtLeast {
+        metric: String,
+        q: f64,
+        threshold: u64,
+    },
+}
+
+impl Condition {
+    /// Evaluate against `reg`: `Some(detail)` when the condition holds,
+    /// `None` when it does not (including when metrics are absent).
+    fn holds(&self, reg: &Registry) -> Option<String> {
+        match self {
+            Condition::CounterAtLeast { metric, threshold } => {
+                let v = reg.counter_value(metric)?;
+                (v >= *threshold).then(|| format!("{metric}={v} >= {threshold}"))
+            }
+            Condition::GaugeAtLeast { metric, threshold } => {
+                let v = reg.gauge_value(metric)?;
+                (v >= *threshold).then(|| format!("{metric}={v} >= {threshold}"))
+            }
+            Condition::RatioAtLeast {
+                num,
+                den,
+                threshold,
+                min_den,
+            } => {
+                let n = reg.counter_value(num)?;
+                let d = reg.counter_value(den)?;
+                if d < (*min_den).max(1) {
+                    return None;
+                }
+                let ratio = n as f64 / d as f64;
+                (ratio >= *threshold).then(|| format!("{num}/{den}={ratio:.4} >= {threshold}"))
+            }
+            Condition::QuantileAtLeast {
+                metric,
+                q,
+                threshold,
+            } => {
+                let v = reg.histogram_quantile(metric, *q)?;
+                (v >= *threshold).then(|| format!("{metric} p{:.0}={v} >= {threshold}", q * 100.0))
+            }
+        }
+    }
+}
+
+/// A named alarm rule.
+#[derive(Clone, Debug)]
+pub struct AlarmRule {
+    /// Stable rule identifier (e.g. `retry-exhaustion`).
+    pub name: String,
+    /// What to test.
+    pub condition: Condition,
+    /// Operator-facing description of what going off means.
+    pub message: String,
+}
+
+impl AlarmRule {
+    /// Convenience constructor.
+    pub fn new(name: &str, condition: Condition, message: &str) -> AlarmRule {
+        AlarmRule {
+            name: name.to_string(),
+            condition,
+            message: message.to_string(),
+        }
+    }
+}
+
+/// One rule going off.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AlarmFiring {
+    /// The rule's name.
+    pub rule: String,
+    /// The rule's message.
+    pub message: String,
+    /// The measured values that tripped it, e.g. `reliable.exhausted=2 >= 1`.
+    pub detail: String,
+}
+
+/// An ordered set of rules with per-rule edge-trigger state.
+#[derive(Default)]
+pub struct AlarmSet {
+    rules: Vec<(AlarmRule, bool)>, // (rule, currently-firing latch)
+}
+
+impl AlarmSet {
+    /// An empty set.
+    pub fn new() -> AlarmSet {
+        AlarmSet::default()
+    }
+
+    /// Append a rule (evaluation order is insertion order).
+    pub fn add(&mut self, rule: AlarmRule) {
+        self.rules.push((rule, false));
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Evaluate every rule against `reg`, returning only the rules whose
+    /// condition turned true since the previous check.
+    pub fn check(&mut self, reg: &Registry) -> Vec<AlarmFiring> {
+        let mut fired = Vec::new();
+        for (rule, latched) in &mut self.rules {
+            match rule.condition.holds(reg) {
+                Some(detail) => {
+                    if !*latched {
+                        *latched = true;
+                        fired.push(AlarmFiring {
+                            rule: rule.name.clone(),
+                            message: rule.message.clone(),
+                            detail,
+                        });
+                    }
+                }
+                None => *latched = false,
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_rule_is_edge_triggered() {
+        let reg = Registry::new();
+        let c = reg.counter("fail.total");
+        let mut set = AlarmSet::new();
+        set.add(AlarmRule::new(
+            "fails",
+            Condition::CounterAtLeast {
+                metric: "fail.total".into(),
+                threshold: 3,
+            },
+            "too many failures",
+        ));
+        assert!(set.check(&reg).is_empty());
+        c.add(3);
+        let fired = set.check(&reg);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "fails");
+        assert!(fired[0].detail.contains("fail.total=3"));
+        // still true: silent
+        c.inc();
+        assert!(set.check(&reg).is_empty());
+    }
+
+    #[test]
+    fn ratio_rule_waits_for_min_den_and_rearms() {
+        let reg = Registry::new();
+        let miss = reg.counter("miss");
+        let total = reg.counter("total");
+        let mut set = AlarmSet::new();
+        set.add(AlarmRule::new(
+            "miss-ratio",
+            Condition::RatioAtLeast {
+                num: "miss".into(),
+                den: "total".into(),
+                threshold: 0.5,
+                min_den: 10,
+            },
+            "half of files unclassified",
+        ));
+        miss.add(1);
+        total.add(1); // ratio 1.0 but den below min_den
+        assert!(set.check(&reg).is_empty());
+        miss.add(9);
+        total.add(9); // 10/10
+        assert_eq!(set.check(&reg).len(), 1);
+        total.add(80); // ratio drops to 10/90 — clears and re-arms
+        assert!(set.check(&reg).is_empty());
+        miss.add(80); // 90/170 > 0.5
+        assert_eq!(set.check(&reg).len(), 1);
+    }
+
+    #[test]
+    fn quantile_rule_fires_on_slow_tail() {
+        let reg = Registry::new();
+        let h = reg.histogram("op.lat_us");
+        let mut set = AlarmSet::new();
+        set.add(AlarmRule::new(
+            "slow-p99",
+            Condition::QuantileAtLeast {
+                metric: "op.lat_us".into(),
+                q: 0.99,
+                threshold: 1_000,
+            },
+            "op p99 over 1ms",
+        ));
+        for _ in 0..10 {
+            h.record(10);
+        }
+        assert!(set.check(&reg).is_empty());
+        // 11 samples: p99 rank is 11, landing on the outlier
+        h.record(50_000);
+        assert_eq!(set.check(&reg).len(), 1);
+    }
+
+    #[test]
+    fn absent_metric_never_fires() {
+        let reg = Registry::new();
+        let mut set = AlarmSet::new();
+        set.add(AlarmRule::new(
+            "ghost",
+            Condition::GaugeAtLeast {
+                metric: "nope".into(),
+                threshold: 0,
+            },
+            "never",
+        ));
+        assert!(set.check(&reg).is_empty());
+    }
+}

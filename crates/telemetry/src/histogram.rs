@@ -1,0 +1,258 @@
+//! Log-linear-bucket histograms with quantile estimation.
+//!
+//! Values are `u64` (the workspace records microseconds, byte counts and
+//! plain tallies). Buckets follow the HdrHistogram shape: values below 16
+//! get exact unit buckets; above that, each power of two is split into 16
+//! linear sub-buckets, bounding the relative bucket width at 1/16
+//! (6.25 %). Because bucketing is monotone, the quantile estimate is
+//! *rank-exact at bucket granularity*: the true sample at the requested
+//! rank is guaranteed to lie inside the bucket whose bounds
+//! [`Histogram::quantile_bounds`] returns — the property test in
+//! `tests/prop_telemetry.rs` checks exactly that against a sorted-sample
+//! reference.
+
+use bistro_base::sync::Mutex;
+
+/// Sub-buckets per power of two (as a shift: 2^4 = 16).
+const SUB_BITS: u32 = 4;
+/// Number of exact unit buckets at the bottom (`0..FIRST`).
+const FIRST: u64 = 1 << SUB_BITS;
+/// Total bucket count: 16 unit buckets + 16 per octave for octaves 4..=63.
+const BUCKETS: usize = (FIRST as usize) + (64 - SUB_BITS as usize) * (FIRST as usize);
+
+/// The bucket index for a value.
+fn bucket_index(v: u64) -> usize {
+    if v < FIRST {
+        v as usize
+    } else {
+        // msb ≥ 4; the top 5 mantissa bits select octave + sub-bucket
+        let msb = 63 - v.leading_zeros();
+        let octave = (msb - SUB_BITS) as usize;
+        let sub = ((v >> (msb - SUB_BITS)) - FIRST) as usize;
+        FIRST as usize + octave * FIRST as usize + sub
+    }
+}
+
+/// Inclusive `(lo, hi)` value bounds of a bucket.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < FIRST as usize {
+        (index as u64, index as u64)
+    } else {
+        let rel = index - FIRST as usize;
+        let octave = (rel / FIRST as usize) as u32;
+        let sub = (rel % FIRST as usize) as u64;
+        let width = 1u64 << octave;
+        let lo = (FIRST + sub) << octave;
+        // `lo + (width - 1)`, not `lo + width - 1`: the top bucket's hi is
+        // exactly u64::MAX and `lo + width` would wrap.
+        (lo, lo + (width - 1))
+    }
+}
+
+struct HistInner {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// A concurrent log-linear histogram. Obtain via
+/// [`crate::Registry::histogram`]; a handle from a disabled registry
+/// drops every record.
+pub struct Histogram {
+    enabled: bool,
+    inner: Mutex<HistInner>,
+}
+
+impl Histogram {
+    pub(crate) fn new(enabled: bool) -> Histogram {
+        Histogram {
+            enabled,
+            inner: Mutex::new(HistInner {
+                buckets: Vec::new(),
+                count: 0,
+                sum: 0,
+                min: u64::MAX,
+                max: 0,
+            }),
+        }
+    }
+
+    /// A standalone enabled histogram (not attached to any registry).
+    pub fn detached() -> Histogram {
+        Histogram::new(true)
+    }
+
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.buckets.is_empty() {
+            inner.buckets = vec![0; BUCKETS];
+        }
+        inner.buckets[bucket_index(v)] += 1;
+        inner.count += 1;
+        inner.sum = inner.sum.saturating_add(v);
+        inner.min = inner.min.min(v);
+        inner.max = inner.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.inner.lock().sum
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        let inner = self.inner.lock();
+        (inner.count > 0).then_some(inner.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        let inner = self.inner.lock();
+        (inner.count > 0).then_some(inner.max)
+    }
+
+    /// Inclusive value bounds of the bucket holding the `q`-quantile
+    /// sample (`q` clamped to `[0, 1]`; rank = `ceil(q · count)`, at
+    /// least 1). `None` when empty. The exact sorted-sample quantile is
+    /// guaranteed to lie within these bounds.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        let inner = self.inner.lock();
+        if inner.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * inner.count as f64).ceil() as u64).clamp(1, inner.count);
+        let mut cum = 0u64;
+        for (i, &n) in inner.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                // tighten by the recorded extremes
+                return Some((lo.max(inner.min.min(hi)), hi.min(inner.max)));
+            }
+        }
+        None // unreachable: cum == count >= rank by the loop end
+    }
+
+    /// Point estimate for the `q`-quantile: the upper bound of the bucket
+    /// holding that rank (conservative for alarm thresholds). `None` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.quantile_bounds(q).map(|(_, hi)| hi)
+    }
+
+    /// `(count, sum, min, max, p50, p90, p99)` in one lock acquisition
+    /// family — the snapshot exporter's view.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        if self.count() == 0 {
+            return None;
+        }
+        Some(HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min().unwrap(),
+            max: self.max().unwrap(),
+            p50: self.quantile(0.50).unwrap(),
+            p90: self.quantile(0.90).unwrap(),
+            p99: self.quantile(0.99).unwrap(),
+        })
+    }
+}
+
+/// Exported histogram digest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let probes = [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        let mut last = 0usize;
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(i >= last, "bucket index not monotone at {v}");
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "{v} outside its bucket [{lo}, {hi}]");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::detached();
+        for v in [0u64, 1, 2, 3, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_bounds(0.0), Some((0, 0)));
+        assert_eq!(h.quantile_bounds(1.0), Some((15, 15)));
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(15));
+        assert_eq!(h.sum(), 21);
+    }
+
+    #[test]
+    fn median_of_known_stream() {
+        let h = Histogram::detached();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let (lo, hi) = h.quantile_bounds(0.5).unwrap();
+        assert!(lo <= 500 && 500 <= hi, "median bucket [{lo}, {hi}]");
+        // bucket relative width ≤ 1/16
+        assert!(hi - lo <= 500 / 16 + 1, "bucket too wide: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn disabled_histogram_records_nothing() {
+        let h = Histogram::new(false);
+        h.record(42);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.summary(), None);
+    }
+
+    #[test]
+    fn empty_quantile_is_none() {
+        let h = Histogram::detached();
+        assert_eq!(h.quantile_bounds(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+}

@@ -1,0 +1,39 @@
+//! # bistro-telemetry
+//!
+//! Unified observability for the Bistro server (paper §3.2: "extensive
+//! logging to track the status of all the feeds … and alarm if it is
+//! unable to correct errors").
+//!
+//! The subsystem is four small pieces that compose:
+//!
+//! * [`registry`] — a [`Registry`] of named [`Counter`]s, [`Gauge`]s and
+//!   [`Histogram`]s. Handles are `Arc`s with atomic interiors, so hot
+//!   paths record without touching the registry map; a disabled registry
+//!   hands out no-op handles for overhead measurement.
+//! * [`histogram`] — log-linear-bucket histograms (16 sub-buckets per
+//!   power of two, ≤ 6.25 % relative bucket width) with rank-exact
+//!   quantile *bounds*: the true sample at a rank is guaranteed to lie in
+//!   the bucket the estimate names.
+//! * [`span`] — scoped timers driven by a [`bistro_base::clock::Clock`],
+//!   so instrumented runs on a `SimClock` stay byte-for-byte
+//!   deterministic (elapsed is whatever the simulation says it is).
+//! * [`alarm`] — threshold rules ([`AlarmRule`]) over registry metrics,
+//!   edge-triggered by [`AlarmSet::check`]; the server forwards firings
+//!   into its `EventLog` at `Alarm` level.
+//!
+//! Snapshots ([`Registry::snapshot_json`]) render through the hand-rolled
+//! [`json`] model (same style as `bistro-bench`'s `BENCH_*.json` emitter):
+//! metric iteration is sorted, so two identical runs produce identical
+//! bytes.
+
+pub mod alarm;
+pub mod histogram;
+pub mod json;
+pub mod registry;
+pub mod span;
+
+pub use alarm::{AlarmFiring, AlarmRule, AlarmSet, Condition};
+pub use histogram::Histogram;
+pub use json::Json;
+pub use registry::{Counter, Gauge, Registry, SharedRegistry};
+pub use span::Span;

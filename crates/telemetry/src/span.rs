@@ -1,0 +1,97 @@
+//! Scoped span timers.
+//!
+//! A [`Span`] snapshots the clock when created and records the elapsed
+//! microseconds into a histogram when dropped (or explicitly via
+//! [`Span::finish`]). Because the clock is a [`SharedClock`], a server
+//! running on a `SimClock` measures *simulated* elapsed time — zero if
+//! nothing advanced the clock inside the scope — which keeps
+//! instrumented runs byte-for-byte deterministic.
+
+use crate::histogram::Histogram;
+use bistro_base::clock::SharedClock;
+use bistro_base::time::TimePoint;
+use std::sync::Arc;
+
+/// A scoped timer recording into a histogram on drop.
+pub struct Span {
+    clock: SharedClock,
+    hist: Arc<Histogram>,
+    start: TimePoint,
+    done: bool,
+}
+
+impl Span {
+    /// Start a span now.
+    pub fn start(clock: SharedClock, hist: Arc<Histogram>) -> Span {
+        let start = clock.now();
+        Span {
+            clock,
+            hist,
+            start,
+            done: false,
+        }
+    }
+
+    /// End the span early and return the elapsed microseconds that were
+    /// recorded. Dropping without calling this records the same way.
+    pub fn finish(mut self) -> u64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> u64 {
+        if self.done {
+            return 0;
+        }
+        self.done = true;
+        let elapsed = self
+            .clock
+            .now()
+            .as_micros()
+            .saturating_sub(self.start.as_micros());
+        self.hist.record(elapsed);
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bistro_base::clock::SimClock;
+    use bistro_base::time::TimeSpan;
+
+    #[test]
+    fn span_records_sim_elapsed_on_drop() {
+        let clock = SimClock::new();
+        let hist = Arc::new(Histogram::detached());
+        {
+            let _span = Span::start(clock.clone(), hist.clone());
+            clock.advance(TimeSpan::from_micros(250));
+        }
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.min(), Some(250));
+    }
+
+    #[test]
+    fn finish_returns_elapsed_and_records_once() {
+        let clock = SimClock::new();
+        let hist = Arc::new(Histogram::detached());
+        let span = Span::start(clock.clone(), hist.clone());
+        clock.advance(TimeSpan::from_micros(40));
+        assert_eq!(span.finish(), 40);
+        assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn idle_sim_clock_yields_zero() {
+        let clock = SimClock::new();
+        let hist = Arc::new(Histogram::detached());
+        Span::start(clock, hist.clone()).finish();
+        assert_eq!(hist.min(), Some(0));
+    }
+}

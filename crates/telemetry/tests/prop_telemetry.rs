@@ -1,0 +1,98 @@
+//! Property test: histogram quantile bounds against an exact
+//! sorted-sample reference.
+//!
+//! For any stream of values, the bucket that
+//! [`Histogram::quantile_bounds`] returns for a quantile `q` must
+//! contain the exact order statistic at rank `ceil(q * n)` of the sorted
+//! stream — the "rank-exact at bucket granularity" contract the
+//! histogram documents. Counterexamples shrink through `Vec<u64>`'s
+//! structural shrinker, so a failure reports a minimal stream.
+//!
+//! Replay a failure with `BISTRO_PROP_SEED=<seed>` as printed.
+
+use bistro_base::prop::{self, Runner};
+use bistro_base::prop_assert;
+use bistro_telemetry::Histogram;
+
+const QUANTILES: &[f64] = &[0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0];
+
+fn exact_rank_value(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+#[test]
+fn quantile_bounds_contain_exact_order_statistics() {
+    Runner::new("hist_quantile_bounds_vs_sorted_reference")
+        .cases(256)
+        .run(
+            |rng| {
+                // Mixed-magnitude stream: mostly small latencies with an
+                // occasional huge outlier, the shape that stresses log-linear
+                // bucketing the hardest.
+                prop::vec_of(rng, 1..=200, |r| {
+                    let bits = r.gen_range(0u32..63);
+                    r.gen_range(0u64..=(1u64 << bits))
+                })
+            },
+            |values| {
+                let hist = Histogram::detached();
+                for &v in values {
+                    hist.record(v);
+                }
+                let mut sorted = values.clone();
+                sorted.sort_unstable();
+
+                prop_assert!(hist.count() == values.len() as u64, "count mismatch");
+                prop_assert!(hist.min() == sorted.first().copied(), "min mismatch");
+                prop_assert!(hist.max() == sorted.last().copied(), "max mismatch");
+
+                for &q in QUANTILES {
+                    let exact = exact_rank_value(&sorted, q);
+                    let (lo, hi) = hist
+                        .quantile_bounds(q)
+                        .ok_or_else(|| "empty bounds on non-empty histogram".to_string())?;
+                    prop_assert!(
+                        lo <= exact && exact <= hi,
+                        "q={q}: exact {exact} outside bucket [{lo}, {hi}] for {values:?}"
+                    );
+                    prop_assert!(lo <= hi, "q={q}: inverted bounds [{lo}, {hi}]");
+                    // relative width contract: hi/lo <= 17/16 once past the
+                    // unit buckets (bounds tightening can only narrow this)
+                    if lo >= 16 {
+                        prop_assert!(
+                            hi - lo <= lo / 16,
+                            "q={q}: bucket [{lo}, {hi}] wider than 1/16 relative"
+                        );
+                    }
+                }
+                Ok(())
+            },
+        );
+}
+
+#[test]
+fn quantiles_are_monotone_in_q() {
+    Runner::new("hist_quantiles_monotone").cases(128).run(
+        |rng| prop::vec_of(rng, 1..=100, |r| r.gen_range(0u64..1_000_000)),
+        |values| {
+            let hist = Histogram::detached();
+            for &v in values {
+                hist.record(v);
+            }
+            let mut last = 0u64;
+            for &q in QUANTILES {
+                let v = hist
+                    .quantile(q)
+                    .ok_or_else(|| "empty quantile".to_string())?;
+                prop_assert!(
+                    v >= last,
+                    "quantile not monotone at q={q}: {v} < {last} for {values:?}"
+                );
+                last = v;
+            }
+            Ok(())
+        },
+    );
+}

@@ -20,7 +20,9 @@
 
 use crate::messages::SubscriberMsg;
 use bistro_base::{FileId, Rng, TimePoint, TimeSpan};
+use bistro_telemetry::{Counter, Gauge, Registry};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Retransmission policy knobs.
 #[derive(Clone, Copy, Debug)]
@@ -94,21 +96,80 @@ pub struct RetryRound {
     pub exhausted: Vec<(String, FileId)>,
 }
 
+/// The tracker's telemetry handles. Counters are the *only* tallies —
+/// there is no private shadow copy; callers that need the totals read
+/// them through [`RetryTracker::totals`].
+struct TrackerMetrics {
+    attempts: Arc<Counter>,
+    acks: Arc<Counter>,
+    resends: Arc<Counter>,
+    exhausted: Arc<Counter>,
+    outstanding: Arc<Gauge>,
+}
+
+impl TrackerMetrics {
+    fn detached() -> TrackerMetrics {
+        TrackerMetrics {
+            attempts: Arc::new(Counter::detached()),
+            acks: Arc::new(Counter::detached()),
+            resends: Arc::new(Counter::detached()),
+            exhausted: Arc::new(Counter::detached()),
+            outstanding: Arc::new(Gauge::detached()),
+        }
+    }
+
+    fn registered(reg: &Registry) -> TrackerMetrics {
+        TrackerMetrics {
+            attempts: reg.counter("reliable.attempts"),
+            acks: reg.counter("reliable.acks"),
+            resends: reg.counter("reliable.resends"),
+            exhausted: reg.counter("reliable.exhausted"),
+            outstanding: reg.gauge("reliable.outstanding"),
+        }
+    }
+}
+
 /// The unacked-send table (deterministic iteration: `BTreeMap`).
 pub struct RetryTracker {
     policy: RetryPolicy,
     rng: Rng,
     outstanding: BTreeMap<(String, u64), Outstanding>,
+    metrics: TrackerMetrics,
 }
 
 impl RetryTracker {
     /// A tracker under `policy`; `seed` drives the backoff jitter.
+    /// Counters record into detached handles; use
+    /// [`RetryTracker::with_telemetry`] to surface them in a registry.
     pub fn new(policy: RetryPolicy, seed: u64) -> RetryTracker {
         RetryTracker {
             policy,
             rng: Rng::seed_from_u64(seed),
             outstanding: BTreeMap::new(),
+            metrics: TrackerMetrics::detached(),
         }
+    }
+
+    /// A tracker whose `reliable.*` counters and outstanding gauge live
+    /// in `reg`. Telemetry draws nothing from the jitter RNG, so a
+    /// registered tracker replays identically to a detached one.
+    pub fn with_telemetry(policy: RetryPolicy, seed: u64, reg: &Registry) -> RetryTracker {
+        RetryTracker {
+            policy,
+            rng: Rng::seed_from_u64(seed),
+            outstanding: BTreeMap::new(),
+            metrics: TrackerMetrics::registered(reg),
+        }
+    }
+
+    /// `(acks, resends, exhausted)` totals since construction — the
+    /// reliability tallies formerly duplicated by the server.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (
+            self.metrics.acks.get(),
+            self.metrics.resends.get(),
+            self.metrics.exhausted.get(),
+        )
     }
 
     /// The active policy.
@@ -150,6 +211,8 @@ impl RetryTracker {
                 msg,
             },
         );
+        self.metrics.attempts.inc();
+        self.metrics.outstanding.set(self.outstanding.len() as i64);
         1
     }
 
@@ -157,9 +220,15 @@ impl RetryTracker {
     /// pair was outstanding (any attempt number proves delivery — a late
     /// ack of an earlier attempt is just as good).
     pub fn on_ack(&mut self, subscriber: &str, file: FileId, _attempt: u32) -> bool {
-        self.outstanding
+        let acked = self
+            .outstanding
             .remove(&(subscriber.to_string(), file.raw()))
-            .is_some()
+            .is_some();
+        if acked {
+            self.metrics.acks.inc();
+            self.metrics.outstanding.set(self.outstanding.len() as i64);
+        }
+        acked
     }
 
     /// True if `(subscriber, file)` has an unacked send in flight.
@@ -177,6 +246,7 @@ impl RetryTracker {
     /// offline; recovery goes through backfill instead of retries).
     pub fn forget_subscriber(&mut self, subscriber: &str) {
         self.outstanding.retain(|(sub, _), _| sub != subscriber);
+        self.metrics.outstanding.set(self.outstanding.len() as i64);
     }
 
     /// Sweep the table at `now`: every entry past its deadline is either
@@ -211,6 +281,10 @@ impl RetryTracker {
                 msg,
             });
         }
+        self.metrics.attempts.add(round.resend.len() as u64);
+        self.metrics.resends.add(round.resend.len() as u64);
+        self.metrics.exhausted.add(round.exhausted.len() as u64);
+        self.metrics.outstanding.set(self.outstanding.len() as i64);
         round
     }
 
@@ -341,6 +415,26 @@ mod tests {
         tr.forget_subscriber("a");
         assert!(!tr.is_outstanding("a", FileId(1)));
         assert!(tr.is_outstanding("b", FileId(2)));
+    }
+
+    #[test]
+    fn telemetry_counters_track_lifecycle() {
+        let reg = Registry::new();
+        let mut tr = RetryTracker::with_telemetry(policy(), 1, &reg);
+        tr.track("s", FileId(1), msg(1), t(0));
+        tr.track("s", FileId(2), msg(2), t(0));
+        assert_eq!(reg.counter_value("reliable.attempts"), Some(2));
+        assert_eq!(reg.gauge_value("reliable.outstanding"), Some(2));
+        tr.on_ack("s", FileId(2), 1);
+        assert_eq!(reg.counter_value("reliable.acks"), Some(1));
+        tr.due(t(10)); // attempt 2
+        tr.due(t(100)); // attempt 3 == max
+        tr.due(t(1000)); // exhausted, dropped from the table
+        assert_eq!(reg.counter_value("reliable.resends"), Some(2));
+        assert_eq!(reg.counter_value("reliable.attempts"), Some(4));
+        assert_eq!(reg.counter_value("reliable.exhausted"), Some(1));
+        assert_eq!(reg.gauge_value("reliable.outstanding"), Some(0));
+        assert_eq!(tr.totals(), (1, 2, 1));
     }
 
     #[test]

@@ -81,6 +81,25 @@ impl MetaStats {
         self.removes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Bridge the ledger into a telemetry registry as `vfs.*` counters.
+    ///
+    /// `MetaStats` stays the source of truth (every backend already holds
+    /// an `&MetaStats`); this copies the current monotone totals into
+    /// same-named registry counters, so it should be called at snapshot
+    /// points (`Server::tick`, `bistro status`), not per operation.
+    pub fn publish(&self, reg: &bistro_telemetry::Registry) {
+        let snap = self.snapshot();
+        reg.counter("vfs.list_dir_calls").set(snap.list_dir_calls);
+        reg.counter("vfs.entries_scanned").set(snap.entries_scanned);
+        reg.counter("vfs.stat_calls").set(snap.stat_calls);
+        reg.counter("vfs.reads").set(snap.reads);
+        reg.counter("vfs.bytes_read").set(snap.bytes_read);
+        reg.counter("vfs.writes").set(snap.writes);
+        reg.counter("vfs.bytes_written").set(snap.bytes_written);
+        reg.counter("vfs.renames").set(snap.renames);
+        reg.counter("vfs.removes").set(snap.removes);
+    }
+
     /// Snapshot the counters.
     pub fn snapshot(&self) -> MetaSnapshot {
         MetaSnapshot {
@@ -153,5 +172,22 @@ mod tests {
         assert_eq!(d.list_dir_calls, 1);
         assert_eq!(d.entries_scanned, 3);
         assert_eq!(d.reads, 0);
+    }
+
+    #[test]
+    fn publish_bridges_totals_into_registry() {
+        let s = MetaStats::new();
+        s.record_list(4);
+        s.record_read(100);
+        let reg = bistro_telemetry::Registry::new();
+        s.publish(&reg);
+        assert_eq!(reg.counter_value("vfs.list_dir_calls"), Some(1));
+        assert_eq!(reg.counter_value("vfs.entries_scanned"), Some(4));
+        assert_eq!(reg.counter_value("vfs.bytes_read"), Some(100));
+        // re-publish overwrites with the new absolute totals
+        s.record_list(1);
+        s.publish(&reg);
+        assert_eq!(reg.counter_value("vfs.list_dir_calls"), Some(2));
+        assert_eq!(reg.counter_value("vfs.entries_scanned"), Some(5));
     }
 }

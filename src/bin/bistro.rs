@@ -7,6 +7,8 @@
 //! bistro discover <dir> [min]       run new-feed discovery over a real directory
 //! bistro analyze <config> <dir>     full analyzer pass: classify a directory,
 //!                                   then report unknowns, suggestions, drift
+//! bistro status [--json] [--seed N] one-screen health report from the seeded
+//!                                   demo scenario (same seed → same bytes)
 //! ```
 
 use bistro::analyzer::{infer_schema, suggest_groups, FeedDiscoverer, FnDetector};
@@ -23,15 +25,17 @@ fn main() -> ExitCode {
         Some("classify") => cmd_classify(&args[1..]),
         Some("discover") => cmd_discover(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
         _ => {
             eprintln!(
-                "usage: bistro <check|render|classify|discover|analyze> …\n\
+                "usage: bistro <check|render|classify|discover|analyze|status> …\n\
                  \n\
                  bistro check <config>             validate a configuration file\n\
                  bistro render <config>            print the canonical form\n\
                  bistro classify <config> <name>…  match filenames against feeds\n\
                  bistro discover <dir> [min]       suggest feed definitions for a directory\n\
-                 bistro analyze <config> <dir>     classify a directory and report drift"
+                 bistro analyze <config> <dir>     classify a directory and report drift\n\
+                 bistro status [--json] [--seed N] health report from the seeded demo run"
             );
             return ExitCode::from(2);
         }
@@ -153,6 +157,28 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
                 members.join("  ")
             );
         }
+    }
+    Ok(())
+}
+
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let mut json = false;
+    let mut seed: u64 = 0xB157_0057;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            other => return Err(format!("unknown status flag {other}")),
+        }
+    }
+    if json {
+        println!("{}", bistro::status::status_json(seed).render());
+    } else {
+        print!("{}", bistro::status::status_text(seed));
     }
     Ok(())
 }

@@ -1,4 +1,6 @@
 //! Umbrella crate re-exporting the Bistro workspace.
+pub mod status;
+
 pub use bistro_analyzer as analyzer;
 pub use bistro_base as base;
 pub use bistro_compress as compress;
@@ -8,5 +10,6 @@ pub use bistro_pattern as pattern;
 pub use bistro_receipts as receipts;
 pub use bistro_scheduler as scheduler;
 pub use bistro_simnet as simnet;
+pub use bistro_telemetry as telemetry;
 pub use bistro_transport as transport;
 pub use bistro_vfs as vfs;

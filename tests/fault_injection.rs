@@ -348,6 +348,76 @@ fn exhausted_retries_raise_alarm_and_flag_subscriber_offline() {
 }
 
 #[test]
+fn telemetry_alarm_rule_fires_under_dead_link() {
+    // Same dead-link shape as above, but driving Server::tick so the
+    // telemetry alarm sweep runs: exhausting the retry budget must raise
+    // the edge-triggered `retry-exhaustion` rule into the event log
+    // exactly once, on top of the delivery path's own abandonment alarm.
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let net = Arc::new(SimNetwork::new(LinkSpec::default()));
+    net.install_fault_plan(FaultPlan {
+        seed: 5,
+        default_faults: FaultSpec::default(),
+        link_faults: vec![(
+            "b".to_string(),
+            "alpha".to_string(),
+            FaultSpec::lossy(1.0, 0.0),
+        )],
+        flaps: Vec::new(),
+    });
+
+    let policy = RetryPolicy {
+        base_timeout: TimeSpan::from_secs(2),
+        backoff: 2,
+        max_timeout: TimeSpan::from_secs(8),
+        max_attempts: 3,
+        jitter: 0.0,
+    };
+    let mut server = Server::new("b", parse_config(CONFIG).unwrap(), clock.clone(), store)
+        .unwrap()
+        .with_network(net.clone())
+        .with_reliable_delivery(policy, 5);
+    let mut beta = SubscriberClient::new("beta", "b");
+
+    server.deposit("f_0.csv", b"x").unwrap();
+    for _ in 0..30 {
+        clock.advance(TimeSpan::from_secs(1));
+        beta.poll_notifications(&net, clock.now());
+        server.poll_network().unwrap();
+        server.retry_tick().unwrap();
+        server.tick();
+    }
+
+    assert!(
+        server
+            .telemetry()
+            .counter_value("reliable.exhausted")
+            .unwrap()
+            >= 1
+    );
+    let telemetry_alarms: Vec<_> = server
+        .event_log()
+        .alarms()
+        .into_iter()
+        .filter(|e| e.component == "telemetry")
+        .collect();
+    assert_eq!(
+        telemetry_alarms.len(),
+        1,
+        "edge-triggered rule must fire exactly once: {telemetry_alarms:?}"
+    );
+    assert!(
+        telemetry_alarms[0].message.contains("retry-exhaustion"),
+        "{telemetry_alarms:?}"
+    );
+    assert!(
+        telemetry_alarms[0].message.contains("reliable.exhausted"),
+        "detail should name the tripped metric: {telemetry_alarms:?}"
+    );
+}
+
+#[test]
 fn prop_random_fault_plans_preserve_exactly_once() {
     Runner::new("fault_plans_exactly_once").cases(10).run(
         |rng| {
