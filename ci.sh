@@ -7,7 +7,9 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release --offline
-cargo test -q --offline
+# Full workspace suite — includes the bench crate's experiment shape
+# tests (e1..e11); nothing is exempted.
+cargo test -q --offline --workspace
 
 # Fault-injection suite, run explicitly and uncaptured so a failure
 # surfaces its replay seed (scenario asserts embed `seed 0x...`; the
@@ -22,6 +24,14 @@ cargo test -q --offline --test status_smoke
 snap_a=$(./target/release/bistro status --json --seed 11)
 snap_b=$(./target/release/bistro status --json --seed 11)
 [ "$snap_a" = "$snap_b" ] || { echo "status --json is not deterministic" >&2; exit 1; }
+
+# Parallel-ingest determinism: the sharded classify/normalize pool must
+# not leak schedule into any observable output — the property test
+# checks receipts/triggers/status across worker counts, and the CLI
+# snapshot must be byte-identical between 1 and 4 workers.
+cargo test -q --offline --test parallel_determinism
+snap_p=$(./target/release/bistro status --json --seed 11 --workers 4)
+[ "$snap_a" = "$snap_p" ] || { echo "status --json differs with --workers 4" >&2; exit 1; }
 case "$snap_a" in
   '{'*'"delivery.receipts"'*'}') ;;
   *) echo "status --json missing delivery.receipts or malformed: $snap_a" >&2; exit 1 ;;

@@ -15,6 +15,7 @@ pub mod checksum;
 pub mod clock;
 pub mod codec;
 pub mod id;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 pub mod sync;
@@ -24,5 +25,6 @@ pub use checksum::{crc32, fnv1a64, Crc32};
 pub use clock::{Clock, SharedClock, SimClock, WallClock};
 pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use id::{BatchId, FeedId, FileId, IdGen, SubscriberId};
+pub use pool::{Pool, ShardStat};
 pub use rng::Rng;
 pub use time::{TimePoint, TimeSpan};

@@ -4,10 +4,30 @@
 //! trajectory files `BENCH_classify.json` and `BENCH_throughput.json`
 //! (schema `bistro-bench-v1`: median/p95 per-file latency plus
 //! files/sec / bytes/sec throughput).
+//!
+//! `--workers N[,N...]` selects the ingest worker counts for the
+//! `server_ingest_100_feeds/par{N}` batch-ingest scaling groups
+//! (default `1,2,4,8`).
 use bistro_bench::e11_throughput as e11;
 use bistro_bench::harness;
 
 fn main() {
+    let mut workers_list: Vec<usize> = vec![1, 2, 4, 8];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => {
+                let v = it.next().expect("--workers needs a value (e.g. 1,2,4,8)");
+                workers_list = v
+                    .split(',')
+                    .map(|s| s.parse().expect("bad --workers value"))
+                    .collect();
+            }
+            other => panic!("unknown exp_e11 flag {other}"),
+        }
+    }
+
     let classify = e11::run_classifier(&[10, 50, 100, 250, 500]);
     let ingest = e11::run_ingest(5_000, 60_000);
     let (t1, t2) = e11::tables(&classify, &ingest);
@@ -15,7 +35,10 @@ fn main() {
 
     let classify_bench = e11::bench_classify(250, 30);
     harness::write_json("BENCH_classify.json", &classify_bench).expect("write BENCH_classify.json");
-    let ingest_bench = e11::bench_ingest(60_000, 30);
+    let mut ingest_bench = e11::bench_ingest(60_000, 30);
+    for &w in &workers_list {
+        ingest_bench.push(e11::bench_ingest_parallel(60_000, 30, w));
+    }
     harness::write_json("BENCH_throughput.json", &ingest_bench)
         .expect("write BENCH_throughput.json");
     for r in classify_bench.iter().chain(&ingest_bench) {

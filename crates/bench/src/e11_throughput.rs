@@ -195,6 +195,49 @@ pub fn bench_ingest(file_size: usize, samples: usize) -> Vec<BenchResult> {
     vec![deposit]
 }
 
+/// Harness-measured batch ingest on a 100-feed server with the
+/// classify + normalize stage fanned across `workers` pool threads
+/// (`Server::deposit_batch`), for the `server_ingest_100_feeds/par{N}`
+/// scaling groups in `BENCH_throughput.json`. Each iteration deposits a
+/// 64-file batch; throughput is reported in files/sec.
+pub fn bench_ingest_parallel(file_size: usize, samples: usize, workers: usize) -> BenchResult {
+    const BATCH: usize = 64;
+    let clock = SimClock::starting_at(TimePoint::from_secs(1_285_372_800));
+    let store = MemFs::shared(clock.clone());
+    let cfg = config_with_feeds(100);
+    let mut server = Server::new("b", cfg, clock.clone(), store)
+        .unwrap()
+        .with_workers(workers);
+    let payload = vec![b'x'; file_size];
+    let mut i = 0u64;
+    time_fn(
+        "server_ingest_100_feeds",
+        &format!("par{workers}"),
+        samples,
+        Some(Throughput::Elements(BATCH as u64)),
+        || {
+            let base = i;
+            i += BATCH as u64;
+            let files: Vec<(String, Vec<u8>)> = (0..BATCH as u64)
+                .map(|k| {
+                    let n = base + k;
+                    (
+                        format!(
+                            "KIND{}_poller{}_20100925{:02}{:02}.csv",
+                            n % 100,
+                            n % 7,
+                            (n / 60) % 24,
+                            n % 60
+                        ),
+                        payload.clone(),
+                    )
+                })
+                .collect();
+            server.deposit_batch(files).unwrap();
+        },
+    )
+}
+
 /// Render both tables.
 pub fn tables(classify: &[ClassifyPoint], ingest: &IngestPoint) -> (Table, Table) {
     let mut t1 = Table::new(
@@ -244,5 +287,14 @@ mod tests {
     fn ingest_beats_paper_rate() {
         let p = run_ingest(2_000, 50_000);
         assert!(p.headroom > 1.0, "must exceed 300 GB/day: {p:?}");
+    }
+
+    #[test]
+    fn parallel_ingest_bench_runs_at_every_width() {
+        for workers in [1, 2, 4] {
+            let r = bench_ingest_parallel(10_000, 3, workers);
+            assert_eq!(r.name, format!("par{workers}"));
+            assert!(r.median_ns > 0.0, "{r:?}");
+        }
     }
 }

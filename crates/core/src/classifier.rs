@@ -80,51 +80,109 @@ impl Classifier {
     /// pattern first. An empty result means "unknown feed" — analyzer
     /// territory.
     pub fn classify(&self, name: &str) -> Vec<Classification> {
-        let mut out: Vec<(i64, Classification)> = Vec::new();
-        let try_pattern = |idx: usize, out: &mut Vec<(i64, Classification)>| {
-            let cp = &self.patterns[idx];
-            if let Some(captures) = cp.pattern.match_str(name) {
-                out.push((
-                    cp.specificity,
-                    Classification {
-                        feed: cp.feed.clone(),
-                        pattern_index: cp.pattern_index,
-                        captures,
-                    },
-                ));
-            }
-        };
+        self.classify_from(name, self.prefix_candidates(name))
+    }
 
-        // candidate prefixes: every prefixed group whose key is a prefix
-        // of `name`. Walk the BTreeMap by successively longer prefixes of
-        // the name's first segment.
+    /// Prefixed-pattern candidates for `name`: the indices under every
+    /// dispatch key that is a prefix of `name`, ascending.
+    ///
+    /// One descending scan over the BTreeMap instead of `len(name)`
+    /// separate lookups: `upper` is always a prefix of `name`, and
+    /// `range(..=upper).next_back()` yields the largest key ≤ `upper` —
+    /// which is the longest not-yet-collected prefix key if one exists.
+    /// After a hit we continue below that key's length; after a miss the
+    /// longest common prefix with `name` bounds every remaining prefix
+    /// key, so `upper` shrinks on every step and the loop visits
+    /// O(matching keys) map entries.
+    fn prefix_candidates(&self, name: &str) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut upper = name;
+        while !upper.is_empty() {
+            let below = (std::ops::Bound::Unbounded, std::ops::Bound::Included(upper));
+            let Some((key, indices)) = self.prefixed.range::<str, _>(below).next_back() else {
+                break;
+            };
+            let cut = if name.starts_with(key.as_str()) {
+                out.extend_from_slice(indices);
+                key.len() - 1
+            } else {
+                key.bytes()
+                    .zip(name.bytes())
+                    .take_while(|(a, b)| a == b)
+                    .count()
+            };
+            let mut cut = cut.min(upper.len().saturating_sub(1));
+            while !name.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            upper = &name[..cut];
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The original dispatch walk — one map lookup per prefix length of
+    /// `name`. Kept (test-only surface) as the reference implementation
+    /// for the [`Classifier::prefix_candidates`] equivalence property.
+    #[doc(hidden)]
+    pub fn prefix_candidates_length_walk(&self, name: &str) -> Vec<usize> {
+        let mut out = Vec::new();
         for len in 1..=name.len() {
             if !name.is_char_boundary(len) {
                 continue;
             }
             if let Some(indices) = self.prefixed.get(&name[..len]) {
-                for &idx in indices {
-                    try_pattern(idx, &mut out);
-                }
+                out.extend_from_slice(indices);
             }
         }
-        for &idx in &self.unprefixed {
-            try_pattern(idx, &mut out);
-        }
+        out.sort_unstable();
+        out
+    }
 
-        // most specific first; dedupe feeds (a feed with several matching
-        // patterns classifies once, via its most specific match)
-        out.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.feed.cmp(&b.1.feed)));
-        let mut seen = std::collections::HashSet::new();
-        out.into_iter()
-            .filter_map(|(_, c)| {
-                if seen.insert(c.feed.clone()) {
-                    Some(c)
-                } else {
-                    None
-                }
-            })
-            .collect()
+    /// `classify` with the legacy per-length dispatch walk feeding the
+    /// same match/rank/dedupe pipeline. Test-only reference.
+    #[doc(hidden)]
+    pub fn classify_length_walk(&self, name: &str) -> Vec<Classification> {
+        self.classify_from(name, self.prefix_candidates_length_walk(name))
+    }
+
+    /// Match, rank and dedupe: candidates (plus the always-tried
+    /// unprefixed patterns) are matched by index, ranked most-specific
+    /// first (ties broken by feed name, then compile order), and deduped
+    /// so a feed with several matching patterns classifies once via its
+    /// most specific match. Feed names materialize exactly once, for the
+    /// surviving classifications.
+    fn classify_from(&self, name: &str, candidates: Vec<usize>) -> Vec<Classification> {
+        let mut hits: Vec<(i64, usize, Captures)> = Vec::new();
+        for idx in candidates
+            .into_iter()
+            .chain(self.unprefixed.iter().copied())
+        {
+            let cp = &self.patterns[idx];
+            if let Some(captures) = cp.pattern.match_str(name) {
+                hits.push((cp.specificity, idx, captures));
+            }
+        }
+        hits.sort_by(|a, b| {
+            b.0.cmp(&a.0)
+                .then_with(|| self.patterns[a.1].feed.cmp(&self.patterns[b.1].feed))
+                .then(a.1.cmp(&b.1))
+        });
+        let mut out: Vec<Classification> = Vec::with_capacity(hits.len());
+        let mut kept: Vec<usize> = Vec::with_capacity(hits.len());
+        for (_, idx, captures) in hits {
+            let cp = &self.patterns[idx];
+            if kept.iter().any(|&k| self.patterns[k].feed == cp.feed) {
+                continue;
+            }
+            kept.push(idx);
+            out.push(Classification {
+                feed: cp.feed.clone(),
+                pattern_index: cp.pattern_index,
+                captures,
+            });
+        }
+        out
     }
 
     /// The feeds a file belongs to (names only).

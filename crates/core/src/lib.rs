@@ -17,6 +17,9 @@
 //!   each incoming filename to its feeds (with typed captures).
 //! * [`normalizer`] — renders staging paths from capture semantics and
 //!   applies the feed's compression option.
+//! * [`parallel`] — the pure classify + normalize "prepare" stage that
+//!   [`server::Server::deposit_batch`] fans out across a
+//!   `bistro_base::Pool` of workers (side effects stay sequential).
 //! * [`server::Server`] — landing-zone ingest (notification-driven, §4.1),
 //!   reliable push/notify delivery backed by the receipt store (§4.2),
 //!   batching and trigger invocation, retention expiration with
@@ -33,6 +36,7 @@ pub mod baselines;
 pub mod classifier;
 pub mod log;
 pub mod normalizer;
+pub mod parallel;
 pub mod relay;
 pub mod server;
 

@@ -1,0 +1,148 @@
+//! The parallel ingest stage: the *pure* half of the pipeline.
+//!
+//! Ingesting a file splits cleanly in two:
+//!
+//! 1. **prepare** (this module) — classify the name and normalize the
+//!    payload for every matching feed. Pure computation over inputs the
+//!    caller already holds: no store writes, no WAL appends, no shared
+//!    counters. This is the CPU-heavy part, and because it is pure it
+//!    can fan out across [`bistro_base::Pool`] workers freely.
+//! 2. **commit** (`Server::ingest_prepared`) — stage the bytes, record
+//!    the arrival receipt, and deliver. All side effects, executed
+//!    strictly in deposit order by the server's own thread.
+//!
+//! The determinism contract of `Server::deposit_batch` falls out of this
+//! split: workers touch nothing observable (in particular they never
+//! touch the receipts WAL — a WAL append allocates the next sequence
+//! number, so letting workers race to it would make receipt numbering
+//! schedule-dependent), and the commit loop replays the pure results in
+//! input order, so every store operation, receipt sequence number and
+//! telemetry counter is byte-identical for any worker count.
+
+use crate::classifier::{Classification, Classifier};
+use crate::normalizer::{normalize, NormalizeError, Normalized};
+use bistro_base::{SharedClock, TimePoint};
+use bistro_config::Config;
+
+/// The pure result of classifying + normalizing one deposited file.
+#[derive(Clone, Debug)]
+pub struct Prepared {
+    /// All matching feeds, most specific first. Empty ⇒ unknown feed.
+    pub classifications: Vec<Classification>,
+    /// One normalized staging payload per classification, same order:
+    /// `(feed name, normalized)`.
+    pub staged: Vec<(String, Normalized)>,
+    /// The feed-time captured from the name (first classification wins).
+    pub feed_time: Option<TimePoint>,
+    /// Wall time spent classifying, µs (0 under a simulated clock).
+    pub classify_us: u64,
+    /// Wall time spent normalizing, µs (0 under a simulated clock).
+    pub normalize_us: u64,
+}
+
+/// Classify `rel_path` and normalize `payload` for every matching feed.
+/// Pure: reads only the classifier/config, touches no store, returns
+/// everything by value. Safe to call from any [`bistro_base::Pool`]
+/// worker.
+pub fn prepare(
+    classifier: &Classifier,
+    config: &Config,
+    clock: &SharedClock,
+    rel_path: &str,
+    payload: &[u8],
+) -> Result<Prepared, NormalizeError> {
+    let t0 = clock.now();
+    let classifications = classifier.classify(rel_path);
+    let t1 = clock.now();
+
+    let mut staged = Vec::with_capacity(classifications.len());
+    let mut feed_time = None;
+    for c in &classifications {
+        let feed = config
+            .feed(&c.feed)
+            .expect("classifier only yields configured feeds");
+        staged.push((
+            c.feed.clone(),
+            normalize(feed, rel_path, &c.captures, payload)?,
+        ));
+        if feed_time.is_none() {
+            feed_time = c.captures.timestamp();
+        }
+    }
+    let t2 = clock.now();
+
+    Ok(Prepared {
+        classifications,
+        staged,
+        feed_time,
+        classify_us: t1.since(t0).as_micros(),
+        normalize_us: t2.since(t1).as_micros(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bistro_base::{Pool, SimClock, TimePoint};
+    use bistro_config::parse_config;
+
+    fn fixture() -> (Classifier, Config) {
+        let cfg = parse_config(
+            r#"
+            feed M { pattern "MEM_poller%i_%Y%m%d%H%M.csv"; }
+            feed ALL { pattern "*_%Y%m%d%H%M.csv"; }
+            "#,
+        )
+        .unwrap();
+        (Classifier::compile(&cfg), cfg)
+    }
+
+    #[test]
+    fn prepare_is_pure_and_complete() {
+        let (classifier, cfg) = fixture();
+        let clock: SharedClock = SimClock::starting_at(TimePoint::from_secs(5));
+        let p = prepare(
+            &classifier,
+            &cfg,
+            &clock,
+            "MEM_poller3_201009250455.csv",
+            b"x",
+        )
+        .unwrap();
+        assert_eq!(p.classifications.len(), 2); // M + ALL
+        assert_eq!(p.staged.len(), 2);
+        assert_eq!(p.staged[0].0, "M");
+        assert!(p.feed_time.is_some());
+        // simulated clock: no time passes inside prepare
+        assert_eq!((p.classify_us, p.normalize_us), (0, 0));
+
+        let unknown = prepare(&classifier, &cfg, &clock, "nope.bin", b"x").unwrap();
+        assert!(unknown.classifications.is_empty());
+        assert!(unknown.staged.is_empty());
+    }
+
+    #[test]
+    fn prepare_fans_out_deterministically() {
+        let (classifier, cfg) = fixture();
+        let clock: SharedClock = SimClock::starting_at(TimePoint::from_secs(5));
+        let names: Vec<String> = (0..23)
+            .map(|i| format!("MEM_poller{i}_201009250455.csv"))
+            .collect();
+        let run = |workers: usize| -> Vec<String> {
+            Pool::new(workers).map(names.clone(), |_, name| {
+                let p = prepare(&classifier, &cfg, &clock, &name, name.as_bytes()).unwrap();
+                format!(
+                    "{name}→{:?}",
+                    p.staged
+                        .iter()
+                        .map(|(f, n)| (f, &n.staged_path))
+                        .collect::<Vec<_>>()
+                )
+            })
+        };
+        let reference = run(1);
+        for workers in [2, 4, 8] {
+            assert_eq!(run(workers), reference, "workers={workers}");
+        }
+    }
+}

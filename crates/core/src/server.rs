@@ -9,13 +9,14 @@
 
 use crate::classifier::Classifier;
 use crate::log::{EventLog, LogLevel};
-use crate::normalizer::{normalize, NormalizeError};
+use crate::normalizer::NormalizeError;
+use crate::parallel::{self, Prepared};
 use bistro_analyzer::discovery::DiscoveredFeed;
 use bistro_analyzer::fn_detect::FnWarning;
 use bistro_analyzer::{
     fp_report, FeedDiscoverer, FeedProgress, FnDetector, FpReport, ProgressAlert,
 };
-use bistro_base::{BatchId, FileId, IdGen, SharedClock, TimePoint, TimeSpan};
+use bistro_base::{BatchId, FileId, IdGen, Pool, ShardStat, SharedClock, TimePoint, TimeSpan};
 use bistro_config::validate::validate;
 use bistro_config::{BatchSpec, Config, DeliveryMode, FeedDef, SubscriberDef};
 use bistro_receipts::{Archiver, FileRecord, ReceiptError, ReceiptStore};
@@ -165,7 +166,8 @@ pub struct Server {
     config: Config,
     clock: SharedClock,
     store: Arc<dyn FileStore>,
-    classifier: Classifier,
+    classifier: Arc<Classifier>,
+    workers: Pool,
     receipts: ReceiptStore,
     archiver: Option<Archiver>,
     log: EventLog,
@@ -180,6 +182,7 @@ pub struct Server {
     fn_detector: FnDetector,
     stats: DeliveryStats,
     telemetry: SharedRegistry,
+    pool_telemetry: SharedRegistry,
     metrics: ServerMetrics,
     alarms: AlarmSet,
 }
@@ -248,7 +251,8 @@ impl Server {
             config,
             clock,
             store,
-            classifier,
+            classifier: Arc::new(classifier),
+            workers: Pool::new(1),
             receipts,
             archiver,
             log: EventLog::default(),
@@ -263,6 +267,7 @@ impl Server {
             fn_detector,
             stats: DeliveryStats::default(),
             telemetry,
+            pool_telemetry: Registry::new(),
             metrics,
             alarms: Server::default_alarms(),
         })
@@ -322,6 +327,24 @@ impl Server {
         self
     }
 
+    /// Fan [`Server::deposit_batch`]'s classify + normalize stage out to
+    /// `workers` threads (1 = inline, the default). Any count yields
+    /// byte-identical results — see `parallel` for the contract.
+    pub fn with_workers(mut self, workers: usize) -> Server {
+        self.workers = Pool::new(workers);
+        self
+    }
+
+    /// Change the ingest worker count at runtime.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = Pool::new(workers);
+    }
+
+    /// The configured ingest worker count.
+    pub fn worker_count(&self) -> usize {
+        self.workers.workers()
+    }
+
     /// The server's name (its network endpoint).
     pub fn name(&self) -> &str {
         &self.name
@@ -354,6 +377,77 @@ impl Server {
         self.ingest(rel_path)
     }
 
+    /// Deposit a batch of files, fanning the pure classify + normalize
+    /// stage across the configured worker pool ([`Server::with_workers`])
+    /// and committing results — staging writes, receipt WAL appends,
+    /// deliveries — strictly in deposit order on the caller's thread.
+    ///
+    /// Determinism contract: because workers run only the pure
+    /// [`parallel::prepare`] stage (they never touch the store, the WAL
+    /// or the main telemetry registry) and the commit loop replays their
+    /// results in input order, the store operation sequence, receipt
+    /// sequence numbers, telemetry counters and `status_json` bytes are
+    /// identical for *any* worker count. Per-worker fan-out accounting
+    /// goes to the separate [`Server::pool_telemetry`] registry, which is
+    /// deliberately excluded from that surface.
+    pub fn deposit_batch(&mut self, files: Vec<(String, Vec<u8>)>) -> Result<(), ServerError> {
+        let pool = self.workers;
+        let prepare_span = Span::start(
+            self.clock.clone(),
+            self.pool_telemetry.histogram("pool.prepare_us"),
+        );
+        let (prepared, shard_stats) = {
+            let classifier = &*self.classifier;
+            let config = &self.config;
+            let clock = &self.clock;
+            pool.map_with_stats(files, |_, (rel, payload)| {
+                let r = parallel::prepare(classifier, config, clock, &rel, &payload);
+                (rel, payload, r)
+            })
+        };
+        prepare_span.finish();
+        self.record_pool_stats(&shard_stats, &prepared);
+        // commit in deposit order, landing write included — the exact
+        // store-op sequence a loop of `deposit` calls would produce
+        // (which also keeps duplicate names within one batch well-formed)
+        for (rel, payload, r) in prepared {
+            let landing = format!("{}/{rel}", self.config.server.landing);
+            self.store.write(&landing, &payload)?;
+            self.ingest_prepared(&rel, payload.len() as u64, r?)?;
+        }
+        Ok(())
+    }
+
+    /// Per-worker fan-out accounting for one [`Server::deposit_batch`].
+    /// Recorded into a registry *separate* from the server's main
+    /// telemetry: `status_json` embeds the full main registry, and
+    /// per-worker tallies necessarily differ with the worker count,
+    /// which would break the `--workers N` byte-identity contract.
+    fn record_pool_stats(
+        &self,
+        stats: &[ShardStat],
+        prepared: &[(String, Vec<u8>, Result<Prepared, NormalizeError>)],
+    ) {
+        // items shard statically as i % effective, so per-worker busy
+        // time is reconstructible on the commit thread
+        let effective = stats.iter().filter(|s| s.jobs > 0).count().max(1);
+        self.pool_telemetry.counter("pool.batches").inc();
+        for s in stats {
+            if s.jobs > 0 {
+                self.pool_telemetry
+                    .counter(&format!("pool.worker{}.files", s.worker))
+                    .add(s.jobs);
+            }
+        }
+        for (i, (_, _, r)) in prepared.iter().enumerate() {
+            if let Ok(p) = r {
+                self.pool_telemetry
+                    .counter(&format!("pool.worker{}.busy_us", i % effective))
+                    .add(p.classify_us + p.normalize_us);
+            }
+        }
+    }
+
     /// Scan the landing zone for files from non-cooperating sources and
     /// ingest everything found. Cheap because ingest keeps the landing
     /// zone empty (§4.1: "Bistro minimizes the overhead of directory
@@ -371,18 +465,37 @@ impl Server {
         Ok(n)
     }
 
-    /// Ingest one landing file: classify, normalize, stage, record,
-    /// deliver, batch.
+    /// Ingest one landing file: prepare (classify + normalize, pure)
+    /// then commit. The batch path runs the same two stages with the
+    /// prepare fanned out — see [`Server::deposit_batch`].
     fn ingest(&mut self, rel_path: &str) -> Result<(), ServerError> {
-        let now = self.clock.now();
         let landing_path = format!("{}/{rel_path}", self.config.server.landing);
         let payload = self.store.read(&landing_path)?;
-        self.metrics.ingest_total.inc();
+        let prepared = parallel::prepare(
+            &self.classifier,
+            &self.config,
+            &self.clock,
+            rel_path,
+            &payload,
+        )?;
+        self.ingest_prepared(rel_path, payload.len() as u64, prepared)
+    }
 
-        let span = Span::start(self.clock.clone(), self.metrics.classify_us.clone());
-        let classifications = self.classifier.classify(rel_path);
-        span.finish();
-        if classifications.is_empty() {
+    /// Commit one prepared file: stage the normalized payloads, record
+    /// the arrival receipt, deliver, batch. All the pipeline's side
+    /// effects, on the caller's thread, in call order.
+    fn ingest_prepared(
+        &mut self,
+        rel_path: &str,
+        payload_len: u64,
+        prepared: Prepared,
+    ) -> Result<(), ServerError> {
+        let now = self.clock.now();
+        let landing_path = format!("{}/{rel_path}", self.config.server.landing);
+        self.metrics.ingest_total.inc();
+        self.metrics.classify_us.record(prepared.classify_us);
+
+        if prepared.classifications.is_empty() {
             // unknown feed: park for the analyzer. A duplicate deposit of
             // the same unknown name (sources do retransmit) replaces the
             // parked copy.
@@ -404,36 +517,26 @@ impl Server {
             return Ok(());
         }
 
-        // normalize and stage once per matching feed
-        let span = Span::start(self.clock.clone(), self.metrics.normalize_us.clone());
+        // stage once per matching feed
+        self.metrics.normalize_us.record(prepared.normalize_us);
         let mut staged_paths: Vec<(String, String)> = Vec::new(); // (feed, staged)
-        let mut feed_time = None;
-        for c in &classifications {
-            let feed = self
-                .config
-                .feed(&c.feed)
-                .expect("classifier only yields configured feeds")
-                .clone();
-            let normalized = normalize(&feed, rel_path, &c.captures, &payload)?;
+        for (feed, normalized) in &prepared.staged {
             let staged = format!("{}/{}", self.config.server.staging, normalized.staged_path);
             self.store.write(&staged, &normalized.data)?;
             self.metrics
                 .ingest_bytes_staged
                 .add(normalized.data.len() as u64);
-            staged_paths.push((c.feed.clone(), normalized.staged_path));
-            if feed_time.is_none() {
-                feed_time = c.captures.timestamp();
-            }
+            staged_paths.push((feed.clone(), normalized.staged_path.clone()));
         }
-        span.finish();
         self.store.remove(&landing_path)?;
 
+        let feed_time = prepared.feed_time;
         let feeds: Vec<String> = staged_paths.iter().map(|(f, _)| f.clone()).collect();
         let primary_staged = staged_paths[0].1.clone();
         let file = self.receipts.record_arrival(
             rel_path,
             &primary_staged,
-            payload.len() as u64,
+            payload_len,
             now,
             feed_time,
             feeds.clone(),
@@ -598,27 +701,36 @@ impl Server {
             .or_default()
             .push(delivered_at.since(rec.arrival));
 
-        // batching + trigger
+        // batching + trigger: first close any batch whose window lapsed
+        // between deliveries (otherwise this file would be folded into a
+        // stale batch), then account this file with its feed-time origin
+        // so the window stays anchored to the interval it covers
         let key = (feed_name.to_string(), sub_name.to_string());
         let spec: BatchSpec = spec;
         let batcher = self
             .batchers
             .entry(key)
             .or_insert_with(|| Batcher::new(spec));
-        if let Some(batch) = batcher.on_file(rec.id, delivered_at) {
+        let lapsed = batcher.take_lapsed(delivered_at);
+        let closed = batcher.on_file_at(rec.id, delivered_at, rec.feed_time);
+        for batch in lapsed.into_iter().chain(closed) {
             let batch_id: BatchId = self.batch_ids.next();
             if let Some(def) = &trigger {
+                let window_lapse =
+                    batch.reason == bistro_transport::batching::BatchCloseReason::Window;
                 self.triggers.fire(
                     sub_name,
                     def,
                     &TriggerContext {
+                        // a lapsed-window batch closed before this file
+                        // existed; like `tick`, it has no file path
                         feed: feed_name,
-                        file_path: dest_path,
+                        file_path: if window_lapse { "" } else { dest_path },
                         batch: Some(batch_id),
                         count: batch.files.len(),
                     },
                     batch.files,
-                    delivered_at,
+                    batch.closed,
                 );
             }
         }
@@ -879,7 +991,7 @@ impl Server {
             None => self.config.feeds.push(def),
         }
         validate(&self.config)?;
-        self.classifier = Classifier::compile(&self.config);
+        self.classifier = Arc::new(Classifier::compile(&self.config));
         self.fn_detector = FnDetector::new(
             self.config
                 .feeds
@@ -1166,6 +1278,15 @@ impl Server {
     /// The telemetry registry every pipeline stage records into.
     pub fn telemetry(&self) -> &SharedRegistry {
         &self.telemetry
+    }
+
+    /// Per-worker fan-out accounting (`pool.batches`,
+    /// `pool.worker{i}.files`, `pool.worker{i}.busy_us`,
+    /// `pool.prepare_us`). Separate from [`Server::telemetry`] so
+    /// worker-count-dependent tallies never leak into the
+    /// [`Server::status_json`] determinism surface.
+    pub fn pool_telemetry(&self) -> &SharedRegistry {
+        &self.pool_telemetry
     }
 
     /// Add an alarm rule to the set checked on every [`Server::tick`].

@@ -1,0 +1,85 @@
+//! Property test for the classifier's dispatch rework: the single
+//! descending `range(..=name)` scan over the prefix index must agree
+//! with the original one-lookup-per-prefix-length walk on arbitrary
+//! names — same candidates, so byte-identical classifications.
+
+use bistro_base::prop::{self, Runner};
+use bistro_base::prop_assert_eq;
+use bistro_config::parse_config;
+use bistro_core::Classifier;
+
+/// Feeds whose literal prefixes nest and collide ("KIND" vs "KIND1" vs
+/// "KIND12", "AB" vs "ABC" in one feed) — the shapes where a range scan
+/// can plausibly skip or double-count a dispatch group.
+fn classifier() -> Classifier {
+    let cfg = parse_config(
+        r#"
+        feed K    { pattern "KIND%i_p%i_%Y%m%d.csv"; }
+        feed K1   { pattern "KIND1_p%i_%Y%m%d.csv"; }
+        feed K12  { pattern "KIND12_p%i_%Y%m%d.csv"; }
+        feed AB   { pattern "AB_%i.dat"; pattern "ABC_%i.dat"; }
+        feed A    { pattern "A%s.log"; }
+        feed WILD { pattern "*_%Y%m%d.gz"; }
+        "#,
+    )
+    .unwrap();
+    Classifier::compile(&cfg)
+}
+
+#[test]
+fn range_scan_matches_length_walk_on_random_names() {
+    let c = classifier();
+    Runner::new("range_scan_matches_length_walk_on_random_names")
+        .cases(512)
+        .run(
+            |rng| {
+                // half structured near-misses around the real prefixes,
+                // half raw noise over the prefix alphabet
+                if rng.gen_range(0u32..2) == 0 {
+                    let kind = rng.gen_range(0u64..130);
+                    let p = rng.gen_range(0u64..10);
+                    format!("KIND{kind}_p{p}_2010092{}.csv", rng.gen_range(0u64..10))
+                } else {
+                    prop::string(rng, "ABCKIND012_p.csvgzloat", 0..=24)
+                }
+            },
+            |name| {
+                let fast = c.classify(name);
+                let slow = c.classify_length_walk(name);
+                prop_assert_eq!(
+                    format!("{fast:?}"),
+                    format!("{slow:?}"),
+                    "dispatch divergence on {:?}",
+                    name
+                );
+                Ok(())
+            },
+        );
+}
+
+#[test]
+fn range_scan_matches_length_walk_on_wide_config() {
+    // 300 feeds with distinct-but-clustered prefixes, as in E11.
+    let mut src = String::new();
+    for i in 0..300 {
+        src.push_str(&format!(
+            "feed F{i} {{ pattern \"KIND{i}_poller%i_%Y%m%d%H%M.csv\"; }}\n"
+        ));
+    }
+    let c = Classifier::compile(&parse_config(&src).unwrap());
+    Runner::new("range_scan_matches_length_walk_on_wide_config")
+        .cases(256)
+        .run(
+            |rng| {
+                let kind = rng.gen_range(0u64..400); // past the defined range: misses too
+                let p = rng.gen_range(0u64..10);
+                format!("KIND{kind}_poller{p}_201009250455.csv")
+            },
+            |name| {
+                let fast = c.classify(name);
+                let slow = c.classify_length_walk(name);
+                prop_assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
+                Ok(())
+            },
+        );
+}

@@ -7,8 +7,10 @@
 //! bistro discover <dir> [min]       run new-feed discovery over a real directory
 //! bistro analyze <config> <dir>     full analyzer pass: classify a directory,
 //!                                   then report unknowns, suggestions, drift
-//! bistro status [--json] [--seed N] one-screen health report from the seeded
-//!                                   demo scenario (same seed → same bytes)
+//! bistro status [--json] [--seed N] [--workers W]
+//!                                   one-screen health report from the seeded
+//!                                   demo scenario (same seed → same bytes,
+//!                                   for any ingest worker count W)
 //! ```
 
 use bistro::analyzer::{infer_schema, suggest_groups, FeedDiscoverer, FnDetector};
@@ -35,7 +37,8 @@ fn main() -> ExitCode {
                  bistro classify <config> <name>…  match filenames against feeds\n\
                  bistro discover <dir> [min]       suggest feed definitions for a directory\n\
                  bistro analyze <config> <dir>     classify a directory and report drift\n\
-                 bistro status [--json] [--seed N] health report from the seeded demo run"
+                 bistro status [--json] [--seed N] [--workers W]\n\
+                 \u{20}                                 health report from the seeded demo run"
             );
             return ExitCode::from(2);
         }
@@ -164,6 +167,7 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
 fn cmd_status(args: &[String]) -> Result<(), String> {
     let mut json = false;
     let mut seed: u64 = 0xB157_0057;
+    let mut workers: usize = 1;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -172,13 +176,17 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
                 let v = it.next().ok_or("--seed needs a value")?;
                 seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
             }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                workers = v.parse().map_err(|_| format!("bad workers: {v}"))?;
+            }
             other => return Err(format!("unknown status flag {other}")),
         }
     }
     if json {
-        println!("{}", bistro::status::status_json(seed).render());
+        println!("{}", bistro::status::status_json(seed, workers).render());
     } else {
-        print!("{}", bistro::status::status_text(seed));
+        print!("{}", bistro::status::status_text(seed, workers));
     }
     Ok(())
 }

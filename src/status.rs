@@ -27,8 +27,11 @@ const CONFIG: &str = r#"
 "#;
 
 /// Drive the demo scenario to completion and hand back the server so
-/// callers can render whichever status form they want.
-pub fn demo_server(seed: u64) -> Server {
+/// callers can render whichever status form they want. `workers` sizes
+/// the parallel ingest pool; by the `deposit_batch` determinism
+/// contract the returned server's status snapshot is byte-identical
+/// for any worker count.
+pub fn demo_server(seed: u64, workers: usize) -> Server {
     let clock = SimClock::starting_at(START);
     let store = MemFs::shared(clock.clone());
     let net = Arc::new(SimNetwork::new(LinkSpec {
@@ -58,7 +61,8 @@ pub fn demo_server(seed: u64) -> Server {
     let mut server = Server::new("b", parse_config(CONFIG).unwrap(), clock.clone(), store)
         .unwrap()
         .with_network(net.clone())
-        .with_reliable_delivery(policy, seed);
+        .with_reliable_delivery(policy, seed)
+        .with_workers(workers);
     let mut alpha = SubscriberClient::new("alpha", "b");
     let mut beta = SubscriberClient::new("beta", "b");
 
@@ -66,13 +70,21 @@ pub fn demo_server(seed: u64) -> Server {
         clock.advance(TimeSpan::from_secs(1));
         let now = clock.now();
         if round < 6 {
-            server
-                .deposit(&format!("f_{round}.csv"), b"payload-bytes")
-                .unwrap();
-        }
-        if round == 3 {
-            // a name no feed matches: parked for the analyzer
-            server.deposit("mystery_3.dat", b"???").unwrap();
+            // a burst of four poller files per round, ingested through
+            // the batch entry point so the worker pool actually fans out
+            let mut batch: Vec<(String, Vec<u8>)> = (0..4)
+                .map(|k| {
+                    (
+                        format!("f_{}.csv", round * 10 + k),
+                        b"payload-bytes".to_vec(),
+                    )
+                })
+                .collect();
+            if round == 3 {
+                // a name no feed matches: parked for the analyzer
+                batch.push(("mystery_3.dat".to_string(), b"???".to_vec()));
+            }
+            server.deposit_batch(batch).unwrap();
         }
         alpha.poll_notifications(&net, now);
         beta.poll_notifications(&net, now);
@@ -84,13 +96,13 @@ pub fn demo_server(seed: u64) -> Server {
 }
 
 /// The `bistro status --json` document for `seed`.
-pub fn status_json(seed: u64) -> Json {
-    demo_server(seed).status_json()
+pub fn status_json(seed: u64, workers: usize) -> Json {
+    demo_server(seed, workers).status_json()
 }
 
 /// The human-readable `bistro status` report for `seed`.
-pub fn status_text(seed: u64) -> String {
-    demo_server(seed).status_text()
+pub fn status_text(seed: u64, workers: usize) -> String {
+    demo_server(seed, workers).status_text()
 }
 
 #[cfg(test)]
@@ -100,7 +112,7 @@ mod tests {
 
     #[test]
     fn demo_fires_retry_exhaustion_alarm_into_event_log() {
-        let server = demo_server(7);
+        let server = demo_server(7, 1);
         let alarms = server.event_log().alarms();
         assert!(
             alarms
@@ -121,9 +133,37 @@ mod tests {
 
     #[test]
     fn same_seed_renders_byte_identical_json() {
-        let a = status_json(42).render();
-        let b = status_json(42).render();
+        let a = status_json(42, 1).render();
+        let b = status_json(42, 1).render();
         assert_eq!(a, b);
         assert!(a.contains("\"delivery.receipts\""), "{a}");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_snapshot() {
+        let reference = status_json(42, 1).render();
+        for workers in [2, 4, 8] {
+            assert_eq!(
+                status_json(42, workers).render(),
+                reference,
+                "workers={workers}"
+            );
+        }
+        // the fan-out itself is visible in the separate pool registry
+        let server = demo_server(42, 4);
+        assert!(
+            server
+                .pool_telemetry()
+                .counter_value("pool.batches")
+                .unwrap()
+                >= 6
+        );
+        assert!(
+            server
+                .pool_telemetry()
+                .counter_value("pool.worker3.files")
+                .unwrap()
+                >= 1
+        );
     }
 }

@@ -1,0 +1,120 @@
+//! Property test for the parallel ingest determinism contract: for
+//! random seeded file batches, `deposit_batch` with N workers produces
+//! the same classifications, receipt sequence numbers, telemetry totals
+//! and `status_json` bytes as with a single worker, for N ∈ {2, 4, 8}.
+
+use bistro::base::prop::{self, Runner};
+use bistro::base::{prop_assert_eq, SimClock, TimePoint, TimeSpan};
+use bistro::config::parse_config;
+use bistro::server::Server;
+use bistro::vfs::MemFs;
+
+const START: TimePoint = TimePoint::from_secs(1_285_372_800);
+
+const CONFIG: &str = r#"
+    feed SNMP/MEM { pattern "MEM_poller%i_%Y%m%d%H%M.csv"; }
+    feed SNMP/CPU { pattern "CPU_poller%i_%Y%m%d%H%M.csv"; compress rle; }
+    feed WILD     { pattern "*_%Y%m%d%H%M.csv"; }
+
+    subscriber warehouse {
+        endpoint "wh";
+        subscribe SNMP;
+        delivery push;
+        batch count 3 window 10m;
+        trigger remote "refresh %N n=%c";
+    }
+"#;
+
+/// Run `rounds` of batch deposits with the given worker count and
+/// return everything the determinism contract covers: the receipt
+/// records (names, ids, feed classifications), the trigger log length,
+/// and the full status_json rendering (telemetry totals included).
+fn run(rounds: &[Vec<(String, Vec<u8>)>], workers: usize) -> (String, usize, String) {
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let mut server = Server::new("b", parse_config(CONFIG).unwrap(), clock.clone(), store)
+        .unwrap()
+        .with_workers(workers);
+    for batch in rounds {
+        server.deposit_batch(batch.clone()).unwrap();
+        clock.advance(TimeSpan::from_secs(30));
+        server.tick();
+    }
+    let receipts: Vec<String> = server
+        .receipts()
+        .all_live()
+        .iter()
+        .map(|r| format!("{}#{}→{:?}", r.name, r.id.raw(), r.feeds))
+        .collect();
+    (
+        receipts.join(";"),
+        server.trigger_log().len(),
+        server.status_json().render(),
+    )
+}
+
+#[test]
+fn deposit_batch_is_deterministic_across_worker_counts() {
+    Runner::new("deposit_batch_is_deterministic_across_worker_counts")
+        .cases(16)
+        .run(
+            |rng| {
+                let rounds = rng.gen_range(1u64..4) as usize;
+                (0..rounds)
+                    .map(|_| {
+                        let n = rng.gen_range(0u64..16) as usize;
+                        (0..n)
+                            .map(|_| {
+                                let name = match rng.gen_range(0u32..4) {
+                                    0 => format!(
+                                        "MEM_poller{}_2010092504{:02}.csv",
+                                        rng.gen_range(0u64..5),
+                                        rng.gen_range(0u64..60)
+                                    ),
+                                    1 => format!(
+                                        "CPU_poller{}_2010092504{:02}.csv",
+                                        rng.gen_range(0u64..5),
+                                        rng.gen_range(0u64..60)
+                                    ),
+                                    2 => format!(
+                                        "{}_2010092504{:02}.csv",
+                                        prop::string(rng, "a-z", 1..=6),
+                                        rng.gen_range(0u64..60)
+                                    ),
+                                    // unknown names park in unknown/
+                                    _ => format!("{}.dat", prop::string(rng, "a-z0-9", 1..=8)),
+                                };
+                                let payload = prop::string(rng, "a-z0-9,", 0..=64).into_bytes();
+                                (name, payload)
+                            })
+                            .collect::<Vec<(String, Vec<u8>)>>()
+                    })
+                    .collect::<Vec<_>>()
+            },
+            |rounds| {
+                let reference = run(rounds, 1);
+                for workers in [2, 4, 8] {
+                    let got = run(rounds, workers);
+                    prop_assert_eq!(
+                        &got.0,
+                        &reference.0,
+                        "receipts diverge at {} workers",
+                        workers
+                    );
+                    prop_assert_eq!(
+                        got.1,
+                        reference.1,
+                        "triggers diverge at {} workers",
+                        workers
+                    );
+                    prop_assert_eq!(
+                        &got.2,
+                        &reference.2,
+                        "status diverges at {} workers",
+                        workers
+                    );
+                }
+                Ok(())
+            },
+        );
+}
