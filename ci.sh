@@ -16,6 +16,13 @@ cargo test -q --offline --workspace
 # property harness prints `BISTRO_PROP_SEED=...`).
 cargo test --offline --test fault_injection -- --nocapture
 
+# Storage crash-point sweep: replay the full pipeline crashing at every
+# mutating storage op, reopen on the surviving bytes, and check the
+# recovery invariants (store opens, no acked delivery forgotten, no
+# dangling receipt, no FileId reuse, exactly-once after backfill).
+# Uncaptured so a failure echoes its `seed=... crash_op=...` replay key.
+cargo test --offline --test crash_points -- --nocapture
+
 # Telemetry subsystem: its own suite plus a `bistro status --json` smoke
 # check — two same-seed runs must render byte-identical, well-formed JSON
 # carrying a known metric key.

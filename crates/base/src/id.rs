@@ -92,6 +92,13 @@ impl IdGen {
         T::from(self.next_raw())
     }
 
+    /// The next id that *would* be issued, without issuing it. Persisted
+    /// as the id high-water mark so recovery can resume past allocations
+    /// that were burned by failed appends.
+    pub fn peek(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
     /// Ensure future ids are strictly greater than `seen`.
     pub fn bump_past(&self, seen: u64) {
         let mut cur = self.next.load(Ordering::Relaxed);
@@ -148,6 +155,17 @@ mod tests {
         g.bump_past(5);
         let b: FeedId = g.next();
         assert_eq!(b.raw(), 102);
+    }
+
+    #[test]
+    fn idgen_peek_does_not_allocate() {
+        let g = IdGen::new();
+        assert_eq!(g.peek(), 1);
+        let a: FileId = g.next();
+        assert_eq!(a.raw(), 1);
+        assert_eq!(g.peek(), 2);
+        g.bump_past(10);
+        assert_eq!(g.peek(), 11);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use bistro_core::Classifier;
 use bistro_pattern::{generalize, pattern_similarity, Pattern};
 use bistro_receipts::ReceiptStore;
 use bistro_transport::Batcher;
-use bistro_vfs::{FileStore, MemFs};
+use bistro_vfs::{FaultStore, FileStore, MemFs};
 
 fn bench_pattern_match(c: &mut Criterion) {
     let pat = Pattern::parse("MEMORY_POLLER%i_%Y%m%d%H_%M.csv.gz").unwrap();
@@ -189,6 +189,21 @@ fn bench_telemetry(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fault_store(c: &mut Criterion) {
+    // pass-through cost of the crash-point injection wrapper: the sweep
+    // in tests/crash_points.rs runs hundreds of pipeline incarnations
+    // through it, so op accounting must stay cheap next to the real I/O
+    let clock = SimClock::new();
+    let raw = MemFs::shared(clock.clone());
+    let wrapped = FaultStore::counting(MemFs::shared(clock.clone()));
+    let data = vec![0xA5u8; 1024];
+    let mut g = c.benchmark_group("fault_store");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("memfs_write_1k", |b| b.iter(|| raw.write("f", &data)));
+    g.bench_function("wrapped_write_1k", |b| b.iter(|| wrapped.write("f", &data)));
+    g.finish();
+}
+
 fn main() {
     let mut c = Criterion::new();
     bench_pattern_match(&mut c);
@@ -199,6 +214,7 @@ fn main() {
     bench_batching(&mut c);
     bench_scheduler(&mut c);
     bench_telemetry(&mut c);
+    bench_fault_store(&mut c);
     c.print_summary();
     c.write_json("BENCH_micro.json")
         .expect("write BENCH_micro.json");

@@ -142,6 +142,7 @@ struct ServerMetrics {
     delivery_receipts: Arc<Counter>,
     delivery_bytes: Arc<Counter>,
     acks_processed: Arc<Counter>,
+    archiver_skipped: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -156,6 +157,7 @@ impl ServerMetrics {
             delivery_receipts: reg.counter("delivery.receipts"),
             delivery_bytes: reg.counter("delivery.bytes"),
             acks_processed: reg.counter("reliable.acks_processed"),
+            archiver_skipped: reg.counter("archiver.skipped"),
         }
     }
 }
@@ -1148,23 +1150,52 @@ impl Server {
         }
     }
 
-    /// Expire files beyond the retention window: archive (if configured),
-    /// delete the staged payload, and record the expiration (§4.2).
+    /// Expire files beyond the retention window (§4.2), in crash-safe
+    /// order per victim: archive the payload (if configured), log the
+    /// expiration receipt, and only then delete the staged payload. A
+    /// crash between the receipt and the delete leaves a harmless orphan
+    /// payload — never a live receipt pointing at a deleted file. A
+    /// transient archive failure skips the victim entirely (payload and
+    /// receipt intact) so the next sweep retries it.
     pub fn expire(&mut self) -> Result<usize, ServerError> {
         let now = self.clock.now();
         let cutoff = now.saturating_sub(self.config.server.retention);
         let victims = self.receipts.expire_candidates(cutoff);
-        let n = victims.len();
+        let mut n = 0usize;
         for rec in victims {
             let staged = format!("{}/{}", self.config.server.staging, rec.staged_path);
             if let Some(arch) = &self.archiver {
-                if let Ok(payload) = self.store.read(&staged) {
-                    arch.archive_file(&rec, &payload, now)
-                        .map_err(ServerError::Vfs)?;
+                match self.store.read(&staged) {
+                    Ok(payload) => {
+                        arch.archive_file(&rec, &payload, now)
+                            .map_err(ServerError::Vfs)?;
+                    }
+                    Err(VfsError::NotFound(_)) => {
+                        // already removed by a previous, interrupted sweep
+                        // (the expiration receipt is what got lost, not
+                        // the payload) — nothing left to archive
+                    }
+                    Err(e) => {
+                        self.metrics.archiver_skipped.inc();
+                        self.log.log(
+                            now,
+                            LogLevel::Warn,
+                            "expirer",
+                            format!(
+                                "archiving {} failed ({e}); keeping payload for retry",
+                                rec.staged_path
+                            ),
+                        );
+                        continue;
+                    }
                 }
             }
-            let _ = self.store.remove(&staged);
             self.receipts.record_expiration(rec.id, now)?;
+            match self.store.remove(&staged) {
+                Ok(()) | Err(VfsError::NotFound(_)) => {}
+                Err(e) => return Err(ServerError::Vfs(e)),
+            }
+            n += 1;
         }
         if n > 0 {
             self.log.log(
@@ -1186,8 +1217,11 @@ impl Server {
     /// subscribers and approved feed redefinitions — into the store, so
     /// [`Server::open_existing`] restarts with exactly what was running.
     pub fn persist_config(&self) -> Result<(), ServerError> {
+        // write-then-rename: a crash mid-write must never tear the config
+        // the next incarnation boots from
         self.store
-            .write("bistro.conf", self.config.to_source().as_bytes())?;
+            .write("bistro.conf.tmp", self.config.to_source().as_bytes())?;
+        self.store.replace("bistro.conf.tmp", "bistro.conf")?;
         Ok(())
     }
 

@@ -97,13 +97,17 @@ impl Archiver {
     }
 
     /// All archived file records (from the redo log), for historical
-    /// backfill of long-term-analysis subscribers.
+    /// backfill of long-term-analysis subscribers. Deduplicated by file
+    /// id: a crash between the payload write and the expiration sweep's
+    /// receipt can make the server re-archive a file on the next pass,
+    /// appending a second redo-log entry for the same file.
     pub fn archived_files(&self) -> Result<Vec<FileRecord>, VfsError> {
+        let mut seen = std::collections::BTreeSet::new();
         Ok(self
             .replay()?
             .into_iter()
             .filter_map(|r| match r {
-                Record::Arrival(f) => Some(f),
+                Record::Arrival(f) if seen.insert(f.id.raw()) => Some(f),
                 _ => None,
             })
             .collect())
@@ -162,6 +166,19 @@ mod tests {
         let files = arch.archived_files().unwrap();
         assert_eq!(files.len(), 5);
         assert_eq!(files[0].name, "f0.csv");
+    }
+
+    #[test]
+    fn re_archived_files_dedupe() {
+        // crash-retry: the same file archived twice appears once
+        let store = MemFs::shared(SimClock::new());
+        let arch = Archiver::new(store.clone() as Arc<dyn FileStore>, "archive").unwrap();
+        let rec = record(1, "a.csv");
+        arch.archive_file(&rec, b"x", TimePoint::from_secs(1000))
+            .unwrap();
+        arch.archive_file(&rec, b"x", TimePoint::from_secs(1001))
+            .unwrap();
+        assert_eq!(arch.archived_files().unwrap().len(), 1);
     }
 
     #[test]

@@ -27,5 +27,5 @@ pub mod wal;
 
 pub use archive::Archiver;
 pub use records::{FileRecord, Record};
-pub use store::{ReceiptError, ReceiptStore};
+pub use store::{ReceiptError, ReceiptStore, RecoveryInfo};
 pub use wal::{Wal, WalError};

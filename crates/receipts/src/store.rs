@@ -66,12 +66,16 @@ struct Tables {
     expired_count: u64,
     /// Count of delivery receipts (including to-expired files).
     delivery_count: u64,
+    /// Highest file id seen in any applied `Arrival` (snapshot or WAL);
+    /// a durable lower bound for id recovery.
+    max_arrival_id: u64,
 }
 
 impl Tables {
     fn apply(&mut self, rec: Record) {
         match rec {
             Record::Arrival(f) => {
+                self.max_arrival_id = self.max_arrival_id.max(f.id.raw());
                 for feed in &f.feeds {
                     self.by_feed
                         .entry(feed.clone())
@@ -119,12 +123,27 @@ impl Tables {
     }
 }
 
+/// What [`ReceiptStore::open`] found while recovering. Published as
+/// `recovery.*` telemetry counters by [`ReceiptStore::set_telemetry`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryInfo {
+    /// A snapshot was present and loaded.
+    pub snapshot_loaded: bool,
+    /// Records applied from the snapshot body.
+    pub snapshot_records: u64,
+    /// Records replayed from the WAL.
+    pub wal_records: u64,
+    /// A leftover `snapshot.tmp` from a torn snapshot write was discarded.
+    pub tmp_discarded: bool,
+}
+
 /// The transactional receipt database (paper §4.2).
 pub struct ReceiptStore {
     store: Arc<dyn FileStore>,
     dir: String,
     inner: Mutex<Inner>,
     ids: IdGen,
+    recovery: RecoveryInfo,
 }
 
 struct Inner {
@@ -133,7 +152,11 @@ struct Inner {
 }
 
 const SNAPSHOT_MAGIC: &[u8; 4] = b"BSNP";
-const SNAPSHOT_VERSION: u8 = 1;
+/// v2 widens `expired_count` to u64 and adds the id high-water mark.
+/// v1 (`[magic 4][ver 1][crc 4][expired u32][body]`) is still readable.
+const SNAPSHOT_VERSION: u8 = 2;
+const V1_HEADER: usize = 13;
+const V2_HEADER: usize = 25;
 
 impl ReceiptStore {
     /// Open (or create) a receipt store rooted at `dir` within `store`.
@@ -141,46 +164,96 @@ impl ReceiptStore {
     pub fn open(store: Arc<dyn FileStore>, dir: &str) -> Result<ReceiptStore, ReceiptError> {
         store.create_dir_all(dir)?;
         let mut tables = Tables::default();
+        let mut recovery = RecoveryInfo::default();
+
+        // A crash mid-snapshot can only tear the temp file: the write of
+        // `snapshot.bin` itself is an atomic replace. Discard the debris.
+        let tmp_path = format!("{dir}/snapshot.tmp");
+        if store.exists(&tmp_path) {
+            store.remove(&tmp_path)?;
+            recovery.tmp_discarded = true;
+        }
 
         let snap_path = format!("{dir}/snapshot.bin");
+        let mut snapshot_high_water = None;
         if store.exists(&snap_path) {
             let data = store.read(&snap_path)?;
-            Self::load_snapshot(&data, &mut tables)?;
+            let (hw, n) = Self::load_snapshot(&data, &mut tables)?;
+            snapshot_high_water = hw;
+            recovery.snapshot_loaded = true;
+            recovery.snapshot_records = n;
         }
 
         let wal_dir = format!("{dir}/wal");
+        let mut wal_records = 0u64;
         let wal = Wal::open(store.clone(), &wal_dir, |_, payload| {
             if let Ok(rec) = Record::decode(payload) {
+                wal_records += 1;
                 tables.apply(rec);
             }
         })?;
+        recovery.wal_records = wal_records;
 
-        let max_id = tables.files.keys().next_back().copied().unwrap_or(0);
-        let max_expired_hint = tables.expired_count; // ids of expired files may exceed live max
+        // Never reissue an id: resume past the persisted high-water mark
+        // (which covers allocations burned by failed appends) and past
+        // every arrival actually on record. v1 snapshots carried no
+        // high-water, so fall back to the legacy live-max + expired-count
+        // heuristic for them.
+        let hint = match snapshot_high_water {
+            Some(hw) => hw,
+            None => {
+                let max_live = tables.files.keys().next_back().copied().unwrap_or(0);
+                max_live + tables.expired_count
+            }
+        };
         let ids = IdGen::starting_at(1);
-        ids.bump_past(max_id + max_expired_hint);
+        ids.bump_past(hint.max(tables.max_arrival_id));
 
         Ok(ReceiptStore {
             store,
             dir: dir.to_string(),
             inner: Mutex::new(Inner { wal, tables }),
             ids,
+            recovery,
         })
     }
 
-    fn load_snapshot(data: &[u8], tables: &mut Tables) -> Result<(), ReceiptError> {
-        if data.len() < 13 || &data[0..4] != SNAPSHOT_MAGIC || data[4] != SNAPSHOT_VERSION {
+    /// Apply a snapshot to `tables`; returns the persisted id high-water
+    /// mark (v2 only) and the number of records applied.
+    fn load_snapshot(data: &[u8], tables: &mut Tables) -> Result<(Option<u64>, u64), ReceiptError> {
+        if data.len() < 5 || &data[0..4] != SNAPSHOT_MAGIC {
             return Err(ReceiptError::CorruptSnapshot("bad header".to_string()));
         }
-        let body = &data[13..];
-        let crc_expected = u32::from_le_bytes(data[5..9].try_into().unwrap());
-        let expired_count = u32::from_le_bytes(data[9..13].try_into().unwrap());
+        let (body, crc_expected, high_water) = match data[4] {
+            1 => {
+                if data.len() < V1_HEADER {
+                    return Err(ReceiptError::CorruptSnapshot("short v1 header".to_string()));
+                }
+                let crc = u32::from_le_bytes(data[5..9].try_into().unwrap());
+                let expired = u32::from_le_bytes(data[9..13].try_into().unwrap());
+                tables.expired_count = expired as u64;
+                (&data[V1_HEADER..], crc, None)
+            }
+            2 => {
+                if data.len() < V2_HEADER {
+                    return Err(ReceiptError::CorruptSnapshot("short v2 header".to_string()));
+                }
+                let crc = u32::from_le_bytes(data[5..9].try_into().unwrap());
+                tables.expired_count = u64::from_le_bytes(data[9..17].try_into().unwrap());
+                let hw = u64::from_le_bytes(data[17..25].try_into().unwrap());
+                (&data[V2_HEADER..], crc, Some(hw))
+            }
+            v => {
+                return Err(ReceiptError::CorruptSnapshot(format!(
+                    "unsupported version {v}"
+                )));
+            }
+        };
         if crc32(body) != crc_expected {
             return Err(ReceiptError::CorruptSnapshot(
                 "checksum mismatch".to_string(),
             ));
         }
-        tables.expired_count = expired_count as u64;
         let mut r = ByteReader::new(body);
         let n = r
             .get_varint()
@@ -193,12 +266,27 @@ impl ReceiptStore {
                 .map_err(|e| ReceiptError::CorruptSnapshot(e.to_string()))?;
             tables.apply(rec);
         }
-        Ok(())
+        Ok((high_water, n))
+    }
+
+    /// What the last `open` recovered (snapshot/WAL record counts, torn
+    /// temp cleanup).
+    pub fn recovery_info(&self) -> RecoveryInfo {
+        self.recovery
     }
 
     /// Attach `wal.*` telemetry (append/rotation counters, durable-write
-    /// latency histogram timed on `clock`) to the underlying WAL.
+    /// latency histogram timed on `clock`) to the underlying WAL, and
+    /// publish what recovery found as `recovery.*` counters.
     pub fn set_telemetry(&self, reg: &bistro_telemetry::Registry, clock: bistro_base::SharedClock) {
+        reg.counter("recovery.snapshot_records")
+            .add(self.recovery.snapshot_records);
+        reg.counter("recovery.wal_records")
+            .add(self.recovery.wal_records);
+        let torn = reg.counter("recovery.snapshot_tmp_discarded");
+        if self.recovery.tmp_discarded {
+            torn.inc();
+        }
         self.inner.lock().wal.set_telemetry(reg, clock);
     }
 
@@ -381,14 +469,24 @@ impl ReceiptStore {
         }
         let body = body.into_bytes();
 
-        let mut out = Vec::with_capacity(13 + body.len());
+        let mut out = Vec::with_capacity(V2_HEADER + body.len());
         out.extend_from_slice(SNAPSHOT_MAGIC);
         out.push(SNAPSHOT_VERSION);
         out.extend_from_slice(&crc32(&body).to_le_bytes());
-        out.extend_from_slice(&(inner.tables.expired_count as u32).to_le_bytes());
+        out.extend_from_slice(&inner.tables.expired_count.to_le_bytes());
+        // the id high-water mark: even ids whose arrival append failed
+        // must never be reissued after recovery
+        out.extend_from_slice(&self.ids.peek().saturating_sub(1).to_le_bytes());
         out.extend_from_slice(&body);
-        self.store
-            .write(&format!("{}/snapshot.bin", self.dir), &out)?;
+
+        // Write-then-rename: a crash can tear only `snapshot.tmp`, never
+        // `snapshot.bin`, so recovery always sees a whole snapshot (old or
+        // new). WAL segments are pruned only after the replace lands —
+        // until then they still cover the pre-snapshot history.
+        let tmp = format!("{}/snapshot.tmp", self.dir);
+        let dst = format!("{}/snapshot.bin", self.dir);
+        self.store.write(&tmp, &out)?;
+        self.store.replace(&tmp, &dst)?;
 
         let covered = inner.wal.next_seq().saturating_sub(1);
         inner.wal.rotate()?;
@@ -528,6 +626,141 @@ mod tests {
         for f in &pending {
             assert!(!db.is_delivered(f.id, "sub1"));
         }
+    }
+
+    #[test]
+    fn torn_snapshot_tmp_is_discarded_on_open() {
+        let store = MemFs::shared(SimClock::new());
+        {
+            let db = open(&store);
+            for i in 0..5 {
+                arrive(&db, &format!("f{i}.csv"), &["F"], 100 + i);
+            }
+            db.snapshot().unwrap();
+            arrive(&db, "post.csv", &["F"], 500);
+        }
+        // simulate a crash mid-snapshot: a torn temp file is left behind,
+        // while snapshot.bin (the previous one) is whole
+        store
+            .write("receipts/snapshot.tmp", b"BSNP\x02torn-partial-garbage")
+            .unwrap();
+        let db = open(&store);
+        assert_eq!(db.live_count(), 6);
+        assert!(db.recovery_info().tmp_discarded);
+        assert!(!store.exists("receipts/snapshot.tmp"));
+    }
+
+    #[test]
+    fn snapshot_is_written_via_atomic_replace() {
+        let store = MemFs::shared(SimClock::new());
+        let db = open(&store);
+        arrive(&db, "a.csv", &["F"], 100);
+        db.snapshot().unwrap();
+        arrive(&db, "b.csv", &["F"], 200);
+        db.snapshot().unwrap();
+        assert!(!store.exists("receipts/snapshot.tmp"));
+        let snap = store.read("receipts/snapshot.bin").unwrap();
+        assert_eq!(&snap[0..4], b"BSNP");
+        assert_eq!(snap[4], 2);
+    }
+
+    #[test]
+    fn v1_snapshots_still_readable() {
+        let store = MemFs::shared(SimClock::new());
+        // hand-craft a v1 snapshot: one live arrival (id 1), 7 expired
+        let rec = Record::Arrival(FileRecord {
+            id: FileId(1),
+            name: "old.csv".to_string(),
+            staged_path: "staging/old.csv".to_string(),
+            size: 42,
+            arrival: TimePoint::from_secs(100),
+            feed_time: None,
+            feeds: vec!["F".to_string()],
+        });
+        let mut body = ByteWriter::new();
+        body.put_varint(1);
+        body.put_bytes(&rec.encode());
+        let body = body.into_bytes();
+        let mut out = Vec::new();
+        out.extend_from_slice(b"BSNP");
+        out.push(1u8);
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&7u32.to_le_bytes());
+        out.extend_from_slice(&body);
+        store.create_dir_all("receipts").unwrap();
+        store.write("receipts/snapshot.bin", &out).unwrap();
+
+        let db = open(&store);
+        assert_eq!(db.live_count(), 1);
+        assert_eq!(db.expired_count(), 7);
+        // v1 has no high-water: the legacy heuristic (live max + expired)
+        // must still apply, so the next id clears the expired range
+        let next = arrive(&db, "new.csv", &["F"], 200);
+        assert_eq!(next.raw(), 9);
+    }
+
+    #[test]
+    fn burned_ids_are_never_reissued_after_restarts() {
+        // An arrival append can fail after its id was allocated — the id
+        // is "burned": never durable, but also never safe to hand out
+        // again once *later* ids are on record. The old heuristic
+        // (live max + expired count) under-estimated after expirations
+        // emptied the live set, re-issuing a durably-used id.
+        let store = MemFs::shared(SimClock::new());
+        let mut seen = std::collections::BTreeSet::new();
+        {
+            let db = open(&store);
+            let a = arrive(&db, "a.csv", &["F"], 100);
+            let b = arrive(&db, "b.csv", &["F"], 110);
+            db.record_expiration(a, TimePoint::from_secs(1_000))
+                .unwrap();
+            db.record_expiration(b, TimePoint::from_secs(1_000))
+                .unwrap();
+            let c = arrive(&db, "c.csv", &["F"], 10_000);
+            let d = arrive(&db, "d.csv", &["F"], 10_001);
+            seen.extend([a.raw(), b.raw(), c.raw()]);
+            let _ = d; // torn below: never becomes durable
+        }
+        // tear the tail of the WAL so d's arrival never happened
+        let mut seg = store.read("receipts/wal/0000000001.seg").unwrap();
+        let n = seg.len();
+        seg.truncate(n - 3);
+        store.write("receipts/wal/0000000001.seg", &seg).unwrap();
+
+        {
+            let db = open(&store);
+            assert_eq!(db.live_count(), 1); // only c survived
+            let e = arrive(&db, "e.csv", &["F"], 10_002);
+            assert!(!seen.contains(&e.raw()), "id {e} reissued");
+            seen.insert(e.raw());
+            for f in db.all_live() {
+                db.record_expiration(f.id, TimePoint::from_secs(20_000))
+                    .unwrap();
+            }
+        }
+        {
+            let db = open(&store);
+            assert_eq!(db.live_count(), 0);
+            for name in ["f.csv", "g.csv"] {
+                let id = arrive(&db, name, &["F"], 30_000);
+                assert!(!seen.contains(&id.raw()), "id {id} reissued for {name}");
+                seen.insert(id.raw());
+            }
+        }
+    }
+
+    #[test]
+    fn high_water_survives_snapshot_roundtrip() {
+        let store = MemFs::shared(SimClock::new());
+        {
+            let db = open(&store);
+            let a = arrive(&db, "a.csv", &["F"], 100);
+            db.record_expiration(a, TimePoint::from_secs(500)).unwrap();
+            db.snapshot().unwrap(); // live set empty; high-water = 1
+        }
+        let db = open(&store);
+        let b = arrive(&db, "b.csv", &["F"], 600);
+        assert!(b.raw() > 1, "expired id 1 reissued");
     }
 
     #[test]

@@ -162,6 +162,29 @@ impl FileStore for DiskFs {
         Ok(())
     }
 
+    fn replace(&self, from: &str, to: &str) -> Result<(), VfsError> {
+        let host_from = self.host_path(from)?;
+        let host_to = self.host_path(to)?;
+        if !host_from.exists() {
+            return Err(VfsError::NotFound(from.to_string()));
+        }
+        if host_from.is_dir() {
+            return Err(VfsError::IsADirectory(from.to_string()));
+        }
+        if host_to.is_dir() {
+            return Err(VfsError::IsADirectory(to.to_string()));
+        }
+        if let Some(par) = parent(normalize(to)?) {
+            if !par.is_empty() {
+                fs::create_dir_all(self.root.join(par)).map_err(|e| io_err(e, par))?;
+            }
+        }
+        // POSIX rename(2) atomically replaces an existing destination
+        fs::rename(&host_from, &host_to).map_err(|e| io_err(e, from))?;
+        self.stats.record_rename();
+        Ok(())
+    }
+
     fn create_dir_all(&self, path: &str) -> Result<(), VfsError> {
         let host = self.host_path(path)?;
         if host.is_file() {
@@ -268,6 +291,19 @@ mod tests {
             fs.rename("a", "b"),
             Err(VfsError::AlreadyExists(_))
         ));
+    }
+
+    #[test]
+    fn disk_replace_overwrites() {
+        let fs = tmp_store("replace");
+        fs.write("snapshot.tmp", b"new").unwrap();
+        fs.write("snapshot.bin", b"old").unwrap();
+        fs.replace("snapshot.tmp", "snapshot.bin").unwrap();
+        assert!(!fs.exists("snapshot.tmp"));
+        assert_eq!(fs.read("snapshot.bin").unwrap(), b"new");
+        // also works when the destination is absent
+        fs.replace("snapshot.bin", "sub/snapshot.bin").unwrap();
+        assert_eq!(fs.read("sub/snapshot.bin").unwrap(), b"new");
     }
 
     #[test]

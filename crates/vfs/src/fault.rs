@@ -1,0 +1,391 @@
+//! Seeded storage crash-point injection.
+//!
+//! [`FaultStore`] wraps any [`FileStore`] and simulates power loss at a
+//! chosen *mutating-operation index*: the Nth write/append/remove/rename/
+//! replace/create_dir is torn (a seeded prefix of the bytes lands, or the
+//! whole metadata operation lands-or-doesn't by a seeded coin flip) and
+//! every operation after it fails — the store is *poisoned*, exactly as
+//! if the process had lost power mid-syscall. The surviving bytes stay in
+//! the inner store, so a recovery path can be exercised by reopening the
+//! inner store directly.
+//!
+//! Everything is derived from `(seed, crash_op)`, so any sweep failure is
+//! bit-for-bit replayable from those two numbers alone. A separate
+//! one-shot *transient read fault* mode fails the Nth `read` once without
+//! poisoning, to exercise paths that must tolerate (not swallow) I/O
+//! errors on reads.
+//!
+//! The fault model is deliberately weaker than what [`crate::DiskFs`]
+//! provides: `write` is NOT assumed atomic (a torn prefix may land), only
+//! `rename`/`replace` are all-or-nothing. Durable artifacts must therefore
+//! survive torn writes via framing (WAL) or write-then-rename (snapshot,
+//! config) — see DESIGN.md §"Storage failure model".
+
+use crate::stats::MetaStats;
+use crate::{DirEntry, FileMeta, FileStore, VfsError};
+use bistro_base::sync::Mutex;
+use bistro_base::Rng;
+use std::sync::Arc;
+
+/// Sentinel op index that never fires.
+const NEVER: u64 = u64::MAX;
+
+#[derive(Default)]
+struct State {
+    mut_ops: u64,
+    read_ops: u64,
+    poisoned: bool,
+    crashed: bool,
+    read_faulted: bool,
+}
+
+/// A [`FileStore`] wrapper that simulates a power loss at a seeded
+/// storage-operation index (see module docs).
+pub struct FaultStore {
+    inner: Arc<dyn FileStore>,
+    seed: u64,
+    crash_op: u64,
+    read_fault_op: u64,
+    state: Mutex<State>,
+}
+
+impl FaultStore {
+    /// Wrap `inner` in counting-only mode: no fault ever fires. Used to
+    /// size a sweep — run the scenario once, then read
+    /// [`mutation_ops`](Self::mutation_ops) / [`read_ops`](Self::read_ops).
+    pub fn counting(inner: Arc<dyn FileStore>) -> FaultStore {
+        FaultStore {
+            inner,
+            seed: 0,
+            crash_op: NEVER,
+            read_fault_op: NEVER,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// Wrap `inner` so the mutating operation with index `crash_op`
+    /// (0-based) is torn and the store is poisoned afterwards. The tear
+    /// point / applied-or-not coin is derived from `(seed, crash_op)`.
+    pub fn armed(inner: Arc<dyn FileStore>, seed: u64, crash_op: u64) -> FaultStore {
+        FaultStore {
+            inner,
+            seed,
+            crash_op,
+            read_fault_op: NEVER,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// Wrap `inner` so the `read` call with index `read_op` (0-based)
+    /// fails once with a transient I/O error. No poisoning: every other
+    /// operation succeeds normally.
+    pub fn with_read_fault(inner: Arc<dyn FileStore>, read_op: u64) -> FaultStore {
+        FaultStore {
+            inner,
+            seed: 0,
+            crash_op: NEVER,
+            read_fault_op: read_op,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// Mutating operations observed so far (including the crashed one).
+    pub fn mutation_ops(&self) -> u64 {
+        self.state.lock().mut_ops
+    }
+
+    /// `read` calls observed so far (including a faulted one).
+    pub fn read_ops(&self) -> u64 {
+        self.state.lock().read_ops
+    }
+
+    /// True once the armed crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// True once the one-shot read fault has fired.
+    pub fn read_faulted(&self) -> bool {
+        self.state.lock().read_faulted
+    }
+
+    fn poisoned_err(&self) -> VfsError {
+        VfsError::Io(format!(
+            "fault: store poisoned (crashed at op {} of seed {:#x})",
+            self.crash_op, self.seed
+        ))
+    }
+
+    /// Account one mutating op. Returns `Ok(None)` to proceed normally,
+    /// `Ok(Some(rng))` when this op is the crash point (the caller tears
+    /// the op using `rng`, then returns the crash error), or `Err` when
+    /// the store is already poisoned.
+    fn mutating(&self) -> Result<Option<Rng>, VfsError> {
+        let mut st = self.state.lock();
+        if st.poisoned {
+            return Err(self.poisoned_err());
+        }
+        let idx = st.mut_ops;
+        st.mut_ops += 1;
+        if idx == self.crash_op {
+            st.poisoned = true;
+            st.crashed = true;
+            // one independent stream per (seed, crash_op) pair
+            return Ok(Some(Rng::seed_from_u64(
+                self.seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )));
+        }
+        Ok(None)
+    }
+
+    fn crash_err(&self) -> VfsError {
+        VfsError::Io(format!(
+            "fault: simulated power loss at storage op {} (seed {:#x})",
+            self.crash_op, self.seed
+        ))
+    }
+
+    fn check_poisoned(&self) -> Result<(), VfsError> {
+        if self.state.lock().poisoned {
+            Err(self.poisoned_err())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl FileStore for FaultStore {
+    fn write(&self, path: &str, data: &[u8]) -> Result<(), VfsError> {
+        match self.mutating()? {
+            None => self.inner.write(path, data),
+            Some(mut rng) => {
+                // a torn prefix of the new bytes lands in place of the
+                // old file — write() carries no atomicity in this model
+                let keep = rng.gen_range(0..=data.len());
+                let _ = self.inner.write(path, &data[..keep]);
+                Err(self.crash_err())
+            }
+        }
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> Result<(), VfsError> {
+        match self.mutating()? {
+            None => self.inner.append(path, data),
+            Some(mut rng) => {
+                let keep = rng.gen_range(0..=data.len());
+                let _ = self.inner.append(path, &data[..keep]);
+                Err(self.crash_err())
+            }
+        }
+    }
+
+    fn read(&self, path: &str) -> Result<Vec<u8>, VfsError> {
+        {
+            let mut st = self.state.lock();
+            if st.poisoned {
+                return Err(self.poisoned_err());
+            }
+            let idx = st.read_ops;
+            st.read_ops += 1;
+            if idx == self.read_fault_op {
+                st.read_faulted = true;
+                return Err(VfsError::Io(format!(
+                    "fault: transient read error at read op {idx}"
+                )));
+            }
+        }
+        self.inner.read(path)
+    }
+
+    fn metadata(&self, path: &str) -> Result<FileMeta, VfsError> {
+        self.check_poisoned()?;
+        self.inner.metadata(path)
+    }
+
+    fn remove(&self, path: &str) -> Result<(), VfsError> {
+        match self.mutating()? {
+            None => self.inner.remove(path),
+            Some(mut rng) => {
+                // metadata ops are all-or-nothing: a coin decides whether
+                // the op reached the medium before the lights went out
+                if rng.gen_bool(0.5) {
+                    let _ = self.inner.remove(path);
+                }
+                Err(self.crash_err())
+            }
+        }
+    }
+
+    fn remove_dir(&self, path: &str) -> Result<(), VfsError> {
+        match self.mutating()? {
+            None => self.inner.remove_dir(path),
+            Some(mut rng) => {
+                if rng.gen_bool(0.5) {
+                    let _ = self.inner.remove_dir(path);
+                }
+                Err(self.crash_err())
+            }
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), VfsError> {
+        match self.mutating()? {
+            None => self.inner.rename(from, to),
+            Some(mut rng) => {
+                if rng.gen_bool(0.5) {
+                    let _ = self.inner.rename(from, to);
+                }
+                Err(self.crash_err())
+            }
+        }
+    }
+
+    fn replace(&self, from: &str, to: &str) -> Result<(), VfsError> {
+        match self.mutating()? {
+            None => self.inner.replace(from, to),
+            Some(mut rng) => {
+                if rng.gen_bool(0.5) {
+                    let _ = self.inner.replace(from, to);
+                }
+                Err(self.crash_err())
+            }
+        }
+    }
+
+    fn create_dir_all(&self, path: &str) -> Result<(), VfsError> {
+        match self.mutating()? {
+            None => self.inner.create_dir_all(path),
+            Some(mut rng) => {
+                if rng.gen_bool(0.5) {
+                    let _ = self.inner.create_dir_all(path);
+                }
+                Err(self.crash_err())
+            }
+        }
+    }
+
+    fn list_dir(&self, path: &str) -> Result<Vec<DirEntry>, VfsError> {
+        self.check_poisoned()?;
+        self.inner.list_dir(path)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        // a crashed process can no longer observe anything
+        if self.state.lock().poisoned {
+            return false;
+        }
+        self.inner.exists(path)
+    }
+
+    fn stats(&self) -> &MetaStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemFs;
+    use bistro_base::SimClock;
+
+    fn mem() -> Arc<MemFs> {
+        MemFs::shared(SimClock::new())
+    }
+
+    #[test]
+    fn counting_mode_is_transparent() {
+        let inner = mem();
+        let fs = FaultStore::counting(inner.clone());
+        fs.write("a/b.csv", b"hello").unwrap();
+        fs.append("a/b.csv", b" world").unwrap();
+        fs.rename("a/b.csv", "a/c.csv").unwrap();
+        assert_eq!(fs.read("a/c.csv").unwrap(), b"hello world");
+        assert_eq!(fs.mutation_ops(), 3);
+        assert_eq!(fs.read_ops(), 1);
+        assert!(!fs.crashed());
+    }
+
+    #[test]
+    fn crash_tears_write_then_poisons() {
+        let inner = mem();
+        let fs = FaultStore::armed(inner.clone(), 0xBEEF, 1);
+        fs.write("one", b"11111111").unwrap();
+        let err = fs.write("two", b"22222222").unwrap_err();
+        assert!(matches!(err, VfsError::Io(_)));
+        assert!(fs.crashed());
+        // everything afterwards errors; exists() goes dark
+        assert!(fs.write("three", b"x").is_err());
+        assert!(fs.read("one").is_err());
+        assert!(!fs.exists("one"));
+        // the inner store survives with a torn (prefix) second file
+        assert_eq!(inner.read("one").unwrap(), b"11111111");
+        if inner.exists("two") {
+            let torn = inner.read("two").unwrap();
+            assert!(torn.len() <= 8);
+            assert_eq!(&b"22222222"[..torn.len()], &torn[..]);
+        }
+    }
+
+    #[test]
+    fn crash_is_replayable_bit_for_bit() {
+        let render = |seed: u64, crash_op: u64| -> String {
+            let inner = mem();
+            let fs = FaultStore::armed(inner.clone(), seed, crash_op);
+            for i in 0..6 {
+                let _ = fs.write(&format!("f{i}"), format!("payload-{i}-xyzzy").as_bytes());
+            }
+            let _ = fs.rename("f0", "g0");
+            let mut out = String::new();
+            for path in crate::walk_files(inner.as_ref(), "").unwrap() {
+                let data = inner.read(&path).unwrap();
+                out.push_str(&format!(
+                    "{path}={}:{}\n",
+                    data.len(),
+                    bistro_base::crc32(&data)
+                ));
+            }
+            out
+        };
+        for crash_op in 0..7 {
+            let a = render(0x5EED, crash_op);
+            let b = render(0x5EED, crash_op);
+            assert_eq!(a, b, "crash_op {crash_op} not deterministic");
+        }
+        // different seeds may land different tears, but must each replay
+        let a = render(1, 3);
+        let b = render(1, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metadata_op_crash_applies_or_not_by_seed() {
+        // sweep seeds: both outcomes (rename applied / not applied) occur
+        let mut applied = 0;
+        let mut dropped = 0;
+        for seed in 0..32 {
+            let inner = mem();
+            let fs = FaultStore::armed(inner.clone(), seed, 1);
+            fs.write("src", b"x").unwrap();
+            assert!(fs.rename("src", "dst").is_err());
+            match (inner.exists("src"), inner.exists("dst")) {
+                (false, true) => applied += 1,
+                (true, false) => dropped += 1,
+                other => panic!("rename neither applied nor dropped: {other:?}"),
+            }
+        }
+        assert!(applied > 0 && dropped > 0);
+    }
+
+    #[test]
+    fn one_shot_read_fault_is_transient() {
+        let inner = mem();
+        let fs = FaultStore::with_read_fault(inner.clone(), 1);
+        fs.write("f", b"abc").unwrap();
+        assert_eq!(fs.read("f").unwrap(), b"abc"); // read op 0
+        assert!(fs.read("f").is_err()); // read op 1: faulted
+        assert!(fs.read_faulted());
+        assert_eq!(fs.read("f").unwrap(), b"abc"); // recovered
+        assert!(!fs.crashed());
+        fs.write("g", b"still writable").unwrap();
+    }
+}

@@ -19,11 +19,13 @@
 //! which is exactly what experiments E1/E2 measure.
 
 pub mod disk;
+pub mod fault;
 pub mod mem;
 pub mod path;
 pub mod stats;
 
 pub use disk::DiskFs;
+pub use fault::FaultStore;
 pub use mem::MemFs;
 pub use path::{join, normalize, parent, PathError};
 pub use stats::MetaStats;
@@ -129,6 +131,13 @@ pub trait FileStore: Send + Sync {
     /// `to` are created implicitly (this is the landing → staging move,
     /// which must be cheap and atomic per §4.1).
     fn rename(&self, from: &str, to: &str) -> Result<(), VfsError>;
+
+    /// Atomically move a file onto `to`, replacing any existing file
+    /// there (rename-with-overwrite, POSIX `rename(2)` semantics). This
+    /// is the publish step of write-then-rename updates: callers write a
+    /// temp file, then `replace` it over the live name, so readers only
+    /// ever observe the old bytes or the new bytes — never a torn mix.
+    fn replace(&self, from: &str, to: &str) -> Result<(), VfsError>;
 
     /// Create a directory and any missing parents.
     fn create_dir_all(&self, path: &str) -> Result<(), VfsError>;

@@ -262,6 +262,30 @@ impl FileStore for MemFs {
         Ok(())
     }
 
+    fn replace(&self, from: &str, to: &str) -> Result<(), VfsError> {
+        let from = normalize(from)?;
+        let to = normalize(to)?;
+        let now = self.clock.now();
+        let mut tree = self.tree.write();
+        match tree.get(from) {
+            Some(Node::File { .. }) => {}
+            Some(Node::Dir { .. }) => return Err(VfsError::IsADirectory(from.to_string())),
+            None => return Err(VfsError::NotFound(from.to_string())),
+        }
+        if let Some(Node::Dir { .. }) = tree.get(to) {
+            return Err(VfsError::IsADirectory(to.to_string()));
+        }
+        let node = tree.remove(from).unwrap();
+        if let Err(e) = Self::ensure_parents(&mut tree, to, now) {
+            // restore on failure to keep the operation atomic
+            tree.insert(from.to_string(), node);
+            return Err(e);
+        }
+        tree.insert(to.to_string(), node);
+        self.stats.record_rename();
+        Ok(())
+    }
+
     fn create_dir_all(&self, path: &str) -> Result<(), VfsError> {
         let path = normalize(path)?;
         if path.is_empty() {
@@ -421,6 +445,45 @@ mod tests {
             Err(VfsError::AlreadyExists(_))
         ));
         assert_eq!(fs.read("a").unwrap(), b"1");
+    }
+
+    #[test]
+    fn replace_overwrites_destination() {
+        let (_c, fs) = fs();
+        fs.write("snapshot.tmp", b"new").unwrap();
+        fs.write("snapshot.bin", b"old").unwrap();
+        fs.replace("snapshot.tmp", "snapshot.bin").unwrap();
+        assert!(!fs.exists("snapshot.tmp"));
+        assert_eq!(fs.read("snapshot.bin").unwrap(), b"new");
+    }
+
+    #[test]
+    fn replace_without_destination_acts_like_rename() {
+        let (_c, fs) = fs();
+        fs.write("a", b"1").unwrap();
+        fs.replace("a", "d/b").unwrap();
+        assert!(!fs.exists("a"));
+        assert_eq!(fs.read("d/b").unwrap(), b"1");
+    }
+
+    #[test]
+    fn replace_rejects_directories() {
+        let (_c, fs) = fs();
+        fs.write("f", b"x").unwrap();
+        fs.create_dir_all("d").unwrap();
+        assert!(matches!(
+            fs.replace("d", "e"),
+            Err(VfsError::IsADirectory(_))
+        ));
+        assert!(matches!(
+            fs.replace("f", "d"),
+            Err(VfsError::IsADirectory(_))
+        ));
+        assert!(matches!(
+            fs.replace("missing", "f"),
+            Err(VfsError::NotFound(_))
+        ));
+        assert_eq!(fs.read("f").unwrap(), b"x");
     }
 
     #[test]

@@ -1,0 +1,467 @@
+//! Storage crash-point sweep (DESIGN.md "Storage failure model").
+//!
+//! A [`FaultStore`] wraps the server's store and simulates power loss at
+//! one mutating-operation index: the in-flight write is torn at a seeded
+//! byte offset and every later operation fails. The sweep runs the full
+//! pipeline — deposit → classify/normalize → deliver/ack → expire/archive
+//! → snapshot → persist_config — crashing at *every* storage-op index in
+//! turn, then reopens on the surviving bytes and asserts:
+//!
+//! * the store always opens (no crash point can brick recovery),
+//! * no live receipt references a missing staged payload,
+//! * no acked delivery is forgotten, and exactly-once delivery holds
+//!   after `backfill_unacked`,
+//! * no `FileId` is ever reused across incarnations.
+//!
+//! Every panic message embeds `seed=… crash_op=…`; rerunning the sweep
+//! with those two numbers replays the failure bit-for-bit.
+
+use bistro::base::{crc32, Clock, SimClock, TimePoint, TimeSpan};
+use bistro::config::parse_config;
+use bistro::server::{Server, ServerError};
+use bistro::transport::{LinkSpec, RetryPolicy, SimNetwork, SubscriberClient};
+use bistro::vfs::{walk_files, FaultStore, FileStore, MemFs};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const START: TimePoint = TimePoint::from_secs(1_285_372_800);
+const SEED: u64 = 0xB157_0C7A;
+
+const CONFIG: &str = r#"
+    server { retention 1h; archive on; }
+    feed F { pattern "f_%i.csv"; }
+    subscriber alpha { endpoint "alpha"; subscribe F; delivery push; }
+    subscriber beta  { endpoint "beta";  subscribe F; delivery push; }
+"#;
+
+fn retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        base_timeout: TimeSpan::from_secs(2),
+        backoff: 2,
+        max_timeout: TimeSpan::from_secs(16),
+        max_attempts: 10,
+        jitter: 0.1,
+    }
+}
+
+fn payload(i: usize) -> Vec<u8> {
+    format!("payload-{i}-0123456789abcdefghij").into_bytes()
+}
+
+/// Advance time and drain the network: subscribers poll + ack, the
+/// server processes acks and retries. Errors (the crash) propagate.
+fn pump(
+    server: &mut Server,
+    clients: &mut [&mut SubscriberClient],
+    net: &SimNetwork,
+    clock: &Arc<SimClock>,
+    rounds: usize,
+) -> Result<(), ServerError> {
+    for _ in 0..rounds {
+        clock.advance(TimeSpan::from_secs(1));
+        let now = clock.now();
+        for c in clients.iter_mut() {
+            c.poll_notifications(net, now);
+        }
+        server.poll_network()?;
+        server.retry_tick()?;
+    }
+    Ok(())
+}
+
+fn note_live_ids(server: &Server, seen: &mut BTreeSet<u64>) {
+    for rec in server.receipts().all_live() {
+        seen.insert(rec.id.raw());
+    }
+}
+
+/// Phase A: the faulted incarnation. Runs the full pipeline over the
+/// wrapped store until it completes or the crash point fires.
+#[allow(clippy::too_many_arguments)]
+fn phase_a(
+    clock: &Arc<SimClock>,
+    store: Arc<dyn FileStore>,
+    net: &Arc<SimNetwork>,
+    config: &bistro::config::Config,
+    seed: u64,
+    alpha: &mut SubscriberClient,
+    beta: &mut SubscriberClient,
+    seen: &mut BTreeSet<u64>,
+) -> Result<(), ServerError> {
+    let mut server = Server::new("b", config.clone(), clock.clone(), store)?
+        .with_network(net.clone())
+        .with_reliable_delivery(retry_policy(), seed);
+    server.persist_config()?;
+
+    // two files that will age out of the retention window
+    for i in 0..2 {
+        server.deposit(&format!("f_{i}.csv"), &payload(i))?;
+        pump(&mut server, &mut [alpha, beta], net, clock, 6)?;
+        note_live_ids(&server, seen);
+    }
+
+    // age them past retention, land a fresh file, then expire + archive
+    clock.advance(TimeSpan::from_secs(7_200));
+    server.deposit("f_2.csv", &payload(2))?;
+    pump(&mut server, &mut [alpha, beta], net, clock, 6)?;
+    note_live_ids(&server, seen);
+    server.expire()?;
+
+    // snapshot (prunes the WAL) and persist the running config
+    server.snapshot()?;
+    server.persist_config()?;
+
+    // post-snapshot arrival: must survive on WAL replay alone
+    server.deposit("f_3.csv", &payload(3))?;
+    pump(&mut server, &mut [alpha, beta], net, clock, 6)?;
+    note_live_ids(&server, seen);
+    Ok(())
+}
+
+/// Count the mutating storage ops of an uncrashed end-to-end run.
+fn count_ops(seed: u64) -> u64 {
+    let clock = SimClock::starting_at(START);
+    let inner = MemFs::shared(clock.clone());
+    let faulted = Arc::new(FaultStore::counting(inner));
+    let net = Arc::new(SimNetwork::new(LinkSpec::default()));
+    let config = parse_config(CONFIG).unwrap();
+    let mut alpha = SubscriberClient::new("alpha", "b");
+    let mut beta = SubscriberClient::new("beta", "b");
+    let mut seen = BTreeSet::new();
+    phase_a(
+        &clock,
+        faulted.clone(),
+        &net,
+        &config,
+        seed,
+        &mut alpha,
+        &mut beta,
+        &mut seen,
+    )
+    .expect("uncrashed scenario must complete");
+    faulted.mutation_ops()
+}
+
+/// Run the scenario crashing at `crash_op`, recover twice, verify every
+/// invariant (panicking with the replay coordinates on violation), and
+/// return a digest of all observable state for replay comparison.
+fn run_crash_scenario(seed: u64, crash_op: u64) -> String {
+    let ctx = format!("seed={seed:#x} crash_op={crash_op}");
+    let clock = SimClock::starting_at(START);
+    let inner = MemFs::shared(clock.clone());
+    let faulted = Arc::new(FaultStore::armed(inner.clone(), seed, crash_op));
+    let net = Arc::new(SimNetwork::new(LinkSpec::default()));
+    let config = parse_config(CONFIG).unwrap();
+    let mut alpha = SubscriberClient::new("alpha", "b");
+    let mut beta = SubscriberClient::new("beta", "b");
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+
+    // ---- phase A: run until the crash point fires -------------------
+    let _ = phase_a(
+        &clock,
+        faulted.clone(),
+        &net,
+        &config,
+        seed,
+        &mut alpha,
+        &mut beta,
+        &mut seen,
+    );
+
+    // ---- phase B: reopen on the surviving bytes ---------------------
+    // The crashed process is gone; recovery sees only what the inner
+    // store durably holds. persist_config is atomic, so bistro.conf is
+    // either whole or absent (crashed before it first landed).
+    let store: Arc<dyn FileStore> = inner.clone();
+    let reopened = if inner.exists("bistro.conf") {
+        Server::open_existing("b", clock.clone(), store)
+    } else {
+        Server::new("b", config.clone(), clock.clone(), store)
+    };
+    let mut server = match reopened {
+        Ok(s) => s
+            .with_network(net.clone())
+            .with_reliable_delivery(retry_policy(), seed.wrapping_add(1)),
+        Err(e) => panic!("{ctx}: store failed to reopen after crash: {e}"),
+    };
+
+    // invariant: no live receipt references a missing staged payload
+    for rec in server.receipts().all_live() {
+        let staged = format!("staging/{}", rec.staged_path);
+        assert!(
+            inner.exists(&staged),
+            "{ctx}: live receipt {} references missing payload {staged}",
+            rec.id
+        );
+    }
+    // everything live now is durably on record
+    note_live_ids(&server, &mut seen);
+
+    // re-provision the config (heals the crashed-before-first-persist
+    // case), backfill sends the receipts still show as undelivered, and
+    // let the network settle
+    server
+        .persist_config()
+        .unwrap_or_else(|e| panic!("{ctx}: persist_config: {e}"));
+    server
+        .backfill_unacked()
+        .unwrap_or_else(|e| panic!("{ctx}: backfill_unacked: {e}"));
+    pump(&mut server, &mut [&mut alpha, &mut beta], &net, &clock, 40)
+        .unwrap_or_else(|e| panic!("{ctx}: settle pump: {e}"));
+
+    // invariant: exactly-once delivery after backfill
+    assert_eq!(
+        server.unacked_count(),
+        0,
+        "{ctx}: unacked sends after settle"
+    );
+    for rec in server.receipts().all_live() {
+        for sub in ["alpha", "beta"] {
+            assert!(
+                server.receipts().is_delivered(rec.id, sub),
+                "{ctx}: live file {} not delivered to {sub} after backfill",
+                rec.id
+            );
+        }
+    }
+    // invariant: no acked delivery is forgotten, and no file reaches a
+    // subscriber twice (the client dedupes redeliveries by id)
+    let live: BTreeSet<u64> = server
+        .receipts()
+        .all_live()
+        .iter()
+        .map(|r| r.id.raw())
+        .collect();
+    for (name, client) in [("alpha", &alpha), ("beta", &beta)] {
+        let mut uniq = BTreeSet::new();
+        for (fid, _, _) in client.delivered() {
+            assert!(uniq.insert(fid.raw()), "{ctx}: {name} received {fid} twice");
+            if live.contains(&fid.raw()) {
+                assert!(
+                    server.receipts().is_delivered(*fid, name),
+                    "{ctx}: {name}'s acked delivery of {fid} forgotten"
+                );
+            }
+        }
+    }
+
+    // continue the pipeline: a new arrival must get a fresh id
+    server
+        .deposit("f_4.csv", &payload(4))
+        .unwrap_or_else(|e| panic!("{ctx}: deposit f_4: {e}"));
+    pump(&mut server, &mut [&mut alpha, &mut beta], &net, &clock, 8)
+        .unwrap_or_else(|e| panic!("{ctx}: pump f_4: {e}"));
+    let f4 = server
+        .receipts()
+        .all_live()
+        .iter()
+        .find(|r| r.name == "f_4.csv")
+        .map(|r| r.id.raw())
+        .unwrap_or_else(|| panic!("{ctx}: f_4.csv not live after deposit"));
+    assert!(!seen.contains(&f4), "{ctx}: id {f4} reused for f_4.csv");
+    seen.insert(f4);
+
+    // expire everything and close cleanly (no snapshot: phase C must
+    // recover the tail from the WAL alone)
+    clock.advance(TimeSpan::from_secs(7_200));
+    server
+        .expire()
+        .unwrap_or_else(|e| panic!("{ctx}: expire: {e}"));
+    let deliveries = server.receipts().delivery_count();
+    let expired = server.receipts().expired_count();
+    drop(server);
+
+    // ---- phase C: clean reopen, ids must never come back ------------
+    let mut server = Server::open_existing("b", clock.clone(), inner.clone() as Arc<dyn FileStore>)
+        .unwrap_or_else(|e| panic!("{ctx}: clean reopen failed: {e}"));
+    assert_eq!(
+        server.receipts().live_count(),
+        0,
+        "{ctx}: files survived expiry"
+    );
+    for (i, name) in ["f_5.csv", "f_6.csv"].iter().enumerate() {
+        server
+            .deposit(name, &payload(5 + i))
+            .unwrap_or_else(|e| panic!("{ctx}: deposit {name}: {e}"));
+        let id = server
+            .receipts()
+            .all_live()
+            .iter()
+            .find(|r| r.name == *name)
+            .map(|r| r.id.raw())
+            .unwrap_or_else(|| panic!("{ctx}: {name} not live after deposit"));
+        assert!(seen.insert(id), "{ctx}: id {id} reused for {name}");
+    }
+
+    // ---- digest of everything observable ----------------------------
+    let mut digest = String::new();
+    digest.push_str(&format!("crashed={} seen={seen:?}\n", faulted.crashed()));
+    for path in walk_files(inner.as_ref(), "").unwrap() {
+        let data = inner.read(&path).unwrap();
+        digest.push_str(&format!("{path}:{}:{:08x}\n", data.len(), crc32(&data)));
+    }
+    digest.push_str(&format!(
+        "live={} expired={expired} deliveries={deliveries} alpha={}/{} beta={}/{}\n",
+        server.receipts().live_count(),
+        alpha.delivered().len(),
+        alpha.duplicates_ignored(),
+        beta.delivered().len(),
+        beta.duplicates_ignored(),
+    ));
+    digest
+}
+
+#[test]
+fn sweep_crash_at_every_storage_op() {
+    let total = count_ops(SEED);
+    assert!(
+        total > 40,
+        "scenario too small to be interesting: {total} ops"
+    );
+    println!("crash-point sweep: {total} storage ops, seed {SEED:#x}");
+    for crash_op in 0..total {
+        run_crash_scenario(SEED, crash_op);
+    }
+}
+
+#[test]
+fn sweep_is_bit_for_bit_replayable() {
+    let total = count_ops(SEED);
+    for crash_op in [1, total / 4, total / 2, 3 * total / 4, total - 1] {
+        let a = run_crash_scenario(SEED, crash_op);
+        let b = run_crash_scenario(SEED, crash_op);
+        assert_eq!(a, b, "seed={SEED:#x} crash_op={crash_op} did not replay");
+    }
+    // a different seed tears at different offsets but replays all the same
+    let a = run_crash_scenario(SEED ^ 0xFF, total / 3);
+    let b = run_crash_scenario(SEED ^ 0xFF, total / 3);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn expire_tolerates_already_missing_payload() {
+    // the leftover of a crash between the expiration receipt and the
+    // payload delete is a harmless orphan — and the mirror case, payload
+    // gone but receipt lost, must let the next sweep finish the job
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let config = parse_config(CONFIG).unwrap();
+    let mut server = Server::new("b", config, clock.clone(), store.clone()).unwrap();
+    server.deposit("f_0.csv", &payload(0)).unwrap();
+    server.deposit("f_1.csv", &payload(1)).unwrap();
+    let victim = server.receipts().all_live()[0].clone();
+    store
+        .remove(&format!("staging/{}", victim.staged_path))
+        .unwrap();
+
+    clock.advance(TimeSpan::from_secs(7_200));
+    let n = server.expire().unwrap();
+    assert_eq!(n, 2, "missing payload must not block expiration");
+    assert_eq!(server.receipts().live_count(), 0);
+    // the file that still had its payload was archived; the orphaned
+    // receipt expired without one
+    let archived = server.archiver().unwrap().archived_files().unwrap();
+    assert_eq!(archived.len(), 1);
+    assert_ne!(archived[0].id, victim.id);
+}
+
+/// Drive deposit → expire with a one-shot transient read fault at
+/// `fault_op`, retrying expiration until it converges. Returns the
+/// `archiver.skipped` counter. Panics if any file expires without its
+/// payload reaching the archive.
+fn run_read_fault(fault_op: u64) -> u64 {
+    let ctx = format!("read_fault_op={fault_op}");
+    let clock = SimClock::starting_at(START);
+    let inner = MemFs::shared(clock.clone());
+    let faulted: Arc<FaultStore> = Arc::new(FaultStore::with_read_fault(inner.clone(), fault_op));
+    let config = parse_config(CONFIG).unwrap();
+    let mut server = match Server::new(
+        "b",
+        config,
+        clock.clone(),
+        faulted.clone() as Arc<dyn FileStore>,
+    ) {
+        Ok(s) => s,
+        // a transient read failure during recovery surfaces as an open
+        // error — that is an operator retry, not a consistency bug
+        Err(_) => return 0,
+    };
+    let mut ingested = Vec::new();
+    for i in 0..3 {
+        // a fault during ingest fails the deposit; the file simply stays
+        // in the landing zone for a later rescan
+        if server.deposit(&format!("f_{i}.csv"), &payload(i)).is_ok() {
+            // the deposit may still be missing from the live set if the
+            // fault hit mid-delivery; index what actually arrived below
+        }
+    }
+    for rec in server.receipts().all_live() {
+        ingested.push(rec.clone());
+    }
+
+    clock.advance(TimeSpan::from_secs(7_200));
+    for _ in 0..3 {
+        server
+            .expire()
+            .unwrap_or_else(|e| panic!("{ctx}: expire: {e}"));
+        if server.receipts().live_count() == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        server.receipts().live_count(),
+        0,
+        "{ctx}: expiration did not converge after retries"
+    );
+
+    // nothing may expire without its payload safely in the archive
+    let arch = server.archiver().unwrap();
+    for rec in &ingested {
+        assert!(
+            arch.fetch(&rec.staged_path).is_ok(),
+            "{ctx}: file {} ({}) expired but its payload never reached the archive",
+            rec.id,
+            rec.name
+        );
+    }
+    server
+        .telemetry()
+        .counter_value("archiver.skipped")
+        .unwrap_or(0)
+}
+
+#[test]
+fn read_fault_sweep_never_drops_payload_without_archiving() {
+    // size the sweep: count the reads of an unfaulted run
+    let reads = {
+        let clock = SimClock::starting_at(START);
+        let inner = MemFs::shared(clock.clone());
+        let counting = Arc::new(FaultStore::counting(inner));
+        let config = parse_config(CONFIG).unwrap();
+        let mut server = Server::new(
+            "b",
+            config,
+            clock.clone(),
+            counting.clone() as Arc<dyn FileStore>,
+        )
+        .unwrap();
+        for i in 0..3 {
+            server.deposit(&format!("f_{i}.csv"), &payload(i)).unwrap();
+        }
+        clock.advance(TimeSpan::from_secs(7_200));
+        server.expire().unwrap();
+        counting.read_ops()
+    };
+    assert!(reads >= 6, "scenario reads too few files: {reads}");
+
+    let mut skips = 0;
+    for fault_op in 0..reads {
+        skips += run_read_fault(fault_op);
+    }
+    // at least one fault index must have landed on the archive-read path
+    // and been skipped-for-retry rather than silently dropped
+    assert!(
+        skips >= 1,
+        "no read fault ever exercised the archive skip path"
+    );
+}
