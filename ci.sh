@@ -3,46 +3,108 @@
 # format-check without touching the network or a registry cache.
 # Bistro has zero external dependencies by construction — this script
 # is what enforces that invariant.
+#
+# Staged: `./ci.sh <stage>` runs one suite; `./ci.sh` (or `./ci.sh all`)
+# runs every stage in order. The GitHub workflow calls the stages
+# individually so each suite runs exactly once with its own visible
+# step. Stages after `build` assume `./target/release` binaries exist.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-cargo build --release --offline
+stage_build() {
+  cargo build --release --offline
+}
+
 # Full workspace suite — includes the bench crate's experiment shape
 # tests (e1..e11); nothing is exempted.
-cargo test -q --offline --workspace
+stage_test() {
+  cargo test -q --offline --workspace
+}
 
 # Fault-injection suite, run explicitly and uncaptured so a failure
 # surfaces its replay seed (scenario asserts embed `seed 0x...`; the
 # property harness prints `BISTRO_PROP_SEED=...`).
-cargo test --offline --test fault_injection -- --nocapture
+stage_faults() {
+  cargo test --offline --test fault_injection -- --nocapture
+}
 
 # Storage crash-point sweep: replay the full pipeline crashing at every
-# mutating storage op, reopen on the surviving bytes, and check the
-# recovery invariants (store opens, no acked delivery forgotten, no
-# dangling receipt, no FileId reuse, exactly-once after backfill).
-# Uncaptured so a failure echoes its `seed=... crash_op=...` replay key.
-cargo test --offline --test crash_points -- --nocapture
+# mutating storage op — including the group-committed batch WAL append —
+# reopen on the surviving bytes, and check the recovery invariants
+# (store opens, no acked delivery forgotten, no dangling receipt, no
+# FileId reuse, exactly-once after backfill). Uncaptured so a failure
+# echoes its `seed=... crash_op=...` replay key.
+stage_crash() {
+  cargo test --offline --test crash_points -- --nocapture
+}
 
 # Telemetry subsystem: its own suite plus a `bistro status --json` smoke
 # check — two same-seed runs must render byte-identical, well-formed JSON
 # carrying a known metric key.
-cargo test -q --offline -p bistro-telemetry
-cargo test -q --offline --test status_smoke
-snap_a=$(./target/release/bistro status --json --seed 11)
-snap_b=$(./target/release/bistro status --json --seed 11)
-[ "$snap_a" = "$snap_b" ] || { echo "status --json is not deterministic" >&2; exit 1; }
+stage_telemetry() {
+  cargo test -q --offline -p bistro-telemetry
+  cargo test -q --offline --test status_smoke
+  local snap_a snap_b
+  snap_a=$(./target/release/bistro status --json --seed 11)
+  snap_b=$(./target/release/bistro status --json --seed 11)
+  [ "$snap_a" = "$snap_b" ] || { echo "status --json is not deterministic" >&2; exit 1; }
+  case "$snap_a" in
+    '{'*'"delivery.receipts"'*'}') ;;
+    *) echo "status --json missing delivery.receipts or malformed: $snap_a" >&2; exit 1 ;;
+  esac
+}
 
-# Parallel-ingest determinism: the sharded classify/normalize pool must
-# not leak schedule into any observable output — the property test
-# checks receipts/triggers/status across worker counts, and the CLI
-# snapshot must be byte-identical between 1 and 4 workers.
-cargo test -q --offline --test parallel_determinism
-snap_p=$(./target/release/bistro status --json --seed 11 --workers 4)
-[ "$snap_a" = "$snap_p" ] || { echo "status --json differs with --workers 4" >&2; exit 1; }
-case "$snap_a" in
-  '{'*'"delivery.receipts"'*'}') ;;
-  *) echo "status --json missing delivery.receipts or malformed: $snap_a" >&2; exit 1 ;;
+# Parallel-ingest determinism: neither the sharded classify/normalize
+# pool nor the WAL group-commit size may leak schedule or batching into
+# any observable output — the property test checks receipts, triggers,
+# status and raw WAL bytes across worker counts × group sizes, and the
+# CLI snapshot must be byte-identical across both knobs.
+stage_parallel() {
+  cargo test -q --offline --test parallel_determinism
+  local snap_a snap_p snap_g
+  snap_a=$(./target/release/bistro status --json --seed 11)
+  snap_p=$(./target/release/bistro status --json --seed 11 --workers 4)
+  [ "$snap_a" = "$snap_p" ] || { echo "status --json differs with --workers 4" >&2; exit 1; }
+  snap_g=$(./target/release/bistro status --json --seed 11 --group 3)
+  [ "$snap_a" = "$snap_g" ] || { echo "status --json differs with --group 3" >&2; exit 1; }
+}
+
+stage_lint() {
+  cargo clippy --offline --all-targets -- -D warnings
+  cargo fmt --check
+}
+
+# Perf-regression gate: re-measure the server_ingest_100_feeds medians
+# in quick mode and compare against the *committed* BENCH_throughput.json
+# (exp_e11 rewrites the file in place, so snapshot the baseline first).
+# Fails only on a >2x median regression — CI runners are noisy; the gate
+# catches order-of-magnitude mistakes, not drift. Leaves the fresh
+# BENCH_*.json in the tree for the workflow to upload as artifacts.
+stage_bench() {
+  local baseline=target/ci-bench-baseline.json
+  git show HEAD:BENCH_throughput.json >"$baseline" 2>/dev/null \
+    || cp BENCH_throughput.json "$baseline"
+  ./target/release/exp_e11 --quick --gate "$baseline"
+}
+
+stage_all() {
+  stage_build
+  stage_test
+  stage_faults
+  stage_crash
+  stage_telemetry
+  stage_parallel
+  stage_lint
+  stage_bench
+}
+
+stage="${1:-all}"
+case "$stage" in
+  build|test|faults|crash|telemetry|parallel|lint|bench|all)
+    "stage_$stage"
+    ;;
+  *)
+    echo "usage: ./ci.sh [build|test|faults|crash|telemetry|parallel|lint|bench|all]" >&2
+    exit 2
+    ;;
 esac
-
-cargo clippy --offline --all-targets -- -D warnings
-cargo fmt --check

@@ -1,0 +1,168 @@
+//! A bounded, blocking, FIFO hand-off queue for pipeline stages.
+//!
+//! This is the prepare → commit conduit of the pipelined deposit path:
+//! the producer (prepare) blocks when the consumer (commit) falls more
+//! than `capacity` batches behind, bounding in-flight memory, and the
+//! consumer blocks while the queue is empty. Either side can [`close`]
+//! the channel: a closed, drained queue ends the consumer loop, and a
+//! closed queue refuses further sends so an aborting consumer unblocks
+//! the producer.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` only — no allocation beyond
+//! the ring buffer, no spinning, no external dependencies.
+//!
+//! [`close`]: Handoff::close
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer blocking queue.
+pub struct Handoff<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    /// Signalled when space frees up (senders wait here).
+    not_full: Condvar,
+    /// Signalled when an item arrives or the queue closes (receivers
+    /// wait here).
+    not_empty: Condvar,
+}
+
+impl<T> Handoff<T> {
+    /// A queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Handoff<T> {
+        Handoff {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueue `item`, blocking while the queue is full. Returns
+    /// `Err(item)` if the queue is (or becomes) closed before the item
+    /// could be enqueued.
+    pub fn send(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().unwrap();
+        while state.queue.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).unwrap();
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.queue.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the next item, blocking while the queue is empty and
+    /// open. Returns `None` once the queue is closed *and* drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Close the queue: senders fail fast, receivers drain what is
+    /// already buffered and then get `None`. Idempotent.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        drop(state);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = Handoff::new(4);
+        q.send(1).unwrap();
+        q.send(2).unwrap();
+        q.send(3).unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.recv(), Some(1));
+        assert_eq!(q.recv(), Some(2));
+        assert_eq!(q.recv(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Handoff::new(2);
+        q.send("a").unwrap();
+        q.close();
+        assert_eq!(q.send("b"), Err("b"));
+        assert_eq!(q.recv(), Some("a"));
+        assert_eq!(q.recv(), None);
+        assert_eq!(q.recv(), None);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_consumed() {
+        let q = Arc::new(Handoff::new(1));
+        q.send(0u64).unwrap();
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                for i in 1..=100u64 {
+                    q.send(i).unwrap();
+                }
+                q.close();
+            })
+        };
+        let mut expect = 0u64;
+        while let Some(v) = q.recv() {
+            assert_eq!(v, expect, "FIFO order violated under blocking");
+            expect += 1;
+        }
+        assert_eq!(expect, 101);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn close_unblocks_stuck_producer() {
+        let q = Arc::new(Handoff::new(1));
+        q.send(1).unwrap(); // full
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.send(2))
+        };
+        // let the producer reach the full-queue wait, then abort
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(2));
+    }
+}

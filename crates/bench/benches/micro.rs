@@ -5,8 +5,8 @@
 //! telemetry record path (enabled vs no-op registry).
 //!
 //! Runs on the in-tree harness (`bistro_bench::harness`) — no external
-//! benchmarking crate — and writes `BENCH_micro.json` next to the
-//! summary it prints.
+//! benchmarking crate — and writes `BENCH_micro.json` at the repo root
+//! alongside the other committed medians.
 
 use std::sync::Arc;
 
@@ -216,7 +216,9 @@ fn main() {
     bench_telemetry(&mut c);
     bench_fault_store(&mut c);
     c.print_summary();
-    c.write_json("BENCH_micro.json")
-        .expect("write BENCH_micro.json");
-    println!("\nwrote BENCH_micro.json");
+    // cargo bench runs with the package as cwd; anchor the output at the
+    // repo root where the other BENCH_*.json medians live
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_micro.json");
+    c.write_json(out).expect("write BENCH_micro.json");
+    println!("\nwrote {out}");
 }

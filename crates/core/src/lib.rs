@@ -42,4 +42,4 @@ pub mod server;
 
 pub use classifier::{Classification, Classifier};
 pub use log::{EventLog, LogEvent, LogLevel};
-pub use server::{DeliveryStats, Server, ServerError};
+pub use server::{DeliveryStats, Server, ServerError, DEFAULT_COMMIT_GROUP};

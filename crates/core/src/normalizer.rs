@@ -61,20 +61,7 @@ pub fn normalize(
     captures: &Captures,
     payload: &[u8],
 ) -> Result<Normalized, NormalizeError> {
-    let rel = match &feed.normalize {
-        Some(tpl) => tpl
-            .render(captures, name, &feed.name)
-            .map_err(|e| NormalizeError::Template(e.to_string()))?,
-        None => format!("{}/{}", feed.name, name),
-    };
-    // template output may or may not start with the feed name; ensure the
-    // staged layout is always rooted per feed for expiration/archival
-    let staged_path = if rel.starts_with(&format!("{}/", feed.name)) || rel == feed.name {
-        rel
-    } else {
-        format!("{}/{}", feed.name, rel)
-    };
-
+    let staged_path = staged_path(feed, name, captures)?;
     let data = match feed.compress {
         CompressOpt::Keep => payload.to_vec(),
         CompressOpt::Expand => {
@@ -93,6 +80,45 @@ pub fn normalize(
         }
     };
     Ok(Normalized { staged_path, data })
+}
+
+/// [`normalize`] taking ownership of the payload: a `Keep` feed (the
+/// common case) moves the buffer into the result instead of copying it.
+/// Byte-identical output to [`normalize`].
+pub fn normalize_owned(
+    feed: &FeedDef,
+    name: &str,
+    captures: &Captures,
+    payload: Vec<u8>,
+) -> Result<Normalized, NormalizeError> {
+    if matches!(feed.compress, CompressOpt::Keep) {
+        let staged_path = staged_path(feed, name, captures)?;
+        return Ok(Normalized {
+            staged_path,
+            data: payload,
+        });
+    }
+    normalize(feed, name, captures, &payload)
+}
+
+/// Render the staging path for a matched file.
+fn staged_path(feed: &FeedDef, name: &str, captures: &Captures) -> Result<String, NormalizeError> {
+    let rel = match &feed.normalize {
+        Some(tpl) => tpl
+            .render(captures, name, &feed.name)
+            .map_err(|e| NormalizeError::Template(e.to_string()))?,
+        None => format!("{}/{}", feed.name, name),
+    };
+    // template output may or may not start with the feed name; ensure the
+    // staged layout is always rooted per feed for expiration/archival
+    let rooted = rel.len() > feed.name.len()
+        && rel.as_bytes()[feed.name.len()] == b'/'
+        && rel.starts_with(&feed.name);
+    Ok(if rooted || rel == feed.name {
+        rel
+    } else {
+        format!("{}/{}", feed.name, rel)
+    })
 }
 
 #[cfg(test)]

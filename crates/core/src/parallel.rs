@@ -2,14 +2,17 @@
 //!
 //! Ingesting a file splits cleanly in two:
 //!
-//! 1. **prepare** (this module) — classify the name and normalize the
-//!    payload for every matching feed. Pure computation over inputs the
-//!    caller already holds: no store writes, no WAL appends, no shared
-//!    counters. This is the CPU-heavy part, and because it is pure it
-//!    can fan out across [`bistro_base::Pool`] workers freely.
+//! 1. **prepare** (this module) — classify the name, normalize the
+//!    payload for every matching feed, and pre-serialize the arrival
+//!    receipt bytes (everything but the commit-assigned id and arrival
+//!    time). Pure computation over inputs the caller already holds: no
+//!    store writes, no WAL appends, no shared counters. This is the
+//!    CPU-heavy part, and because it is pure it can fan out across
+//!    [`bistro_base::Pool`] workers freely.
 //! 2. **commit** (`Server::ingest_prepared`) — stage the bytes, record
-//!    the arrival receipt, and deliver. All side effects, executed
-//!    strictly in deposit order by the server's own thread.
+//!    the arrival receipt (group-committed to the WAL per batch), and
+//!    deliver. All side effects, executed strictly in deposit order by
+//!    the server's own thread.
 //!
 //! The determinism contract of `Server::deposit_batch` falls out of this
 //! split: workers touch nothing observable (in particular they never
@@ -20,20 +23,31 @@
 //! telemetry counter is byte-identical for any worker count.
 
 use crate::classifier::{Classification, Classifier};
-use crate::normalizer::{normalize, NormalizeError, Normalized};
+use crate::normalizer::{normalize, normalize_owned, NormalizeError, Normalized};
 use bistro_base::{SharedClock, TimePoint};
 use bistro_config::Config;
+use bistro_receipts::ArrivalTemplate;
 
 /// The pure result of classifying + normalizing one deposited file.
 #[derive(Clone, Debug)]
 pub struct Prepared {
     /// All matching feeds, most specific first. Empty ⇒ unknown feed.
     pub classifications: Vec<Classification>,
-    /// One normalized staging payload per classification, same order:
-    /// `(feed name, normalized)`.
-    pub staged: Vec<(String, Normalized)>,
+    /// One normalized staging payload per classification, same order
+    /// (entry `i` belongs to `classifications[i].feed`).
+    pub staged: Vec<Normalized>,
     /// The feed-time captured from the name (first classification wins).
     pub feed_time: Option<TimePoint>,
+    /// The deposited payload, handed back when no feed matched so the
+    /// commit stage can park it in `unknown/` without re-reading it.
+    /// `None` when classified — the buffer moved into `staged`.
+    pub raw: Option<Vec<u8>>,
+    /// The arrival receipt pre-serialized by the prepare worker (all
+    /// fields but the commit-assigned id and arrival time). `None` when
+    /// no feed matched.
+    pub receipt: Option<ArrivalTemplate>,
+    /// Deposited payload length in bytes.
+    pub payload_len: u64,
     /// Wall time spent classifying, µs (0 under a simulated clock).
     pub classify_us: u64,
     /// Wall time spent normalizing, µs (0 under a simulated clock).
@@ -44,37 +58,69 @@ pub struct Prepared {
 /// Pure: reads only the classifier/config, touches no store, returns
 /// everything by value. Safe to call from any [`bistro_base::Pool`]
 /// worker.
+///
+/// Takes the payload by value so `compress keep` feeds (the common case)
+/// stage the deposited buffer itself instead of a copy; the last
+/// matching feed receives the original allocation.
 pub fn prepare(
     classifier: &Classifier,
     config: &Config,
     clock: &SharedClock,
     rel_path: &str,
-    payload: &[u8],
+    payload: Vec<u8>,
 ) -> Result<Prepared, NormalizeError> {
     let t0 = clock.now();
     let classifications = classifier.classify(rel_path);
     let t1 = clock.now();
+    let payload_len = payload.len() as u64;
 
     let mut staged = Vec::with_capacity(classifications.len());
     let mut feed_time = None;
-    for c in &classifications {
+    let mut raw = Some(payload);
+    let last = classifications.len().saturating_sub(1);
+    for (i, c) in classifications.iter().enumerate() {
         let feed = config
             .feed(&c.feed)
             .expect("classifier only yields configured feeds");
-        staged.push((
-            c.feed.clone(),
-            normalize(feed, rel_path, &c.captures, payload)?,
-        ));
+        let normalized = if i == last {
+            // the final feed may take the deposited buffer outright
+            normalize_owned(
+                feed,
+                rel_path,
+                &c.captures,
+                raw.take().expect("consumed once"),
+            )?
+        } else {
+            normalize(
+                feed,
+                rel_path,
+                &c.captures,
+                raw.as_deref().expect("still held"),
+            )?
+        };
+        staged.push(normalized);
         if feed_time.is_none() {
             feed_time = c.captures.timestamp();
         }
     }
+    let receipt = staged.first().map(|primary| {
+        ArrivalTemplate::new(
+            rel_path.to_string(),
+            primary.staged_path.clone(),
+            payload_len,
+            feed_time,
+            classifications.iter().map(|c| c.feed.clone()).collect(),
+        )
+    });
     let t2 = clock.now();
 
     Ok(Prepared {
         classifications,
         staged,
         feed_time,
+        raw,
+        receipt,
+        payload_len,
         classify_us: t1.since(t0).as_micros(),
         normalize_us: t2.since(t1).as_micros(),
     })
@@ -106,19 +152,33 @@ mod tests {
             &cfg,
             &clock,
             "MEM_poller3_201009250455.csv",
-            b"x",
+            b"x".to_vec(),
         )
         .unwrap();
         assert_eq!(p.classifications.len(), 2); // M + ALL
         assert_eq!(p.staged.len(), 2);
-        assert_eq!(p.staged[0].0, "M");
+        assert_eq!(p.classifications[0].feed, "M");
         assert!(p.feed_time.is_some());
+        assert_eq!(p.payload_len, 1);
+        // classified: the buffer moved into staging, and the receipt is
+        // pre-serialized for the commit stage
+        assert!(p.raw.is_none());
+        let t = p.receipt.as_ref().expect("classified files get a template");
+        assert_eq!(t.name, "MEM_poller3_201009250455.csv");
+        assert_eq!(t.staged_path, p.staged[0].staged_path);
+        assert_eq!(t.feeds, vec!["M".to_string(), "ALL".to_string()]);
         // simulated clock: no time passes inside prepare
         assert_eq!((p.classify_us, p.normalize_us), (0, 0));
 
-        let unknown = prepare(&classifier, &cfg, &clock, "nope.bin", b"x").unwrap();
+        let unknown = prepare(&classifier, &cfg, &clock, "nope.bin", b"x".to_vec()).unwrap();
         assert!(unknown.classifications.is_empty());
         assert!(unknown.staged.is_empty());
+        assert_eq!(
+            unknown.raw,
+            Some(b"x".to_vec()),
+            "unknown keeps the payload"
+        );
+        assert!(unknown.receipt.is_none());
     }
 
     #[test]
@@ -130,12 +190,14 @@ mod tests {
             .collect();
         let run = |workers: usize| -> Vec<String> {
             Pool::new(workers).map(names.clone(), |_, name| {
-                let p = prepare(&classifier, &cfg, &clock, &name, name.as_bytes()).unwrap();
+                let p =
+                    prepare(&classifier, &cfg, &clock, &name, name.clone().into_bytes()).unwrap();
                 format!(
                     "{name}→{:?}",
-                    p.staged
+                    p.classifications
                         .iter()
-                        .map(|(f, n)| (f, &n.staged_path))
+                        .zip(p.staged.iter())
+                        .map(|(c, n)| (&c.feed, &n.staged_path))
                         .collect::<Vec<_>>()
                 )
             })

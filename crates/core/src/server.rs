@@ -16,10 +16,12 @@ use bistro_analyzer::fn_detect::FnWarning;
 use bistro_analyzer::{
     fp_report, FeedDiscoverer, FeedProgress, FnDetector, FpReport, ProgressAlert,
 };
-use bistro_base::{BatchId, FileId, IdGen, Pool, ShardStat, SharedClock, TimePoint, TimeSpan};
+use bistro_base::{
+    BatchId, FileId, Handoff, IdGen, Pool, ShardStat, SharedClock, TimePoint, TimeSpan,
+};
 use bistro_config::validate::validate;
 use bistro_config::{BatchSpec, Config, DeliveryMode, FeedDef, SubscriberDef};
-use bistro_receipts::{Archiver, FileRecord, ReceiptError, ReceiptStore};
+use bistro_receipts::{Archiver, FileRecord, GroupCommitStats, ReceiptError, ReceiptStore};
 use bistro_telemetry::{
     AlarmRule, AlarmSet, Condition, Counter, Histogram, Json, Registry, SharedRegistry, Span,
 };
@@ -162,6 +164,29 @@ impl ServerMetrics {
     }
 }
 
+/// Where a file's payload lives when its commit stage runs — decides
+/// the landing-zone bookkeeping [`Server::ingest_prepared`] performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LandingDisposition {
+    /// The payload sits in `landing/` (single-file ingest, landing-zone
+    /// scans): stage it, then remove the landing copy; an unknown file
+    /// is renamed into `unknown/`.
+    InLanding,
+    /// The payload only ever existed in memory (the batch path hands
+    /// deposited buffers straight to prepare, skipping the landing
+    /// round-trip): stage directly; an unknown file is written into
+    /// `unknown/` from the buffer prepare handed back.
+    NeverLanded,
+}
+
+/// Default [`Server::with_commit_group`] flush knob: up to this many
+/// receipt records share one batched WAL append + fsync.
+pub const DEFAULT_COMMIT_GROUP: usize = 64;
+
+/// How many prepared batches may sit in the prepare → commit hand-off
+/// queue of [`Server::deposit_pipelined`] before the producer blocks.
+const PIPELINE_DEPTH: usize = 2;
+
 /// A Bistro server instance.
 pub struct Server {
     name: String,
@@ -170,6 +195,9 @@ pub struct Server {
     store: Arc<dyn FileStore>,
     classifier: Arc<Classifier>,
     workers: Pool,
+    /// Max receipt records per batched WAL append (the group-commit
+    /// flush knob). WAL bytes are identical for any value ≥ 1.
+    commit_group: usize,
     receipts: ReceiptStore,
     archiver: Option<Archiver>,
     log: EventLog,
@@ -255,6 +283,7 @@ impl Server {
             store,
             classifier: Arc::new(classifier),
             workers: Pool::new(1),
+            commit_group: DEFAULT_COMMIT_GROUP,
             receipts,
             archiver,
             log: EventLog::default(),
@@ -347,6 +376,28 @@ impl Server {
         self.workers.workers()
     }
 
+    /// Set the group-commit flush knob: at most `group` receipt records
+    /// per batched WAL append (and so per fsync on a real filesystem)
+    /// during [`Server::deposit_batch`]. Clamped to ≥ 1; 1 restores
+    /// per-record appends. Receipts, WAL bytes and `status_json` are
+    /// byte-identical for any value — only the physical append batching
+    /// (visible in [`Server::pool_telemetry`]'s `wal.group_size` /
+    /// `wal.physical_appends`) changes.
+    pub fn with_commit_group(mut self, group: usize) -> Server {
+        self.commit_group = group.max(1);
+        self
+    }
+
+    /// Change the group-commit flush knob at runtime.
+    pub fn set_commit_group(&mut self, group: usize) {
+        self.commit_group = group.max(1);
+    }
+
+    /// The configured group-commit flush knob.
+    pub fn commit_group(&self) -> usize {
+        self.commit_group
+    }
+
     /// The server's name (its network endpoint).
     pub fn name(&self) -> &str {
         &self.name
@@ -393,31 +444,91 @@ impl Server {
     /// goes to the separate [`Server::pool_telemetry`] registry, which is
     /// deliberately excluded from that surface.
     pub fn deposit_batch(&mut self, files: Vec<(String, Vec<u8>)>) -> Result<(), ServerError> {
-        let pool = self.workers;
         let prepare_span = Span::start(
             self.clock.clone(),
             self.pool_telemetry.histogram("pool.prepare_us"),
         );
-        let (prepared, shard_stats) = {
-            let classifier = &*self.classifier;
-            let config = &self.config;
-            let clock = &self.clock;
-            pool.map_with_stats(files, |_, (rel, payload)| {
-                let r = parallel::prepare(classifier, config, clock, &rel, &payload);
-                (rel, payload, r)
-            })
-        };
+        let (prepared, shard_stats) = Self::prepare_batch(
+            &self.workers,
+            &self.classifier,
+            &self.config,
+            &self.clock,
+            files,
+        );
         prepare_span.finish();
         self.record_pool_stats(&shard_stats, &prepared);
-        // commit in deposit order, landing write included — the exact
-        // store-op sequence a loop of `deposit` calls would produce
-        // (which also keeps duplicate names within one batch well-formed)
-        for (rel, payload, r) in prepared {
-            let landing = format!("{}/{rel}", self.config.server.landing);
-            self.store.write(&landing, &payload)?;
-            self.ingest_prepared(&rel, payload.len() as u64, r?)?;
+        self.commit_batch(prepared)
+    }
+
+    /// The pure prepare stage of one batch: fan classify + normalize +
+    /// receipt pre-serialization across `pool`. Associated (not `&self`)
+    /// so the pipelined path can run it from a producer thread.
+    #[allow(clippy::type_complexity)]
+    fn prepare_batch(
+        pool: &Pool,
+        classifier: &Classifier,
+        config: &Config,
+        clock: &SharedClock,
+        files: Vec<(String, Vec<u8>)>,
+    ) -> (
+        Vec<(String, Result<Prepared, NormalizeError>)>,
+        Vec<ShardStat>,
+    ) {
+        pool.map_with_stats(files, |_, (rel, payload)| {
+            let r = parallel::prepare(classifier, config, clock, &rel, payload);
+            (rel, r)
+        })
+    }
+
+    /// The commit stage of one batch: stage payloads, group-commit the
+    /// receipt WAL records (one batched append + fsync per
+    /// [`Server::commit_group`] records instead of per file), deliver.
+    /// Strictly in deposit order on the caller's thread.
+    fn commit_batch(
+        &mut self,
+        prepared: Vec<(String, Result<Prepared, NormalizeError>)>,
+    ) -> Result<(), ServerError> {
+        self.receipts.begin_group(self.commit_group);
+        let result = self.commit_batch_inner(prepared);
+        // the window must close even on error so buffered records become
+        // durable before the error propagates (suffix-loss only on crash)
+        let flush = self.receipts.end_group();
+        match flush {
+            Ok(stats) => {
+                self.record_group_stats(&stats);
+                result
+            }
+            Err(e) => result.and(Err(e.into())),
+        }
+    }
+
+    fn commit_batch_inner(
+        &mut self,
+        prepared: Vec<(String, Result<Prepared, NormalizeError>)>,
+    ) -> Result<(), ServerError> {
+        for (rel, r) in prepared {
+            self.ingest_prepared(&rel, r?, LandingDisposition::NeverLanded)?;
         }
         Ok(())
+    }
+
+    /// Group-commit telemetry for one batch, into the pool registry
+    /// (group-size-dependent, so excluded from `status_json` just like
+    /// the per-worker tallies).
+    fn record_group_stats(&self, stats: &GroupCommitStats) {
+        if stats.records == 0 {
+            return;
+        }
+        let group_size = self.pool_telemetry.histogram("wal.group_size");
+        for &n in &stats.flush_sizes {
+            group_size.record(n);
+        }
+        self.pool_telemetry
+            .counter("wal.physical_appends")
+            .add(stats.physical_appends);
+        self.pool_telemetry
+            .counter("wal.group_flushes")
+            .add(stats.flushes);
     }
 
     /// Per-worker fan-out accounting for one [`Server::deposit_batch`].
@@ -428,7 +539,7 @@ impl Server {
     fn record_pool_stats(
         &self,
         stats: &[ShardStat],
-        prepared: &[(String, Vec<u8>, Result<Prepared, NormalizeError>)],
+        prepared: &[(String, Result<Prepared, NormalizeError>)],
     ) {
         // items shard statically as i % effective, so per-worker busy
         // time is reconstructible on the commit thread
@@ -441,13 +552,84 @@ impl Server {
                     .add(s.jobs);
             }
         }
-        for (i, (_, _, r)) in prepared.iter().enumerate() {
+        // accumulate locally first: one counter lookup per worker per
+        // batch, not one per file (this sits on the commit hot path)
+        let mut busy: Vec<(u64, bool)> = vec![(0, false); effective];
+        for (i, (_, r)) in prepared.iter().enumerate() {
             if let Ok(p) = r {
-                self.pool_telemetry
-                    .counter(&format!("pool.worker{}.busy_us", i % effective))
-                    .add(p.classify_us + p.normalize_us);
+                let slot = &mut busy[i % effective];
+                slot.0 += p.classify_us + p.normalize_us;
+                slot.1 = true;
             }
         }
+        for (w, (us, seen)) in busy.into_iter().enumerate() {
+            if seen {
+                self.pool_telemetry
+                    .counter(&format!("pool.worker{w}.busy_us"))
+                    .add(us);
+            }
+        }
+    }
+
+    /// Deposit a stream of batches through a two-stage pipeline: a
+    /// producer thread runs the pure prepare stage (fanning each batch
+    /// across the worker pool) while the caller's thread commits, so
+    /// batch *k*'s commit overlaps batch *k+1*'s prepare. The two stages
+    /// meet in a bounded [`Handoff`] queue ([`PIPELINE_DEPTH`] batches),
+    /// keeping in-flight memory bounded.
+    ///
+    /// Equivalent, byte for byte, to calling [`Server::deposit_batch`]
+    /// on each batch in order: prepare is pure, batches are committed in
+    /// input order on this thread, and nothing advances the clock in
+    /// between — so receipts, WAL bytes and `status_json` are identical
+    /// to the sequential form for any worker count and group size.
+    pub fn deposit_pipelined(
+        &mut self,
+        batches: Vec<Vec<(String, Vec<u8>)>>,
+    ) -> Result<(), ServerError> {
+        if batches.len() <= 1 {
+            for batch in batches {
+                self.deposit_batch(batch)?;
+            }
+            return Ok(());
+        }
+        let pool = self.workers;
+        let classifier = Arc::clone(&self.classifier);
+        let config = self.config.clone();
+        let clock = self.clock.clone();
+        let commit_lag = self.pool_telemetry.histogram("pipeline.commit_lag_us");
+        #[allow(clippy::type_complexity)]
+        let queue: Handoff<(
+            Vec<(String, Result<Prepared, NormalizeError>)>,
+            Vec<ShardStat>,
+            TimePoint,
+        )> = Handoff::new(PIPELINE_DEPTH);
+        let mut result = Ok(());
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| {
+                for batch in batches {
+                    let handed = Self::prepare_batch(&pool, &classifier, &config, &clock, batch);
+                    let ready_at = clock.now();
+                    if queue.send((handed.0, handed.1, ready_at)).is_err() {
+                        return; // consumer bailed; stop preparing
+                    }
+                }
+                queue.close();
+            });
+            while let Some((prepared, shard_stats, ready_at)) = queue.recv() {
+                // time each batch sat prepared but uncommitted (0 under
+                // a SimClock, keeping the pipelined path deterministic)
+                commit_lag.record(self.clock.now().since(ready_at).as_micros());
+                self.record_pool_stats(&shard_stats, &prepared);
+                if let Err(e) = self.commit_batch(prepared) {
+                    result = Err(e);
+                    break;
+                }
+            }
+            queue.close(); // unblock the producer if we bailed early
+            let _ = producer.join();
+        });
+        result
     }
 
     /// Scan the landing zone for files from non-cooperating sources and
@@ -478,9 +660,9 @@ impl Server {
             &self.config,
             &self.clock,
             rel_path,
-            &payload,
+            payload,
         )?;
-        self.ingest_prepared(rel_path, payload.len() as u64, prepared)
+        self.ingest_prepared(rel_path, prepared, LandingDisposition::InLanding)
     }
 
     /// Commit one prepared file: stage the normalized payloads, record
@@ -489,11 +671,10 @@ impl Server {
     fn ingest_prepared(
         &mut self,
         rel_path: &str,
-        payload_len: u64,
-        prepared: Prepared,
+        mut prepared: Prepared,
+        landing: LandingDisposition,
     ) -> Result<(), ServerError> {
         let now = self.clock.now();
-        let landing_path = format!("{}/{rel_path}", self.config.server.landing);
         self.metrics.ingest_total.inc();
         self.metrics.classify_us.record(prepared.classify_us);
 
@@ -502,10 +683,20 @@ impl Server {
             // the same unknown name (sources do retransmit) replaces the
             // parked copy.
             let dest = format!("unknown/{rel_path}");
-            if self.store.exists(&dest) {
-                self.store.remove(&dest)?;
+            match landing {
+                LandingDisposition::InLanding => {
+                    let landing_path = format!("{}/{rel_path}", self.config.server.landing);
+                    if self.store.exists(&dest) {
+                        self.store.remove(&dest)?;
+                    }
+                    self.store.rename(&landing_path, &dest)?;
+                }
+                LandingDisposition::NeverLanded => {
+                    // write replaces any parked copy in one op
+                    let raw = prepared.raw.take().expect("unknown files keep the payload");
+                    self.store.write_owned(&dest, raw)?;
+                }
             }
-            self.store.rename(&landing_path, &dest)?;
             self.discoverer.observe(rel_path);
             self.fn_detector.observe(rel_path);
             self.stats.files_unknown += 1;
@@ -519,34 +710,31 @@ impl Server {
             return Ok(());
         }
 
-        // stage once per matching feed
+        // stage once per matching feed, adopting the prepared buffers
         self.metrics.normalize_us.record(prepared.normalize_us);
-        let mut staged_paths: Vec<(String, String)> = Vec::new(); // (feed, staged)
-        for (feed, normalized) in &prepared.staged {
+        for normalized in std::mem::take(&mut prepared.staged) {
             let staged = format!("{}/{}", self.config.server.staging, normalized.staged_path);
-            self.store.write(&staged, &normalized.data)?;
             self.metrics
                 .ingest_bytes_staged
                 .add(normalized.data.len() as u64);
-            staged_paths.push((feed.clone(), normalized.staged_path.clone()));
+            self.store.write_owned(&staged, normalized.data)?;
         }
-        self.store.remove(&landing_path)?;
+        if matches!(landing, LandingDisposition::InLanding) {
+            let landing_path = format!("{}/{rel_path}", self.config.server.landing);
+            self.store.remove(&landing_path)?;
+        }
 
         let feed_time = prepared.feed_time;
-        let feeds: Vec<String> = staged_paths.iter().map(|(f, _)| f.clone()).collect();
-        let primary_staged = staged_paths[0].1.clone();
-        let file = self.receipts.record_arrival(
-            rel_path,
-            &primary_staged,
-            payload_len,
-            now,
-            feed_time,
-            feeds.clone(),
-        )?;
+        let template = prepared
+            .receipt
+            .as_ref()
+            .expect("classified files carry a pre-serialized receipt");
+        let file = self.receipts.record_arrival_prepared(template, now)?;
         self.stats.files_ingested += 1;
         self.metrics.ingest_files.inc();
 
-        for feed in &feeds {
+        let feeds = &template.feeds;
+        for feed in feeds {
             if let Some(p) = self.progress.get_mut(feed) {
                 p.record(feed_time.unwrap_or(now));
             }
@@ -554,16 +742,20 @@ impl Server {
 
         // delivery to online subscribers of any matched feed (sorted so
         // the network send order — and hence a faulty run's RNG stream —
-        // replays bit-for-bit)
-        let rec = self.receipts.file(file).expect("just recorded");
-        let mut sub_names: Vec<String> = self.subscribers.keys().cloned().collect();
-        sub_names.sort();
-        for sub in sub_names {
-            let interested = {
-                let st = &self.subscribers[&sub];
-                st.online && st.feeds.iter().any(|f| feeds.contains(f))
-            };
-            if interested {
+        // replays bit-for-bit). The interested set is collected up front:
+        // delivering to one subscriber never changes another's online
+        // state or feed set, and the common case — nobody subscribes to
+        // this feed — then skips the receipt lookup entirely.
+        let mut interested: Vec<String> = self
+            .subscribers
+            .iter()
+            .filter(|(_, st)| st.online && st.feeds.iter().any(|f| feeds.contains(f)))
+            .map(|(name, _)| name.clone())
+            .collect();
+        if !interested.is_empty() {
+            interested.sort();
+            let rec = self.receipts.file(file).expect("just recorded");
+            for sub in interested {
                 self.deliver_one(&rec, &sub)?;
             }
         }

@@ -26,6 +26,6 @@ pub mod store;
 pub mod wal;
 
 pub use archive::Archiver;
-pub use records::{FileRecord, Record};
-pub use store::{ReceiptError, ReceiptStore, RecoveryInfo};
-pub use wal::{Wal, WalError};
+pub use records::{ArrivalTemplate, FileRecord, Record};
+pub use store::{GroupCommitStats, ReceiptError, ReceiptStore, RecoveryInfo};
+pub use wal::{GroupAppendStats, Wal, WalError};

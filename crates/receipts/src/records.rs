@@ -54,6 +54,94 @@ pub enum Record {
     },
 }
 
+/// A pre-serialized arrival record, minus the two fields only the commit
+/// stage knows: the [`FileId`] (allocated in commit order so ids stay
+/// deterministic under parallel prepare) and the arrival timestamp.
+///
+/// Prepare workers build the template off the hot path — encoding the
+/// name, staged path, size, feed time and feed list once — and the
+/// commit stage stamps id + arrival with [`ArrivalTemplate::finish`],
+/// which is guaranteed to produce bytes identical to
+/// `Record::Arrival(..).encode()` on the equivalent [`FileRecord`]
+/// (checked by a unit test).
+#[derive(Clone, Debug)]
+pub struct ArrivalTemplate {
+    /// Original (landing-relative) filename.
+    pub name: String,
+    /// Staging path of the primary classification.
+    pub staged_path: String,
+    /// Deposited size in bytes.
+    pub size: u64,
+    /// Feed timestamp parsed from the filename, if any.
+    pub feed_time: Option<TimePoint>,
+    /// Feeds the file classified into.
+    pub feeds: Vec<String>,
+    /// Encoded bytes between the id and the arrival timestamp
+    /// (name, staged_path, size).
+    mid: Vec<u8>,
+    /// Encoded bytes after the arrival timestamp (feed_time, feeds).
+    tail: Vec<u8>,
+}
+
+impl ArrivalTemplate {
+    /// Pre-serialize everything but the id and arrival time.
+    pub fn new(
+        name: String,
+        staged_path: String,
+        size: u64,
+        feed_time: Option<TimePoint>,
+        feeds: Vec<String>,
+    ) -> ArrivalTemplate {
+        let mut mid = ByteWriter::new();
+        mid.put_str(&name);
+        mid.put_str(&staged_path);
+        mid.put_varint(size);
+        let mut tail = ByteWriter::new();
+        match feed_time {
+            Some(t) => {
+                tail.put_u8(1);
+                tail.put_u64(t.as_micros());
+            }
+            None => tail.put_u8(0),
+        }
+        tail.put_varint(feeds.len() as u64);
+        for feed in &feeds {
+            tail.put_str(feed);
+        }
+        ArrivalTemplate {
+            name,
+            staged_path,
+            size,
+            feed_time,
+            feeds,
+            mid: mid.into_bytes(),
+            tail: tail.into_bytes(),
+        }
+    }
+
+    /// Stamp the commit-assigned id and arrival time, yielding the exact
+    /// WAL payload bytes and the in-memory [`FileRecord`].
+    pub fn finish(&self, id: FileId, arrival: TimePoint) -> (Vec<u8>, FileRecord) {
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_ARRIVAL);
+        w.put_varint(id.raw());
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&self.mid);
+        bytes.extend_from_slice(&arrival.as_micros().to_le_bytes());
+        bytes.extend_from_slice(&self.tail);
+        let record = FileRecord {
+            id,
+            name: self.name.clone(),
+            staged_path: self.staged_path.clone(),
+            size: self.size,
+            arrival,
+            feed_time: self.feed_time,
+            feeds: self.feeds.clone(),
+        };
+        (bytes, record)
+    }
+}
+
 const TAG_ARRIVAL: u8 = 1;
 const TAG_DELIVERY: u8 = 2;
 const TAG_EXPIRE: u8 = 3;
@@ -211,6 +299,35 @@ mod tests {
         for rec in records {
             let bytes = rec.encode();
             assert_eq!(Record::decode(&bytes).unwrap(), rec, "roundtrip {rec:?}");
+        }
+    }
+
+    #[test]
+    fn template_finish_matches_full_encode_byte_for_byte() {
+        for f in [
+            sample_file(),
+            FileRecord {
+                feed_time: None,
+                feeds: vec![],
+                ..sample_file()
+            },
+            FileRecord {
+                id: FileId(u64::MAX),
+                size: 0,
+                name: String::new(),
+                ..sample_file()
+            },
+        ] {
+            let template = ArrivalTemplate::new(
+                f.name.clone(),
+                f.staged_path.clone(),
+                f.size,
+                f.feed_time,
+                f.feeds.clone(),
+            );
+            let (bytes, record) = template.finish(f.id, f.arrival);
+            assert_eq!(bytes, Record::Arrival(f.clone()).encode());
+            assert_eq!(record, f);
         }
     }
 

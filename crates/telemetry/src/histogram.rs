@@ -100,6 +100,25 @@ impl Histogram {
         inner.max = inner.max.max(v);
     }
 
+    /// Record the same value `n` times in one lock acquisition — the
+    /// group-commit case, where one measured flush covers `n` records
+    /// and each record's sample is the amortized cost. Equivalent to
+    /// calling [`Histogram::record`] `n` times.
+    pub fn record_n(&self, v: u64, n: u64) {
+        if !self.enabled || n == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.buckets.is_empty() {
+            inner.buckets = vec![0; BUCKETS];
+        }
+        inner.buckets[bucket_index(v)] += n;
+        inner.count += n;
+        inner.sum = inner.sum.saturating_add(v.saturating_mul(n));
+        inner.min = inner.min.min(v);
+        inner.max = inner.max.max(v);
+    }
+
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
         self.inner.lock().count
@@ -237,6 +256,27 @@ mod tests {
         assert!(lo <= 500 && 500 <= hi, "median bucket [{lo}, {hi}]");
         // bucket relative width ≤ 1/16
         assert!(hi - lo <= 500 / 16 + 1, "bucket too wide: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn record_n_equals_n_records() {
+        let a = Histogram::detached();
+        let b = Histogram::detached();
+        a.record_n(37, 5);
+        a.record_n(1000, 2);
+        a.record_n(9, 0); // no-op
+        for _ in 0..5 {
+            b.record(37);
+        }
+        for _ in 0..2 {
+            b.record(1000);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.sum(), b.sum());
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
+        assert_eq!(a.quantile_bounds(0.5), b.quantile_bounds(0.5));
+        assert_eq!(a.quantile_bounds(0.99), b.quantile_bounds(0.99));
     }
 
     #[test]

@@ -115,6 +115,30 @@ pub trait FileStore: Send + Sync {
     /// This is the write-ahead-log primitive used by `bistro-receipts`.
     fn append(&self, path: &str, data: &[u8]) -> Result<(), VfsError>;
 
+    /// [`FileStore::write`] taking ownership of the payload. Backends
+    /// that can store the buffer directly (MemFs) override this to skip
+    /// the copy; the default delegates to `write`. The [`MetaStats`]
+    /// ledger records exactly one write of `data.len()` bytes either
+    /// way, so callers may switch freely between the two forms.
+    fn write_owned(&self, path: &str, data: Vec<u8>) -> Result<(), VfsError> {
+        self.write(path, &data)
+    }
+
+    /// Append several records to a file in order, as if by one
+    /// [`FileStore::append`] call per part. This is the group-commit
+    /// primitive: backends may coalesce the parts into a single physical
+    /// append (one lock/syscall/fsync), but the [`MetaStats`] ledger
+    /// MUST record one write per part — the ledger is a pure function of
+    /// the record stream, independent of how records were batched. Fault
+    /// backends likewise keep per-part granularity, so a crash or torn
+    /// write between parts leaves a clean prefix of whole parts.
+    fn append_many(&self, path: &str, parts: &[&[u8]]) -> Result<(), VfsError> {
+        for part in parts {
+            self.append(path, part)?;
+        }
+        Ok(())
+    }
+
     /// Read a file's entire contents.
     fn read(&self, path: &str) -> Result<Vec<u8>, VfsError>;
 

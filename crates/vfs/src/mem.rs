@@ -10,7 +10,7 @@ use crate::stats::MetaStats;
 use crate::{DirEntry, EntryKind, FileMeta, FileStore, VfsError};
 use bistro_base::sync::RwLock;
 use bistro_base::{SharedClock, TimePoint};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 #[derive(Clone)]
@@ -31,6 +31,11 @@ enum Node {
 pub struct MemFs {
     clock: SharedClock,
     tree: RwLock<BTreeMap<String, Node>>,
+    /// Parent directories already verified (or created) by
+    /// `ensure_parents` — the write hot path skips the per-ancestor
+    /// tree walk when a file's parent is cached here. Only
+    /// `remove_dir` can make a cached entry stale, and it evicts.
+    known_dirs: RwLock<HashSet<String>>,
     stats: MetaStats,
 }
 
@@ -40,6 +45,7 @@ impl MemFs {
         MemFs {
             clock,
             tree: RwLock::new(BTreeMap::new()),
+            known_dirs: RwLock::new(HashSet::new()),
             stats: MetaStats::new(),
         }
     }
@@ -71,10 +77,21 @@ impl MemFs {
     }
 
     fn ensure_parents(
+        &self,
         tree: &mut BTreeMap<String, Node>,
         path: &str,
         now: TimePoint,
     ) -> Result<(), VfsError> {
+        // fast path: a cached parent means the whole ancestor chain was
+        // verified as directories before, and only `remove_dir` (which
+        // evicts) could have changed that
+        let parent = match path.rsplit_once('/') {
+            Some((p, _)) => p,
+            None => return Ok(()),
+        };
+        if self.known_dirs.read().contains(parent) {
+            return Ok(());
+        }
         for anc in ancestors(path) {
             match tree.get(anc) {
                 None => {
@@ -86,6 +103,7 @@ impl MemFs {
                 }
             }
         }
+        self.known_dirs.write().insert(parent.to_string());
         Ok(())
     }
 
@@ -111,7 +129,7 @@ impl FileStore for MemFs {
         }
         let now = self.clock.now();
         let mut tree = self.tree.write();
-        Self::ensure_parents(&mut tree, path, now)?;
+        self.ensure_parents(&mut tree, path, now)?;
         if let Some(Node::Dir { .. }) = tree.get(path) {
             return Err(VfsError::IsADirectory(path.to_string()));
         }
@@ -133,7 +151,7 @@ impl FileStore for MemFs {
         }
         let now = self.clock.now();
         let mut tree = self.tree.write();
-        Self::ensure_parents(&mut tree, path, now)?;
+        self.ensure_parents(&mut tree, path, now)?;
         match tree.get_mut(path) {
             Some(Node::File {
                 data: existing,
@@ -163,6 +181,87 @@ impl FileStore for MemFs {
             }
         }
         self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn write_owned(&self, path: &str, data: Vec<u8>) -> Result<(), VfsError> {
+        let path = normalize(path)?;
+        if path.is_empty() {
+            return Err(VfsError::IsADirectory(String::new()));
+        }
+        let now = self.clock.now();
+        let len = data.len() as u64;
+        let mut tree = self.tree.write();
+        self.ensure_parents(&mut tree, path, now)?;
+        if let Some(Node::Dir { .. }) = tree.get(path) {
+            return Err(VfsError::IsADirectory(path.to_string()));
+        }
+        // the whole point: adopt the caller's buffer instead of copying it
+        tree.insert(
+            path.to_string(),
+            Node::File {
+                data: Arc::new(data),
+                mtime: now,
+            },
+        );
+        self.stats.record_write(len);
+        Ok(())
+    }
+
+    fn append_many(&self, path: &str, parts: &[&[u8]]) -> Result<(), VfsError> {
+        let path = normalize(path)?;
+        if path.is_empty() {
+            return Err(VfsError::IsADirectory(String::new()));
+        }
+        if parts.is_empty() {
+            return Ok(());
+        }
+        let now = self.clock.now();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let mut tree = self.tree.write();
+        self.ensure_parents(&mut tree, path, now)?;
+        match tree.get_mut(path) {
+            Some(Node::File {
+                data: existing,
+                mtime,
+            }) => {
+                match Arc::get_mut(existing) {
+                    Some(buf) => {
+                        buf.reserve(total);
+                        for part in parts {
+                            buf.extend_from_slice(part);
+                        }
+                    }
+                    None => {
+                        let mut buf = Vec::with_capacity(existing.len() + total);
+                        buf.extend_from_slice(existing);
+                        for part in parts {
+                            buf.extend_from_slice(part);
+                        }
+                        *existing = Arc::new(buf);
+                    }
+                }
+                *mtime = now;
+            }
+            Some(Node::Dir { .. }) => return Err(VfsError::IsADirectory(path.to_string())),
+            None => {
+                let mut buf = Vec::with_capacity(total);
+                for part in parts {
+                    buf.extend_from_slice(part);
+                }
+                tree.insert(
+                    path.to_string(),
+                    Node::File {
+                        data: Arc::new(buf),
+                        mtime: now,
+                    },
+                );
+            }
+        }
+        // ledger contract: one write per part, batched or not
+        for part in parts {
+            self.stats.record_write(part.len() as u64);
+        }
         Ok(())
     }
 
@@ -231,6 +330,9 @@ impl FileStore for MemFs {
                     return Err(VfsError::Io(format!("directory not empty: {path}")));
                 }
                 tree.remove(path);
+                // the dir may be cached as a verified parent; a later
+                // write must re-walk (and re-create) the ancestor chain
+                self.known_dirs.write().remove(path);
                 self.stats.record_remove();
                 Ok(())
             }
@@ -252,7 +354,7 @@ impl FileStore for MemFs {
             Some(Node::Dir { .. }) => return Err(VfsError::IsADirectory(from.to_string())),
             None => return Err(VfsError::NotFound(from.to_string())),
         };
-        if let Err(e) = Self::ensure_parents(&mut tree, to, now) {
+        if let Err(e) = self.ensure_parents(&mut tree, to, now) {
             // restore on failure to keep the operation atomic
             tree.insert(from.to_string(), node);
             return Err(e);
@@ -276,7 +378,7 @@ impl FileStore for MemFs {
             return Err(VfsError::IsADirectory(to.to_string()));
         }
         let node = tree.remove(from).unwrap();
-        if let Err(e) = Self::ensure_parents(&mut tree, to, now) {
+        if let Err(e) = self.ensure_parents(&mut tree, to, now) {
             // restore on failure to keep the operation atomic
             tree.insert(from.to_string(), node);
             return Err(e);
@@ -293,7 +395,7 @@ impl FileStore for MemFs {
         }
         let now = self.clock.now();
         let mut tree = self.tree.write();
-        Self::ensure_parents(&mut tree, path, now)?;
+        self.ensure_parents(&mut tree, path, now)?;
         match tree.get(path) {
             Some(Node::Dir { .. }) => Ok(()),
             Some(Node::File { .. }) => Err(VfsError::NotADirectory(path.to_string())),
@@ -506,6 +608,22 @@ mod tests {
     }
 
     #[test]
+    fn remove_dir_evicts_parent_cache() {
+        let (_c, fs) = fs();
+        // cache "d" as a verified parent, empty it, remove it...
+        fs.write("d/f", b"x").unwrap();
+        fs.remove("d/f").unwrap();
+        fs.remove_dir("d").unwrap();
+        assert!(!fs.exists("d"));
+        // ...then a later write must re-create the ancestor chain rather
+        // than trust the stale cache entry
+        fs.write("d/g", b"y").unwrap();
+        assert!(fs.exists("d"));
+        assert_eq!(fs.metadata("d").unwrap().kind, EntryKind::Dir);
+        assert_eq!(fs.read("d/g").unwrap(), b"y");
+    }
+
+    #[test]
     fn cannot_write_over_dir() {
         let (_c, fs) = fs();
         fs.create_dir_all("d").unwrap();
@@ -571,5 +689,45 @@ mod append_tests {
             fs.append("d", b"x"),
             Err(VfsError::IsADirectory(_))
         ));
+    }
+
+    #[test]
+    fn append_many_matches_per_record_appends_bytes_and_ledger() {
+        let a = MemFs::new(SimClock::new());
+        let b = MemFs::new(SimClock::new());
+        let parts: Vec<&[u8]> = vec![b"one", b"", b"twotwo", b"3"];
+        a.append_many("wal/seg1", &parts).unwrap();
+        for p in &parts {
+            b.append("wal/seg1", p).unwrap();
+        }
+        assert_eq!(a.read("wal/seg1").unwrap(), b.read("wal/seg1").unwrap());
+        let (sa, sb) = (a.stats().snapshot(), b.stats().snapshot());
+        assert_eq!(sa.writes, sb.writes, "one ledger write per part");
+        assert_eq!(sa.bytes_written, sb.bytes_written);
+    }
+
+    #[test]
+    fn append_many_extends_existing_and_empty_is_noop() {
+        let fs = MemFs::new(SimClock::new());
+        fs.append("wal/seg1", b"head").unwrap();
+        fs.append_many("wal/seg1", &[b"-a", b"-b"]).unwrap();
+        assert_eq!(fs.read("wal/seg1").unwrap(), b"head-a-b");
+        let before = fs.stats().snapshot();
+        fs.append_many("wal/seg1", &[]).unwrap();
+        assert_eq!(fs.stats().snapshot().writes, before.writes);
+    }
+
+    #[test]
+    fn write_owned_stores_without_changing_ledger_shape() {
+        let a = MemFs::new(SimClock::new());
+        let b = MemFs::new(SimClock::new());
+        a.write_owned("staging/x", b"payload".to_vec()).unwrap();
+        b.write("staging/x", b"payload").unwrap();
+        assert_eq!(a.read("staging/x").unwrap(), b.read("staging/x").unwrap());
+        assert_eq!(a.stats().snapshot().writes, b.stats().snapshot().writes);
+        assert_eq!(
+            a.stats().snapshot().bytes_written,
+            b.stats().snapshot().bytes_written
+        );
     }
 }

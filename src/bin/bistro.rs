@@ -7,10 +7,11 @@
 //! bistro discover <dir> [min]       run new-feed discovery over a real directory
 //! bistro analyze <config> <dir>     full analyzer pass: classify a directory,
 //!                                   then report unknowns, suggestions, drift
-//! bistro status [--json] [--seed N] [--workers W]
+//! bistro status [--json] [--seed N] [--workers W] [--group G]
 //!                                   one-screen health report from the seeded
 //!                                   demo scenario (same seed → same bytes,
-//!                                   for any ingest worker count W)
+//!                                   for any ingest worker count W and any
+//!                                   WAL group-commit size G)
 //! ```
 
 use bistro::analyzer::{infer_schema, suggest_groups, FeedDiscoverer, FnDetector};
@@ -37,7 +38,7 @@ fn main() -> ExitCode {
                  bistro classify <config> <name>…  match filenames against feeds\n\
                  bistro discover <dir> [min]       suggest feed definitions for a directory\n\
                  bistro analyze <config> <dir>     classify a directory and report drift\n\
-                 bistro status [--json] [--seed N] [--workers W]\n\
+                 bistro status [--json] [--seed N] [--workers W] [--group G]\n\
                  \u{20}                                 health report from the seeded demo run"
             );
             return ExitCode::from(2);
@@ -168,6 +169,7 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
     let mut json = false;
     let mut seed: u64 = 0xB157_0057;
     let mut workers: usize = 1;
+    let mut group: usize = bistro::server::DEFAULT_COMMIT_GROUP;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -180,13 +182,20 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
                 let v = it.next().ok_or("--workers needs a value")?;
                 workers = v.parse().map_err(|_| format!("bad workers: {v}"))?;
             }
+            "--group" => {
+                let v = it.next().ok_or("--group needs a value")?;
+                group = v.parse().map_err(|_| format!("bad group: {v}"))?;
+            }
             other => return Err(format!("unknown status flag {other}")),
         }
     }
     if json {
-        println!("{}", bistro::status::status_json(seed, workers).render());
+        println!(
+            "{}",
+            bistro::status::status_json(seed, workers, group).render()
+        );
     } else {
-        print!("{}", bistro::status::status_text(seed, workers));
+        print!("{}", bistro::status::status_text(seed, workers, group));
     }
     Ok(())
 }

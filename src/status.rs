@@ -28,10 +28,11 @@ const CONFIG: &str = r#"
 
 /// Drive the demo scenario to completion and hand back the server so
 /// callers can render whichever status form they want. `workers` sizes
-/// the parallel ingest pool; by the `deposit_batch` determinism
-/// contract the returned server's status snapshot is byte-identical
-/// for any worker count.
-pub fn demo_server(seed: u64, workers: usize) -> Server {
+/// the parallel ingest pool and `group` sets the WAL group-commit flush
+/// knob; by the `deposit_batch` determinism contract the returned
+/// server's status snapshot is byte-identical for any worker count *and*
+/// any group size.
+pub fn demo_server(seed: u64, workers: usize, group: usize) -> Server {
     let clock = SimClock::starting_at(START);
     let store = MemFs::shared(clock.clone());
     let net = Arc::new(SimNetwork::new(LinkSpec {
@@ -62,7 +63,8 @@ pub fn demo_server(seed: u64, workers: usize) -> Server {
         .unwrap()
         .with_network(net.clone())
         .with_reliable_delivery(policy, seed)
-        .with_workers(workers);
+        .with_workers(workers)
+        .with_commit_group(group);
     let mut alpha = SubscriberClient::new("alpha", "b");
     let mut beta = SubscriberClient::new("beta", "b");
 
@@ -96,23 +98,24 @@ pub fn demo_server(seed: u64, workers: usize) -> Server {
 }
 
 /// The `bistro status --json` document for `seed`.
-pub fn status_json(seed: u64, workers: usize) -> Json {
-    demo_server(seed, workers).status_json()
+pub fn status_json(seed: u64, workers: usize, group: usize) -> Json {
+    demo_server(seed, workers, group).status_json()
 }
 
 /// The human-readable `bistro status` report for `seed`.
-pub fn status_text(seed: u64, workers: usize) -> String {
-    demo_server(seed, workers).status_text()
+pub fn status_text(seed: u64, workers: usize, group: usize) -> String {
+    demo_server(seed, workers, group).status_text()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::server::log::LogLevel;
+    use crate::server::DEFAULT_COMMIT_GROUP;
 
     #[test]
     fn demo_fires_retry_exhaustion_alarm_into_event_log() {
-        let server = demo_server(7, 1);
+        let server = demo_server(7, 1, DEFAULT_COMMIT_GROUP);
         let alarms = server.event_log().alarms();
         assert!(
             alarms
@@ -133,24 +136,24 @@ mod tests {
 
     #[test]
     fn same_seed_renders_byte_identical_json() {
-        let a = status_json(42, 1).render();
-        let b = status_json(42, 1).render();
+        let a = status_json(42, 1, DEFAULT_COMMIT_GROUP).render();
+        let b = status_json(42, 1, DEFAULT_COMMIT_GROUP).render();
         assert_eq!(a, b);
         assert!(a.contains("\"delivery.receipts\""), "{a}");
     }
 
     #[test]
     fn worker_count_does_not_change_the_snapshot() {
-        let reference = status_json(42, 1).render();
+        let reference = status_json(42, 1, DEFAULT_COMMIT_GROUP).render();
         for workers in [2, 4, 8] {
             assert_eq!(
-                status_json(42, workers).render(),
+                status_json(42, workers, DEFAULT_COMMIT_GROUP).render(),
                 reference,
                 "workers={workers}"
             );
         }
         // the fan-out itself is visible in the separate pool registry
-        let server = demo_server(42, 4);
+        let server = demo_server(42, 4, DEFAULT_COMMIT_GROUP);
         assert!(
             server
                 .pool_telemetry()
@@ -164,6 +167,35 @@ mod tests {
                 .counter_value("pool.worker3.files")
                 .unwrap()
                 >= 1
+        );
+    }
+
+    #[test]
+    fn commit_group_does_not_change_the_snapshot() {
+        let reference = status_json(42, 1, 1).render();
+        for group in [2, 7, DEFAULT_COMMIT_GROUP, 1024] {
+            assert_eq!(
+                status_json(42, 1, group).render(),
+                reference,
+                "group={group}"
+            );
+        }
+        // the batching itself is visible in the separate pool registry:
+        // with group ≥ batch size, one physical append per 4-file batch
+        let server = demo_server(42, 1, DEFAULT_COMMIT_GROUP);
+        let appends = server
+            .pool_telemetry()
+            .counter_value("wal.physical_appends")
+            .unwrap();
+        assert!(appends >= 6, "one grouped append per batch: {appends}");
+        let server1 = demo_server(42, 1, 1);
+        assert!(
+            server1
+                .pool_telemetry()
+                .counter_value("wal.physical_appends")
+                .unwrap()
+                > appends,
+            "group=1 degenerates to per-record appends"
         );
     }
 }

@@ -4,8 +4,9 @@
 //! one mutating-operation index: the in-flight write is torn at a seeded
 //! byte offset and every later operation fails. The sweep runs the full
 //! pipeline — deposit → classify/normalize → deliver/ack → expire/archive
-//! → snapshot → persist_config — crashing at *every* storage-op index in
-//! turn, then reopens on the surviving bytes and asserts:
+//! → snapshot → persist_config → group-committed batch deposit —
+//! crashing at *every* storage-op index in turn, then reopens on the
+//! surviving bytes and asserts:
 //!
 //! * the store always opens (no crash point can brick recovery),
 //! * no live receipt references a missing staged payload,
@@ -113,6 +114,20 @@ fn phase_a(
 
     // post-snapshot arrival: must survive on WAL replay alone
     server.deposit("f_3.csv", &payload(3))?;
+    pump(&mut server, &mut [alpha, beta], net, clock, 6)?;
+    note_live_ids(&server, seen);
+
+    // a batched deposit through the group-commit path: group 2 over
+    // three files flushes the WAL as 2 + 1 records, so the sweep
+    // crashes inside, between and after batched appends — a torn group
+    // append must recover to a whole-record prefix, never a receipt
+    // whose staged payload is missing
+    server.set_commit_group(2);
+    server.deposit_batch(
+        (10..13usize)
+            .map(|i| (format!("f_{i}.csv"), payload(i)))
+            .collect(),
+    )?;
     pump(&mut server, &mut [alpha, beta], net, clock, 6)?;
     note_live_ids(&server, seen);
     Ok(())

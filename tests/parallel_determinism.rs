@@ -1,13 +1,17 @@
 //! Property test for the parallel ingest determinism contract: for
-//! random seeded file batches, `deposit_batch` with N workers produces
-//! the same classifications, receipt sequence numbers, telemetry totals
-//! and `status_json` bytes as with a single worker, for N ∈ {2, 4, 8}.
+//! random seeded file batches, `deposit_batch` with N workers and a
+//! WAL group-commit size of G produces the same classifications,
+//! receipt sequence numbers, raw WAL segment bytes, telemetry totals
+//! and `status_json` bytes as one worker committing record-by-record,
+//! for N ∈ {2, 4, 8} × G ∈ {1, 2, 7, 64} — and `deposit_pipelined`
+//! (prepare/commit overlapped across threads) matches the sequential
+//! `deposit_batch` loop byte for byte.
 
 use bistro::base::prop::{self, Runner};
 use bistro::base::{prop_assert_eq, SimClock, TimePoint, TimeSpan};
 use bistro::config::parse_config;
 use bistro::server::Server;
-use bistro::vfs::MemFs;
+use bistro::vfs::{walk_files, MemFs};
 
 const START: TimePoint = TimePoint::from_secs(1_285_372_800);
 
@@ -25,16 +29,39 @@ const CONFIG: &str = r#"
     }
 "#;
 
+/// Hex dump of every WAL segment under `receipts/` — the physical
+/// byte-identity surface of the group-commit contract.
+fn wal_dump(server: &Server) -> String {
+    let store = server.store();
+    let mut out = String::new();
+    for path in walk_files(store.as_ref(), "receipts").unwrap() {
+        let data = store.read(&path).unwrap();
+        out.push_str(&path);
+        out.push(':');
+        for b in data {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out.push(';');
+    }
+    out
+}
+
 /// Run `rounds` of batch deposits with the given worker count and
-/// return everything the determinism contract covers: the receipt
-/// records (names, ids, feed classifications), the trigger log length,
-/// and the full status_json rendering (telemetry totals included).
-fn run(rounds: &[Vec<(String, Vec<u8>)>], workers: usize) -> (String, usize, String) {
+/// group-commit size and return everything the determinism contract
+/// covers: the receipt records (names, ids, feed classifications), the
+/// trigger log length, the full status_json rendering (telemetry totals
+/// included) and the raw WAL segment bytes.
+fn run(
+    rounds: &[Vec<(String, Vec<u8>)>],
+    workers: usize,
+    group: usize,
+) -> (String, usize, String, String) {
     let clock = SimClock::starting_at(START);
     let store = MemFs::shared(clock.clone());
     let mut server = Server::new("b", parse_config(CONFIG).unwrap(), clock.clone(), store)
         .unwrap()
-        .with_workers(workers);
+        .with_workers(workers)
+        .with_commit_group(group);
     for batch in rounds {
         server.deposit_batch(batch.clone()).unwrap();
         clock.advance(TimeSpan::from_secs(30));
@@ -46,10 +73,12 @@ fn run(rounds: &[Vec<(String, Vec<u8>)>], workers: usize) -> (String, usize, Str
         .iter()
         .map(|r| format!("{}#{}→{:?}", r.name, r.id.raw(), r.feeds))
         .collect();
+    let wal = wal_dump(&server);
     (
         receipts.join(";"),
         server.trigger_log().len(),
         server.status_json().render(),
+        wal,
     )
 }
 
@@ -92,29 +121,120 @@ fn deposit_batch_is_deterministic_across_worker_counts() {
                     .collect::<Vec<_>>()
             },
             |rounds| {
-                let reference = run(rounds, 1);
-                for workers in [2, 4, 8] {
-                    let got = run(rounds, workers);
+                // reference: one worker, record-by-record WAL appends
+                let reference = run(rounds, 1, 1);
+                // sweep both axes plus combinations: any worker count ×
+                // any group-commit size must reproduce the reference
+                for (workers, group) in [
+                    (2, 1),
+                    (4, 1),
+                    (8, 1),
+                    (1, 2),
+                    (1, 7),
+                    (1, 64),
+                    (4, 7),
+                    (8, 64),
+                ] {
+                    let got = run(rounds, workers, group);
                     prop_assert_eq!(
                         &got.0,
                         &reference.0,
-                        "receipts diverge at {} workers",
-                        workers
+                        "receipts diverge at workers={} group={}",
+                        workers,
+                        group
                     );
                     prop_assert_eq!(
                         got.1,
                         reference.1,
-                        "triggers diverge at {} workers",
-                        workers
+                        "triggers diverge at workers={} group={}",
+                        workers,
+                        group
                     );
                     prop_assert_eq!(
                         &got.2,
                         &reference.2,
-                        "status diverges at {} workers",
-                        workers
+                        "status diverges at workers={} group={}",
+                        workers,
+                        group
+                    );
+                    prop_assert_eq!(
+                        &got.3,
+                        &reference.3,
+                        "WAL bytes diverge at workers={} group={}",
+                        workers,
+                        group
                     );
                 }
                 Ok(())
             },
         );
+}
+
+/// Deposit the same batches through the two-stage pipelined path
+/// (prepare thread overlapping the commit thread) and through a plain
+/// sequential `deposit_batch` loop; everything observable — receipts,
+/// triggers, status_json, raw WAL bytes — must match byte for byte,
+/// for any worker count and group size.
+#[test]
+fn deposit_pipelined_matches_sequential_byte_for_byte() {
+    let batches: Vec<Vec<(String, Vec<u8>)>> = (0..6u64)
+        .map(|round| {
+            (0..9u64)
+                .map(|k| {
+                    let name = match (round + k) % 3 {
+                        0 => format!("MEM_poller{k}_2010092504{round:02}.csv"),
+                        1 => format!("CPU_poller{k}_2010092504{round:02}.csv"),
+                        _ => format!("stray_{round}_{k}.dat"),
+                    };
+                    (name, format!("payload-{round}-{k}").repeat(4).into_bytes())
+                })
+                .collect()
+        })
+        .collect();
+
+    let drive =
+        |pipelined: bool, workers: usize, group: usize| -> (String, usize, String, String) {
+            let clock = SimClock::starting_at(START);
+            let store = MemFs::shared(clock.clone());
+            let mut server = Server::new("b", parse_config(CONFIG).unwrap(), clock.clone(), store)
+                .unwrap()
+                .with_workers(workers)
+                .with_commit_group(group);
+            if pipelined {
+                server.deposit_pipelined(batches.clone()).unwrap();
+            } else {
+                for batch in &batches {
+                    server.deposit_batch(batch.clone()).unwrap();
+                }
+            }
+            clock.advance(TimeSpan::from_secs(30));
+            server.tick();
+            let receipts: Vec<String> = server
+                .receipts()
+                .all_live()
+                .iter()
+                .map(|r| format!("{}#{}→{:?}", r.name, r.id.raw(), r.feeds))
+                .collect();
+            let wal = wal_dump(&server);
+            (
+                receipts.join(";"),
+                server.trigger_log().len(),
+                server.status_json().render(),
+                wal,
+            )
+        };
+
+    let reference = drive(false, 1, 1);
+    for (workers, group) in [(1, 1), (1, 64), (4, 1), (4, 7), (8, 64)] {
+        let sequential = drive(false, workers, group);
+        assert_eq!(
+            sequential, reference,
+            "sequential diverges at workers={workers} group={group}"
+        );
+        let pipelined = drive(true, workers, group);
+        assert_eq!(
+            pipelined, reference,
+            "pipelined diverges at workers={workers} group={group}"
+        );
+    }
 }

@@ -23,6 +23,8 @@ fn status_json_is_wellformed_deterministic_and_has_known_keys() {
     let a = run_status(&["status", "--json", "--seed", "11"]);
     let b = run_status(&["status", "--json", "--seed", "11"]);
     assert_eq!(a, b, "same seed must render byte-identical snapshots");
+    let g = run_status(&["status", "--json", "--seed", "11", "--group", "3"]);
+    assert_eq!(a, g, "WAL group-commit size must not change the snapshot");
 
     let doc = Json::parse(a.trim()).expect("output parses as JSON");
     assert_eq!(doc.get("server").and_then(Json::as_str), Some("b"));
