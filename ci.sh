@@ -38,6 +38,15 @@ stage_crash() {
   cargo test --offline --test crash_points -- --nocapture
 }
 
+# Distributed suite: the relay network plus the seeded multi-server
+# failover scenario (kill + re-home + backfill, exactly-once, replayed
+# bit-for-bit). Uncaptured so a failure echoes the replay seed the
+# scenario prints (`[distributed] failover scenario seed=0x...`),
+# mirroring the crash-sweep stage.
+stage_distributed() {
+  cargo test --offline --test distributed -- --nocapture
+}
+
 # Telemetry subsystem: its own suite plus a `bistro status --json` smoke
 # check — two same-seed runs must render byte-identical, well-formed JSON
 # carrying a known metric key.
@@ -92,6 +101,7 @@ stage_all() {
   stage_test
   stage_faults
   stage_crash
+  stage_distributed
   stage_telemetry
   stage_parallel
   stage_lint
@@ -100,11 +110,11 @@ stage_all() {
 
 stage="${1:-all}"
 case "$stage" in
-  build|test|faults|crash|telemetry|parallel|lint|bench|all)
+  build|test|faults|crash|distributed|telemetry|parallel|lint|bench|all)
     "stage_$stage"
     ;;
   *)
-    echo "usage: ./ci.sh [build|test|faults|crash|telemetry|parallel|lint|bench|all]" >&2
+    echo "usage: ./ci.sh [build|test|faults|crash|distributed|telemetry|parallel|lint|bench|all]" >&2
     exit 2
     ;;
 esac

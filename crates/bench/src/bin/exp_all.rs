@@ -1,4 +1,4 @@
-//! Run every experiment (E1-E11) and print all tables. This is the
+//! Run every experiment (E1-E11, E13; E12 lives in the examples) and print all tables. This is the
 //! regeneration entry point referenced by EXPERIMENTS.md.
 use bistro_base::TimeSpan;
 use bistro_bench::*;
@@ -36,4 +36,6 @@ fn main() {
     let ingest = e11_throughput::run_ingest(5_000, 60_000);
     let (t1, t2) = e11_throughput::tables(&classify, &ingest);
     print!("{t1}{t2}");
+    let p = e13_failover::run(&[1, 7, 42, 99, 1234], 40);
+    print!("{}", e13_failover::table(&p));
 }

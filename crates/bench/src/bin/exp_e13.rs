@@ -1,0 +1,6 @@
+//! E13: partitioned-feed failover with exactly-once re-homing.
+use bistro_bench::e13_failover as e13;
+fn main() {
+    let outcomes = e13::run(&[1, 7, 42, 99, 1234], 40);
+    print!("{}", e13::table(&outcomes));
+}

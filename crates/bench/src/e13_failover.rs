@@ -1,0 +1,221 @@
+//! E13 — multi-server failover with exactly-once re-homing.
+//!
+//! Claim under test: when a feed group's home server dies mid-trace,
+//! the cluster layer (directory + heartbeats + standby replication +
+//! receipt-store backfill) re-homes the group's subscribers such that
+//! every file is delivered **exactly once** across the failover — the
+//! new home neither re-sends what the dead home already delivered nor
+//! drops what it hadn't. We also measure how long promotion takes from
+//! the instant of the (undetected) crash.
+//!
+//! Each seeded run partitions two feed groups across three servers,
+//! drives a `bistro-simnet` partitioned fleet through the cluster
+//! ingress, kills the `ALPHA` home when half the trace has landed, and
+//! accounts for every wire delivery on both sides of the promotion.
+
+use crate::table::Table;
+use bistro_base::{Clock, SimClock, TimePoint, TimeSpan};
+use bistro_config::{parse_config, BatchSpec, DeliveryMode, SubscriberDef};
+use bistro_core::cluster::Cluster;
+use bistro_core::Server;
+use bistro_simnet::{generate, partitioned_config, partitioned_fleet};
+use bistro_transport::{LinkSpec, SimNetwork};
+use bistro_vfs::MemFs;
+use std::sync::Arc;
+
+/// The outcome of one seeded failover run.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Files in the whole trace (both groups).
+    pub files: usize,
+    /// Files belonging to the failed group.
+    pub alpha_files: usize,
+    /// Wire deliveries by the home before the kill.
+    pub delivered_before: u64,
+    /// Wire deliveries by the promoted standby after re-homing.
+    pub delivered_after: u64,
+    /// Receipts the backfill marked as already-delivered (not re-sent).
+    pub backfill_marked: u64,
+    /// Crash → directory reassignment, as observed by the driver loop.
+    pub promotion: TimeSpan,
+    /// `delivered_before + delivered_after == alpha_files` with the
+    /// backfill marking exactly the pre-kill deliveries.
+    pub exactly_once: bool,
+}
+
+fn subscriber(name: &str, target: &str) -> SubscriberDef {
+    SubscriberDef {
+        name: name.to_string(),
+        endpoint: format!("{name}:7070"),
+        subscriptions: vec![target.to_string()],
+        delivery: DeliveryMode::Push,
+        deadline: TimeSpan::from_secs(60),
+        batch: BatchSpec::default(),
+        trigger: None,
+        dest: None,
+    }
+}
+
+/// Run one seeded kill-and-promote schedule.
+pub fn run_one(seed: u64, minutes: u64) -> Outcome {
+    let start = TimePoint::from_secs(1_285_372_800);
+    let clock = SimClock::starting_at(start);
+    let net = Arc::new(SimNetwork::new(LinkSpec {
+        bandwidth: 10_000_000,
+        latency: TimeSpan::from_millis(5),
+    }));
+    let cfg_src = partitioned_config(&[("ALPHA", "failover"), ("BETA", "failover")], 2);
+    let fleet = partitioned_fleet(&["ALPHA", "BETA"], 2, 2, TimeSpan::from_mins(minutes), seed);
+    let trace = generate(&fleet);
+
+    let mut cluster = Cluster::new(
+        parse_config(&cfg_src).unwrap(),
+        net.clone(),
+        TimeSpan::from_secs(1),
+        TimeSpan::from_secs(5),
+    );
+    for name in ["s1", "s2", "s3"] {
+        let server = Server::new(
+            name,
+            parse_config(&cfg_src).unwrap(),
+            clock.clone(),
+            MemFs::shared(clock.clone()),
+        )
+        .unwrap()
+        .with_network(net.clone());
+        cluster.add_server(server).unwrap();
+    }
+    cluster.assign("ALPHA", "s1", &["s2"]).unwrap();
+    cluster.assign("BETA", "s3", &["s2"]).unwrap();
+    cluster
+        .register_subscriber(&subscriber("wh", "ALPHA"))
+        .unwrap();
+    cluster
+        .register_subscriber(&subscriber("cap", "BETA"))
+        .unwrap();
+
+    let kill_at = trace[trace.len() / 2].deposit_time;
+    let end = trace.last().unwrap().deposit_time + TimeSpan::from_secs(60);
+    let mut i = 0;
+    let mut killed = false;
+    let mut delivered_before = 0;
+    let mut promoted_at: Option<TimePoint> = None;
+    while clock.now() < end {
+        clock.advance(TimeSpan::from_secs(1));
+        let now = clock.now();
+        if !killed && now >= kill_at {
+            delivered_before = cluster
+                .server("s1")
+                .unwrap()
+                .telemetry()
+                .counter_value("delivery.receipts")
+                .unwrap_or(0);
+            cluster.kill("s1").unwrap();
+            killed = true;
+        }
+        while i < trace.len() && trace[i].deposit_time <= now {
+            cluster
+                .route_deposit(&trace[i].name, trace[i].name.as_bytes(), now)
+                .unwrap();
+            i += 1;
+        }
+        cluster.tick(now).unwrap();
+        cluster.pump(now).unwrap();
+        if killed
+            && promoted_at.is_none()
+            && cluster.directory().home_of("ALPHA").unwrap().home == "s2"
+        {
+            promoted_at = Some(now);
+        }
+    }
+
+    let alpha_files = trace
+        .iter()
+        .filter(|f| f.name.starts_with("ALPHA_"))
+        .count();
+    let delivered_after = cluster
+        .server("s2")
+        .unwrap()
+        .telemetry()
+        .counter_value("delivery.receipts")
+        .unwrap_or(0);
+    let backfill_marked = cluster
+        .telemetry()
+        .counter_value("cluster.backfill_marked")
+        .unwrap_or(0);
+    Outcome {
+        seed,
+        files: trace.len(),
+        alpha_files,
+        delivered_before,
+        delivered_after,
+        backfill_marked,
+        promotion: promoted_at
+            .map(|t| t.since(kill_at))
+            .unwrap_or(TimeSpan::from_secs(0)),
+        exactly_once: backfill_marked == delivered_before
+            && delivered_before + delivered_after == alpha_files as u64,
+    }
+}
+
+/// Run the schedule across several seeds.
+pub fn run(seeds: &[u64], minutes: u64) -> Vec<Outcome> {
+    seeds.iter().map(|&s| run_one(s, minutes)).collect()
+}
+
+/// Render the outcomes.
+pub fn table(outcomes: &[Outcome]) -> Table {
+    let mut t = Table::new(
+        "E13 — partitioned-feed failover: exactly-once re-homing",
+        &[
+            "seed",
+            "files",
+            "alpha",
+            "pre-kill",
+            "post-kill",
+            "marked",
+            "promotion",
+            "exactly-once",
+        ],
+    );
+    for o in outcomes {
+        t.row(vec![
+            o.seed.to_string(),
+            o.files.to_string(),
+            o.alpha_files.to_string(),
+            o.delivered_before.to_string(),
+            o.delivered_after.to_string(),
+            o.backfill_marked.to_string(),
+            format!("{}", o.promotion),
+            if o.exactly_once { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failover_is_exactly_once_across_seeds() {
+        for o in run(&[1, 42, 0xB157], 40) {
+            assert!(o.exactly_once, "seed {}: {o:?}", o.seed);
+            assert!(o.delivered_before > 0, "home delivered before the kill");
+            assert!(o.delivered_after > 0, "standby delivered after promotion");
+            assert!(
+                o.promotion > TimeSpan::from_secs(0),
+                "promotion observed after the kill"
+            );
+        }
+    }
+
+    #[test]
+    fn table_shape() {
+        let t = table(&run(&[7], 30));
+        assert_eq!(t.rows().len(), 1);
+        assert_eq!(t.rows()[0].len(), 8);
+    }
+}

@@ -51,8 +51,8 @@ pub mod validate;
 pub use parser::parse_config;
 pub use render::to_source;
 pub use types::{
-    BatchSpec, CompressOpt, Config, ConfigError, DeliveryMode, FeedDef, GroupDef, ServerDef,
-    SubscriberDef, TriggerDef, TriggerKind,
+    BatchSpec, CompressOpt, Config, ConfigError, DeliveryMode, FeedDef, FeedPolicy, GroupDef,
+    ServerDef, SubscriberDef, TriggerDef, TriggerKind,
 };
 
 #[cfg(test)]

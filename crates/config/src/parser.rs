@@ -174,6 +174,7 @@ impl Parser {
             patterns: Vec::new(),
             normalize: None,
             compress: CompressOpt::Keep,
+            policy: FeedPolicy::default(),
             description: None,
         };
         self.expect(&TokKind::LBrace)?;
@@ -213,6 +214,18 @@ impl Parser {
                             return self.err(format!(
                                 "unknown compression '{other}' (keep/expand/rle/lzss)"
                             ))
+                        }
+                    };
+                }
+                "policy" => {
+                    let v = self.ident("a fault-tolerance policy")?;
+                    def.policy = match v.as_str() {
+                        "discard" => FeedPolicy::Discard,
+                        "spill" => FeedPolicy::Spill,
+                        "failover" => FeedPolicy::Failover,
+                        other => {
+                            return self
+                                .err(format!("unknown policy '{other}' (discard/spill/failover)"))
                         }
                     };
                 }

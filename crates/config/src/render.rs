@@ -6,7 +6,7 @@
 //! restart reloads exactly what was running (§4.2's durability story for
 //! configuration, not just receipts).
 
-use crate::types::{CompressOpt, Config, DeliveryMode, TriggerKind};
+use crate::types::{CompressOpt, Config, DeliveryMode, FeedPolicy, TriggerKind};
 use bistro_base::TimeSpan;
 use std::fmt::Write as _;
 
@@ -73,6 +73,9 @@ pub fn to_source(cfg: &Config) -> String {
             CompressOpt::To(codec) => {
                 let _ = writeln!(out, "    compress {codec};");
             }
+        }
+        if f.policy != FeedPolicy::default() {
+            let _ = writeln!(out, "    policy {};", f.policy);
         }
         if let Some(d) = &f.description {
             let _ = writeln!(out, "    description {};", quote(d));
@@ -152,7 +155,7 @@ mod tests {
             compress lzss;
             description "memory stats \"quoted\"";
         }
-        feed SNMP/CPU { pattern "CPU_%i.txt"; compress expand; }
+        feed SNMP/CPU { pattern "CPU_%i.txt"; compress expand; policy spill; }
         group CORE { members SNMP/MEMORY, SNMP/CPU; }
         subscriber wh {
             endpoint "wh-host:7070";
@@ -182,6 +185,12 @@ mod tests {
         assert_eq!(mem.patterns.len(), 2);
         assert_eq!(mem.normalize.as_ref().unwrap().text(), "%Y/%m/%d/%f");
         assert_eq!(mem.description.as_deref(), Some("memory stats \"quoted\""));
+        // default policy is elided from rendering; non-defaults survive
+        assert_eq!(mem.policy, crate::types::FeedPolicy::Failover);
+        assert_eq!(
+            reparsed.feed("SNMP/CPU").unwrap().policy,
+            crate::types::FeedPolicy::Spill
+        );
 
         assert_eq!(reparsed.groups.len(), 1);
         let sub = reparsed.subscriber("wh").unwrap();

@@ -28,6 +28,32 @@ impl fmt::Display for CompressOpt {
     }
 }
 
+/// What happens to a feed's ingest while its home server is down
+/// (cluster fault-tolerance policy, after the AsterixDB feeds taxonomy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FeedPolicy {
+    /// Drop files deposited while the home is unreachable.
+    Discard,
+    /// Buffer ("spill") files at the ingress and replay them when the
+    /// home server comes back; the feed is never re-homed.
+    Spill,
+    /// Re-home the feed's group to a standby server: deposits are
+    /// replicated to the standby, subscribers are re-homed on failure,
+    /// and the standby backfills from the failed server's receipts.
+    #[default]
+    Failover,
+}
+
+impl fmt::Display for FeedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedPolicy::Discard => write!(f, "discard"),
+            FeedPolicy::Spill => write!(f, "spill"),
+            FeedPolicy::Failover => write!(f, "failover"),
+        }
+    }
+}
+
 /// A consumer feed definition (§3.1).
 #[derive(Clone, Debug)]
 pub struct FeedDef {
@@ -40,6 +66,8 @@ pub struct FeedDef {
     pub normalize: Option<Template>,
     /// Compression handling.
     pub compress: CompressOpt,
+    /// Cluster fault-tolerance policy (ignored by a singleton server).
+    pub policy: FeedPolicy,
     /// Free-text description.
     pub description: Option<String>,
 }

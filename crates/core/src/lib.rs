@@ -30,10 +30,15 @@
 //!   subscriber and an rsync/cron-style stateless tree synchronizer.
 //! * [`relay`] — Bistro-as-subscriber-of-Bistro: the distributed feed
 //!   delivery network of §3.
+//! * [`cluster`] — multi-server Bistro: feed groups partitioned across
+//!   servers by a directory service, with per-feed fault-tolerance
+//!   policy (discard / spill / failover), heartbeat failure detection,
+//!   and subscriber re-homing with exactly-once backfill.
 //! * [`log`] — the logging subsystem: leveled event ring with alarms.
 
 pub mod baselines;
 pub mod classifier;
+pub mod cluster;
 pub mod log;
 pub mod normalizer;
 pub mod parallel;
@@ -41,5 +46,6 @@ pub mod relay;
 pub mod server;
 
 pub use classifier::{Classification, Classifier};
+pub use cluster::{Cluster, ClusterError, Directory, HomeEntry};
 pub use log::{EventLog, LogEvent, LogLevel};
 pub use server::{DeliveryStats, Server, ServerError, DEFAULT_COMMIT_GROUP};

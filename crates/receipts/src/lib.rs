@@ -27,5 +27,5 @@ pub mod wal;
 
 pub use archive::Archiver;
 pub use records::{ArrivalTemplate, FileRecord, Record};
-pub use store::{GroupCommitStats, ReceiptError, ReceiptStore, RecoveryInfo};
+pub use store::{DeliveryMark, GroupCommitStats, ReceiptError, ReceiptStore, RecoveryInfo};
 pub use wal::{GroupAppendStats, Wal, WalError};

@@ -161,6 +161,29 @@ struct Inner {
     /// Group-commit buffering between [`ReceiptStore::begin_group`] and
     /// [`ReceiptStore::end_group`]; `None` = per-record durability.
     group: Option<Group>,
+    /// Every delivery receipt in WAL order, positioned by its WAL
+    /// sequence — the backfill cursor a failover coordinator pages
+    /// through ([`ReceiptStore::deliveries_since`]). Receipts recovered
+    /// from a snapshot (whose covering segments were pruned) carry seq 0.
+    delivery_log: Vec<DeliveryMark>,
+}
+
+/// One delivery receipt positioned by its receipt-WAL sequence number.
+///
+/// Carries the file *name* rather than its [`FileId`]: ids are local to
+/// one store, names are the cross-server join key a standby uses to mark
+/// the failed home's deliveries against its own replicated arrivals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeliveryMark {
+    /// WAL sequence of the delivery record (0 = recovered from a
+    /// snapshot whose WAL coverage was pruned).
+    pub seq: u64,
+    /// The delivered file's id in *this* store.
+    pub file: FileId,
+    /// The delivered file's original deposited name.
+    pub file_name: String,
+    /// Who it was delivered to.
+    pub subscriber: String,
 }
 
 /// In-flight group-commit state.
@@ -220,11 +243,41 @@ impl ReceiptStore {
             recovery.snapshot_records = n;
         }
 
+        // Snapshot-covered deliveries pre-date the surviving WAL: they
+        // enter the backfill log at seq 0, in (file id, subscriber)
+        // order, so a cursor of 0 always replays the full delivered set.
+        let mut delivery_log: Vec<DeliveryMark> = Vec::new();
+        {
+            let mut ids: Vec<u64> = tables.delivered.keys().copied().collect();
+            ids.sort_unstable();
+            for id in ids {
+                let Some(name) = tables.files.get(&id).map(|f| f.name.clone()) else {
+                    continue;
+                };
+                for sub in &tables.delivered[&id] {
+                    delivery_log.push(DeliveryMark {
+                        seq: 0,
+                        file: FileId(id),
+                        file_name: name.clone(),
+                        subscriber: sub.clone(),
+                    });
+                }
+            }
+        }
+
         let wal_dir = format!("{dir}/wal");
         let mut wal_records = 0u64;
-        let wal = Wal::open(store.clone(), &wal_dir, |_, payload| {
+        let wal = Wal::open(store.clone(), &wal_dir, |seq, payload| {
             if let Ok(rec) = Record::decode(payload) {
                 wal_records += 1;
+                if let Record::Delivery {
+                    file,
+                    ref subscriber,
+                    ..
+                } = rec
+                {
+                    Self::push_mark(&tables, &mut delivery_log, seq, file, subscriber);
+                }
                 tables.apply(rec);
             }
         })?;
@@ -252,6 +305,7 @@ impl ReceiptStore {
                 wal,
                 tables,
                 group: None,
+                delivery_log,
             }),
             ids,
             recovery,
@@ -332,22 +386,24 @@ impl ReceiptStore {
 
     /// Log one encoded record: straight to the WAL normally, or into the
     /// group buffer (flushing at `max`) inside a group-commit window.
-    fn log_bytes(inner: &mut Inner, bytes: Vec<u8>) -> Result<(), ReceiptError> {
-        let flush_now = match inner.group.as_mut() {
+    /// Returns the record's WAL sequence; inside a group window the
+    /// sequence is the one the buffered record *will* receive at flush
+    /// (batch appends assign consecutive sequences and nothing else can
+    /// interleave while the window is open).
+    fn log_bytes(inner: &mut Inner, bytes: Vec<u8>) -> Result<u64, ReceiptError> {
+        let next = inner.wal.next_seq();
+        let (seq, flush_now) = match inner.group.as_mut() {
             Some(g) => {
                 g.pending.push(bytes);
                 g.stats.records += 1;
-                g.pending.len() >= g.max
+                (next + g.pending.len() as u64 - 1, g.pending.len() >= g.max)
             }
-            None => {
-                inner.wal.append(&bytes)?;
-                return Ok(());
-            }
+            None => return Ok(inner.wal.append(&bytes)?),
         };
         if flush_now {
             Self::flush_group(inner)?;
         }
-        Ok(())
+        Ok(seq)
     }
 
     /// Durably append every buffered group record in one batched WAL
@@ -398,10 +454,52 @@ impl ReceiptStore {
         flushed.map(|()| stats)
     }
 
+    /// Record a delivery in the backfill log unless it is a duplicate
+    /// (the tables dedupe; the log must match them) or the file is
+    /// unknown (nothing to name the mark with).
+    fn push_mark(
+        tables: &Tables,
+        log: &mut Vec<DeliveryMark>,
+        seq: u64,
+        file: FileId,
+        subscriber: &str,
+    ) {
+        let already = tables
+            .delivered
+            .get(&file.raw())
+            .map(|s| s.contains(subscriber))
+            .unwrap_or(false);
+        if already {
+            return;
+        }
+        let Some(name) = tables.files.get(&file.raw()).map(|f| f.name.clone()) else {
+            return;
+        };
+        log.push(DeliveryMark {
+            seq,
+            file,
+            file_name: name,
+            subscriber: subscriber.to_string(),
+        });
+    }
+
     fn log_and_apply(&self, rec: Record) -> Result<(), ReceiptError> {
         let bytes = rec.encode();
         let mut inner = self.inner.lock();
-        Self::log_bytes(&mut inner, bytes)?;
+        let seq = Self::log_bytes(&mut inner, bytes)?;
+        if let Record::Delivery {
+            file,
+            ref subscriber,
+            ..
+        } = rec
+        {
+            let Inner {
+                tables,
+                delivery_log,
+                ..
+            } = &mut *inner;
+            Self::push_mark(tables, delivery_log, seq, file, subscriber);
+        }
         inner.tables.apply(rec);
         Ok(())
     }
@@ -520,6 +618,39 @@ impl ReceiptStore {
             .get(&file.raw())
             .map(|s| s.contains(subscriber))
             .unwrap_or(false)
+    }
+
+    /// The current backfill cursor: the WAL sequence the *next* record
+    /// will receive. `deliveries_since(cursor)` returns only receipts
+    /// recorded after this point; `deliveries_since(0)` replays all.
+    pub fn delivery_cursor(&self) -> u64 {
+        self.inner.lock().wal.next_seq()
+    }
+
+    /// Delivery receipts whose WAL sequence is ≥ `from_seq`, in WAL
+    /// order. This is the query behind cross-server backfill: a failover
+    /// coordinator pages through the failed home's delivered set (by file
+    /// *name* — ids are store-local) so the new home can mark them
+    /// against its replicated arrivals and deliver only the remainder.
+    /// Receipts recovered from a snapshot carry seq 0 and are therefore
+    /// always included when paging from the start.
+    pub fn deliveries_since(&self, from_seq: u64) -> Vec<DeliveryMark> {
+        let inner = self.inner.lock();
+        let start = inner.delivery_log.partition_point(|m| m.seq < from_seq);
+        inner.delivery_log[start..].to_vec()
+    }
+
+    /// Look up a live file by its original deposited name (linear scan —
+    /// the cross-server backfill join; names are unique per retention
+    /// window in practice, the first match in id order wins).
+    pub fn file_by_name(&self, name: &str) -> Option<FileRecord> {
+        let inner = self.inner.lock();
+        inner
+            .tables
+            .files
+            .values()
+            .find(|f| f.name == name)
+            .cloned()
     }
 
     /// Compute a subscriber's **delivery queue**: all live files in any of
@@ -1060,6 +1191,96 @@ mod tests {
         db.record_arrival_prepared(&t, TimePoint::from_secs(123))
             .unwrap();
         assert_eq!(wal_dump(&a), wal_dump(&b));
+    }
+
+    #[test]
+    fn delivery_cursor_pages_and_survives_recovery() {
+        let store = MemFs::shared(SimClock::new());
+        let (f1, f2, cursor_mid);
+        {
+            let db = open(&store);
+            f1 = arrive(&db, "a.csv", &["F"], 100);
+            f2 = arrive(&db, "b.csv", &["F"], 200);
+            db.record_delivery(f1, "s1", TimePoint::from_secs(150))
+                .unwrap();
+            cursor_mid = db.delivery_cursor();
+            db.record_delivery(f2, "s1", TimePoint::from_secs(250))
+                .unwrap();
+            db.record_delivery(f1, "s2", TimePoint::from_secs(260))
+                .unwrap();
+            // duplicates never re-enter the log
+            db.record_delivery(f1, "s1", TimePoint::from_secs(270))
+                .unwrap();
+
+            let all = db.deliveries_since(0);
+            assert_eq!(all.len(), 3);
+            assert_eq!(all[0].file_name, "a.csv");
+            assert_eq!(all[0].subscriber, "s1");
+            // marks are ordered by WAL sequence and pageable mid-stream
+            let tail = db.deliveries_since(cursor_mid);
+            assert_eq!(tail.len(), 2);
+            assert_eq!(tail[0].file_name, "b.csv");
+            assert_eq!(tail[1].subscriber, "s2");
+            assert!(db.deliveries_since(db.delivery_cursor()).is_empty());
+        } // crash
+        let db = open(&store);
+        // WAL replay rebuilds the log with the original sequences
+        assert_eq!(db.deliveries_since(0).len(), 3);
+        assert_eq!(db.deliveries_since(cursor_mid).len(), 2);
+    }
+
+    #[test]
+    fn delivery_cursor_covers_snapshot_receipts_at_seq_zero() {
+        let store = MemFs::shared(SimClock::new());
+        {
+            let db = open(&store);
+            let f1 = arrive(&db, "a.csv", &["F"], 100);
+            db.record_delivery(f1, "s1", TimePoint::from_secs(150))
+                .unwrap();
+            db.snapshot().unwrap(); // prunes the covering WAL segments
+            let f2 = arrive(&db, "b.csv", &["F"], 200);
+            db.record_delivery(f2, "s1", TimePoint::from_secs(250))
+                .unwrap();
+        }
+        let db = open(&store);
+        let all = db.deliveries_since(0);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].seq, 0, "snapshot-covered receipt enters at seq 0");
+        assert_eq!(all[0].file_name, "a.csv");
+        assert!(all[1].seq > 0, "post-snapshot receipt keeps its WAL seq");
+        assert_eq!(all[1].file_name, "b.csv");
+    }
+
+    #[test]
+    fn delivery_cursor_group_commit_sequences_match_flushed_wal() {
+        let store = MemFs::shared(SimClock::new());
+        let db = open(&store);
+        let f1 = arrive(&db, "a.csv", &["F"], 100);
+        let f2 = arrive(&db, "b.csv", &["F"], 200);
+        db.begin_group(64);
+        db.record_delivery(f1, "s1", TimePoint::from_secs(300))
+            .unwrap();
+        db.record_delivery(f2, "s1", TimePoint::from_secs(301))
+            .unwrap();
+        db.end_group().unwrap();
+        let predicted: Vec<u64> = db.deliveries_since(1).iter().map(|m| m.seq).collect();
+        drop(db);
+        // replay assigns the real sequences: they must match the
+        // predictions made while the records were still buffered
+        let db = open(&store);
+        let replayed: Vec<u64> = db.deliveries_since(1).iter().map(|m| m.seq).collect();
+        assert_eq!(predicted, replayed);
+    }
+
+    #[test]
+    fn file_by_name_finds_live_files_only() {
+        let store = MemFs::shared(SimClock::new());
+        let db = open(&store);
+        let f1 = arrive(&db, "a.csv", &["F"], 100);
+        assert_eq!(db.file_by_name("a.csv").unwrap().id, f1);
+        assert!(db.file_by_name("missing.csv").is_none());
+        db.record_expiration(f1, TimePoint::from_secs(500)).unwrap();
+        assert!(db.file_by_name("a.csv").is_none());
     }
 
     #[test]

@@ -599,6 +599,54 @@ mod tests {
     }
 
     #[test]
+    fn legacy_segment_coexists_with_headered_segments() {
+        // Regression for the mixed case: a pre-"BSG1" headerless segment
+        // followed by headered segments must replay as one continuous
+        // sequence — the legacy segment numbers from the running
+        // sequence, the headered one from its pinned base — and reopen
+        // must keep appending where the stream left off.
+        let store = mem();
+        // hand-build the legacy segment: raw frames, no magic
+        let mut legacy = Vec::new();
+        for p in [b"old-1".as_slice(), b"old-2".as_slice()] {
+            legacy.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            legacy.extend_from_slice(&crc32(p).to_le_bytes());
+            legacy.extend_from_slice(p);
+        }
+        store.create_dir_all("wal").unwrap();
+        store.write("wal/0000000001.seg", &legacy).unwrap();
+
+        {
+            let mut wal = Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
+            assert_eq!(wal.next_seq(), 3, "legacy records must count");
+            assert_eq!(wal.append(b"new-3").unwrap(), 3);
+            wal.rotate().unwrap(); // segment 2 gets an eager "BSG1" header
+            assert_eq!(wal.append(b"new-4").unwrap(), 4);
+        }
+        // on disk: segment 1 is still headerless, segment 2 is headered
+        // and pinned at the running sequence
+        assert!(segment_header(&store.read("wal/0000000001.seg").unwrap()).is_none());
+        assert_eq!(
+            segment_header(&store.read("wal/0000000002.seg").unwrap()).map(|(first, _)| first),
+            Some(4)
+        );
+        // mixed replay is one continuous, correctly numbered stream
+        let recs = replayed(&store);
+        assert_eq!(
+            recs,
+            vec![
+                (1, b"old-1".to_vec()),
+                (2, b"old-2".to_vec()),
+                (3, b"new-3".to_vec()),
+                (4, b"new-4".to_vec()),
+            ]
+        );
+        // and a further reopen keeps the sequence going
+        let mut wal = Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();
+        assert_eq!(wal.append(b"new-5").unwrap(), 5);
+    }
+
+    #[test]
     fn prune_keeps_uncovered() {
         let store = mem();
         let mut wal = Wal::open(store.clone() as Arc<dyn FileStore>, "wal", |_, _| {}).unwrap();

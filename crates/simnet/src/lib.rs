@@ -312,6 +312,54 @@ pub fn aggregate_feed(
     cfg
 }
 
+/// A partitioned multi-server workload: `groups` feed groups, each with
+/// `kinds_per_group` subfeeds whose name tokens embed the group
+/// (`ALPHA_CPU`, `ALPHA_MEM`, `BETA_CPU`, …), so every generated
+/// filename classifies into exactly one group. Pair with
+/// [`partitioned_config`] for the matching cluster configuration.
+pub fn partitioned_fleet(
+    groups: &[&str],
+    kinds_per_group: usize,
+    pollers: u32,
+    duration: TimeSpan,
+    seed: u64,
+) -> FleetConfig {
+    let kinds = ["CPU", "MEM", "BPS", "PPS", "ALARM", "TOPO"];
+    let subfeeds = groups
+        .iter()
+        .flat_map(|g| {
+            (0..kinds_per_group).map(move |i| SubfeedSpec {
+                name: format!("{g}_{}", kinds[i % kinds.len()]),
+                style: NameStyle::CompactFull,
+                ext: "csv".to_string(),
+                period: TimeSpan::from_mins(5),
+                size_range: (5_000, 50_000),
+            })
+        })
+        .collect();
+    let mut cfg = FleetConfig::standard(pollers, subfeeds, duration);
+    cfg.seed = seed;
+    cfg
+}
+
+/// Bistro configuration text matching [`partitioned_fleet`]: one
+/// hierarchical feed per (group, kind) — `feed ALPHA/CPU` matching the
+/// `ALPHA_CPU_poller…` names — carrying that group's fault-tolerance
+/// `policy`. Feed it to every cluster member and the cluster ingress.
+pub fn partitioned_config(groups: &[(&str, &str)], kinds_per_group: usize) -> String {
+    let kinds = ["CPU", "MEM", "BPS", "PPS", "ALARM", "TOPO"];
+    let mut out = String::from("server { retention 7d; }\n");
+    for (g, policy) in groups {
+        for i in 0..kinds_per_group {
+            let kind = kinds[i % kinds.len()];
+            out.push_str(&format!(
+                "feed {g}/{kind} {{\n    pattern \"{g}_{kind}_poller%i_%Y%m%d%H%M.csv\";\n    policy {policy};\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,6 +506,33 @@ mod tests {
         let files = generate(&cfg);
         assert_eq!(files.len(), 12 * 2 + 12 * 5);
         assert!(files.iter().any(|f| f.poller == 5));
+    }
+
+    #[test]
+    fn partitioned_fleet_names_embed_their_group() {
+        let cfg = partitioned_fleet(&["ALPHA", "BETA"], 2, 2, TimeSpan::from_mins(30), 9);
+        let files = generate(&cfg);
+        // 2 groups × 2 kinds × 2 pollers × 6 intervals
+        assert_eq!(files.len(), 2 * 2 * 2 * 6);
+        assert!(files
+            .iter()
+            .all(|f| f.name.starts_with("ALPHA_") || f.name.starts_with("BETA_")));
+        // deterministic under the seed
+        let again = generate(&cfg);
+        assert_eq!(
+            files.iter().map(|f| &f.name).collect::<Vec<_>>(),
+            again.iter().map(|f| &f.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn partitioned_config_declares_one_feed_per_group_kind() {
+        let src = partitioned_config(&[("ALPHA", "failover"), ("BETA", "spill")], 2);
+        assert!(src.contains("feed ALPHA/CPU"));
+        assert!(src.contains("feed BETA/MEM"));
+        assert_eq!(src.matches("policy failover;").count(), 2);
+        assert_eq!(src.matches("policy spill;").count(), 2);
+        assert!(src.contains("pattern \"ALPHA_CPU_poller%i_%Y%m%d%H%M.csv\""));
     }
 
     #[test]

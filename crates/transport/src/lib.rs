@@ -37,7 +37,7 @@ pub mod trigger;
 pub use adaptive::AdaptiveBatcher;
 pub use batching::{BatchOutcome, Batcher};
 pub use client::{PendingFile, SubscriberClient};
-pub use messages::{Message, ReliableMsg, SourceMsg, SubscriberMsg};
+pub use messages::{ClusterMsg, Message, ReliableMsg, SourceMsg, SubscriberMsg};
 pub use net::{FaultPlan, FaultSpec, LinkFlap, LinkSpec, SimNetwork};
 pub use reliable::{RetryPolicy, RetryRound, RetryTracker};
 pub use trigger::{expand_command, Invocation, TriggerLog};

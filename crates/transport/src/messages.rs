@@ -107,6 +107,84 @@ pub enum ReliableMsg {
     },
 }
 
+/// Cluster control-plane and server↔server data-channel messages.
+///
+/// The directory protocol (`DirLookup`/`DirHome`/`DirAssign`) maps feed
+/// groups to home servers and fences every assignment with an epoch so a
+/// stale home can be told apart from the current one after a failover.
+/// `Replicate` is the server-to-server channel a failover-policy feed's
+/// deposits travel on; `BackfillPage` streams the failed home's delivery
+/// receipts (positioned by a receipt-WAL sequence cursor) to the new
+/// home so re-homed subscribers are backfilled exactly once.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterMsg {
+    /// Server → directory: liveness beacon.
+    Heartbeat {
+        /// The sending server's name.
+        server: String,
+        /// The directory epoch the sender last observed.
+        epoch: u64,
+    },
+    /// Any node → directory: who homes this feed group?
+    DirLookup {
+        /// Feed-group name (top-level feed-name prefix).
+        group: String,
+    },
+    /// Directory → asker: current home for the group.
+    DirHome {
+        /// Feed-group name.
+        group: String,
+        /// Home server name (empty = unassigned).
+        home: String,
+        /// Assignment epoch.
+        epoch: u64,
+    },
+    /// Directory → members: the group was (re-)assigned — a failover
+    /// bumps the epoch, and members discard assignments with a stale one.
+    DirAssign {
+        /// Feed-group name.
+        group: String,
+        /// New home server name.
+        home: String,
+        /// Assignment epoch.
+        epoch: u64,
+    },
+    /// Home → standby: replicate one deposited file (the server-to-server
+    /// data channel backing the `failover` policy).
+    Replicate {
+        /// Feed-group the file classified into.
+        group: String,
+        /// Deposited filename (landing-relative).
+        name: String,
+        /// File body.
+        payload: Vec<u8>,
+    },
+    /// New home → directory: request the failed home's delivery receipts
+    /// for one subscriber, starting at a receipt-WAL sequence cursor.
+    BackfillRequest {
+        /// Feed-group being re-homed.
+        group: String,
+        /// Subscriber whose delivered-set is wanted.
+        subscriber: String,
+        /// Resume cursor: receipt-WAL sequence to start from.
+        from_seq: u64,
+    },
+    /// Directory → new home: one page of the failed home's delivery
+    /// receipts (file *names* — receipt ids are store-local).
+    BackfillPage {
+        /// Feed-group being re-homed.
+        group: String,
+        /// Subscriber the page belongs to.
+        subscriber: String,
+        /// Delivered file names in this page.
+        delivered: Vec<String>,
+        /// Cursor for the next page.
+        next_seq: u64,
+        /// True on the final page: re-homing may complete.
+        done: bool,
+    },
+}
+
 /// Any protocol message (what travels on a [`crate::net::SimNetwork`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Message {
@@ -116,6 +194,8 @@ pub enum Message {
     Subscriber(SubscriberMsg),
     /// The reliable-delivery envelope (either direction).
     Reliable(ReliableMsg),
+    /// Cluster control plane / server↔server channel.
+    Cluster(ClusterMsg),
 }
 
 impl BatchCloseReason {
@@ -144,6 +224,13 @@ const TAG_AVAILABLE: u8 = 4;
 const TAG_BATCH: u8 = 5;
 const TAG_ATTEMPT: u8 = 6;
 const TAG_ACK: u8 = 7;
+const TAG_HEARTBEAT: u8 = 8;
+const TAG_DIR_LOOKUP: u8 = 9;
+const TAG_DIR_HOME: u8 = 10;
+const TAG_DIR_ASSIGN: u8 = 11;
+const TAG_REPLICATE: u8 = 12;
+const TAG_BACKFILL_REQ: u8 = 13;
+const TAG_BACKFILL_PAGE: u8 = 14;
 
 impl Message {
     /// Encode to wire bytes.
@@ -214,6 +301,64 @@ impl Message {
                 w.put_varint(file.raw());
                 w.put_varint(*attempt as u64);
             }
+            Message::Cluster(ClusterMsg::Heartbeat { server, epoch }) => {
+                w.put_u8(TAG_HEARTBEAT);
+                w.put_str(server);
+                w.put_varint(*epoch);
+            }
+            Message::Cluster(ClusterMsg::DirLookup { group }) => {
+                w.put_u8(TAG_DIR_LOOKUP);
+                w.put_str(group);
+            }
+            Message::Cluster(ClusterMsg::DirHome { group, home, epoch }) => {
+                w.put_u8(TAG_DIR_HOME);
+                w.put_str(group);
+                w.put_str(home);
+                w.put_varint(*epoch);
+            }
+            Message::Cluster(ClusterMsg::DirAssign { group, home, epoch }) => {
+                w.put_u8(TAG_DIR_ASSIGN);
+                w.put_str(group);
+                w.put_str(home);
+                w.put_varint(*epoch);
+            }
+            Message::Cluster(ClusterMsg::Replicate {
+                group,
+                name,
+                payload,
+            }) => {
+                w.put_u8(TAG_REPLICATE);
+                w.put_str(group);
+                w.put_str(name);
+                w.put_bytes(payload);
+            }
+            Message::Cluster(ClusterMsg::BackfillRequest {
+                group,
+                subscriber,
+                from_seq,
+            }) => {
+                w.put_u8(TAG_BACKFILL_REQ);
+                w.put_str(group);
+                w.put_str(subscriber);
+                w.put_varint(*from_seq);
+            }
+            Message::Cluster(ClusterMsg::BackfillPage {
+                group,
+                subscriber,
+                delivered,
+                next_seq,
+                done,
+            }) => {
+                w.put_u8(TAG_BACKFILL_PAGE);
+                w.put_str(group);
+                w.put_str(subscriber);
+                w.put_varint(delivered.len() as u64);
+                for name in delivered {
+                    w.put_str(name);
+                }
+                w.put_varint(*next_seq);
+                w.put_u8(u8::from(*done));
+            }
         }
         w.into_bytes()
     }
@@ -282,6 +427,49 @@ impl Message {
                 file: FileId(r.get_varint()?),
                 attempt: r.get_varint()? as u32,
             }),
+            TAG_HEARTBEAT => Message::Cluster(ClusterMsg::Heartbeat {
+                server: r.get_str()?.to_string(),
+                epoch: r.get_varint()?,
+            }),
+            TAG_DIR_LOOKUP => Message::Cluster(ClusterMsg::DirLookup {
+                group: r.get_str()?.to_string(),
+            }),
+            TAG_DIR_HOME => Message::Cluster(ClusterMsg::DirHome {
+                group: r.get_str()?.to_string(),
+                home: r.get_str()?.to_string(),
+                epoch: r.get_varint()?,
+            }),
+            TAG_DIR_ASSIGN => Message::Cluster(ClusterMsg::DirAssign {
+                group: r.get_str()?.to_string(),
+                home: r.get_str()?.to_string(),
+                epoch: r.get_varint()?,
+            }),
+            TAG_REPLICATE => Message::Cluster(ClusterMsg::Replicate {
+                group: r.get_str()?.to_string(),
+                name: r.get_str()?.to_string(),
+                payload: r.get_bytes()?.to_vec(),
+            }),
+            TAG_BACKFILL_REQ => Message::Cluster(ClusterMsg::BackfillRequest {
+                group: r.get_str()?.to_string(),
+                subscriber: r.get_str()?.to_string(),
+                from_seq: r.get_varint()?,
+            }),
+            TAG_BACKFILL_PAGE => {
+                let group = r.get_str()?.to_string();
+                let subscriber = r.get_str()?.to_string();
+                let n = r.get_varint()? as usize;
+                let mut delivered = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    delivered.push(r.get_str()?.to_string());
+                }
+                Message::Cluster(ClusterMsg::BackfillPage {
+                    group,
+                    subscriber,
+                    delivered,
+                    next_seq: r.get_varint()?,
+                    done: r.get_u8()? != 0,
+                })
+            }
             other => {
                 return Err(CodecError::BadTag {
                     what: "transport message",
@@ -354,6 +542,40 @@ mod tests {
             Message::Reliable(ReliableMsg::Ack {
                 file: FileId(9),
                 attempt: 3,
+            }),
+            Message::Cluster(ClusterMsg::Heartbeat {
+                server: "bistro-east".to_string(),
+                epoch: 4,
+            }),
+            Message::Cluster(ClusterMsg::DirLookup {
+                group: "SNMP".to_string(),
+            }),
+            Message::Cluster(ClusterMsg::DirHome {
+                group: "SNMP".to_string(),
+                home: "bistro-east".to_string(),
+                epoch: 4,
+            }),
+            Message::Cluster(ClusterMsg::DirAssign {
+                group: "SNMP".to_string(),
+                home: "bistro-west".to_string(),
+                epoch: 5,
+            }),
+            Message::Cluster(ClusterMsg::Replicate {
+                group: "SNMP".to_string(),
+                name: "MEMORY_poller1_201009250000.csv".to_string(),
+                payload: b"body bytes".to_vec(),
+            }),
+            Message::Cluster(ClusterMsg::BackfillRequest {
+                group: "SNMP".to_string(),
+                subscriber: "warehouse".to_string(),
+                from_seq: 17,
+            }),
+            Message::Cluster(ClusterMsg::BackfillPage {
+                group: "SNMP".to_string(),
+                subscriber: "warehouse".to_string(),
+                delivered: vec!["a.csv".to_string(), "b.csv".to_string()],
+                next_seq: 19,
+                done: true,
             }),
         ];
         for m in msgs {

@@ -263,7 +263,15 @@ impl SimNetwork {
             }
         }
         let size = msg.wire_size();
-        let ser = TimeSpan::from_micros(size.saturating_mul(1_000_000) / spec.bandwidth.max(1));
+        // Round the serialization delay *up* to at least 1 µs: integer
+        // division would truncate to zero for any message smaller than
+        // bandwidth/1e6 bytes, letting small messages occupy the link for
+        // no time at all and never contend with each other.
+        let ser = TimeSpan::from_micros(
+            size.saturating_mul(1_000_000)
+                .div_ceil(spec.bandwidth.max(1))
+                .max(1),
+        );
         let done_sending = begin + ser;
         inner.link_state.entry(key.clone()).or_default().busy_until = done_sending;
         let arrival = done_sending + spec.latency;
@@ -407,6 +415,26 @@ mod tests {
         let a1 = net.send(t(0), "a", "b", msg(0));
         let a2 = net.send(t(0), "a", "b", msg(0));
         assert!(a2 > a1, "second message waits for the first");
+    }
+
+    #[test]
+    fn small_sends_still_occupy_the_link() {
+        // Regression: serialization time truncated to 0 µs for messages
+        // smaller than bandwidth/1e6 bytes, so back-to-back small sends
+        // shared one busy_until and contention was never modeled. The
+        // delay now rounds up to ≥1 µs, so the second send's arrival
+        // (busy_until + fixed latency) is strictly later.
+        let net = SimNetwork::new(LinkSpec {
+            bandwidth: 100_000_000, // 100 MB/s: header-only msgs are < 100 B
+            latency: TimeSpan::from_millis(1),
+        });
+        let a1 = net.send(t(0), "a", "b", msg(0));
+        let a2 = net.send(t(0), "a", "b", msg(0));
+        assert!(
+            a2 > a1,
+            "back-to-back small sends must get distinct busy_until: {a1:?} vs {a2:?}"
+        );
+        assert!(a2 >= a1 + TimeSpan::from_micros(1));
     }
 
     #[test]

@@ -181,9 +181,12 @@ impl RetryTracker {
         if self.policy.jitter <= 0.0 {
             return nominal;
         }
-        // uniform in [1-jitter, 1+jitter]
+        // uniform in [1-jitter, 1+jitter], re-clamped at max_timeout:
+        // `timeout_for` caps the *nominal* timeout, so without the final
+        // min() an upward jitter draw could schedule a deadline as far as
+        // (1+jitter)·max_timeout out, past the policy's stated ceiling.
         let f = 1.0 + self.policy.jitter * (2.0 * self.rng.next_f64() - 1.0);
-        TimeSpan::from_micros((nominal.as_micros() as f64 * f) as u64)
+        TimeSpan::from_micros((nominal.as_micros() as f64 * f) as u64).min(self.policy.max_timeout)
     }
 
     /// Register attempt 1 of a send made at `now`; returns the attempt
@@ -286,6 +289,15 @@ impl RetryTracker {
         self.metrics.exhausted.add(round.exhausted.len() as u64);
         self.metrics.outstanding.set(self.outstanding.len() as i64);
         round
+    }
+
+    /// The scheduled retransmission deadline for `(subscriber, file)`,
+    /// if outstanding — test-only visibility for the jitter-cap bound.
+    #[cfg(test)]
+    fn deadline_of(&self, subscriber: &str, file: FileId) -> Option<TimePoint> {
+        self.outstanding
+            .get(&(subscriber.to_string(), file.raw()))
+            .map(|o| o.deadline)
     }
 
     /// How long the oldest unacked send has been waiting, as of `now`.
@@ -405,6 +417,54 @@ mod tests {
         assert_eq!(a, deadlines(1), "same seed, same schedule");
         // bounded by [5, 15] for a 10-second base timeout
         assert!(a[0] >= 5 && a[0] <= 15, "{a:?}");
+    }
+
+    #[test]
+    fn prop_jittered_deadline_never_exceeds_max_timeout_cap() {
+        // Regression: `jittered` scaled the nominal timeout *after*
+        // `timeout_for` applied the max_timeout cap, so an upward jitter
+        // draw could schedule a deadline up to (1+jitter)·max_timeout
+        // out. Inductively, lapsing each attempt exactly at its deadline,
+        // attempt k's deadline must stay within first_sent +
+        // max_timeout·k.
+        use bistro_base::prop::Runner;
+        use bistro_base::prop_assert;
+        Runner::new("retry_deadline_cap").cases(64).run(
+            |rng| {
+                (
+                    rng.gen_range(0u64..1 << 48), // tracker seed
+                    rng.gen_range(1u64..=60),     // base timeout (s)
+                    rng.gen_range(1u64..=90),     // max timeout (s)
+                    rng.gen_range(1u64..=100),    // jitter (% of nominal)
+                )
+            },
+            |&(seed, base, maxt, jitter_pct)| {
+                let p = RetryPolicy {
+                    base_timeout: TimeSpan::from_secs(base),
+                    backoff: 3,
+                    max_timeout: TimeSpan::from_secs(maxt),
+                    max_attempts: 8,
+                    jitter: jitter_pct as f64 / 100.0,
+                };
+                let mut tr = RetryTracker::new(p, seed);
+                let first_sent = t(0);
+                tr.track("s", FileId(1), msg(1), first_sent);
+                let mut attempts = 1u64;
+                while let Some(deadline) = tr.deadline_of("s", FileId(1)) {
+                    let cap = first_sent + p.max_timeout.saturating_mul(attempts);
+                    prop_assert!(
+                        deadline <= cap,
+                        "attempt {} deadline {:?} exceeds first_sent + max_timeout*attempts = {:?}",
+                        attempts,
+                        deadline,
+                        cap
+                    );
+                    tr.due(deadline); // lapse exactly at the deadline
+                    attempts += 1;
+                }
+                Ok(())
+            },
+        );
     }
 
     #[test]
