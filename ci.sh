@@ -78,6 +78,18 @@ stage_parallel() {
   [ "$snap_a" = "$snap_g" ] || { echo "status --json differs with --group 3" >&2; exit 1; }
 }
 
+# Model-checking stage: bounded exhaustive exploration of reliable
+# delivery, crash-restart and failover interleavings (DESIGN.md §11).
+# Uncaptured so the `[mc] scenario=… states=… elapsed_ms=…` counters
+# land in the build log. Runs the scenario file in release mode with a
+# raised state cap: the same scenarios that cover ~20k distinct states
+# under a plain `cargo test` exhaust >100k here in similar wall time.
+stage_mc() {
+  cargo test -q --offline -p bistro-mc -- --nocapture
+  BISTRO_MC_STATES=60000 \
+    cargo test -q --release --offline --test model_check -- --nocapture
+}
+
 stage_lint() {
   cargo clippy --offline --all-targets -- -D warnings
   cargo fmt --check
@@ -104,17 +116,18 @@ stage_all() {
   stage_distributed
   stage_telemetry
   stage_parallel
+  stage_mc
   stage_lint
   stage_bench
 }
 
 stage="${1:-all}"
 case "$stage" in
-  build|test|faults|crash|distributed|telemetry|parallel|lint|bench|all)
+  build|test|faults|crash|distributed|telemetry|parallel|mc|lint|bench|all)
     "stage_$stage"
     ;;
   *)
-    echo "usage: ./ci.sh [build|test|faults|crash|distributed|telemetry|parallel|lint|bench|all]" >&2
+    echo "usage: ./ci.sh [build|test|faults|crash|distributed|telemetry|parallel|mc|lint|bench|all]" >&2
     exit 2
     ;;
 esac

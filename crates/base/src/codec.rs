@@ -24,6 +24,12 @@ pub enum CodecError {
     },
     /// Bytes claimed to be UTF-8 were not.
     InvalidUtf8,
+    /// Input bytes were left over after a complete value was decoded —
+    /// the frame is longer than the value it claims to carry.
+    TrailingBytes {
+        /// How many bytes remained unconsumed.
+        n: usize,
+    },
     /// An enum tag had no corresponding variant.
     BadTag {
         /// What was being decoded.
@@ -42,6 +48,9 @@ impl fmt::Display for CodecError {
             CodecError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
             CodecError::BadLength { len } => write!(f, "implausible length prefix {len}"),
             CodecError::InvalidUtf8 => write!(f, "invalid utf-8 in string field"),
+            CodecError::TrailingBytes { n } => {
+                write!(f, "{n} trailing bytes after a complete value")
+            }
             CodecError::BadTag { what, tag } => {
                 write!(f, "unrecognized tag {tag} while decoding {what}")
             }

@@ -202,6 +202,8 @@ struct ClusterMetrics {
     replicated: Arc<Counter>,
     replica_applied: Arc<Counter>,
     replica_dropped: Arc<Counter>,
+    replica_rejected: Arc<Counter>,
+    stale_assigns: Arc<Counter>,
     spilled: Arc<Counter>,
     spill_replayed: Arc<Counter>,
     discarded: Arc<Counter>,
@@ -223,6 +225,8 @@ impl ClusterMetrics {
             replicated: reg.counter("cluster.replicated"),
             replica_applied: reg.counter("cluster.replica_applied"),
             replica_dropped: reg.counter("cluster.replica_dropped"),
+            replica_rejected: reg.counter("cluster.replica_rejected"),
+            stale_assigns: reg.counter("cluster.stale_assigns"),
             spilled: reg.counter("cluster.spilled"),
             spill_replayed: reg.counter("cluster.spill_replayed"),
             discarded: reg.counter("cluster.discarded"),
@@ -276,6 +280,10 @@ pub struct Cluster {
     defs: BTreeMap<(String, String), SubscriberDef>,
     /// Re-homings awaiting their final backfill page.
     rehomes: BTreeMap<(String, String), Rehome>,
+    /// Epoch-fence replicas at the receiving member (default on). The
+    /// model checker's revert-verified regression disables this to
+    /// reproduce the in-flight-replicate vs. backfill-marking race.
+    replica_fence: bool,
     telemetry: SharedRegistry,
     metrics: ClusterMetrics,
     alarms: AlarmSet,
@@ -328,6 +336,7 @@ impl Cluster {
             spill: BTreeMap::new(),
             defs: BTreeMap::new(),
             rehomes: BTreeMap::new(),
+            replica_fence: true,
             telemetry,
             metrics,
             alarms,
@@ -468,6 +477,7 @@ impl Cluster {
                 })
                 .unwrap_or_default();
             let home = entry.home.clone();
+            let group_epoch = entry.epoch;
             let standby = entry
                 .standbys
                 .iter()
@@ -491,6 +501,7 @@ impl Cluster {
                                     group: group.clone(),
                                     name: name.to_string(),
                                     payload: payload.to_vec(),
+                                    epoch: group_epoch,
                                 }),
                             );
                             self.metrics.replicated.inc();
@@ -574,7 +585,7 @@ impl Cluster {
                 let Message::Cluster(msg) = d.msg else {
                     continue;
                 };
-                self.apply_member_msg(&name, msg, now)?;
+                self.handle_member_msg(&name, msg, now)?;
             }
         }
         Ok(n)
@@ -700,36 +711,143 @@ impl Cluster {
             let Message::Cluster(msg) = d.msg else {
                 continue;
             };
-            match msg {
-                ClusterMsg::Heartbeat { server, .. } => {
-                    self.last_seen.insert(server, d.at);
-                    self.metrics.heartbeats.inc();
-                }
-                ClusterMsg::DirLookup { group } => {
-                    if let Some(entry) = self.directory.homes.get(&group) {
-                        self.net.send(
-                            now,
-                            DIRECTORY_ENDPOINT,
-                            &d.from,
-                            Message::Cluster(ClusterMsg::DirHome {
-                                group,
-                                home: entry.home.clone(),
-                                epoch: entry.epoch,
-                            }),
-                        );
-                    }
-                }
-                ClusterMsg::BackfillRequest {
-                    group,
-                    subscriber,
-                    from_seq,
-                } => {
-                    self.serve_backfill(&group, &subscriber, from_seq, &d.from, now)?;
-                }
-                _ => {}
-            }
+            self.handle_directory_msg(&d.from, d.at, msg, now)?;
         }
         Ok(n)
+    }
+
+    /// Apply one message at the directory endpoint — the per-message
+    /// body of the directory drain, exposed so a model checker can
+    /// deliver directory traffic one message at a time in any order.
+    /// `at` is the message's arrival time (feeds heartbeat liveness);
+    /// `now` stamps any replies sent.
+    pub fn handle_directory_msg(
+        &mut self,
+        from: &str,
+        at: TimePoint,
+        msg: ClusterMsg,
+        now: TimePoint,
+    ) -> Result<(), ClusterError> {
+        match msg {
+            ClusterMsg::Heartbeat { server, .. } => {
+                self.last_seen.insert(server, at);
+                self.metrics.heartbeats.inc();
+            }
+            ClusterMsg::DirLookup { group } => {
+                if let Some(entry) = self.directory.homes.get(&group) {
+                    self.net.send(
+                        now,
+                        DIRECTORY_ENDPOINT,
+                        from,
+                        Message::Cluster(ClusterMsg::DirHome {
+                            group,
+                            home: entry.home.clone(),
+                            epoch: entry.epoch,
+                        }),
+                    );
+                }
+            }
+            ClusterMsg::BackfillRequest {
+                group,
+                subscriber,
+                from_seq,
+            } => {
+                self.serve_backfill(&group, &subscriber, from_seq, from, now)?;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Declare `name` failed *now*, without waiting for heartbeat
+    /// silence — the model checker's failure-detection action, which
+    /// abstracts the failure window away just as
+    /// [`RetryTracker::fire_all`] abstracts retry deadlines. Returns
+    /// `false` if the member was already declared dead.
+    ///
+    /// [`RetryTracker::fire_all`]: bistro_transport::RetryTracker::fire_all
+    pub fn declare_failed(&mut self, name: &str, now: TimePoint) -> Result<bool, ClusterError> {
+        if !self.members.contains_key(name) {
+            return Err(ClusterError::UnknownServer(name.to_string()));
+        }
+        if self.dead.contains(name) {
+            return Ok(false);
+        }
+        self.fail_over(name, now)?;
+        Ok(true)
+    }
+
+    /// True if `name` has been declared failed (and not restarted).
+    pub fn is_dead(&self, name: &str) -> bool {
+        self.dead.contains(name)
+    }
+
+    /// Member names, sorted.
+    pub fn member_names(&self) -> Vec<String> {
+        self.members.keys().cloned().collect()
+    }
+
+    /// Disable (or re-enable) the replica epoch fence. Test-only knob
+    /// backing the revert-verified regression: with the fence off, the
+    /// model checker must rediscover the in-flight-replicate race.
+    pub fn set_replica_fence(&mut self, on: bool) {
+        self.replica_fence = on;
+    }
+
+    /// A schedule-independent digest of the cluster's protocol state:
+    /// the directory (epoch + placements), every member's placement
+    /// view, liveness and server state digest, the dead set, spill
+    /// buffers, pending re-homings and registered subscriber slices.
+    /// Combined with [`SimNetwork::in_flight_digest`] this identifies a
+    /// model-checker state; telemetry, logs and timing are excluded.
+    ///
+    /// [`SimNetwork::in_flight_digest`]: bistro_transport::SimNetwork::in_flight_digest
+    pub fn state_digest(&self) -> u64 {
+        use bistro_base::fnv1a64;
+        use std::fmt::Write as _;
+        let mut acc = String::new();
+        let _ = writeln!(acc, "epoch={}", self.directory.epoch);
+        for (g, e) in &self.directory.homes {
+            let _ = writeln!(
+                acc,
+                "dir\0{g}\0{}\0{}\0{}",
+                e.home,
+                e.standbys.join(","),
+                e.epoch
+            );
+        }
+        let mut server_digests = Vec::new();
+        for (name, m) in &self.members {
+            let _ = writeln!(acc, "member\0{name}\0{}", m.server.is_some() as u8);
+            for (g, (h, ep)) in &m.view {
+                let _ = writeln!(acc, "view\0{name}\0{g}\0{h}\0{ep}");
+            }
+            if let Some(s) = &m.server {
+                server_digests.push(s.state_digest());
+            }
+        }
+        for name in &self.dead {
+            let _ = writeln!(acc, "dead\0{name}");
+        }
+        for (g, s) in &self.failover_source {
+            let _ = writeln!(acc, "failsrc\0{g}\0{s}");
+        }
+        for (g, files) in &self.spill {
+            for (name, _) in files {
+                let _ = writeln!(acc, "spill\0{g}\0{name}");
+            }
+        }
+        for ((g, sub), r) in &self.rehomes {
+            let _ = writeln!(acc, "rehome\0{g}\0{sub}\0{}", r.names.join(","));
+        }
+        for (g, sub) in self.defs.keys() {
+            let _ = writeln!(acc, "def\0{g}\0{sub}");
+        }
+        let mut bytes = acc.into_bytes();
+        for d in server_digests {
+            bytes.extend_from_slice(&d.to_le_bytes());
+        }
+        fnv1a64(&bytes)
     }
 
     /// Serve one backfill page for `(group, subscriber)` from the
@@ -843,19 +961,39 @@ impl Cluster {
         Ok(())
     }
 
-    fn apply_member_msg(
+    /// Apply one cluster-control message at member `name`'s control
+    /// endpoint — the per-message body of [`Cluster::pump`], exposed so
+    /// a model checker can deliver control messages one at a time in any
+    /// order. `name` must be a member.
+    pub fn handle_member_msg(
         &mut self,
         name: &str,
         msg: ClusterMsg,
         now: TimePoint,
     ) -> Result<(), ClusterError> {
+        if !self.members.contains_key(name) {
+            return Err(ClusterError::UnknownServer(name.to_string()));
+        }
         match msg {
             ClusterMsg::Replicate {
+                group,
                 name: file,
                 payload,
-                ..
+                epoch,
             } => {
-                let member = self.members.get_mut(name).expect("pumping own member");
+                let member = self.members.get_mut(name).expect("checked above");
+                // Epoch fence: a replica stamped with an epoch older than
+                // this member's view of the group was sent by a deposed
+                // home. Applying it here after backfill marking ran would
+                // deposit the file *fresh* at the promoted standby and
+                // re-deliver it to the re-homed subscriber — the
+                // in-flight-replicate race bistro-mc finds when the fence
+                // is disabled (DESIGN.md §11).
+                let view_epoch = member.view.get(&group).map(|(_, e)| *e).unwrap_or(0);
+                if self.replica_fence && epoch < view_epoch {
+                    self.metrics.replica_rejected.inc();
+                    return Ok(());
+                }
                 match member.server.as_mut() {
                     Some(server) => {
                         server.deposit(&file, &payload)?;
@@ -867,10 +1005,14 @@ impl Cluster {
             ClusterMsg::DirHome { group, home, epoch }
             | ClusterMsg::DirAssign { group, home, epoch } => {
                 let is_assign = {
-                    let member = self.members.get_mut(name).expect("pumping own member");
+                    let member = self.members.get_mut(name).expect("checked above");
                     let seen = member.view.get(&group).map(|(_, e)| *e).unwrap_or(0);
                     if epoch <= seen {
-                        return Ok(()); // stale: epoch fencing
+                        // stale: epoch fencing. Counted so a test (or an
+                        // operator) can see reordered assignments being
+                        // rejected rather than silently swallowed.
+                        self.metrics.stale_assigns.inc();
+                        return Ok(());
                     }
                     member.view.insert(group.clone(), (home.clone(), epoch));
                     home == *name && member.server.is_some()
@@ -1205,5 +1347,135 @@ mod tests {
             .unwrap();
         // 2 backfill-marked replicas + 1 fresh delivery
         assert_eq!(delivered_count(cluster.server("s2").unwrap(), "wh"), 3);
+    }
+
+    #[test]
+    fn stale_dir_assign_is_rejected_and_counted() {
+        let (clock, _net, mut cluster) = harness(&["s1", "s2"]);
+        cluster.assign("SNMP", "s1", &["s2"]).unwrap(); // epoch 1
+        cluster.assign("SNMP", "s2", &["s1"]).unwrap(); // epoch 2
+        let now = clock.now();
+
+        // a DirAssign from before the reassignment arrives late
+        cluster
+            .handle_member_msg(
+                "s1",
+                ClusterMsg::DirAssign {
+                    group: "SNMP".to_string(),
+                    home: "s1".to_string(),
+                    epoch: 1,
+                },
+                now,
+            )
+            .unwrap();
+        // the member's view keeps the newer assignment…
+        assert_eq!(
+            cluster.view_of("s1", "SNMP").unwrap(),
+            ("s2".to_string(), 2)
+        );
+        // …and the rejection is visible in telemetry
+        assert_eq!(
+            cluster.telemetry().counter_value("cluster.stale_assigns"),
+            Some(1)
+        );
+        // an equal-epoch redelivery (a duplicated frame) is also fenced
+        cluster
+            .handle_member_msg(
+                "s1",
+                ClusterMsg::DirAssign {
+                    group: "SNMP".to_string(),
+                    home: "s2".to_string(),
+                    epoch: 2,
+                },
+                now,
+            )
+            .unwrap();
+        assert_eq!(
+            cluster.telemetry().counter_value("cluster.stale_assigns"),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn stale_replica_is_fenced_by_epoch() {
+        let (clock, _net, mut cluster) = harness(&["s1", "s2"]);
+        cluster.assign("SNMP", "s1", &["s2"]).unwrap(); // epoch 1
+        let now = clock.now();
+
+        // s2 learns of a failover (its view moves to epoch 2)…
+        cluster
+            .handle_member_msg(
+                "s2",
+                ClusterMsg::DirAssign {
+                    group: "SNMP".to_string(),
+                    home: "s2".to_string(),
+                    epoch: 2,
+                },
+                now,
+            )
+            .unwrap();
+        // …then a replica stamped by the deposed home limps in
+        cluster
+            .handle_member_msg(
+                "s2",
+                ClusterMsg::Replicate {
+                    group: "SNMP".to_string(),
+                    name: "CPU_201009010000.csv".to_string(),
+                    payload: b"late".to_vec(),
+                    epoch: 1,
+                },
+                now,
+            )
+            .unwrap();
+        assert!(
+            cluster
+                .server("s2")
+                .unwrap()
+                .receipts()
+                .file_by_name("CPU_201009010000.csv")
+                .is_none(),
+            "stale replica must not be deposited"
+        );
+        let reg = cluster.telemetry().clone();
+        assert_eq!(reg.counter_value("cluster.replica_rejected"), Some(1));
+
+        // with the fence disabled the same replica is applied — the
+        // knob the model checker's revert-verified regression uses
+        cluster.set_replica_fence(false);
+        cluster
+            .handle_member_msg(
+                "s2",
+                ClusterMsg::Replicate {
+                    group: "SNMP".to_string(),
+                    name: "CPU_201009010000.csv".to_string(),
+                    payload: b"late".to_vec(),
+                    epoch: 1,
+                },
+                now,
+            )
+            .unwrap();
+        assert!(cluster
+            .server("s2")
+            .unwrap()
+            .receipts()
+            .file_by_name("CPU_201009010000.csv")
+            .is_some());
+    }
+
+    #[test]
+    fn declare_failed_promotes_without_waiting_for_silence() {
+        let (clock, net, mut cluster) = harness(&["s1", "s2"]);
+        cluster.assign("SNMP", "s1", &["s2"]).unwrap();
+        cluster.kill("s1").unwrap();
+        let now = clock.now();
+        assert!(cluster.declare_failed("s1", now).unwrap());
+        assert!(cluster.is_dead("s1"));
+        // idempotent: a second declaration is a no-op
+        assert!(!cluster.declare_failed("s1", now).unwrap());
+        assert_eq!(cluster.directory().home_of("SNMP").unwrap().home, "s2");
+        assert!(cluster.declare_failed("nobody", now).is_err());
+        // the DirAssign fan-out is in flight, addressable by the checker
+        let pending = net.pending_messages();
+        assert!(pending.iter().any(|p| p.endpoint == "s2.cluster"));
     }
 }

@@ -27,7 +27,7 @@ use bistro_telemetry::{
 };
 use bistro_transport::messages::{Message, ReliableMsg, SubscriberMsg};
 use bistro_transport::trigger::TriggerContext;
-use bistro_transport::{Batcher, RetryPolicy, RetryTracker, SimNetwork, TriggerLog};
+use bistro_transport::{Batcher, RetryPolicy, RetryRound, RetryTracker, SimNetwork, TriggerLog};
 use bistro_vfs::{FileStore, VfsError};
 use std::collections::HashMap;
 use std::fmt;
@@ -972,22 +972,39 @@ impl Server {
         let now = self.clock.now();
         let mut n = 0;
         for d in net.recv_ready(&self.name, now) {
-            let Message::Reliable(ReliableMsg::Ack { file, attempt }) = d.msg else {
-                continue;
-            };
-            let Some(sub) = self.subscriber_by_endpoint(&d.from) else {
-                continue;
-            };
-            if let Some(rel) = self.reliable.as_mut() {
-                rel.tracker.on_ack(&sub, file, attempt);
-                // counts every processed ack — including late duplicates
-                // the tracker no longer knows (those still prove delivery)
-                self.metrics.acks_processed.inc();
+            if self.handle_network_message(&d.from, d.at, d.msg)? {
+                n += 1;
             }
-            self.complete_delivery(&sub, file, d.at)?;
-            n += 1;
         }
         Ok(n)
+    }
+
+    /// Apply one message addressed to this server's own endpoint — the
+    /// per-message body of [`Server::poll_network`], exposed so a model
+    /// checker can deliver messages one at a time in any order. Returns
+    /// `true` if the message was an acknowledgement this server
+    /// processed (anything else is discarded, exactly as the drain
+    /// does).
+    pub fn handle_network_message(
+        &mut self,
+        from: &str,
+        at: TimePoint,
+        msg: Message,
+    ) -> Result<bool, ServerError> {
+        let Message::Reliable(ReliableMsg::Ack { file, attempt }) = msg else {
+            return Ok(false);
+        };
+        let Some(sub) = self.subscriber_by_endpoint(from) else {
+            return Ok(false);
+        };
+        if let Some(rel) = self.reliable.as_mut() {
+            rel.tracker.on_ack(&sub, file, attempt);
+            // counts every processed ack — including late duplicates
+            // the tracker no longer knows (those still prove delivery)
+            self.metrics.acks_processed.inc();
+        }
+        self.complete_delivery(&sub, file, at)?;
+        Ok(true)
     }
 
     /// Resolve a subscriber name from its configured endpoint (acks
@@ -1013,6 +1030,24 @@ impl Server {
             Some(rel) => rel.tracker.due(now),
             None => return Ok(()),
         };
+        self.run_retry_round(round, now)
+    }
+
+    /// Retransmit *every* outstanding unacked send immediately,
+    /// regardless of deadlines — the model checker's "retry timer
+    /// fires" action ([`RetryTracker::fire_all`]): an interleaving with
+    /// a retransmission is explored without simulating the backoff
+    /// schedule that would produce one.
+    pub fn retry_fire(&mut self) -> Result<(), ServerError> {
+        let now = self.clock.now();
+        let round = match self.reliable.as_mut() {
+            Some(rel) => rel.tracker.fire_all(now),
+            None => return Ok(()),
+        };
+        self.run_retry_round(round, now)
+    }
+
+    fn run_retry_round(&mut self, round: RetryRound, now: TimePoint) -> Result<(), ServerError> {
         let Some(net) = self.net.clone() else {
             return Ok(());
         };
@@ -1258,8 +1293,12 @@ impl Server {
                 }
             }
         }
-        // progress audits
-        for (feed, progress) in &self.progress {
+        // progress audits (sorted: HashMap iteration order must not
+        // decide the event-log line order)
+        let mut audited: Vec<&String> = self.progress.keys().collect();
+        audited.sort();
+        for feed in audited {
+            let progress = &self.progress[feed];
             for alert in progress.audit(now) {
                 let (level, msg) = match alert {
                     ProgressAlert::MissingData {
@@ -1474,6 +1513,51 @@ impl Server {
     /// The receipt store (for inspection).
     pub fn receipts(&self) -> &ReceiptStore {
         &self.receipts
+    }
+
+    /// Schedule-independent digest of this server's protocol state: the
+    /// receipt store's content digest, each subscriber's liveness, and
+    /// the unacked reliable sends (by file *name*, not id — ids depend
+    /// on arrival order). Two runs that reached the same logical state
+    /// through different interleavings hash equal; used by the model
+    /// checker to dedup explored states.
+    pub fn state_digest(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut acc = String::new();
+        let mut subs: Vec<&String> = self.subscribers.keys().collect();
+        subs.sort();
+        for name in subs {
+            let st = &self.subscribers[name];
+            writeln!(
+                acc,
+                "sub\0{name}\0{}\0{}",
+                st.online, st.consecutive_failures
+            )
+            .unwrap();
+        }
+        if let Some(rel) = &self.reliable {
+            let mut out: Vec<String> = rel
+                .tracker
+                .outstanding_entries()
+                .into_iter()
+                .map(|(sub, file, attempt)| {
+                    let name = self
+                        .receipts
+                        .file(FileId(file))
+                        .map(|r| r.name)
+                        .unwrap_or_else(|| format!("#{file}"));
+                    format!("out\0{sub}\0{name}\0{attempt}")
+                })
+                .collect();
+            out.sort();
+            for line in out {
+                acc.push_str(&line);
+                acc.push('\n');
+            }
+        }
+        let mut bytes = acc.into_bytes();
+        bytes.extend_from_slice(&self.receipts.state_digest().to_le_bytes());
+        bistro_base::fnv1a64(&bytes)
     }
 
     /// The trigger invocation log.

@@ -684,6 +684,46 @@ impl ReceiptStore {
         self.inner.lock().tables.files.values().cloned().collect()
     }
 
+    /// A content digest of the delivery state: live files (name, feeds,
+    /// size) and the delivered (file name, subscriber) pairs, plus the
+    /// expired-file count. One ingredient of a model-checker state hash,
+    /// so it is deliberately *schedule-independent*: file ids, WAL
+    /// sequences and timestamps — which vary with the order operations
+    /// interleaved in — are excluded, and everything is hashed in sorted
+    /// order. Two stores that agree on this digest hold the same files
+    /// and owe the same subscribers the same deliveries.
+    pub fn state_digest(&self) -> u64 {
+        use bistro_base::fnv1a64;
+        let inner = self.inner.lock();
+        let mut lines: Vec<String> = Vec::with_capacity(inner.tables.files.len() * 2);
+        for f in inner.tables.files.values() {
+            let mut feeds = f.feeds.clone();
+            feeds.sort_unstable();
+            lines.push(format!("live\0{}\0{}\0{}", f.name, feeds.join(","), f.size));
+        }
+        for (id, subs) in &inner.tables.delivered {
+            // name the file if still live; expired files keep their id
+            // (ids are only compared within one store's digest history)
+            let key = inner
+                .tables
+                .files
+                .get(id)
+                .map(|f| f.name.clone())
+                .unwrap_or_else(|| format!("#{id}"));
+            for sub in subs {
+                lines.push(format!("delivered\0{key}\0{sub}"));
+            }
+        }
+        lines.sort_unstable();
+        let mut acc = Vec::with_capacity(lines.len() * 32);
+        for line in &lines {
+            acc.extend_from_slice(line.as_bytes());
+            acc.push(b'\n');
+        }
+        acc.extend_from_slice(&inner.tables.expired_count.to_le_bytes());
+        fnv1a64(&acc)
+    }
+
     /// Files whose reference time (feed time when available, else arrival
     /// time) is before `cutoff` — the candidates for retention expiration
     /// (§4.2: "every Bistro server maintains a limited time window of

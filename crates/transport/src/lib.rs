@@ -38,6 +38,6 @@ pub use adaptive::AdaptiveBatcher;
 pub use batching::{BatchOutcome, Batcher};
 pub use client::{PendingFile, SubscriberClient};
 pub use messages::{ClusterMsg, Message, ReliableMsg, SourceMsg, SubscriberMsg};
-pub use net::{FaultPlan, FaultSpec, LinkFlap, LinkSpec, SimNetwork};
+pub use net::{Delivery, FaultPlan, FaultSpec, LinkFlap, LinkSpec, PendingMessage, SimNetwork};
 pub use reliable::{RetryPolicy, RetryRound, RetryTracker};
 pub use trigger::{expand_command, Invocation, TriggerLog};

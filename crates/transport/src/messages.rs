@@ -158,6 +158,12 @@ pub enum ClusterMsg {
         name: String,
         /// File body.
         payload: Vec<u8>,
+        /// The group's directory epoch at the sending home. A receiver
+        /// whose view of the group has a *higher* epoch rejects the
+        /// replica: it was sent by a deposed home, and applying it after
+        /// backfill marking would re-deliver the file (the in-flight
+        /// replicate vs. backfill race found by `bistro-mc`).
+        epoch: u64,
     },
     /// New home → directory: request the failed home's delivery receipts
     /// for one subscriber, starting at a receipt-WAL sequence cursor.
@@ -326,11 +332,13 @@ impl Message {
                 group,
                 name,
                 payload,
+                epoch,
             }) => {
                 w.put_u8(TAG_REPLICATE);
                 w.put_str(group);
                 w.put_str(name);
                 w.put_bytes(payload);
+                w.put_varint(*epoch);
             }
             Message::Cluster(ClusterMsg::BackfillRequest {
                 group,
@@ -396,8 +404,13 @@ impl Message {
                     what: "batch close reason",
                     tag,
                 })?;
-                let n = r.get_varint()? as usize;
-                let mut files = Vec::with_capacity(n.min(4096));
+                let n = r.get_varint()?;
+                // each element costs ≥ 1 byte, so a count beyond the
+                // remaining input is a lie — reject before allocating
+                if n > r.remaining() as u64 {
+                    return Err(CodecError::BadLength { len: n });
+                }
+                let mut files = Vec::with_capacity(n as usize);
                 for _ in 0..n {
                     files.push(FileId(r.get_varint()?));
                 }
@@ -448,6 +461,7 @@ impl Message {
                 group: r.get_str()?.to_string(),
                 name: r.get_str()?.to_string(),
                 payload: r.get_bytes()?.to_vec(),
+                epoch: r.get_varint()?,
             }),
             TAG_BACKFILL_REQ => Message::Cluster(ClusterMsg::BackfillRequest {
                 group: r.get_str()?.to_string(),
@@ -457,8 +471,11 @@ impl Message {
             TAG_BACKFILL_PAGE => {
                 let group = r.get_str()?.to_string();
                 let subscriber = r.get_str()?.to_string();
-                let n = r.get_varint()? as usize;
-                let mut delivered = Vec::with_capacity(n.min(4096));
+                let n = r.get_varint()?;
+                if n > r.remaining() as u64 {
+                    return Err(CodecError::BadLength { len: n });
+                }
+                let mut delivered = Vec::with_capacity(n as usize);
                 for _ in 0..n {
                     delivered.push(r.get_str()?.to_string());
                 }
@@ -477,6 +494,11 @@ impl Message {
                 })
             }
         };
+        // a frame must be exactly one message: leftover bytes mean a
+        // corrupt length field upstream, not harmless padding
+        if !r.is_exhausted() {
+            return Err(CodecError::TrailingBytes { n: r.remaining() });
+        }
         Ok(msg)
     }
 
@@ -564,6 +586,7 @@ mod tests {
                 group: "SNMP".to_string(),
                 name: "MEMORY_poller1_201009250000.csv".to_string(),
                 payload: b"body bytes".to_vec(),
+                epoch: 6,
             }),
             Message::Cluster(ClusterMsg::BackfillRequest {
                 group: "SNMP".to_string(),
@@ -622,5 +645,177 @@ mod tests {
     fn garbage_rejected() {
         assert!(Message::decode(&[]).is_err());
         assert!(Message::decode(&[77]).is_err());
+    }
+
+    /// One well-formed frame of every wire variant — the adversarial
+    /// decode sweeps below mutate each of these.
+    fn every_variant() -> Vec<Message> {
+        vec![
+            Message::Source(SourceMsg::Deposited {
+                path: "p/x.gz".to_string(),
+                size: 9,
+            }),
+            Message::Source(SourceMsg::EndOfBatch {
+                source: "poller1".to_string(),
+                interval_start: TimePoint::from_secs(1),
+                interval_end: TimePoint::from_secs(2),
+            }),
+            Message::Subscriber(SubscriberMsg::FileDelivered {
+                file: FileId(7),
+                feed: "SNMP/MEMORY".to_string(),
+                dest_path: "incoming/x.gz".to_string(),
+                size: 10,
+            }),
+            Message::Subscriber(SubscriberMsg::FileAvailable {
+                file: FileId(8),
+                feed: "SNMP/CPU".to_string(),
+                staged_path: "staging/y.txt".to_string(),
+                size: 20,
+            }),
+            Message::Subscriber(SubscriberMsg::BatchComplete {
+                batch: BatchId(3),
+                feed: "SNMP".to_string(),
+                files: vec![FileId(1), FileId(2)],
+                reason: BatchCloseReason::Window,
+            }),
+            Message::Reliable(ReliableMsg::Attempt {
+                attempt: 2,
+                inner: SubscriberMsg::FileDelivered {
+                    file: FileId(9),
+                    feed: "F".to_string(),
+                    dest_path: "d".to_string(),
+                    size: 42,
+                },
+            }),
+            Message::Reliable(ReliableMsg::Ack {
+                file: FileId(9),
+                attempt: 3,
+            }),
+            Message::Cluster(ClusterMsg::Heartbeat {
+                server: "s1".to_string(),
+                epoch: 4,
+            }),
+            Message::Cluster(ClusterMsg::DirLookup {
+                group: "SNMP".to_string(),
+            }),
+            Message::Cluster(ClusterMsg::DirHome {
+                group: "SNMP".to_string(),
+                home: "s1".to_string(),
+                epoch: 4,
+            }),
+            Message::Cluster(ClusterMsg::DirAssign {
+                group: "SNMP".to_string(),
+                home: "s2".to_string(),
+                epoch: 5,
+            }),
+            Message::Cluster(ClusterMsg::Replicate {
+                group: "SNMP".to_string(),
+                name: "a.csv".to_string(),
+                payload: b"body".to_vec(),
+                epoch: 6,
+            }),
+            Message::Cluster(ClusterMsg::BackfillRequest {
+                group: "SNMP".to_string(),
+                subscriber: "wh".to_string(),
+                from_seq: 17,
+            }),
+            Message::Cluster(ClusterMsg::BackfillPage {
+                group: "SNMP".to_string(),
+                subscriber: "wh".to_string(),
+                delivered: vec!["a.csv".to_string()],
+                next_seq: 19,
+                done: false,
+            }),
+        ]
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_an_error_not_a_panic() {
+        // The model checker feeds adversarial orderings; decoding must be
+        // total. Every proper prefix of every variant's encoding must
+        // come back as Err — never panic, never a silently-shorter value.
+        for m in every_variant() {
+            let bytes = m.encode();
+            for cut in 0..bytes.len() {
+                let r = Message::decode(&bytes[..cut]);
+                assert!(
+                    r.is_err(),
+                    "truncated frame decoded: {m:?} cut at {cut}/{} gave {r:?}",
+                    bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        for m in every_variant() {
+            let mut bytes = m.encode();
+            bytes.push(0);
+            assert!(
+                matches!(
+                    Message::decode(&bytes),
+                    Err(CodecError::TrailingBytes { n: 1 })
+                ),
+                "frame with a trailing byte accepted: {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        for tag in [0u8, 15, 77, 255] {
+            assert!(
+                matches!(
+                    Message::decode(&[tag, 0, 0, 0]),
+                    Err(CodecError::BadTag { .. } | CodecError::TrailingBytes { .. })
+                ),
+                "unknown tag {tag} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn implausible_counts_rejected_before_allocation() {
+        // BatchComplete claiming 2^40 files in a 10-byte frame
+        let mut w = bistro_base::ByteWriter::new();
+        w.put_u8(TAG_BATCH);
+        w.put_varint(3); // batch id
+        w.put_str("F");
+        w.put_u8(0); // reason = Count
+        w.put_varint(1 << 40); // file count
+        assert!(matches!(
+            Message::decode(w.as_bytes()),
+            Err(CodecError::BadLength { .. })
+        ));
+
+        // BackfillPage claiming more names than there are bytes
+        let mut w = bistro_base::ByteWriter::new();
+        w.put_u8(TAG_BACKFILL_PAGE);
+        w.put_str("SNMP");
+        w.put_str("wh");
+        w.put_varint(1_000_000);
+        assert!(matches!(
+            Message::decode(w.as_bytes()),
+            Err(CodecError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn attempt_with_non_subscriber_inner_rejected() {
+        // hand-craft an Attempt whose inner frame is an Ack
+        let inner = Message::Reliable(ReliableMsg::Ack {
+            file: FileId(1),
+            attempt: 1,
+        })
+        .encode();
+        let mut w = bistro_base::ByteWriter::new();
+        w.put_u8(TAG_ATTEMPT);
+        w.put_varint(1);
+        w.put_bytes(&inner);
+        assert!(matches!(
+            Message::decode(w.as_bytes()),
+            Err(CodecError::BadTag { .. })
+        ));
     }
 }

@@ -141,6 +141,24 @@ pub struct Delivery {
     pub msg: Message,
 }
 
+/// An in-flight message addressed for controlled stepping: the
+/// `(endpoint, seq)` pair uniquely names it to
+/// [`SimNetwork::take_message`] / [`SimNetwork::drop_message`] /
+/// [`SimNetwork::duplicate_message`].
+#[derive(Clone, Debug)]
+pub struct PendingMessage {
+    /// Destination endpoint.
+    pub endpoint: String,
+    /// Fabric-wide sequence number (unique per copy).
+    pub seq: u64,
+    /// Sender endpoint.
+    pub from: String,
+    /// Scheduled arrival time under time-driven delivery.
+    pub at: TimePoint,
+    /// The message.
+    pub msg: Message,
+}
+
 struct Inner {
     links: HashMap<(String, String), LinkSpec>,
     link_state: HashMap<(String, String), LinkState>,
@@ -338,6 +356,109 @@ impl SimNetwork {
         keys.into_iter()
             .map(|k| inbox.remove(&k).unwrap())
             .collect()
+    }
+
+    /// Every message still in flight, across all endpoints, sorted by
+    /// `(endpoint, seq)` — the controlled-stepping view used by the
+    /// model checker (`bistro-mc`). Where [`SimNetwork::recv_ready`]
+    /// drains whatever the clock says has arrived, this exposes each
+    /// pending message as an addressable event so a scheduler can
+    /// deliver, drop, or duplicate them in any order it chooses.
+    pub fn pending_messages(&self) -> Vec<PendingMessage> {
+        let inner = self.inner.lock();
+        let mut out: Vec<PendingMessage> = inner
+            .inboxes
+            .iter()
+            .flat_map(|(endpoint, inbox)| {
+                inbox.iter().map(|(&(at, seq), d)| PendingMessage {
+                    endpoint: endpoint.clone(),
+                    seq,
+                    from: d.from.clone(),
+                    at,
+                    msg: d.msg.clone(),
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.endpoint, a.seq).cmp(&(&b.endpoint, b.seq)));
+        out
+    }
+
+    /// Remove and return the in-flight message addressed by
+    /// `(endpoint, seq)` regardless of its scheduled arrival time. The
+    /// model checker's "deliver this message now" step.
+    pub fn take_message(&self, endpoint: &str, seq: u64) -> Option<Delivery> {
+        let mut inner = self.inner.lock();
+        let inbox = inner.inboxes.get_mut(endpoint)?;
+        let key = inbox.keys().find(|&&(_, s)| s == seq).copied()?;
+        inbox.remove(&key)
+    }
+
+    /// Silently discard the in-flight message addressed by
+    /// `(endpoint, seq)`, counting it as dropped. The model checker's
+    /// "lose this message" step.
+    pub fn drop_message(&self, endpoint: &str, seq: u64) -> Option<Delivery> {
+        let mut inner = self.inner.lock();
+        let inbox = inner.inboxes.get_mut(endpoint)?;
+        let key = inbox.keys().find(|&&(_, s)| s == seq).copied()?;
+        let dropped = inbox.remove(&key);
+        if dropped.is_some() {
+            inner.messages_dropped += 1;
+        }
+        dropped
+    }
+
+    /// Enqueue a second copy of the in-flight message addressed by
+    /// `(endpoint, seq)`, counting it as duplicated; returns the copy's
+    /// fabric sequence. The model checker's "duplicate this message"
+    /// step.
+    pub fn duplicate_message(&self, endpoint: &str, seq: u64) -> Option<u64> {
+        let mut inner = self.inner.lock();
+        let inbox = inner.inboxes.get(endpoint)?;
+        let (key, copy) = inbox
+            .iter()
+            .find(|(&(_, s), _)| s == seq)
+            .map(|(k, d)| (*k, d.clone()))?;
+        inner.seq += 1;
+        let new_seq = inner.seq;
+        inner
+            .inboxes
+            .get_mut(endpoint)
+            .expect("inbox vanished under lock")
+            .insert((key.0, new_seq), copy);
+        inner.messages_duplicated += 1;
+        Some(new_seq)
+    }
+
+    /// Order-independent digest of the in-flight message multiset:
+    /// each pending message hashes as (endpoint, sender, wire bytes) —
+    /// deliberately excluding arrival times and fabric sequences, which
+    /// vary across action orders that reach the same protocol state —
+    /// and the per-message hashes are combined order-independently.
+    /// One ingredient of a model-checker state hash.
+    pub fn in_flight_digest(&self) -> u64 {
+        use bistro_base::fnv1a64;
+        let inner = self.inner.lock();
+        let mut hashes: Vec<u64> = inner
+            .inboxes
+            .iter()
+            .flat_map(|(endpoint, inbox)| {
+                inbox.values().map(move |d| {
+                    let mut bytes = Vec::with_capacity(64);
+                    bytes.extend_from_slice(endpoint.as_bytes());
+                    bytes.push(0);
+                    bytes.extend_from_slice(d.from.as_bytes());
+                    bytes.push(0);
+                    bytes.extend_from_slice(&d.msg.encode());
+                    fnv1a64(&bytes)
+                })
+            })
+            .collect();
+        hashes.sort_unstable();
+        let mut acc = Vec::with_capacity(hashes.len() * 8);
+        for h in hashes {
+            acc.extend_from_slice(&h.to_le_bytes());
+        }
+        fnv1a64(&acc)
     }
 
     /// The earliest pending arrival time for `endpoint`, if any — lets a
@@ -629,6 +750,85 @@ mod tests {
         let rest = net.recv_ready("b", t(10));
         assert_eq!(rest.len(), 1);
         assert_eq!(rest[0].from, "c");
+    }
+
+    #[test]
+    fn pending_messages_are_addressable() {
+        let net = SimNetwork::new(LinkSpec::default());
+        net.send(t(0), "a", "b", msg(1));
+        net.send(t(0), "a", "c", msg(2));
+        net.send(t(0), "c", "b", msg(3));
+
+        let pending = net.pending_messages();
+        assert_eq!(pending.len(), 3);
+        // sorted by (endpoint, seq)
+        let order: Vec<_> = pending
+            .iter()
+            .map(|p| (p.endpoint.clone(), p.seq))
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+
+        // take one out of order (regardless of arrival time)
+        let to_b: Vec<_> = pending.iter().filter(|p| p.endpoint == "b").collect();
+        assert_eq!(to_b.len(), 2);
+        let later = to_b[1];
+        let got = net.take_message("b", later.seq).unwrap();
+        assert_eq!(got.from, later.from);
+        assert_eq!(net.pending_messages().len(), 2);
+        // a second take of the same seq is None
+        assert!(net.take_message("b", later.seq).is_none());
+        assert!(net.take_message("nobody", 1).is_none());
+    }
+
+    #[test]
+    fn drop_and_duplicate_pending() {
+        let net = SimNetwork::new(LinkSpec::default());
+        net.send(t(0), "a", "b", msg(1));
+        let seq = net.pending_messages()[0].seq;
+
+        let copy_seq = net.duplicate_message("b", seq).unwrap();
+        assert_ne!(copy_seq, seq);
+        assert_eq!(net.messages_duplicated(), 1);
+        assert_eq!(net.pending_messages().len(), 2);
+
+        assert!(net.drop_message("b", seq).is_some());
+        assert_eq!(net.messages_dropped(), 1);
+        // the copy survives the original's drop
+        let left = net.pending_messages();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].seq, copy_seq);
+        // duplicating a gone message is None
+        assert!(net.duplicate_message("b", seq).is_none());
+    }
+
+    #[test]
+    fn in_flight_digest_ignores_schedule_but_sees_content() {
+        // Two different send orders reaching the same in-flight multiset
+        // must hash identically even though seqs/arrival times differ.
+        let run = |flip: bool| {
+            let net = SimNetwork::new(LinkSpec::default());
+            if flip {
+                net.send(t(1), "a", "c", msg(2));
+                net.send(t(2), "a", "b", msg(1));
+            } else {
+                net.send(t(0), "a", "b", msg(1));
+                net.send(t(0), "a", "c", msg(2));
+            }
+            net.in_flight_digest()
+        };
+        assert_eq!(run(false), run(true));
+
+        // content differences do change the digest
+        let net = SimNetwork::new(LinkSpec::default());
+        net.send(t(0), "a", "b", msg(1));
+        net.send(t(0), "a", "c", msg(99));
+        assert_ne!(net.in_flight_digest(), run(false));
+
+        // and an empty fabric differs from a loaded one
+        let empty = SimNetwork::new(LinkSpec::default());
+        assert_ne!(empty.in_flight_digest(), run(false));
     }
 
     #[test]

@@ -291,6 +291,27 @@ impl RetryTracker {
         round
     }
 
+    /// Sweep the table as if *every* outstanding deadline had lapsed at
+    /// `now` — the model checker's "fire the retry timer" action, which
+    /// abstracts away wall-clock deadlines: an interleaving where the
+    /// timer fires is explored regardless of how much virtual time the
+    /// policy would have required.
+    pub fn fire_all(&mut self, now: TimePoint) -> RetryRound {
+        for o in self.outstanding.values_mut() {
+            o.deadline = now;
+        }
+        self.due(now)
+    }
+
+    /// The outstanding table as `(subscriber, file, attempt)` tuples in
+    /// key order — digestible state for model-checker state hashes.
+    pub fn outstanding_entries(&self) -> Vec<(String, u64, u32)> {
+        self.outstanding
+            .iter()
+            .map(|((sub, file), o)| (sub.clone(), *file, o.attempt))
+            .collect()
+    }
+
     /// The scheduled retransmission deadline for `(subscriber, file)`,
     /// if outstanding — test-only visibility for the jitter-cap bound.
     #[cfg(test)]
@@ -495,6 +516,26 @@ mod tests {
         assert_eq!(reg.counter_value("reliable.exhausted"), Some(1));
         assert_eq!(reg.gauge_value("reliable.outstanding"), Some(0));
         assert_eq!(tr.totals(), (1, 2, 1));
+    }
+
+    #[test]
+    fn fire_all_lapses_every_deadline() {
+        let mut tr = RetryTracker::new(policy(), 1);
+        tr.track("a", FileId(1), msg(1), t(0));
+        tr.track("b", FileId(2), msg(2), t(0));
+        // nothing is due yet by the clock, but the forced sweep resends
+        let r = tr.fire_all(t(1));
+        assert_eq!(r.resend.len(), 2);
+        assert!(r.exhausted.is_empty());
+        assert_eq!(
+            tr.outstanding_entries(),
+            vec![("a".to_string(), 1, 2), ("b".to_string(), 2, 2),]
+        );
+        // repeated firing walks each entry to exhaustion
+        tr.fire_all(t(2)); // attempt 3 == max
+        let r = tr.fire_all(t(3));
+        assert_eq!(r.exhausted.len(), 2);
+        assert_eq!(tr.outstanding_count(), 0);
     }
 
     #[test]

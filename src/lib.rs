@@ -6,6 +6,7 @@ pub use bistro_base as base;
 pub use bistro_compress as compress;
 pub use bistro_config as config;
 pub use bistro_core as server;
+pub use bistro_mc as mc;
 pub use bistro_pattern as pattern;
 pub use bistro_receipts as receipts;
 pub use bistro_scheduler as scheduler;
