@@ -12,7 +12,9 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 stage_build() {
-  cargo build --release --offline
+  # --workspace: the root package does not depend on bistro-bench, and
+  # the bench/fanout stages run ./target/release/exp_* binaries
+  cargo build --release --offline --workspace
 }
 
 # Full workspace suite — includes the bench crate's experiment shape
@@ -108,6 +110,21 @@ stage_bench() {
   ./target/release/exp_e11 --quick --gate "$baseline"
 }
 
+# Delivery-tree fanout: the group-delivery unit/integration suites, then
+# the E14 shape-and-perf experiment in quick mode gated the same way as
+# stage_bench — exp_e14 splices its fanout_group_delivery group into
+# BENCH_throughput.json, so the committed file is the baseline and the
+# deposit_g100_m100 median is compared at the same >2x tolerance.
+stage_fanout() {
+  cargo test -q --offline -p bistro-core --lib relay
+  cargo test -q --offline -p bistro-core --test server_integration group
+  cargo test --offline --test fault_injection relay_hop -- --nocapture
+  local baseline=target/ci-fanout-baseline.json
+  git show HEAD:BENCH_throughput.json >"$baseline" 2>/dev/null \
+    || cp BENCH_throughput.json "$baseline"
+  ./target/release/exp_e14 --quick --gate "$baseline"
+}
+
 stage_all() {
   stage_build
   stage_test
@@ -119,15 +136,16 @@ stage_all() {
   stage_mc
   stage_lint
   stage_bench
+  stage_fanout
 }
 
 stage="${1:-all}"
 case "$stage" in
-  build|test|faults|crash|distributed|telemetry|parallel|mc|lint|bench|all)
+  build|test|faults|crash|distributed|telemetry|parallel|mc|lint|bench|fanout|all)
     "stage_$stage"
     ;;
   *)
-    echo "usage: ./ci.sh [build|test|faults|crash|distributed|telemetry|parallel|mc|lint|bench|all]" >&2
+    echo "usage: ./ci.sh [build|test|faults|crash|distributed|telemetry|parallel|mc|lint|bench|fanout|all]" >&2
     exit 2
     ;;
 esac

@@ -1,5 +1,5 @@
-//! Run every experiment (E1-E11, E13; E12 lives in the examples) and print all tables. This is the
-//! regeneration entry point referenced by EXPERIMENTS.md.
+//! Run every experiment (E1-E11, E13, E14; E12 lives in the examples) and print all tables. This
+//! is the regeneration entry point referenced by EXPERIMENTS.md.
 use bistro_base::TimeSpan;
 use bistro_bench::*;
 
@@ -38,4 +38,11 @@ fn main() {
     print!("{t1}{t2}");
     let p = e13_failover::run(&[1, 7, 42, 99, 1234], 40);
     print!("{}", e13_failover::table(&p));
+    // shape points only — the full million-subscriber grid and the
+    // BENCH_throughput.json splice belong to the exp_e14 binary
+    let p: Vec<_> = [(100, 100), (400, 100), (100, 400)]
+        .iter()
+        .map(|&(g, m)| e14_fanout::run_fanout(g, m, 2))
+        .collect();
+    print!("{}", e14_fanout::table(&p));
 }

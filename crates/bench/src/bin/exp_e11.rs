@@ -79,8 +79,14 @@ fn main() {
     for &w in &workers_list {
         ingest_bench.push(e11::bench_ingest_parallel(60_000, samples, w));
     }
-    harness::write_json("BENCH_throughput.json", &ingest_bench)
-        .expect("write BENCH_throughput.json");
+    // splice: BENCH_throughput.json is shared with exp_e14's
+    // fanout_group_delivery group, which this run must not erase
+    harness::merge_json_file(
+        "BENCH_throughput.json",
+        &ingest_bench,
+        "server_ingest_100_feeds",
+    )
+    .expect("write BENCH_throughput.json");
     for r in &ingest_bench {
         print_result(r);
     }

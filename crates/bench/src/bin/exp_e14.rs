@@ -1,0 +1,116 @@
+//! E14: shared delivery trees at million-subscriber fanout.
+//!
+//! Prints the fanout-shape table (delivery sends and tracker entries
+//! per deposit must follow the group count, never the member count)
+//! and splices the `fanout_group_delivery` timing group into the
+//! machine-readable perf trajectory `BENCH_throughput.json`, leaving
+//! every other experiment's entries intact.
+//!
+//! Flags:
+//!
+//! * `--quick` — CI mode: cap the scale at tens of thousands of
+//!   subscribers and take fewer samples. The `deposit_g100_m100`
+//!   point is measured in both modes so a quick run always has a
+//!   committed median to gate against.
+//! * `--gate <baseline.json>` — perf-regression gate: compare this
+//!   run's `fanout_group_delivery` medians against a committed
+//!   baseline document and exit non-zero only if any median regressed
+//!   by more than 2× (generous on purpose: shared CI runners are
+//!   noisy; the gate exists to catch order-of-magnitude mistakes, not
+//!   5% drift).
+use bistro_bench::e11_throughput::gate_in_group;
+use bistro_bench::e14_fanout as e14;
+use bistro_bench::harness;
+
+/// Regression factor the gate tolerates before failing.
+const GATE_FACTOR: f64 = 2.0;
+
+/// The trajectory-file group this experiment owns.
+const GROUP: &str = "fanout_group_delivery";
+
+fn main() {
+    let mut quick = false;
+    let mut gate: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--gate" => {
+                let v = it.next().expect("--gate needs a baseline path");
+                gate = Some(v.clone());
+            }
+            other => panic!("unknown exp_e14 flag {other}"),
+        }
+    }
+
+    // Snapshot the gate baseline *before* running anything: this binary
+    // rewrites its group in BENCH_throughput.json, so reading the
+    // baseline later would compare the run against itself when handed
+    // the same path.
+    let gate = gate.map(|path| {
+        let body =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("gate baseline {path}: {e}"));
+        (path, body)
+    });
+
+    // (groups, members-per-group) scale points. The full grid crosses
+    // G and M so the table shows ops following G while M varies freely,
+    // topping out at 1k groups × 1k members = one million subscribers.
+    let points: &[(usize, usize)] = if quick {
+        &[(100, 100), (400, 100), (100, 400)]
+    } else {
+        &[(100, 100), (1000, 100), (100, 1000), (1000, 1000)]
+    };
+    let samples = if quick { 10 } else { 15 };
+
+    let shape: Vec<e14::FanoutPoint> = points
+        .iter()
+        .map(|&(g, m)| e14::run_fanout(g, m, 2))
+        .collect();
+    print!("{}", e14::table(&shape));
+
+    let bench: Vec<harness::BenchResult> = points
+        .iter()
+        .map(|&(g, m)| e14::bench_fanout_deposit(g, m, samples))
+        .collect();
+    harness::merge_json_file("BENCH_throughput.json", &bench, GROUP)
+        .expect("write BENCH_throughput.json");
+    for r in &bench {
+        println!(
+            "{}/{}: median {:.0} ns, p95 {:.0} ns, {:.0} /s",
+            r.group,
+            r.name,
+            r.median_ns,
+            r.p95_ns,
+            r.per_sec().unwrap_or(0.0)
+        );
+    }
+    println!("merged {GROUP} into BENCH_throughput.json");
+
+    if let Some((path, baseline)) = gate {
+        let lines = gate_in_group(&baseline, GROUP, &bench)
+            .unwrap_or_else(|e| panic!("gate baseline {path}: {e}"));
+        let mut failed = false;
+        for l in &lines {
+            let verdict = if l.ratio > GATE_FACTOR {
+                failed = true;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            println!(
+                "gate {}: median {:.0} ns vs baseline {:.0} ns ({:.2}x) {verdict}",
+                l.bench, l.current_ns, l.baseline_ns, l.ratio
+            );
+        }
+        if failed {
+            eprintln!("perf gate failed: a median regressed by more than {GATE_FACTOR}x");
+            std::process::exit(1);
+        }
+        println!(
+            "perf gate passed ({} benches within {GATE_FACTOR}x)",
+            lines.len()
+        );
+    }
+}

@@ -330,13 +330,24 @@ pub struct GateLine {
 
 /// Compare `current` results against a committed `bistro-bench-v1`
 /// baseline document, matching `server_ingest_100_feeds` entries by
-/// name. Returns one [`GateLine`] per comparable entry; entries present
-/// on only one side are skipped (the gate must not fail just because a
-/// baseline predates a newly added benchmark). `Err` means the baseline
-/// is unusable or nothing was comparable — the gate should fail loudly
-/// rather than silently pass.
+/// name. See [`gate_in_group`] for the comparison rules.
 pub fn gate_against_baseline(
     baseline_json: &str,
+    current: &[BenchResult],
+) -> Result<Vec<GateLine>, String> {
+    gate_in_group(baseline_json, "server_ingest_100_feeds", current)
+}
+
+/// Compare `current` results against a committed `bistro-bench-v1`
+/// baseline document, matching entries of `group` by name. Returns one
+/// [`GateLine`] per comparable entry; entries present on only one side
+/// are skipped (the gate must not fail just because a baseline predates
+/// a newly added benchmark). `Err` means the baseline is unusable or
+/// nothing was comparable — the gate should fail loudly rather than
+/// silently pass.
+pub fn gate_in_group(
+    baseline_json: &str,
+    group: &str,
     current: &[BenchResult],
 ) -> Result<Vec<GateLine>, String> {
     let doc = crate::json::Json::parse(baseline_json)
@@ -350,18 +361,18 @@ pub fn gate_against_baseline(
         .ok_or("baseline has no results array")?;
     let mut baseline = std::collections::BTreeMap::new();
     for r in results {
-        let group = r.get("group").and_then(crate::json::Json::as_str);
+        let rgroup = r.get("group").and_then(crate::json::Json::as_str);
         let name = r.get("name").and_then(crate::json::Json::as_str);
         let median = r.get("median_ns").and_then(crate::json::Json::as_num);
-        if let (Some("server_ingest_100_feeds"), Some(name), Some(median)) = (group, name, median) {
-            if median > 0.0 {
+        if let (Some(rgroup), Some(name), Some(median)) = (rgroup, name, median) {
+            if rgroup == group && median > 0.0 {
                 baseline.insert(name.to_string(), median);
             }
         }
     }
     let lines: Vec<GateLine> = current
         .iter()
-        .filter(|r| r.group == "server_ingest_100_feeds")
+        .filter(|r| r.group == group)
         .filter_map(|r| {
             baseline.get(&r.name).map(|&base| GateLine {
                 bench: format!("{}/{}", r.group, r.name),
@@ -372,7 +383,7 @@ pub fn gate_against_baseline(
         })
         .collect();
     if lines.is_empty() {
-        return Err("no comparable server_ingest_100_feeds entries in baseline".to_string());
+        return Err(format!("no comparable {group} entries in baseline"));
     }
     Ok(lines)
 }

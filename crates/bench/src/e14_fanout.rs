@@ -1,0 +1,226 @@
+//! E14 — shared delivery trees at million-subscriber fanout (§3).
+//!
+//! Claim under test: a relay group turns per-subscriber fanout into
+//! per-group fanout. With `G` groups of `M` members each, one deposit
+//! costs `G` delivery sends and `G` tracker entries — independent of
+//! `M` — and the ack state per outstanding file is a `ceil(M/8)`-byte
+//! coverage bitmap instead of `M` per-member retry entries. The
+//! experiment drives a server with up to one million grouped
+//! subscribers and verifies both the shape (ops and tracker growth
+//! follow `G`, not `G×M`) and the wall-clock cost of a deposit.
+
+use crate::harness::{time_fn, BenchResult, Throughput};
+use crate::table::Table;
+use bistro_base::{SimClock, TimePoint, TimeSpan};
+use bistro_config::{
+    validate::validate, BatchSpec, Config, DeliveryMode, FeedDef, GroupDef, SubscriberDef,
+};
+use bistro_core::Server;
+use bistro_pattern::Pattern;
+use bistro_transport::{LinkSpec, SimNetwork};
+use bistro_vfs::MemFs;
+use std::sync::Arc;
+
+/// A configuration with one feed, `groups × members` subscribers all
+/// subscribed to it, and every subscriber placed in a relay group of
+/// `members` — the delivery-tree layout of §3 at parametric scale.
+/// Built programmatically (a million-subscriber source file would
+/// measure the parser, not the delivery plan) and passed through the
+/// same [`validate`] as parsed configurations.
+pub fn fanout_config(groups: usize, members: usize) -> Config {
+    let mut cfg = Config {
+        feeds: vec![FeedDef {
+            name: "F".to_string(),
+            patterns: vec![Pattern::parse("tick_%i.csv").unwrap()],
+            normalize: None,
+            compress: Default::default(),
+            policy: Default::default(),
+            description: None,
+        }],
+        ..Config::default()
+    };
+    cfg.subscribers.reserve(groups * members);
+    for g in 0..groups {
+        let mut names = Vec::with_capacity(members);
+        for m in 0..members {
+            let name = format!("s{g}_{m}");
+            cfg.subscribers.push(SubscriberDef {
+                name: name.clone(),
+                endpoint: format!("h{g}:{m}"),
+                subscriptions: vec!["F".to_string()],
+                delivery: DeliveryMode::Push,
+                deadline: TimeSpan::from_mins(1),
+                batch: BatchSpec::per_file(),
+                trigger: None,
+                dest: None,
+            });
+            names.push(name);
+        }
+        cfg.groups.push(GroupDef {
+            name: format!("G{g}"),
+            members: names,
+            relay: Some(format!("edge{g}")),
+        });
+    }
+    validate(&cfg).expect("generated fanout config must validate");
+    cfg
+}
+
+fn fanout_server(groups: usize, members: usize) -> (Server, Arc<SimNetwork>) {
+    let clock = SimClock::starting_at(TimePoint::from_secs(1_285_372_800));
+    let store = MemFs::shared(clock.clone());
+    let net = Arc::new(SimNetwork::new(LinkSpec::default()));
+    let server = Server::new("hub", fanout_config(groups, members), clock, store)
+        .unwrap()
+        .with_network(net.clone());
+    (server, net)
+}
+
+/// Measured shape of group fanout at one `(groups, members)` point.
+#[derive(Clone, Debug)]
+pub struct FanoutPoint {
+    /// Relay groups configured.
+    pub groups: usize,
+    /// Members per group.
+    pub members_per_group: usize,
+    /// Total subscribers (`groups × members`).
+    pub subscribers: usize,
+    /// Network sends per deposit (measured) — must equal `groups`.
+    pub ops_per_deposit: usize,
+    /// Group-tracker entries per deposit (measured) — must equal
+    /// `groups`; a per-member tracker would hold `subscribers`.
+    pub tracker_entries_per_deposit: usize,
+    /// Coverage-bitmap bytes per deposit across all groups
+    /// (`groups × ceil(members/8)`).
+    pub bitmap_bytes_per_deposit: usize,
+}
+
+/// Deposit `deposits` files at one scale point and measure the fanout
+/// shape. Panics if a deposit's delivery cost depends on the member
+/// count — that is the regression this experiment exists to catch.
+pub fn run_fanout(groups: usize, members: usize, deposits: usize) -> FanoutPoint {
+    let (mut server, net) = fanout_server(groups, members);
+    let payload = vec![b'x'; 1_000];
+    let before = net.messages_sent();
+    for i in 0..deposits {
+        server.deposit(&format!("tick_{i}.csv"), &payload).unwrap();
+    }
+    let sent = (net.messages_sent() - before) as usize;
+    assert_eq!(
+        sent,
+        groups * deposits,
+        "group delivery must send once per group per deposit"
+    );
+    assert_eq!(
+        server.group_outstanding(),
+        groups * deposits,
+        "tracker must hold one entry per group per deposit"
+    );
+    assert_eq!(
+        server.stats().deliveries,
+        0,
+        "grouped members must not receive direct fanout"
+    );
+    FanoutPoint {
+        groups,
+        members_per_group: members,
+        subscribers: groups * members,
+        ops_per_deposit: sent / deposits,
+        tracker_entries_per_deposit: server.group_outstanding() / deposits,
+        bitmap_bytes_per_deposit: groups * members.div_ceil(8),
+    }
+}
+
+/// Harness-measured per-deposit latency at one `(groups, members)`
+/// point, for the `fanout_group_delivery` group in
+/// `BENCH_throughput.json`. Each iteration ingests one fresh file end
+/// to end (classify + stage + receipts + `G` group sends); the
+/// per-deposit subscriber scan keeps this `O(subscribers)`, so the
+/// same `G` at a larger `M` costs more CPU but identical delivery ops.
+pub fn bench_fanout_deposit(groups: usize, members: usize, samples: usize) -> BenchResult {
+    let (mut server, _net) = fanout_server(groups, members);
+    let payload = vec![b'x'; 1_000];
+    let mut i = 0u64;
+    // short in-place warmup for the measured code paths
+    for _ in 0..2 {
+        server.deposit(&format!("tick_{i}.csv"), &payload).unwrap();
+        i += 1;
+    }
+    time_fn(
+        "fanout_group_delivery",
+        &format!("deposit_g{groups}_m{members}"),
+        samples,
+        // Elements(1): per_sec is deposits/sec at this scale point
+        Some(Throughput::Elements(1)),
+        || {
+            server.deposit(&format!("tick_{i}.csv"), &payload).unwrap();
+            i += 1;
+        },
+    )
+}
+
+/// Render the shape table.
+pub fn table(points: &[FanoutPoint]) -> Table {
+    let mut t = Table::new(
+        "E14: delivery ops and tracker state vs group/member count",
+        &[
+            "groups",
+            "members/group",
+            "subscribers",
+            "sends/deposit",
+            "tracker entries/deposit",
+            "bitmap bytes/deposit",
+        ],
+    );
+    for p in points {
+        t.row(vec![
+            p.groups.to_string(),
+            p.members_per_group.to_string(),
+            p.subscribers.to_string(),
+            p.ops_per_deposit.to_string(),
+            p.tracker_entries_per_deposit.to_string(),
+            p.bitmap_bytes_per_deposit.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_scale_with_groups_not_members() {
+        let narrow = run_fanout(4, 3, 2);
+        let wide = run_fanout(4, 12, 2);
+        assert_eq!(narrow.ops_per_deposit, 4);
+        assert_eq!(
+            narrow.ops_per_deposit, wide.ops_per_deposit,
+            "quadrupling members must not change delivery ops"
+        );
+        assert_eq!(
+            narrow.tracker_entries_per_deposit,
+            wide.tracker_entries_per_deposit
+        );
+        let more_groups = run_fanout(8, 3, 2);
+        assert_eq!(more_groups.ops_per_deposit, 8);
+    }
+
+    #[test]
+    fn bitmap_state_is_bytes_not_entries() {
+        let p = run_fanout(2, 20, 1);
+        // 20 members fit in 3 bytes per group; a per-member tracker
+        // would hold 40 entries
+        assert_eq!(p.bitmap_bytes_per_deposit, 2 * 3);
+        assert_eq!(p.tracker_entries_per_deposit, 2);
+        assert_eq!(p.subscribers, 40);
+    }
+
+    #[test]
+    fn bench_point_runs_and_names_the_scale() {
+        let r = bench_fanout_deposit(4, 3, 3);
+        assert_eq!(r.group, "fanout_group_delivery");
+        assert_eq!(r.name, "deposit_g4_m3");
+        assert!(r.median_ns > 0.0, "{r:?}");
+    }
+}

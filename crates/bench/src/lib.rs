@@ -18,6 +18,7 @@ pub mod json;
 pub mod e10_false_positives;
 pub mod e11_throughput;
 pub mod e13_failover;
+pub mod e14_fanout;
 pub mod e1_pull_scan;
 pub mod e2_rsync;
 pub mod e3_propagation;

@@ -240,28 +240,34 @@ impl Parser {
     fn group_block(&mut self) -> Result<GroupDef, ConfigError> {
         let name = self.ident("a group name")?;
         let mut members = Vec::new();
+        let mut relay = None;
         self.expect(&TokKind::LBrace)?;
         loop {
             if matches!(self.peek().map(|t| &t.kind), Some(TokKind::RBrace)) {
                 self.pos += 1;
                 break;
             }
-            let key = self.ident("'members'")?;
-            if key != "members" {
-                return self.err(format!("unknown group setting '{key}'"));
-            }
-            loop {
-                members.push(self.ident("a member name")?);
-                match self.peek().map(|t| &t.kind) {
-                    Some(TokKind::Comma) => {
-                        self.pos += 1;
+            let key = self.ident("'members' or 'relay'")?;
+            match key.as_str() {
+                "members" => loop {
+                    members.push(self.ident("a member name")?);
+                    match self.peek().map(|t| &t.kind) {
+                        Some(TokKind::Comma) => {
+                            self.pos += 1;
+                        }
+                        _ => break,
                     }
-                    _ => break,
-                }
+                },
+                "relay" => relay = Some(self.string("relay endpoint")?),
+                other => return self.err(format!("unknown group setting '{other}'")),
             }
             self.expect(&TokKind::Semi)?;
         }
-        Ok(GroupDef { name, members })
+        Ok(GroupDef {
+            name,
+            members,
+            relay,
+        })
     }
 
     fn subscriber_block(&mut self) -> Result<SubscriberDef, ConfigError> {
@@ -443,6 +449,32 @@ mod tests {
         )
         .unwrap();
         assert_eq!(cfg.subscribers[0].deadline, TimeSpan::from_secs(45));
+    }
+
+    #[test]
+    fn relay_group_parsing() {
+        let cfg = parse_config(
+            r#"feed F { pattern "a%i"; }
+               subscriber s1 { endpoint "h:1"; subscribe F; }
+               subscriber s2 { endpoint "h:2"; subscribe F; }
+               group EAST { members s1, s2; relay "relay-east:9"; }"#,
+        )
+        .unwrap();
+        let g = cfg.group("EAST").unwrap();
+        assert!(g.is_relay());
+        assert_eq!(g.relay.as_deref(), Some("relay-east:9"));
+        assert_eq!(g.members, vec!["s1", "s2"]);
+    }
+
+    #[test]
+    fn relay_must_be_quoted_endpoint() {
+        let err = parse_config(
+            r#"feed F { pattern "a%i"; }
+               subscriber s1 { endpoint "h:1"; subscribe F; }
+               group EAST { members s1; relay bare_ident; }"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::Parse { .. }));
     }
 
     #[test]

@@ -86,6 +86,9 @@ pub fn to_source(cfg: &Config) -> String {
     for g in &cfg.groups {
         let _ = writeln!(out, "group {} {{", g.name);
         let _ = writeln!(out, "    members {};", g.members.join(", "));
+        if let Some(relay) = &g.relay {
+            let _ = writeln!(out, "    relay {};", quote(relay));
+        }
         let _ = writeln!(out, "}}\n");
     }
 
@@ -157,6 +160,7 @@ mod tests {
         }
         feed SNMP/CPU { pattern "CPU_%i.txt"; compress expand; policy spill; }
         group CORE { members SNMP/MEMORY, SNMP/CPU; }
+        group EDGE { members wh, wh2; relay "relay-east:9"; }
         subscriber wh {
             endpoint "wh-host:7070";
             subscribe CORE;
@@ -166,6 +170,7 @@ mod tests {
             trigger remote "load %N %f";
             dest "incoming/%N/%f";
         }
+        subscriber wh2 { endpoint "wh2-host:7070"; subscribe CORE; }
     "#;
 
     #[test]
@@ -192,7 +197,10 @@ mod tests {
             crate::types::FeedPolicy::Spill
         );
 
-        assert_eq!(reparsed.groups.len(), 1);
+        assert_eq!(reparsed.groups.len(), 2);
+        let edge = reparsed.group("EDGE").unwrap();
+        assert_eq!(edge.relay.as_deref(), Some("relay-east:9"));
+        assert_eq!(edge.members, vec!["wh", "wh2"]);
         let sub = reparsed.subscriber("wh").unwrap();
         assert_eq!(sub.batch.count, Some(3));
         assert_eq!(sub.deadline, cfg.subscriber("wh").unwrap().deadline);

@@ -72,13 +72,27 @@ pub struct FeedDef {
     pub description: Option<String>,
 }
 
-/// An explicit (non-prefix) feed group.
+/// An explicit (non-prefix) feed group, or — when `relay` is set — a
+/// **subscriber group with a shared delivery plan** (§3 delivery
+/// network): members are subscriber names and the server delivers each
+/// file once to the relay endpoint, which fans out to the members and
+/// reports coverage with a compact ack bitmap.
 #[derive(Clone, Debug)]
 pub struct GroupDef {
     /// Group name.
     pub name: String,
-    /// Member feed or group names.
+    /// Member feed or group names (feed group), or member subscriber
+    /// names (relay group).
     pub members: Vec<String>,
+    /// Relay endpoint for shared delivery; `None` = plain feed group.
+    pub relay: Option<String>,
+}
+
+impl GroupDef {
+    /// True if this group is a shared-delivery subscriber group.
+    pub fn is_relay(&self) -> bool {
+        self.relay.is_some()
+    }
 }
 
 /// How files reach a subscriber (§4.1).
@@ -240,7 +254,9 @@ impl Config {
             out.insert(target.to_string());
             return Ok(());
         }
-        if let Some(group) = self.group(target) {
+        // relay groups name subscribers, not feeds: they are delivery
+        // plans, never subscription targets
+        if let Some(group) = self.group(target).filter(|g| !g.is_relay()) {
             visiting.push(target.to_string());
             for m in &group.members {
                 self.resolve_into(m, out, visiting)?;

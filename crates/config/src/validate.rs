@@ -39,9 +39,29 @@ pub fn validate(cfg: &Config) -> Result<(), ConfigError> {
         }
     }
 
-    // group members and cycles are checked by resolution
+    // feed-group members and cycles are checked by resolution; relay
+    // groups instead name subscribers, each belonging to at most one
+    // relay group (a member with two relays would be delivered twice)
+    let mut relayed = BTreeSet::new();
     for g in &cfg.groups {
-        cfg.resolve_subscription(&g.name)?;
+        if g.is_relay() {
+            if g.members.is_empty() {
+                return Err(ConfigError::NoSubscriptions(g.name.clone()));
+            }
+            for m in &g.members {
+                // membership via the name set built above: relay groups
+                // can be very wide, and a per-member linear scan of the
+                // subscriber list would make validation quadratic
+                if !sub_names.contains(m.as_str()) {
+                    return Err(ConfigError::UnknownSubscriber(m.clone()));
+                }
+                if !relayed.insert(m.as_str()) {
+                    return Err(ConfigError::DuplicateName(m.clone()));
+                }
+            }
+        } else {
+            cfg.resolve_subscription(&g.name)?;
+        }
     }
 
     for s in &cfg.subscribers {
@@ -130,6 +150,51 @@ mod tests {
         .unwrap();
         let feeds = cfg.subscriber_feeds("s").unwrap();
         assert_eq!(feeds, vec!["X/ONE", "X/TWO", "Y"]);
+    }
+
+    #[test]
+    fn relay_group_members_must_be_subscribers() {
+        let err = parse_config(
+            r#"feed F { pattern "a%i"; }
+               subscriber s1 { endpoint "h:1"; subscribe F; }
+               group G { members s1, ghost; relay "r:1"; }"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::UnknownSubscriber("ghost".to_string()));
+    }
+
+    #[test]
+    fn relay_group_double_membership_rejected() {
+        let err = parse_config(
+            r#"feed F { pattern "a%i"; }
+               subscriber s1 { endpoint "h:1"; subscribe F; }
+               group A { members s1; relay "r:1"; }
+               group B { members s1; relay "r:2"; }"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::DuplicateName("s1".to_string()));
+    }
+
+    #[test]
+    fn relay_group_needs_members() {
+        let err = parse_config(
+            r#"feed F { pattern "a%i"; }
+               group G { relay "r:1"; }"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::NoSubscriptions("G".to_string()));
+    }
+
+    #[test]
+    fn relay_group_is_not_a_subscription_target() {
+        let err = parse_config(
+            r#"feed F { pattern "a%i"; }
+               subscriber s1 { endpoint "h:1"; subscribe F; }
+               subscriber s2 { endpoint "h:2"; subscribe G; }
+               group G { members s1; relay "r:1"; }"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, ConfigError::UnknownSubscription("G".to_string()));
     }
 
     #[test]

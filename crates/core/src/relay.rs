@@ -6,74 +6,277 @@
 //! we can further increase the scalability of the system and minimize
 //! the impact on low-bandwidth network pipes."
 //!
-//! [`pump`] moves one delivery hop: it drains the upstream server's
+//! [`Relay`] moves one delivery hop: it drains the upstream server's
 //! outbound messages for the downstream server's endpoint (as delivered
 //! by the shared [`SimNetwork`]), deposits the referenced payloads into
 //! the downstream server's landing zone, and lets the downstream server
 //! ingest them with its own classification/normalization/delivery — the
-//! full pipeline repeats per hop.
+//! full pipeline repeats per hop. Three protocol obligations live here:
+//!
+//! * only relay-relevant messages are drained ([`SimNetwork::recv_where`]);
+//!   unrelated traffic sharing the endpoint stays queued for its owner.
+//! * reliable [`ReliableMsg::Attempt`] envelopes are acknowledged on
+//!   *every* attempt, and redelivered payloads are suppressed against the
+//!   downstream receipt store (durable dedup: a relay restart cannot
+//!   double-deposit).
+//! * group [`GroupMsg::Deliver`] fanouts are answered with a cumulative
+//!   member-coverage report built from the downstream server's own
+//!   delivery receipts — the upstream tracker retries until every member
+//!   of the delivery tree is durably covered (cascaded backfill).
 
 use crate::server::{Server, ServerError};
 use bistro_base::TimePoint;
-use bistro_transport::messages::{Message, SubscriberMsg};
-use bistro_transport::SimNetwork;
+use bistro_transport::messages::{GroupMsg, Message, ReliableMsg, SubscriberMsg};
+use bistro_transport::{Coverage, SimNetwork};
+
+/// Counters accumulated across [`Relay::pump`] calls.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RelayStats {
+    /// Payloads deposited downstream (first copies).
+    pub relayed: usize,
+    /// Redelivered payloads suppressed by the downstream receipt store.
+    pub duplicates: usize,
+    /// Reliable attempts acknowledged back upstream.
+    pub acked: usize,
+    /// Group coverage reports sent back upstream.
+    pub group_acks: usize,
+}
+
+/// One relay hop between two servers sharing a [`SimNetwork`]. The
+/// struct itself is stateless between calls — deduplication rides the
+/// downstream receipt store, so it survives relay restarts — but it
+/// accumulates [`RelayStats`] for observability.
+#[derive(Debug, Default)]
+pub struct Relay {
+    stats: RelayStats,
+}
+
+impl Relay {
+    pub fn new() -> Relay {
+        Relay::default()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &RelayStats {
+        &self.stats
+    }
+
+    /// Pump deliveries from `upstream` to `downstream` through `net` as
+    /// of simulated time `now`. Returns the number of *new* files
+    /// deposited downstream by this call (duplicates are acknowledged
+    /// but not counted).
+    ///
+    /// The downstream server must be registered at `upstream` as a
+    /// subscriber (or group relay) whose endpoint equals
+    /// `downstream.name()`.
+    pub fn pump(
+        &mut self,
+        net: &SimNetwork,
+        upstream: &Server,
+        downstream: &mut Server,
+        now: TimePoint,
+    ) -> Result<usize, ServerError> {
+        let mut relayed = 0;
+        // drain only what a relay consumes; anything else addressed to
+        // this endpoint (cluster heartbeats, source notifications, acks
+        // owned by a co-located server) stays queued for its owner
+        let batch = net.recv_where(downstream.name(), now, |d| {
+            matches!(
+                &d.msg,
+                Message::Subscriber(
+                    SubscriberMsg::FileDelivered { .. } | SubscriberMsg::FileAvailable { .. }
+                ) | Message::Reliable(ReliableMsg::Attempt {
+                    inner: SubscriberMsg::FileDelivered { .. }
+                        | SubscriberMsg::FileAvailable { .. },
+                    ..
+                }) | Message::Group(GroupMsg::Deliver { .. })
+            )
+        });
+        for delivery in batch {
+            match delivery.msg {
+                Message::Subscriber(inner) => {
+                    if self.relay_file(&inner, upstream, downstream)? == Deposit::New {
+                        relayed += 1;
+                    }
+                }
+                Message::Reliable(ReliableMsg::Attempt { attempt, inner }) => {
+                    let outcome = self.relay_file(&inner, upstream, downstream)?;
+                    if outcome == Deposit::New {
+                        relayed += 1;
+                    }
+                    // ack every attempt we could serve — including
+                    // redeliveries of a payload we already hold, whose
+                    // first ack may have been lost in flight. Without
+                    // this the upstream tracker retries until its
+                    // attempt budget exhausts and falsely alarms.
+                    if outcome != Deposit::Gone {
+                        if let Some(file) = file_of(&inner) {
+                            net.send(
+                                now,
+                                downstream.name(),
+                                &delivery.from,
+                                Message::Reliable(ReliableMsg::Ack { file, attempt }),
+                            );
+                            self.stats.acked += 1;
+                        }
+                    }
+                }
+                Message::Group(GroupMsg::Deliver { group, file, .. }) => {
+                    let Some(rec) = upstream.receipts().file(file) else {
+                        continue; // expired upstream; retries will alarm
+                    };
+                    if self.deposit_once(&rec.name, upstream, &rec.staged_path, downstream)?
+                        == Deposit::New
+                    {
+                        relayed += 1;
+                    }
+                    // report cumulative member coverage from our own
+                    // delivery receipts; the upstream tracker keeps the
+                    // fanout outstanding until the tree is complete
+                    if let Some((bits, watermark)) =
+                        self.member_coverage(downstream, &group, &rec.name)
+                    {
+                        net.send(
+                            now,
+                            downstream.name(),
+                            &delivery.from,
+                            Message::Group(GroupMsg::Ack {
+                                group,
+                                file, // the *upstream* id the tracker keys on
+                                bits,
+                                watermark,
+                            }),
+                        );
+                        self.stats.group_acks += 1;
+                    }
+                }
+                _ => unreachable!("recv_where predicate admits only relay traffic"),
+            }
+        }
+        Ok(relayed)
+    }
+
+    /// Relay one per-subscriber delivery notification: fetch the payload
+    /// from the upstream staging area and deposit it downstream unless
+    /// the receipt store already holds it.
+    fn relay_file(
+        &mut self,
+        inner: &SubscriberMsg,
+        upstream: &Server,
+        downstream: &mut Server,
+    ) -> Result<Deposit, ServerError> {
+        let Some(file) = file_of(inner) else {
+            return Ok(Deposit::Gone);
+        };
+        let Some(rec) = upstream.receipts().file(file) else {
+            return Ok(Deposit::Gone); // expired upstream before relay
+        };
+        // the original *filename* is what downstream classifies; the
+        // message's dest/staged path is upstream's layout choice for us
+        self.deposit_once(&rec.name, upstream, &rec.staged_path, downstream)
+    }
+
+    /// Deposit `name` downstream exactly once: the downstream receipt
+    /// store is the durable dedup index, so redelivered attempts (lost
+    /// acks, retries, relay restarts) never double-ingest.
+    fn deposit_once(
+        &mut self,
+        name: &str,
+        upstream: &Server,
+        staged_path: &str,
+        downstream: &mut Server,
+    ) -> Result<Deposit, ServerError> {
+        if downstream.receipts().file_by_name(name).is_some() {
+            self.stats.duplicates += 1;
+            return Ok(Deposit::Duplicate);
+        }
+        let staged = format!("{}/{staged_path}", upstream.config().server.staging);
+        let payload = upstream.store().read(&staged)?;
+        downstream.deposit(name, &payload)?;
+        self.stats.relayed += 1;
+        Ok(Deposit::New)
+    }
+
+    /// Build the coverage bitmap for `group` from the downstream
+    /// server's delivery receipts: member order is the *sorted* member
+    /// list, matching the upstream fanout plan. Returns `None` when the
+    /// downstream config does not define the group or has not ingested
+    /// the file — no ack is sent, so the upstream retries and alarms
+    /// instead of silently marking members covered.
+    fn member_coverage(
+        &self,
+        downstream: &Server,
+        group: &str,
+        name: &str,
+    ) -> Option<(Vec<u8>, u64)> {
+        let def = downstream.config().group(group)?;
+        let local = downstream.receipts().file_by_name(name)?;
+        let mut members: Vec<&String> = def.members.iter().collect();
+        members.sort();
+        let mut coverage = Coverage::new(members.len() as u32);
+        for (i, member) in members.iter().enumerate() {
+            if downstream.receipts().is_delivered(local.id, member) {
+                coverage.set(i as u32);
+            }
+        }
+        let watermark = u64::from(coverage.watermark());
+        Some((coverage.bits().to_vec(), watermark))
+    }
+}
+
+/// What [`Relay::deposit_once`] did with a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Deposit {
+    /// First copy: deposited and ingested downstream.
+    New,
+    /// Already held downstream; suppressed.
+    Duplicate,
+    /// Upstream no longer has the payload (expired); nothing to do.
+    Gone,
+}
+
+/// The file a delivery notification refers to.
+fn file_of(msg: &SubscriberMsg) -> Option<bistro_base::FileId> {
+    match msg {
+        SubscriberMsg::FileDelivered { file, .. } | SubscriberMsg::FileAvailable { file, .. } => {
+            Some(*file)
+        }
+        _ => None,
+    }
+}
 
 /// Pump deliveries from `upstream` to `downstream` through `net` as of
-/// simulated time `now`. Returns the number of files relayed.
-///
-/// The downstream server must be registered at `upstream` as a
-/// subscriber whose endpoint equals `downstream.name()`.
+/// simulated time `now`, with a throwaway [`Relay`]. Returns the number
+/// of files relayed. Deduplication is durable (it rides the downstream
+/// receipt store), so repeated calls through fresh relays stay
+/// exactly-once; hold a [`Relay`] instead when you want cumulative
+/// stats.
 pub fn pump(
     net: &SimNetwork,
     upstream: &Server,
     downstream: &mut Server,
     now: TimePoint,
 ) -> Result<usize, ServerError> {
-    let mut relayed = 0;
-    for delivery in net.recv_ready(downstream.name(), now) {
-        match delivery.msg {
-            Message::Subscriber(SubscriberMsg::FileDelivered {
-                dest_path, file, ..
-            })
-            | Message::Subscriber(SubscriberMsg::FileAvailable {
-                staged_path: dest_path,
-                file,
-                ..
-            }) => {
-                // fetch the payload from the upstream staging area
-                let rec = match upstream.receipts().file(file) {
-                    Some(r) => r,
-                    None => continue, // expired upstream before relay
-                };
-                let staged = format!("{}/{}", upstream.config().server.staging, rec.staged_path);
-                let payload = upstream.store().read(&staged)?;
-                // the original *filename* is what downstream classifies;
-                // dest_path is upstream's layout choice for us
-                let _ = dest_path;
-                downstream.deposit(&rec.name, &payload)?;
-                relayed += 1;
-            }
-            _ => {}
-        }
-    }
-    Ok(relayed)
+    Relay::new().pump(net, upstream, downstream, now)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bistro_base::{Clock, SimClock, TimeSpan};
+    use bistro_base::{Clock, SimClock, TimePoint, TimeSpan};
     use bistro_config::parse_config;
-    use bistro_transport::{LinkSpec, SimNetwork};
+    use bistro_transport::messages::ClusterMsg;
+    use bistro_transport::{LinkSpec, RetryPolicy, SimNetwork};
     use bistro_vfs::MemFs;
     use std::sync::Arc;
 
-    #[test]
-    fn two_hop_relay_network() {
-        let clock = SimClock::starting_at(TimePoint::from_secs(1_285_372_800));
-        let net = Arc::new(SimNetwork::new(LinkSpec::default()));
+    const START: TimePoint = TimePoint::from_secs(1_285_372_800);
 
-        // hub server: receives from sources, relays MEMORY to the edge
+    fn hub_edge(
+        clock: &Arc<SimClock>,
+        net: &Arc<SimNetwork>,
+        reliable: Option<RetryPolicy>,
+    ) -> (Server, Server) {
         let hub_cfg = parse_config(
             r#"
             feed SNMP/MEMORY { pattern "MEMORY_poller%i_%Y%m%d.gz"; }
@@ -90,8 +293,10 @@ mod tests {
         let mut hub = Server::new("hub", hub_cfg, clock.clone(), hub_store)
             .unwrap()
             .with_network(net.clone());
+        if let Some(policy) = reliable {
+            hub = hub.with_reliable_delivery(policy, 7);
+        }
 
-        // edge server: delivers to the local warehouse
         let edge_cfg = parse_config(
             r#"
             feed SNMP/MEMORY { pattern "MEMORY_poller%i_%Y%m%d.gz"; }
@@ -104,9 +309,17 @@ mod tests {
         )
         .unwrap();
         let edge_store = MemFs::shared(clock.clone());
-        let mut edge = Server::new("edge", edge_cfg, clock.clone(), edge_store)
+        let edge = Server::new("edge", edge_cfg, clock.clone(), edge_store)
             .unwrap()
             .with_network(net.clone());
+        (hub, edge)
+    }
+
+    #[test]
+    fn two_hop_relay_network() {
+        let clock = SimClock::starting_at(START);
+        let net = Arc::new(SimNetwork::new(LinkSpec::default()));
+        let (mut hub, mut edge) = hub_edge(&clock, &net, None);
 
         // sources deposit at the hub
         hub.deposit("MEMORY_poller1_20100925.gz", b"memory-data")
@@ -125,5 +338,155 @@ mod tests {
         clock.advance(TimeSpan::from_secs(1));
         let msgs = net.recv_ready("warehouse", clock.now());
         assert_eq!(msgs.len(), 1);
+    }
+
+    /// Regression: the pump used to drain the endpoint with
+    /// `recv_ready` and discard whatever it did not understand, so any
+    /// cluster traffic sharing the relay's inbox was silently eaten.
+    /// With `recv_where`, unrelated messages stay queued.
+    #[test]
+    fn unrelated_traffic_stays_queued() {
+        let clock = SimClock::starting_at(START);
+        let net = Arc::new(SimNetwork::new(LinkSpec::default()));
+        let (mut hub, mut edge) = hub_edge(&clock, &net, None);
+
+        hub.deposit("MEMORY_poller1_20100925.gz", b"memory-data")
+            .unwrap();
+        // interleave cluster traffic addressed to the same endpoint
+        net.send(
+            clock.now(),
+            "hub",
+            "edge",
+            Message::Cluster(ClusterMsg::Heartbeat {
+                server: "hub".to_string(),
+                epoch: 3,
+            }),
+        );
+
+        clock.advance(TimeSpan::from_secs(1));
+        let relayed = pump(&net, &hub, &mut edge, clock.now()).unwrap();
+        assert_eq!(relayed, 1);
+
+        // the heartbeat survived the pump for whoever owns the endpoint
+        let rest = net.recv_ready("edge", clock.now());
+        assert_eq!(rest.len(), 1, "cluster message was eaten by the pump");
+        assert!(matches!(
+            rest[0].msg,
+            Message::Cluster(ClusterMsg::Heartbeat { epoch: 3, .. })
+        ));
+    }
+
+    /// Regression: under reliable delivery the pump never acknowledged
+    /// attempts (the upstream retried until its budget exhausted and
+    /// falsely alarmed) and redelivered attempts deposited twice. Every
+    /// attempt is now acked and duplicates are suppressed against the
+    /// downstream receipt store.
+    #[test]
+    fn reliable_attempts_acked_and_deduped() {
+        let clock = SimClock::starting_at(START);
+        let net = Arc::new(SimNetwork::new(LinkSpec::default()));
+        let policy = RetryPolicy {
+            base_timeout: TimeSpan::from_secs(5),
+            backoff: 2,
+            max_timeout: TimeSpan::from_secs(60),
+            max_attempts: 12,
+            jitter: 0.0,
+        };
+        let (mut hub, mut edge) = hub_edge(&clock, &net, Some(policy));
+        let mut relay = Relay::new();
+
+        hub.deposit("MEMORY_poller1_20100925.gz", b"memory-data")
+            .unwrap();
+        assert_eq!(hub.unacked_count(), 1);
+
+        clock.advance(TimeSpan::from_secs(1));
+        assert_eq!(relay.pump(&net, &hub, &mut edge, clock.now()).unwrap(), 1);
+
+        // redeliver before the first ack is processed (lost-ack shape)
+        hub.retry_fire().unwrap();
+        clock.advance(TimeSpan::from_secs(1));
+        assert_eq!(
+            relay.pump(&net, &hub, &mut edge, clock.now()).unwrap(),
+            0,
+            "redelivered attempt must not deposit twice"
+        );
+        assert_eq!(edge.receipts().live_count(), 1);
+
+        // both attempts were acknowledged; the hub clears its tracker
+        clock.advance(TimeSpan::from_secs(1));
+        assert_eq!(hub.poll_network().unwrap(), 2);
+        assert_eq!(hub.unacked_count(), 0);
+
+        let stats = relay.stats();
+        assert_eq!(stats.relayed, 1);
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(stats.acked, 2);
+    }
+
+    /// A delivery tree: the hub fans a grouped file out *once* to the
+    /// relay, which serves every member from its own pipeline and
+    /// reports cumulative member coverage back.
+    #[test]
+    fn group_fanout_through_relay() {
+        let clock = SimClock::starting_at(START);
+        let net = Arc::new(SimNetwork::new(LinkSpec::default()));
+        // one config deployed at both tiers: the hub routes EDGE through
+        // the relay endpoint; the edge server (whose name *is* the relay
+        // endpoint) skips the plan and delivers to members directly
+        let cfg_text = r#"
+            feed SNMP/MEMORY { pattern "MEMORY_poller%i_%Y%m%d.gz"; }
+            subscriber wh1 { endpoint "wh1"; subscribe SNMP/MEMORY; }
+            subscriber wh2 { endpoint "wh2"; subscribe SNMP/MEMORY; }
+            group EDGE { members wh1, wh2; relay "edge"; }
+        "#;
+        let mut hub = Server::new(
+            "hub",
+            parse_config(cfg_text).unwrap(),
+            clock.clone(),
+            MemFs::shared(clock.clone()),
+        )
+        .unwrap()
+        .with_network(net.clone());
+        let mut edge = Server::new(
+            "edge",
+            parse_config(cfg_text).unwrap(),
+            clock.clone(),
+            MemFs::shared(clock.clone()),
+        )
+        .unwrap()
+        .with_network(net.clone());
+        let mut relay = Relay::new();
+
+        hub.deposit("MEMORY_poller1_20100925.gz", b"memory-data")
+            .unwrap();
+        // grouped members are excluded from direct fanout: one Deliver
+        // to the relay, nothing straight to wh1/wh2 from the hub
+        assert_eq!(hub.group_outstanding(), 1);
+        assert_eq!(hub.stats().deliveries, 0);
+
+        clock.advance(TimeSpan::from_secs(1));
+        assert_eq!(relay.pump(&net, &hub, &mut edge, clock.now()).unwrap(), 1);
+        // the edge fanned out to both members itself
+        assert_eq!(edge.stats().deliveries, 2);
+
+        // the coverage report completes the fanout at the hub
+        clock.advance(TimeSpan::from_secs(1));
+        assert_eq!(hub.poll_network().unwrap(), 1);
+        assert_eq!(hub.group_outstanding(), 0);
+        let file = hub
+            .receipts()
+            .file_by_name("MEMORY_poller1_20100925.gz")
+            .unwrap();
+        let (bits, watermark) = hub
+            .receipts()
+            .group_coverage(file.id, "EDGE")
+            .expect("coverage persisted as a group mark");
+        assert!(Coverage::from_wire(2, &bits, watermark).complete());
+        assert_eq!(relay.stats().group_acks, 1);
+
+        // both members actually received their copies from the edge
+        clock.advance(TimeSpan::from_secs(1));
+        assert_eq!(net.recv_ready("wh1", clock.now()).len(), 1);
+        assert_eq!(net.recv_ready("wh2", clock.now()).len(), 1);
     }
 }

@@ -25,11 +25,13 @@ use bistro_receipts::{Archiver, FileRecord, GroupCommitStats, ReceiptError, Rece
 use bistro_telemetry::{
     AlarmRule, AlarmSet, Condition, Counter, Histogram, Json, Registry, SharedRegistry, Span,
 };
-use bistro_transport::messages::{Message, ReliableMsg, SubscriberMsg};
+use bistro_transport::messages::{GroupMsg, Message, ReliableMsg, SubscriberMsg};
 use bistro_transport::trigger::TriggerContext;
-use bistro_transport::{Batcher, RetryPolicy, RetryRound, RetryTracker, SimNetwork, TriggerLog};
+use bistro_transport::{
+    Batcher, Coverage, GroupTracker, RetryPolicy, RetryRound, RetryTracker, SimNetwork, TriggerLog,
+};
 use bistro_vfs::{FileStore, VfsError};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -83,8 +85,11 @@ impl From<bistro_config::ConfigError> for ServerError {
     }
 }
 
-/// Per-subscriber delivery latency accounting.
-#[derive(Clone, Debug, Default)]
+/// Per-subscriber delivery latency accounting. Latencies feed a
+/// fixed-size histogram per subscriber, so memory is O(subscribers)
+/// regardless of how many deliveries a long run records — a per-delivery
+/// sample vector would be fatal at million-subscriber fanout scale.
+#[derive(Clone, Default)]
 pub struct DeliveryStats {
     /// Files classified into at least one feed.
     pub files_ingested: u64,
@@ -94,27 +99,47 @@ pub struct DeliveryStats {
     pub deliveries: u64,
     /// Bytes pushed to subscribers.
     pub bytes_delivered: u64,
-    /// Per-subscriber deposit→delivery latencies.
-    pub latencies: HashMap<String, Vec<TimeSpan>>,
+    /// Per-subscriber deposit→delivery latency histograms (microseconds;
+    /// detached — these never render into `status_json`).
+    pub latencies: HashMap<String, Arc<Histogram>>,
+}
+
+impl fmt::Debug for DeliveryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeliveryStats")
+            .field("files_ingested", &self.files_ingested)
+            .field("files_unknown", &self.files_unknown)
+            .field("deliveries", &self.deliveries)
+            .field("bytes_delivered", &self.bytes_delivered)
+            .field("latency_subscribers", &self.latencies.len())
+            .finish()
+    }
 }
 
 impl DeliveryStats {
-    /// `(mean, p95, max)` delivery latency for a subscriber.
+    /// `(mean, p95, max)` delivery latency for a subscriber. Mean and max
+    /// are exact; p95 is the histogram's rank-exact upper quantile bound.
     pub fn latency_summary(&self, subscriber: &str) -> Option<(TimeSpan, TimeSpan, TimeSpan)> {
-        let v = self.latencies.get(subscriber)?;
-        if v.is_empty() {
+        let h = self.latencies.get(subscriber)?;
+        let count = h.count();
+        if count == 0 {
             return None;
         }
-        let mut sorted: Vec<u64> = v.iter().map(|t| t.as_micros()).collect();
-        sorted.sort_unstable();
-        let mean = sorted.iter().sum::<u64>() / sorted.len() as u64;
-        let p95 = sorted[((sorted.len() as f64 * 0.95).ceil() as usize - 1).min(sorted.len() - 1)];
-        let max = *sorted.last().unwrap();
+        let mean = h.sum() / count;
+        let p95 = h.quantile(0.95).unwrap_or(0);
+        let max = h.max().unwrap_or(0);
         Some((
             TimeSpan::from_micros(mean),
             TimeSpan::from_micros(p95),
             TimeSpan::from_micros(max),
         ))
+    }
+
+    /// How many raw latency samples are retained in memory: always zero —
+    /// the histograms keep bucket counts only. (A regression guard: the
+    /// old implementation kept one `TimeSpan` per delivery forever.)
+    pub fn retained_latency_samples(&self) -> usize {
+        0
     }
 }
 
@@ -131,6 +156,38 @@ struct SubscriberState {
 struct ReliableState {
     tracker: RetryTracker,
 }
+
+/// One active shared-delivery plan, built from a relay group in the
+/// config. The relay server itself (whose name equals the relay
+/// endpoint) skips the plan and fans out to the members through the
+/// regular subscriber path — the same config drives both tiers.
+struct GroupPlan {
+    name: String,
+    endpoint: String,
+    /// Member subscriber names, sorted: the ack bitmap index of a member
+    /// is its position here (the relay sorts identically).
+    members: Vec<String>,
+    /// Union of the members' concrete feeds.
+    feeds: Vec<String>,
+}
+
+/// Shared-delivery-tree state (§3 delivery network): one tracker entry
+/// and one coverage bitmap per `(group, file)` in flight, instead of a
+/// [`RetryTracker`] entry per member — fanout bookkeeping scales with
+/// the group count, not the member count. Tallies live in the server's
+/// telemetry registry (`group.*`).
+struct GroupState {
+    plans: Vec<GroupPlan>,
+    /// Every subscriber routed through some plan: excluded from direct
+    /// per-subscriber fan-out and backfill.
+    grouped: BTreeSet<String>,
+    tracker: GroupTracker,
+}
+
+/// Seed for the group tracker's retry jitter when the server is not in
+/// reliable mode (XORed into the reliable seed when it is, so the two
+/// trackers never share an RNG stream).
+const GROUP_RETRY_SEED: u64 = 0xB157_0009;
 
 /// Handles into the server's telemetry registry, resolved once at
 /// construction so the hot paths never re-look-up metric names.
@@ -207,6 +264,7 @@ pub struct Server {
     subscribers: HashMap<String, SubscriberState>,
     net: Option<Arc<SimNetwork>>,
     reliable: Option<ReliableState>,
+    groups: Option<GroupState>,
     progress: HashMap<String, FeedProgress>,
     discoverer: FeedDiscoverer,
     fn_detector: FnDetector,
@@ -252,18 +310,78 @@ impl Server {
         );
 
         let mut subscribers = HashMap::new();
+        // subscription targets repeat across wide deployments (every
+        // member of a delivery tree names the same feed), so memoize
+        // resolution per target instead of re-walking the config — and
+        // resolve from the def at hand rather than `subscriber_feeds`,
+        // whose by-name lookup would make this loop quadratic
+        let mut resolved: HashMap<String, Vec<String>> = HashMap::new();
         for def in &config.subscribers {
-            let feeds = config.subscriber_feeds(&def.name)?;
+            let mut feeds: BTreeSet<String> = BTreeSet::new();
+            for target in &def.subscriptions {
+                if let Some(r) = resolved.get(target) {
+                    feeds.extend(r.iter().cloned());
+                } else {
+                    let r = config.resolve_subscription(target)?;
+                    feeds.extend(r.iter().cloned());
+                    resolved.insert(target.clone(), r);
+                }
+            }
             subscribers.insert(
                 def.name.clone(),
                 SubscriberState {
                     def: def.clone(),
-                    feeds,
+                    feeds: feeds.into_iter().collect(),
                     online: true,
                     consecutive_failures: 0,
                 },
             );
         }
+
+        // Shared delivery plans from the config's relay groups. The
+        // relay endpoint itself skips its own plans: there the members
+        // stay in the direct fan-out path, so one config drives both the
+        // upstream tier (deliver once per group) and the relay tier
+        // (fan out per member).
+        let mut plans: Vec<GroupPlan> = Vec::new();
+        let mut grouped: BTreeSet<String> = BTreeSet::new();
+        for g in &config.groups {
+            let Some(relay) = &g.relay else { continue };
+            if relay == name {
+                continue;
+            }
+            let mut members = g.members.clone();
+            members.sort();
+            let mut feeds: BTreeSet<String> = BTreeSet::new();
+            for m in &members {
+                // validated: every member is a subscriber, whose feeds
+                // were just resolved above
+                if let Some(st) = subscribers.get(m) {
+                    feeds.extend(st.feeds.iter().cloned());
+                }
+                grouped.insert(m.clone());
+            }
+            plans.push(GroupPlan {
+                name: g.name.clone(),
+                endpoint: relay.clone(),
+                members,
+                feeds: feeds.into_iter().collect(),
+            });
+        }
+        plans.sort_by(|a, b| a.name.cmp(&b.name));
+        let groups = if plans.is_empty() {
+            None
+        } else {
+            Some(GroupState {
+                plans,
+                grouped,
+                tracker: GroupTracker::with_telemetry(
+                    RetryPolicy::default(),
+                    GROUP_RETRY_SEED,
+                    &telemetry,
+                ),
+            })
+        };
 
         // Rebuild analyzer state from files parked in unknown/ by a
         // previous incarnation: discovery and drift detection must
@@ -293,6 +411,7 @@ impl Server {
             subscribers,
             net: None,
             reliable: None,
+            groups,
             progress: HashMap::new(),
             discoverer,
             fn_detector,
@@ -315,6 +434,14 @@ impl Server {
                 threshold: 1,
             },
             "reliable delivery abandoned after exhausting its retry budget",
+        ));
+        set.add(AlarmRule::new(
+            "group-retry-exhaustion",
+            Condition::CounterAtLeast {
+                metric: "group.exhausted".into(),
+                threshold: 1,
+            },
+            "a shared group delivery was abandoned after exhausting its retry budget",
         ));
         set.add(AlarmRule::new(
             "classifier-miss-ratio",
@@ -355,6 +482,12 @@ impl Server {
         self.reliable = Some(ReliableState {
             tracker: RetryTracker::with_telemetry(policy, seed, &self.telemetry),
         });
+        // group deliveries retry on the same policy, with a distinct RNG
+        // stream so the two trackers' jitter draws stay independent
+        if let Some(g) = self.groups.as_mut() {
+            g.tracker =
+                GroupTracker::with_telemetry(policy, seed ^ GROUP_RETRY_SEED, &self.telemetry);
+        }
         self
     }
 
@@ -745,18 +878,40 @@ impl Server {
         // replays bit-for-bit). The interested set is collected up front:
         // delivering to one subscriber never changes another's online
         // state or feed set, and the common case — nobody subscribes to
-        // this feed — then skips the receipt lookup entirely.
+        // this feed — then skips the receipt lookup entirely. Members of
+        // a relay group are excluded: their delivery is the one send per
+        // group below.
         let mut interested: Vec<String> = self
             .subscribers
             .iter()
-            .filter(|(_, st)| st.online && st.feeds.iter().any(|f| feeds.contains(f)))
+            .filter(|(name, st)| {
+                st.online
+                    && st.feeds.iter().any(|f| feeds.contains(f))
+                    && self
+                        .groups
+                        .as_ref()
+                        .is_none_or(|g| !g.grouped.contains(*name))
+            })
             .map(|(name, _)| name.clone())
             .collect();
-        if !interested.is_empty() {
+        let group_matches: Vec<usize> = match &self.groups {
+            Some(g) => g
+                .plans
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.feeds.iter().any(|f| feeds.contains(f)))
+                .map(|(i, _)| i)
+                .collect(),
+            None => Vec::new(),
+        };
+        if !interested.is_empty() || !group_matches.is_empty() {
             interested.sort();
             let rec = self.receipts.file(file).expect("just recorded");
             for sub in interested {
                 self.deliver_one(&rec, &sub)?;
+            }
+            for plan in group_matches {
+                self.deliver_group(plan, &rec)?;
             }
         }
         Ok(())
@@ -858,6 +1013,56 @@ impl Server {
         self.finish_delivery(sub_name, rec, &feed_name, &dest_path, size, delivered_at)
     }
 
+    /// Deliver one file to a group's relay endpoint: a single
+    /// [`GroupMsg::Deliver`] regardless of member count, tracked by the
+    /// bitmap tracker until the relay's coverage report shows every
+    /// member served. Returns whether a send actually went out (skipped
+    /// when the delivery is already in flight or durably complete).
+    fn deliver_group(&mut self, plan_idx: usize, rec: &FileRecord) -> Result<bool, ServerError> {
+        let Some(net) = self.net.clone() else {
+            return Ok(false); // group delivery is a network construct
+        };
+        let now = self.clock.now();
+        let (group, endpoint, members) = {
+            let g = self.groups.as_ref().expect("caller checked group state");
+            let p = &g.plans[plan_idx];
+            (p.name.clone(), p.endpoint.clone(), p.members.len() as u32)
+        };
+        // durably complete from a previous incarnation: the group mark
+        // is the crash-recovery boundary, exactly like a delivery receipt
+        if let Some((bits, wm)) = self.receipts.group_coverage(rec.id, &group) {
+            if Coverage::from_wire(members, &bits, wm).complete() {
+                return Ok(false);
+            }
+        }
+        let staged_full = format!("{}/{}", self.config.server.staging, rec.staged_path);
+        let size = self
+            .store
+            .metadata(&staged_full)
+            .map(|m| m.size)
+            .unwrap_or(rec.size);
+        let g = self.groups.as_mut().expect("caller checked group state");
+        if g.tracker.is_outstanding(&group, rec.id) {
+            return Ok(false); // a send is already in flight
+        }
+        let attempt = g
+            .tracker
+            .track(&group, rec.id, members, &rec.name, size, now);
+        net.send(
+            now,
+            &self.name,
+            &endpoint,
+            Message::Group(GroupMsg::Deliver {
+                group,
+                file: rec.id,
+                file_name: rec.name.clone(),
+                size,
+                attempt,
+            }),
+        );
+        Ok(true)
+    }
+
     /// The post-delivery tail: write the receipt, update stats, and run
     /// the subscriber's batcher/trigger. `delivered_at` is the arrival
     /// time (reliable mode: the ack's arrival).
@@ -892,8 +1097,8 @@ impl Server {
         self.stats
             .latencies
             .entry(sub_name.to_string())
-            .or_default()
-            .push(delivered_at.since(rec.arrival));
+            .or_insert_with(|| Arc::new(Histogram::detached()))
+            .record(delivered_at.since(rec.arrival).as_micros());
 
         // batching + trigger: first close any batch whose window lapsed
         // between deliveries (otherwise this file would be folded into a
@@ -982,28 +1187,77 @@ impl Server {
     /// Apply one message addressed to this server's own endpoint — the
     /// per-message body of [`Server::poll_network`], exposed so a model
     /// checker can deliver messages one at a time in any order. Returns
-    /// `true` if the message was an acknowledgement this server
-    /// processed (anything else is discarded, exactly as the drain
-    /// does).
+    /// `true` if the message was an acknowledgement (per-subscriber or
+    /// group coverage report) this server processed (anything else is
+    /// discarded, exactly as the drain does).
     pub fn handle_network_message(
         &mut self,
         from: &str,
         at: TimePoint,
         msg: Message,
     ) -> Result<bool, ServerError> {
-        let Message::Reliable(ReliableMsg::Ack { file, attempt }) = msg else {
-            return Ok(false);
-        };
-        let Some(sub) = self.subscriber_by_endpoint(from) else {
-            return Ok(false);
-        };
-        if let Some(rel) = self.reliable.as_mut() {
-            rel.tracker.on_ack(&sub, file, attempt);
-            // counts every processed ack — including late duplicates
-            // the tracker no longer knows (those still prove delivery)
-            self.metrics.acks_processed.inc();
+        match msg {
+            Message::Reliable(ReliableMsg::Ack { file, attempt }) => {
+                let Some(sub) = self.subscriber_by_endpoint(from) else {
+                    return Ok(false);
+                };
+                if let Some(rel) = self.reliable.as_mut() {
+                    rel.tracker.on_ack(&sub, file, attempt);
+                    // counts every processed ack — including late duplicates
+                    // the tracker no longer knows (those still prove delivery)
+                    self.metrics.acks_processed.inc();
+                }
+                self.complete_delivery(&sub, file, at)?;
+                Ok(true)
+            }
+            Message::Group(GroupMsg::Ack {
+                group,
+                file,
+                bits,
+                watermark,
+            }) => self.handle_group_ack(&group, file, &bits, watermark, at),
+            _ => Ok(false),
         }
-        self.complete_delivery(&sub, file, at)?;
+    }
+
+    /// Merge a relay's coverage report into the group tracker and, when
+    /// the coverage advanced, persist it as a group delivery mark — the
+    /// durable high-watermark crash recovery and cascaded backfill
+    /// resume from, so members already served are never re-fanned.
+    fn handle_group_ack(
+        &mut self,
+        group: &str,
+        file: FileId,
+        bits: &[u8],
+        watermark: u64,
+        at: TimePoint,
+    ) -> Result<bool, ServerError> {
+        let Some(g) = self.groups.as_mut() else {
+            return Ok(false);
+        };
+        let Some((coverage, changed)) = g.tracker.on_ack(group, file, bits, watermark) else {
+            return Ok(false); // stale report after completion
+        };
+        if changed {
+            self.receipts.record_group_mark(
+                file,
+                group,
+                coverage.bits(),
+                u64::from(coverage.watermark()),
+            )?;
+        }
+        if coverage.complete() {
+            self.log.log(
+                at,
+                LogLevel::Info,
+                "delivery",
+                format!(
+                    "group {group} delivery of file {} complete ({} members)",
+                    file.raw(),
+                    coverage.members()
+                ),
+            );
+        }
         Ok(true)
     }
 
@@ -1026,11 +1280,66 @@ impl Server {
     /// (recovery then goes through backfill, §4.2).
     pub fn retry_tick(&mut self) -> Result<(), ServerError> {
         let now = self.clock.now();
-        let round = match self.reliable.as_mut() {
-            Some(rel) => rel.tracker.due(now),
+        if let Some(rel) = self.reliable.as_mut() {
+            let round = rel.tracker.due(now);
+            self.run_retry_round(round, now)?;
+        }
+        self.group_retry_tick(now)
+    }
+
+    /// Sweep the group-delivery tracker: lapsed fanouts are re-sent to
+    /// the relay (Warn); ones that exhausted the attempt budget raise an
+    /// Alarm. Unlike per-subscriber retries, exhaustion does not flag
+    /// anyone offline — the relay is shared infrastructure and members'
+    /// individual health is tracked at the relay tier.
+    fn group_retry_tick(&mut self, now: TimePoint) -> Result<(), ServerError> {
+        let Some(net) = self.net.clone() else {
+            return Ok(());
+        };
+        let round = match self.groups.as_mut() {
+            Some(g) => g.tracker.due(now),
             None => return Ok(()),
         };
-        self.run_retry_round(round, now)
+        let g = self.groups.as_ref().expect("checked above");
+        let max_attempts = g.tracker.policy().max_attempts;
+        let mut sends = Vec::new();
+        for r in &round.resend {
+            let Some(plan) = g.plans.iter().find(|p| p.name == r.group) else {
+                continue;
+            };
+            sends.push((
+                plan.endpoint.clone(),
+                Message::Group(GroupMsg::Deliver {
+                    group: r.group.clone(),
+                    file: r.file,
+                    file_name: r.file_name.clone(),
+                    size: r.size,
+                    attempt: r.attempt,
+                }),
+                format!(
+                    "retrying file {} to group {} (attempt {})",
+                    r.file.raw(),
+                    r.group,
+                    r.attempt
+                ),
+            ));
+        }
+        for (endpoint, msg, line) in sends {
+            net.send(now, &self.name, &endpoint, msg);
+            self.log.log(now, LogLevel::Warn, "delivery", line);
+        }
+        for (group, file) in &round.exhausted {
+            self.log.log(
+                now,
+                LogLevel::Alarm,
+                "delivery",
+                format!(
+                    "group {group} delivery of file {} abandoned after {max_attempts} attempts",
+                    file.raw()
+                ),
+            );
+        }
+        Ok(())
     }
 
     /// Retransmit *every* outstanding unacked send immediately,
@@ -1106,7 +1415,51 @@ impl Server {
         for sub in subs {
             n += self.deliver_pending_for(&sub)?;
         }
+        n += self.backfill_groups()?;
         Ok(n)
+    }
+
+    /// Re-fan every live file whose durable group coverage is still
+    /// incomplete. Crash recovery for delivery trees: the relay reports
+    /// cumulative member coverage on every ack, so redelivery resumes
+    /// from the persisted bitmap instead of restarting the whole group.
+    fn backfill_groups(&mut self) -> Result<usize, ServerError> {
+        let plan_feeds: Vec<Vec<String>> = match self.groups.as_ref() {
+            Some(g) => g.plans.iter().map(|p| p.feeds.clone()).collect(),
+            None => return Ok(0),
+        };
+        let mut n = 0;
+        for (idx, feeds) in plan_feeds.iter().enumerate() {
+            let mut files: BTreeMap<u64, FileRecord> = BTreeMap::new();
+            for feed in feeds {
+                for rec in self.receipts.files_in_feed(feed) {
+                    files.insert(rec.id.raw(), rec);
+                }
+            }
+            for rec in files.values() {
+                if self.deliver_group(idx, rec)? {
+                    n += 1;
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// Unfinished group (delivery-tree) fanouts currently in flight.
+    pub fn group_outstanding(&self) -> usize {
+        self.groups
+            .as_ref()
+            .map(|g| g.tracker.outstanding_count())
+            .unwrap_or(0)
+    }
+
+    /// `(acks merged, resends, exhausted)` for group deliveries since
+    /// start; all zero when this server plans no delivery trees.
+    pub fn group_counters(&self) -> (u64, u64, u64) {
+        self.groups
+            .as_ref()
+            .map(|g| g.tracker.totals())
+            .unwrap_or((0, 0, 0))
     }
 
     /// Unacked reliable sends currently in flight.
@@ -1174,6 +1527,15 @@ impl Server {
 
     /// Deliver everything pending for one subscriber (backfill).
     pub fn deliver_pending_for(&mut self, sub: &str) -> Result<usize, ServerError> {
+        // members of a relay group ride the shared delivery plan — direct
+        // backfill here would double-deliver what the relay fans out
+        if self
+            .groups
+            .as_ref()
+            .is_some_and(|g| g.grouped.contains(sub))
+        {
+            return Ok(0);
+        }
         let feeds = {
             let st = self
                 .subscribers
@@ -1547,6 +1909,26 @@ impl Server {
                         .map(|r| r.name)
                         .unwrap_or_else(|| format!("#{file}"));
                     format!("out\0{sub}\0{name}\0{attempt}")
+                })
+                .collect();
+            out.sort();
+            for line in out {
+                acc.push_str(&line);
+                acc.push('\n');
+            }
+        }
+        if let Some(g) = &self.groups {
+            let mut out: Vec<String> = g
+                .tracker
+                .outstanding_entries()
+                .into_iter()
+                .map(|(group, file, attempt, covered)| {
+                    let name = self
+                        .receipts
+                        .file(FileId(file))
+                        .map(|r| r.name)
+                        .unwrap_or_else(|| format!("#{file}"));
+                    format!("gout\0{group}\0{name}\0{attempt}\0{covered}")
                 })
                 .collect();
             out.sort();

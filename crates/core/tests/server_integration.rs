@@ -335,6 +335,82 @@ fn fleet_scale_ingest() {
 }
 
 #[test]
+fn latency_stats_use_bounded_histograms() {
+    // Regression: DeliveryStats used to push one TimeSpan per delivery
+    // into an unbounded per-subscriber Vec, so a long-lived server's
+    // memory grew with delivery count. Latencies now feed fixed-size
+    // histograms: the summary API still works, but no raw samples are
+    // retained no matter how many deliveries happen.
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let mut server = new_server(clock.clone(), store);
+
+    for d in 10..=30 {
+        server
+            .deposit(&format!("MEMORY_poller1_201009{d}.gz"), b"x")
+            .unwrap();
+    }
+    assert_eq!(server.stats().deliveries, 21);
+    let (mean, p95, max) = server.stats().latency_summary("warehouse").unwrap();
+    assert_eq!(mean, TimeSpan::ZERO); // store-local delivery is instant
+    assert_eq!(p95, TimeSpan::ZERO);
+    assert_eq!(max, TimeSpan::ZERO);
+    assert!(server.stats().latency_summary("nobody").is_none());
+    assert_eq!(
+        server.stats().retained_latency_samples(),
+        0,
+        "per-delivery samples must not accumulate"
+    );
+}
+
+#[test]
+fn group_fanout_survives_crash_restart() {
+    // A delivery tree whose relay never answers: the fanout stays
+    // outstanding, and after a crash-restart backfill re-fans the file
+    // to the relay instead of forgetting the group ever existed.
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let net = Arc::new(SimNetwork::new(LinkSpec::default()));
+    let cfg_text = r#"
+        feed SNMP/MEMORY { pattern "MEMORY_poller%i_%Y%m%d.gz"; }
+        subscriber wh1 { endpoint "wh1"; subscribe SNMP/MEMORY; }
+        subscriber wh2 { endpoint "wh2"; subscribe SNMP/MEMORY; }
+        group EDGE { members wh1, wh2; relay "edge"; }
+    "#;
+    {
+        let mut server = Server::new(
+            "hub",
+            parse_config(cfg_text).unwrap(),
+            clock.clone(),
+            store.clone(),
+        )
+        .unwrap()
+        .with_network(net.clone());
+        server.deposit("MEMORY_poller1_20100925.gz", b"x").unwrap();
+        assert_eq!(server.group_outstanding(), 1);
+        // grouped members never get direct sends
+        clock.advance(TimeSpan::from_secs(1));
+        assert!(net.recv_ready("wh1", clock.now()).is_empty());
+        assert_eq!(net.recv_ready("edge", clock.now()).len(), 1);
+    } // crash: drop without snapshot
+
+    let mut server = Server::new(
+        "hub",
+        parse_config(cfg_text).unwrap(),
+        clock.clone(),
+        store.clone(),
+    )
+    .unwrap()
+    .with_network(net.clone());
+    assert_eq!(server.group_outstanding(), 0, "tracker state is volatile");
+    let n = server.backfill_unacked().unwrap();
+    assert_eq!(n, 1, "group fanout re-sent from durable receipts");
+    assert_eq!(server.group_outstanding(), 1);
+    clock.advance(TimeSpan::from_secs(1));
+    assert_eq!(net.recv_ready("edge", clock.now()).len(), 1);
+}
+
+#[test]
 fn composition_report_flags_leakage() {
     let clock = SimClock::starting_at(START);
     let store = MemFs::shared(clock.clone());

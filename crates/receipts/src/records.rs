@@ -52,6 +52,22 @@ pub enum Record {
         /// The new complete feed list.
         feeds: Vec<String>,
     },
+    /// Member-coverage mark for a shared-delivery-tree group: the relay
+    /// has confirmed delivery of `file` to the members set in `bits`
+    /// (bit `i`, LSB-first, = member `i` of the group's sorted member
+    /// list), of which the first `watermark` form a fully-covered
+    /// prefix. Re-applied marks OR-merge, so replay and cascaded
+    /// backfill stay exactly-once without one receipt per member.
+    GroupMark {
+        /// The delivered file.
+        file: FileId,
+        /// Subscriber-group name.
+        group: String,
+        /// Member-coverage bitmap.
+        bits: Vec<u8>,
+        /// Count of leading fully-covered members.
+        watermark: u64,
+    },
 }
 
 /// A pre-serialized arrival record, minus the two fields only the commit
@@ -146,6 +162,7 @@ const TAG_ARRIVAL: u8 = 1;
 const TAG_DELIVERY: u8 = 2;
 const TAG_EXPIRE: u8 = 3;
 const TAG_RECLASSIFY: u8 = 4;
+const TAG_GROUP_MARK: u8 = 5;
 
 impl Record {
     /// Encode to bytes.
@@ -193,6 +210,18 @@ impl Record {
                 for feed in feeds {
                     w.put_str(feed);
                 }
+            }
+            Record::GroupMark {
+                file,
+                group,
+                bits,
+                watermark,
+            } => {
+                w.put_u8(TAG_GROUP_MARK);
+                w.put_varint(file.raw());
+                w.put_str(group);
+                w.put_bytes(bits);
+                w.put_varint(*watermark);
             }
         }
         w.into_bytes()
@@ -246,6 +275,12 @@ impl Record {
                 }
                 Record::Reclassify { file, feeds }
             }
+            TAG_GROUP_MARK => Record::GroupMark {
+                file: FileId(r.get_varint()?),
+                group: r.get_str()?.to_string(),
+                bits: r.get_bytes()?.to_vec(),
+                watermark: r.get_varint()?,
+            },
             other => {
                 return Err(CodecError::BadTag {
                     what: "receipt record",
@@ -294,6 +329,18 @@ mod tests {
             Record::Reclassify {
                 file: FileId(42),
                 feeds: vec!["SNMP/MEMORY".to_string()],
+            },
+            Record::GroupMark {
+                file: FileId(42),
+                group: "EAST_COAST".to_string(),
+                bits: vec![0xFF, 0b0000_0101],
+                watermark: 8,
+            },
+            Record::GroupMark {
+                file: FileId(7),
+                group: "G".to_string(),
+                bits: vec![],
+                watermark: 0,
             },
         ];
         for rec in records {
@@ -344,6 +391,19 @@ mod tests {
         let bytes = Record::Arrival(sample_file()).encode();
         for cut in [1usize, 5, bytes.len() / 2, bytes.len() - 1] {
             assert!(Record::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let bytes = Record::GroupMark {
+            file: FileId(42),
+            group: "G".to_string(),
+            bits: vec![0xFF, 0x01],
+            watermark: 8,
+        }
+        .encode();
+        for cut in 1..bytes.len() {
+            assert!(
+                Record::decode(&bytes[..cut]).is_err(),
+                "group mark cut at {cut}"
+            );
         }
     }
 }

@@ -62,6 +62,11 @@ struct Tables {
     by_feed: HashMap<String, BTreeSet<u64>>,
     /// file id → subscribers it has been delivered to.
     delivered: HashMap<u64, BTreeSet<String>>,
+    /// file id → group name → (member ack bitmap, high-watermark).
+    /// Shared-delivery-tree coverage (§3 delivery network): one compact
+    /// mark per (file, group) instead of one receipt per member. BTreeMap
+    /// so snapshots serialize the marks in a deterministic order.
+    group_marks: BTreeMap<u64, BTreeMap<String, (Vec<u8>, u64)>>,
     /// Count of expired files (for monitoring).
     expired_count: u64,
     /// Count of delivery receipts (including to-expired files).
@@ -109,7 +114,35 @@ impl Tables {
                         }
                     }
                     self.delivered.remove(&file.raw());
+                    self.group_marks.remove(&file.raw());
                     self.expired_count += 1;
+                }
+            }
+            Record::GroupMark {
+                file,
+                group,
+                bits,
+                watermark,
+            } => {
+                // Marks only make sense against a live arrival; a mark
+                // replayed after the file expired is stale and dropped
+                // (Expire removed the whole entry).
+                if self.files.contains_key(&file.raw()) {
+                    let slot = self
+                        .group_marks
+                        .entry(file.raw())
+                        .or_default()
+                        .entry(group)
+                        .or_insert_with(|| (Vec::new(), 0));
+                    // OR-merge: coverage only grows, so replaying any
+                    // prefix or reordering of marks is idempotent.
+                    if slot.0.len() < bits.len() {
+                        slot.0.resize(bits.len(), 0);
+                    }
+                    for (i, b) in bits.iter().enumerate() {
+                        slot.0[i] |= b;
+                    }
+                    slot.1 = slot.1.max(watermark);
                 }
             }
             Record::Reclassify { file, feeds } => {
@@ -560,6 +593,38 @@ impl ReceiptStore {
         })
     }
 
+    /// Record (or widen) a group delivery mark: the member ack bitmap and
+    /// high-watermark for `group`'s shared delivery of `file`. Marks
+    /// OR-merge, so logging every coverage change keeps crash recovery
+    /// exactly-once: a recovered server resumes the group delivery from
+    /// the last durable coverage instead of refanning to every member.
+    pub fn record_group_mark(
+        &self,
+        file: FileId,
+        group: &str,
+        bits: &[u8],
+        watermark: u64,
+    ) -> Result<(), ReceiptError> {
+        self.log_and_apply(Record::GroupMark {
+            file,
+            group: group.to_string(),
+            bits: bits.to_vec(),
+            watermark,
+        })
+    }
+
+    /// The merged (bitmap, high-watermark) coverage recorded for a group's
+    /// delivery of `file`, if any mark has been logged.
+    pub fn group_coverage(&self, file: FileId, group: &str) -> Option<(Vec<u8>, u64)> {
+        self.inner
+            .lock()
+            .tables
+            .group_marks
+            .get(&file.raw())
+            .and_then(|g| g.get(group))
+            .cloned()
+    }
+
     /// Record a file expiration (caller removes the staged payload).
     pub fn record_expiration(&self, file: FileId, at: TimePoint) -> Result<(), ReceiptError> {
         self.log_and_apply(Record::Expire { file, at })
@@ -714,6 +779,21 @@ impl ReceiptStore {
                 lines.push(format!("delivered\0{key}\0{sub}"));
             }
         }
+        for (id, groups) in &inner.tables.group_marks {
+            let key = inner
+                .tables
+                .files
+                .get(id)
+                .map(|f| f.name.clone())
+                .unwrap_or_else(|| format!("#{id}"));
+            for (group, (bits, wm)) in groups {
+                let mut hex = String::with_capacity(bits.len() * 2);
+                for b in bits {
+                    hex.push_str(&format!("{b:02x}"));
+                }
+                lines.push(format!("gmark\0{key}\0{group}\0{hex}\0{wm}"));
+            }
+        }
         lines.sort_unstable();
         let mut acc = Vec::with_capacity(lines.len() * 32);
         for line in &lines {
@@ -760,6 +840,19 @@ impl ReceiptStore {
                     file: FileId(*file),
                     subscriber: sub.clone(),
                     at: TimePoint::EPOCH, // delivery times are not part of queue computation
+                });
+            }
+        }
+        for (file, groups) in &inner.tables.group_marks {
+            if !inner.tables.files.contains_key(file) {
+                continue;
+            }
+            for (group, (bits, wm)) in groups {
+                records.push(Record::GroupMark {
+                    file: FileId(*file),
+                    group: group.clone(),
+                    bits: bits.clone(),
+                    watermark: *wm,
                 });
             }
         }
@@ -1331,5 +1424,79 @@ mod tests {
         db.record_delivery(f, "s", TimePoint::from_secs(1)).unwrap();
         db.record_delivery(f, "s", TimePoint::from_secs(2)).unwrap();
         assert_eq!(db.delivery_count(), 1);
+    }
+
+    #[test]
+    fn group_marks_merge_idempotently() {
+        let store = MemFs::shared(SimClock::new());
+        let db = open(&store);
+        let f = arrive(&db, "a.csv", &["F"], 100);
+        assert!(db.group_coverage(f, "G").is_none());
+        db.record_group_mark(f, "G", &[0b0000_0101], 1).unwrap();
+        assert_eq!(db.group_coverage(f, "G"), Some((vec![0b0000_0101], 1)));
+        // widening mark ORs in; watermark is a max
+        db.record_group_mark(f, "G", &[0b0000_0010, 0x01], 3)
+            .unwrap();
+        assert_eq!(
+            db.group_coverage(f, "G"),
+            Some((vec![0b0000_0111, 0x01], 3))
+        );
+        // replaying an old (narrower) mark changes nothing
+        db.record_group_mark(f, "G", &[0b0000_0101], 1).unwrap();
+        assert_eq!(
+            db.group_coverage(f, "G"),
+            Some((vec![0b0000_0111, 0x01], 3))
+        );
+        // per-group isolation
+        db.record_group_mark(f, "H", &[0x01], 1).unwrap();
+        assert_eq!(db.group_coverage(f, "H"), Some((vec![0x01], 1)));
+        assert_eq!(
+            db.group_coverage(f, "G"),
+            Some((vec![0b0000_0111, 0x01], 3))
+        );
+        // marks against an unknown file are dropped, not indexed
+        db.record_group_mark(FileId(999), "G", &[0xFF], 8).unwrap();
+        assert!(db.group_coverage(FileId(999), "G").is_none());
+    }
+
+    #[test]
+    fn group_marks_survive_replay_and_snapshot() {
+        let store = MemFs::shared(SimClock::new());
+        let (f1, f2);
+        {
+            let db = open(&store);
+            f1 = arrive(&db, "a.csv", &["F"], 100);
+            f2 = arrive(&db, "b.csv", &["F"], 200);
+            db.record_group_mark(f1, "G", &[0b0000_1111], 4).unwrap();
+            db.record_group_mark(f2, "G", &[0x01], 1).unwrap();
+        } // crash: WAL replay
+        {
+            let db = open(&store);
+            assert_eq!(db.group_coverage(f1, "G"), Some((vec![0b0000_1111], 4)));
+            assert_eq!(db.group_coverage(f2, "G"), Some((vec![0x01], 1)));
+            db.record_group_mark(f1, "G", &[0b0011_0000], 6).unwrap();
+            db.snapshot().unwrap(); // marks must round-trip the snapshot
+            db.record_expiration(f2, TimePoint::from_secs(900)).unwrap();
+        }
+        let db = open(&store);
+        assert_eq!(db.group_coverage(f1, "G"), Some((vec![0b0011_1111], 6)));
+        assert!(
+            db.group_coverage(f2, "G").is_none(),
+            "expiration drops the file's group marks"
+        );
+    }
+
+    #[test]
+    fn group_marks_change_state_digest() {
+        let store = MemFs::shared(SimClock::new());
+        let db = open(&store);
+        let f = arrive(&db, "a.csv", &["F"], 100);
+        let before = db.state_digest();
+        db.record_group_mark(f, "G", &[0x03], 2).unwrap();
+        let after = db.state_digest();
+        assert_ne!(before, after, "coverage is part of the recovery state");
+        // merging in an already-covered mark leaves the digest fixed
+        db.record_group_mark(f, "G", &[0x01], 1).unwrap();
+        assert_eq!(db.state_digest(), after);
     }
 }

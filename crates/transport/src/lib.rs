@@ -37,7 +37,9 @@ pub mod trigger;
 pub use adaptive::AdaptiveBatcher;
 pub use batching::{BatchOutcome, Batcher};
 pub use client::{PendingFile, SubscriberClient};
-pub use messages::{ClusterMsg, Message, ReliableMsg, SourceMsg, SubscriberMsg};
+pub use messages::{ClusterMsg, GroupMsg, Message, ReliableMsg, SourceMsg, SubscriberMsg};
 pub use net::{Delivery, FaultPlan, FaultSpec, LinkFlap, LinkSpec, PendingMessage, SimNetwork};
-pub use reliable::{RetryPolicy, RetryRound, RetryTracker};
+pub use reliable::{
+    Coverage, GroupResend, GroupRetryRound, GroupTracker, RetryPolicy, RetryRound, RetryTracker,
+};
 pub use trigger::{expand_command, Invocation, TriggerLog};

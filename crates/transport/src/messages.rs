@@ -191,6 +191,53 @@ pub enum ClusterMsg {
     },
 }
 
+/// Shared-delivery-tree messages: one delivery per subscriber *group* to
+/// its relay node, acknowledged with a compact member-coverage bitmap.
+///
+/// With a million subscribers partitioned into groups, the feed's home
+/// server sends one [`GroupMsg::Deliver`] per group instead of one
+/// attempt per member; the relay fans out locally and answers with a
+/// [`GroupMsg::Ack`] describing *which members* it has covered so far
+/// (bitmap over the group's sorted member list, plus a high-watermark
+/// counting the fully-delivered prefix). Partial coverage keeps the
+/// delivery outstanding upstream; retries double as coverage refreshes
+/// and the relay backfills stragglers from its own store (cascaded
+/// backfill).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GroupMsg {
+    /// Home server → relay: deliver `file` once on behalf of the whole
+    /// group. The body travels out of band (the relay pulls it from the
+    /// upstream staging store); `size` accounts for its wire cost.
+    Deliver {
+        /// Subscriber-group name.
+        group: String,
+        /// The file's receipt id *at the sender* (store-local).
+        file: FileId,
+        /// The file's landing name — stable across stores.
+        file_name: String,
+        /// Payload size in bytes.
+        size: u64,
+        /// 1-based attempt number (bumped on every retransmission).
+        attempt: u32,
+    },
+    /// Relay → home server: member-coverage report for `(group, file)`.
+    /// Bit `i` of `bits` (LSB-first within each byte) is set when member
+    /// `i` of the group's sorted member list has the file; `watermark`
+    /// counts the fully-covered member prefix. A complete bitmap
+    /// finishes the delivery upstream; a partial one leaves it
+    /// outstanding for retry-driven cascaded backfill.
+    Ack {
+        /// Subscriber-group name.
+        group: String,
+        /// The acknowledged file (sender-local id, echoed back).
+        file: FileId,
+        /// Member-coverage bitmap over the sorted member list.
+        bits: Vec<u8>,
+        /// Count of leading members known fully delivered.
+        watermark: u64,
+    },
+}
+
 /// Any protocol message (what travels on a [`crate::net::SimNetwork`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Message {
@@ -202,6 +249,8 @@ pub enum Message {
     Reliable(ReliableMsg),
     /// Cluster control plane / server↔server channel.
     Cluster(ClusterMsg),
+    /// Shared delivery trees: group fan-out via relay nodes.
+    Group(GroupMsg),
 }
 
 impl BatchCloseReason {
@@ -237,6 +286,8 @@ const TAG_DIR_ASSIGN: u8 = 11;
 const TAG_REPLICATE: u8 = 12;
 const TAG_BACKFILL_REQ: u8 = 13;
 const TAG_BACKFILL_PAGE: u8 = 14;
+const TAG_GROUP_DELIVER: u8 = 15;
+const TAG_GROUP_ACK: u8 = 16;
 
 impl Message {
     /// Encode to wire bytes.
@@ -367,6 +418,32 @@ impl Message {
                 w.put_varint(*next_seq);
                 w.put_u8(u8::from(*done));
             }
+            Message::Group(GroupMsg::Deliver {
+                group,
+                file,
+                file_name,
+                size,
+                attempt,
+            }) => {
+                w.put_u8(TAG_GROUP_DELIVER);
+                w.put_str(group);
+                w.put_varint(file.raw());
+                w.put_str(file_name);
+                w.put_varint(*size);
+                w.put_varint(*attempt as u64);
+            }
+            Message::Group(GroupMsg::Ack {
+                group,
+                file,
+                bits,
+                watermark,
+            }) => {
+                w.put_u8(TAG_GROUP_ACK);
+                w.put_str(group);
+                w.put_varint(file.raw());
+                w.put_bytes(bits);
+                w.put_varint(*watermark);
+            }
         }
         w.into_bytes()
     }
@@ -487,6 +564,19 @@ impl Message {
                     done: r.get_u8()? != 0,
                 })
             }
+            TAG_GROUP_DELIVER => Message::Group(GroupMsg::Deliver {
+                group: r.get_str()?.to_string(),
+                file: FileId(r.get_varint()?),
+                file_name: r.get_str()?.to_string(),
+                size: r.get_varint()?,
+                attempt: r.get_varint()? as u32,
+            }),
+            TAG_GROUP_ACK => Message::Group(GroupMsg::Ack {
+                group: r.get_str()?.to_string(),
+                file: FileId(r.get_varint()?),
+                bits: r.get_bytes()?.to_vec(),
+                watermark: r.get_varint()?,
+            }),
             other => {
                 return Err(CodecError::BadTag {
                     what: "transport message",
@@ -512,7 +602,8 @@ impl Message {
             | Message::Reliable(ReliableMsg::Attempt {
                 inner: SubscriberMsg::FileDelivered { size, .. },
                 ..
-            }) => header + size,
+            })
+            | Message::Group(GroupMsg::Deliver { size, .. }) => header + size,
             _ => header,
         }
     }
@@ -599,6 +690,19 @@ mod tests {
                 delivered: vec!["a.csv".to_string(), "b.csv".to_string()],
                 next_seq: 19,
                 done: true,
+            }),
+            Message::Group(GroupMsg::Deliver {
+                group: "EAST_COAST".to_string(),
+                file: FileId(21),
+                file_name: "MEMORY_poller1_20100925.gz".to_string(),
+                size: 123_456,
+                attempt: 2,
+            }),
+            Message::Group(GroupMsg::Ack {
+                group: "EAST_COAST".to_string(),
+                file: FileId(21),
+                bits: vec![0b1011_0101, 0b0000_0011],
+                watermark: 4,
             }),
         ];
         for m in msgs {
@@ -726,6 +830,19 @@ mod tests {
                 next_seq: 19,
                 done: false,
             }),
+            Message::Group(GroupMsg::Deliver {
+                group: "G".to_string(),
+                file: FileId(21),
+                file_name: "a.csv".to_string(),
+                size: 9,
+                attempt: 1,
+            }),
+            Message::Group(GroupMsg::Ack {
+                group: "G".to_string(),
+                file: FileId(21),
+                bits: vec![0xFF, 0x01],
+                watermark: 9,
+            }),
         ]
     }
 
@@ -764,7 +881,7 @@ mod tests {
 
     #[test]
     fn unknown_tags_rejected() {
-        for tag in [0u8, 15, 77, 255] {
+        for tag in [0u8, 17, 77, 255] {
             assert!(
                 matches!(
                     Message::decode(&[tag, 0, 0, 0]),
@@ -799,6 +916,56 @@ mod tests {
             Message::decode(w.as_bytes()),
             Err(CodecError::BadLength { .. })
         ));
+
+        // GroupAck whose bitmap length prefix exceeds the frame
+        let mut w = bistro_base::ByteWriter::new();
+        w.put_u8(TAG_GROUP_ACK);
+        w.put_str("G");
+        w.put_varint(21); // file id
+        w.put_varint(1 << 40); // bitmap length — a lie
+        assert!(matches!(
+            Message::decode(w.as_bytes()),
+            Err(CodecError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_group_frames_rejected_not_panicked() {
+        // byte-level fuzz of both group frames: flip each byte through a
+        // handful of values; decode must be total — it returns Ok or a
+        // typed Err, never panics, and anything it does accept must
+        // survive a re-encode/re-decode cycle unchanged
+        for m in [
+            Message::Group(GroupMsg::Deliver {
+                group: "G".to_string(),
+                file: FileId(5),
+                file_name: "f_1.csv".to_string(),
+                size: 7,
+                attempt: 3,
+            }),
+            Message::Group(GroupMsg::Ack {
+                group: "G".to_string(),
+                file: FileId(5),
+                bits: vec![0x0F],
+                watermark: 2,
+            }),
+        ] {
+            let bytes = m.encode();
+            for i in 0..bytes.len() {
+                for delta in [1u8, 0x7F, 0xFF] {
+                    let mut mutated = bytes.clone();
+                    mutated[i] = mutated[i].wrapping_add(delta);
+                    if let Ok(decoded) = Message::decode(&mutated) {
+                        let reencoded = decoded.encode();
+                        assert_eq!(
+                            Message::decode(&reencoded).unwrap(),
+                            decoded,
+                            "re-encode of accepted mutation of {m:?} at byte {i} diverged"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -330,6 +330,378 @@ impl RetryTracker {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shared delivery trees: compact per-member coverage + group retry table.
+//
+// A subscriber *group* is delivered once — to its relay node — and the
+// relay reports which members it has covered with a bitmap over the
+// group's sorted member list. One `Coverage` per outstanding
+// `(group, file)` replaces one `Outstanding` entry (string key, cloned
+// message, deadline) per *member*: a 1000-member group costs 125 bytes
+// of bitmap instead of ~1000 tracker entries, which is what lets fanout
+// state scale with group count rather than member count.
+// ---------------------------------------------------------------------------
+
+/// Member-coverage bitmap for one `(group, file)` delivery: bit `i`
+/// (LSB-first within each byte) is set when member `i` of the group's
+/// sorted member list has received the file. The *watermark* is the
+/// count of leading covered members — the high-watermark form used on
+/// the wire and in receipt records, cheap to compare during recovery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coverage {
+    members: u32,
+    bits: Vec<u8>,
+}
+
+impl Coverage {
+    /// An empty bitmap over `members` members.
+    pub fn new(members: u32) -> Coverage {
+        Coverage {
+            members,
+            bits: vec![0; (members as usize).div_ceil(8)],
+        }
+    }
+
+    /// Rebuild from wire/receipt form, clamping adversarial input: the
+    /// bitmap is truncated (or zero-extended) to the local member count,
+    /// stray bits beyond `members` are masked off, and the watermark
+    /// prefix is OR-ed in (capped at `members`).
+    pub fn from_wire(members: u32, bits: &[u8], watermark: u64) -> Coverage {
+        let mut c = Coverage::new(members);
+        for (i, byte) in c.bits.iter_mut().enumerate() {
+            *byte = bits.get(i).copied().unwrap_or(0);
+        }
+        c.mask_tail();
+        let wm = watermark.min(members as u64) as u32;
+        for i in 0..wm {
+            c.bits[(i / 8) as usize] |= 1 << (i % 8);
+        }
+        c
+    }
+
+    /// Zero any bits past the member count so `complete`/`count` are
+    /// exact even after merging a hostile bitmap.
+    fn mask_tail(&mut self) {
+        let spare = self.bits.len() * 8 - self.members as usize;
+        if spare > 0 {
+            if let Some(last) = self.bits.last_mut() {
+                *last &= 0xFF >> spare;
+            }
+        }
+    }
+
+    /// Mark member `i` covered; true if it was newly set.
+    pub fn set(&mut self, i: u32) -> bool {
+        if i >= self.members {
+            return false;
+        }
+        let (byte, bit) = ((i / 8) as usize, 1u8 << (i % 8));
+        let newly = self.bits[byte] & bit == 0;
+        self.bits[byte] |= bit;
+        newly
+    }
+
+    /// Is member `i` covered?
+    pub fn get(&self, i: u32) -> bool {
+        i < self.members && self.bits[(i / 8) as usize] & (1 << (i % 8)) != 0
+    }
+
+    /// OR another report into this one; true if anything changed.
+    pub fn merge_wire(&mut self, bits: &[u8], watermark: u64) -> bool {
+        let merged = Coverage::from_wire(self.members, bits, watermark);
+        let mut changed = false;
+        for (mine, theirs) in self.bits.iter_mut().zip(merged.bits.iter()) {
+            if *mine | *theirs != *mine {
+                *mine |= *theirs;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Covered members.
+    pub fn count(&self) -> u32 {
+        self.bits.iter().map(|b| b.count_ones()).sum()
+    }
+
+    /// Every member covered?
+    pub fn complete(&self) -> bool {
+        self.count() == self.members
+    }
+
+    /// Count of leading covered members (the high-watermark).
+    pub fn watermark(&self) -> u32 {
+        let mut wm = 0;
+        for &byte in &self.bits {
+            if byte == 0xFF {
+                wm += 8;
+                continue;
+            }
+            wm += byte.trailing_ones();
+            break;
+        }
+        wm.min(self.members)
+    }
+
+    /// The group's member count.
+    pub fn members(&self) -> u32 {
+        self.members
+    }
+
+    /// The raw bitmap (wire/receipt form).
+    pub fn bits(&self) -> &[u8] {
+        &self.bits
+    }
+}
+
+/// One unacked group delivery.
+#[derive(Clone, Debug)]
+struct GroupOutstanding {
+    attempt: u32,
+    deadline: TimePoint,
+    coverage: Coverage,
+    file_name: String,
+    size: u64,
+}
+
+/// A group retransmission scheduled by [`GroupTracker::due`] — also the
+/// cascaded-backfill trigger: the relay answers every (re)delivery with
+/// its current coverage and backfills stragglers from its own store.
+#[derive(Clone, Debug)]
+pub struct GroupResend {
+    /// The group to redeliver to (via its relay endpoint).
+    pub group: String,
+    /// The file being redelivered (sender-local id).
+    pub file: FileId,
+    /// The new (bumped) attempt number.
+    pub attempt: u32,
+    /// The file's landing name (stable across stores).
+    pub file_name: String,
+    /// Payload size.
+    pub size: u64,
+}
+
+/// The outcome of one [`GroupTracker::due`] sweep.
+#[derive(Clone, Debug, Default)]
+pub struct GroupRetryRound {
+    /// Deliveries whose timeout lapsed: retransmit these.
+    pub resend: Vec<GroupResend>,
+    /// Deliveries that exhausted [`RetryPolicy::max_attempts`] with
+    /// members still uncovered; the caller should alarm.
+    pub exhausted: Vec<(String, FileId)>,
+}
+
+struct GroupMetrics {
+    attempts: Arc<Counter>,
+    acks: Arc<Counter>,
+    completed: Arc<Counter>,
+    resends: Arc<Counter>,
+    exhausted: Arc<Counter>,
+    outstanding: Arc<Gauge>,
+}
+
+impl GroupMetrics {
+    fn detached() -> GroupMetrics {
+        GroupMetrics {
+            attempts: Arc::new(Counter::detached()),
+            acks: Arc::new(Counter::detached()),
+            completed: Arc::new(Counter::detached()),
+            resends: Arc::new(Counter::detached()),
+            exhausted: Arc::new(Counter::detached()),
+            outstanding: Arc::new(Gauge::detached()),
+        }
+    }
+
+    fn registered(reg: &Registry) -> GroupMetrics {
+        GroupMetrics {
+            attempts: reg.counter("group.attempts"),
+            acks: reg.counter("group.acks"),
+            completed: reg.counter("group.completed"),
+            resends: reg.counter("group.resends"),
+            exhausted: reg.counter("group.exhausted"),
+            outstanding: reg.gauge("group.outstanding"),
+        }
+    }
+}
+
+/// The unacked *group* delivery table — [`RetryTracker`]'s shape, but
+/// one entry (with a [`Coverage`] bitmap) per `(group, file)` instead
+/// of one entry per `(member, file)`.
+pub struct GroupTracker {
+    policy: RetryPolicy,
+    rng: Rng,
+    outstanding: BTreeMap<(String, u64), GroupOutstanding>,
+    metrics: GroupMetrics,
+}
+
+impl GroupTracker {
+    /// A tracker under `policy`; `seed` drives the backoff jitter.
+    pub fn new(policy: RetryPolicy, seed: u64) -> GroupTracker {
+        GroupTracker {
+            policy,
+            rng: Rng::seed_from_u64(seed),
+            outstanding: BTreeMap::new(),
+            metrics: GroupMetrics::detached(),
+        }
+    }
+
+    /// A tracker whose `group.*` counters and outstanding gauge live in
+    /// `reg`. Telemetry draws nothing from the jitter RNG.
+    pub fn with_telemetry(policy: RetryPolicy, seed: u64, reg: &Registry) -> GroupTracker {
+        GroupTracker {
+            policy,
+            rng: Rng::seed_from_u64(seed),
+            outstanding: BTreeMap::new(),
+            metrics: GroupMetrics::registered(reg),
+        }
+    }
+
+    fn jittered(&mut self, nominal: TimeSpan) -> TimeSpan {
+        if self.policy.jitter <= 0.0 {
+            return nominal;
+        }
+        let f = 1.0 + self.policy.jitter * (2.0 * self.rng.next_f64() - 1.0);
+        TimeSpan::from_micros((nominal.as_micros() as f64 * f) as u64).min(self.policy.max_timeout)
+    }
+
+    /// Register attempt 1 of a group delivery sent at `now`; returns the
+    /// attempt number to stamp on the envelope (the existing one if the
+    /// pair is already outstanding).
+    pub fn track(
+        &mut self,
+        group: &str,
+        file: FileId,
+        members: u32,
+        file_name: &str,
+        size: u64,
+        now: TimePoint,
+    ) -> u32 {
+        let key = (group.to_string(), file.raw());
+        if let Some(o) = self.outstanding.get(&key) {
+            return o.attempt;
+        }
+        let deadline = now + self.jittered(self.policy.timeout_for(1));
+        self.outstanding.insert(
+            key,
+            GroupOutstanding {
+                attempt: 1,
+                deadline,
+                coverage: Coverage::new(members),
+                file_name: file_name.to_string(),
+                size,
+            },
+        );
+        self.metrics.attempts.inc();
+        self.metrics.outstanding.set(self.outstanding.len() as i64);
+        1
+    }
+
+    /// A coverage report for `(group, file)` arrived. Merges it in and
+    /// returns `(merged coverage, changed)` — `None` if the pair is not
+    /// outstanding (stale or duplicate ack of a finished delivery). A
+    /// complete merge removes the entry.
+    pub fn on_ack(
+        &mut self,
+        group: &str,
+        file: FileId,
+        bits: &[u8],
+        watermark: u64,
+    ) -> Option<(Coverage, bool)> {
+        let key = (group.to_string(), file.raw());
+        let o = self.outstanding.get_mut(&key)?;
+        let changed = o.coverage.merge_wire(bits, watermark);
+        let merged = o.coverage.clone();
+        self.metrics.acks.inc();
+        if merged.complete() {
+            self.outstanding.remove(&key);
+            self.metrics.completed.inc();
+            self.metrics.outstanding.set(self.outstanding.len() as i64);
+        }
+        Some((merged, changed))
+    }
+
+    /// True if `(group, file)` has an unfinished delivery in flight.
+    pub fn is_outstanding(&self, group: &str, file: FileId) -> bool {
+        self.outstanding
+            .contains_key(&(group.to_string(), file.raw()))
+    }
+
+    /// The current merged coverage for `(group, file)`, if outstanding.
+    pub fn coverage(&self, group: &str, file: FileId) -> Option<&Coverage> {
+        self.outstanding
+            .get(&(group.to_string(), file.raw()))
+            .map(|o| &o.coverage)
+    }
+
+    /// Number of unfinished group deliveries.
+    pub fn outstanding_count(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// The retry policy this tracker enforces.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// `(acks, resends, exhausted)` totals since construction.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (
+            self.metrics.acks.get(),
+            self.metrics.resends.get(),
+            self.metrics.exhausted.get(),
+        )
+    }
+
+    /// Sweep the table at `now`: lapsed entries are scheduled for
+    /// retransmission or, past `max_attempts`, reported exhausted.
+    pub fn due(&mut self, now: TimePoint) -> GroupRetryRound {
+        let mut round = GroupRetryRound::default();
+        let lapsed: Vec<(String, u64)> = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| o.deadline <= now)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in lapsed {
+            let o = self.outstanding.get_mut(&key).expect("collected above");
+            if o.attempt >= self.policy.max_attempts {
+                self.outstanding.remove(&key);
+                round.exhausted.push((key.0, FileId(key.1)));
+                continue;
+            }
+            o.attempt += 1;
+            let attempt = o.attempt;
+            let file_name = o.file_name.clone();
+            let size = o.size;
+            let nominal = self.policy.timeout_for(attempt);
+            let deadline = self.jittered(nominal);
+            let o = self.outstanding.get_mut(&key).expect("still present");
+            o.deadline = now + deadline;
+            round.resend.push(GroupResend {
+                group: key.0,
+                file: FileId(key.1),
+                attempt,
+                file_name,
+                size,
+            });
+        }
+        self.metrics.attempts.add(round.resend.len() as u64);
+        self.metrics.resends.add(round.resend.len() as u64);
+        self.metrics.exhausted.add(round.exhausted.len() as u64);
+        self.metrics.outstanding.set(self.outstanding.len() as i64);
+        round
+    }
+
+    /// The outstanding table as `(group, file, attempt, covered)` tuples
+    /// in key order — digestible state for determinism hashes.
+    pub fn outstanding_entries(&self) -> Vec<(String, u64, u32, u32)> {
+        self.outstanding
+            .iter()
+            .map(|((g, f), o)| (g.clone(), *f, o.attempt, o.coverage.count()))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -545,5 +917,124 @@ mod tests {
         tr.track("s", FileId(1), msg(1), t(0));
         tr.due(t(10)); // retry does not reset the age
         assert_eq!(tr.oldest_unacked_age(t(15)), Some(TimeSpan::from_secs(15)));
+    }
+
+    // -- shared delivery trees ---------------------------------------------
+
+    #[test]
+    fn coverage_set_count_watermark() {
+        let mut c = Coverage::new(11);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.watermark(), 0);
+        assert!(!c.complete());
+        assert!(c.set(0));
+        assert!(!c.set(0), "second set is not new");
+        assert!(c.set(2));
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.watermark(), 1, "gap at member 1 stops the watermark");
+        c.set(1);
+        assert_eq!(c.watermark(), 3);
+        for i in 3..11 {
+            c.set(i);
+        }
+        assert!(c.complete());
+        assert_eq!(c.watermark(), 11);
+        // out-of-range member indices are ignored, not panics
+        assert!(!c.set(11));
+        assert!(!c.get(11));
+    }
+
+    #[test]
+    fn coverage_wire_roundtrip_and_hostile_input() {
+        let mut c = Coverage::new(10);
+        c.set(0);
+        c.set(1);
+        c.set(7);
+        c.set(9);
+        let back = Coverage::from_wire(10, c.bits(), c.watermark() as u64);
+        assert_eq!(back, c);
+
+        // oversized bitmap, stray tail bits and a lying watermark are
+        // all clamped to the member count
+        let hostile = Coverage::from_wire(3, &[0xFF, 0xFF, 0xFF, 0xFF], u64::MAX);
+        assert_eq!(hostile.members(), 3);
+        assert_eq!(hostile.count(), 3);
+        assert!(hostile.complete());
+
+        // a short bitmap with a watermark still covers the prefix
+        let prefix = Coverage::from_wire(20, &[], 12);
+        assert_eq!(prefix.count(), 12);
+        assert_eq!(prefix.watermark(), 12);
+        assert!(!prefix.complete());
+    }
+
+    #[test]
+    fn group_tracker_partial_acks_then_complete() {
+        let mut tr = GroupTracker::new(policy(), 1);
+        assert_eq!(tr.track("g", FileId(1), 10, "f_1.csv", 3, t(0)), 1);
+        assert!(tr.is_outstanding("g", FileId(1)));
+        // duplicate track keeps the existing attempt
+        assert_eq!(tr.track("g", FileId(1), 10, "f_1.csv", 3, t(1)), 1);
+
+        // partial coverage: first 4 members — stays outstanding
+        let partial = Coverage::from_wire(10, &[], 4);
+        let (merged, changed) = tr
+            .on_ack("g", FileId(1), partial.bits(), 4)
+            .expect("outstanding");
+        assert!(changed);
+        assert_eq!(merged.count(), 4);
+        assert!(tr.is_outstanding("g", FileId(1)));
+        assert_eq!(tr.coverage("g", FileId(1)).unwrap().watermark(), 4);
+
+        // same report again: no change
+        let (_, changed) = tr.on_ack("g", FileId(1), partial.bits(), 4).unwrap();
+        assert!(!changed);
+
+        // full coverage finishes and removes the entry
+        let full = Coverage::from_wire(10, &[], 10);
+        let (merged, _) = tr.on_ack("g", FileId(1), full.bits(), 10).unwrap();
+        assert!(merged.complete());
+        assert!(!tr.is_outstanding("g", FileId(1)));
+        assert_eq!(tr.outstanding_count(), 0);
+        // an ack for a finished delivery is a stale no-op
+        assert!(tr.on_ack("g", FileId(1), full.bits(), 10).is_none());
+    }
+
+    #[test]
+    fn group_tracker_retries_and_exhausts_like_retry_tracker() {
+        let mut tr = GroupTracker::new(policy(), 1);
+        tr.track("g", FileId(1), 8, "f_1.csv", 3, t(0));
+        assert!(tr.due(t(5)).resend.is_empty(), "not due yet");
+        let r = tr.due(t(10));
+        assert_eq!(r.resend.len(), 1);
+        assert_eq!(r.resend[0].attempt, 2);
+        assert_eq!(r.resend[0].file_name, "f_1.csv");
+        tr.due(t(100)); // attempt 3 == max
+        let r = tr.due(t(1000));
+        assert!(r.resend.is_empty());
+        assert_eq!(r.exhausted, vec![("g".to_string(), FileId(1))]);
+        assert_eq!(tr.outstanding_count(), 0);
+        assert_eq!(tr.totals(), (0, 2, 1));
+    }
+
+    #[test]
+    fn group_tracker_telemetry_and_digest_entries() {
+        let reg = Registry::new();
+        let mut tr = GroupTracker::with_telemetry(policy(), 1, &reg);
+        tr.track("g", FileId(1), 4, "a", 1, t(0));
+        tr.track("h", FileId(2), 2, "b", 1, t(0));
+        assert_eq!(reg.counter_value("group.attempts"), Some(2));
+        assert_eq!(reg.gauge_value("group.outstanding"), Some(2));
+        let half = Coverage::from_wire(4, &[], 2);
+        tr.on_ack("g", FileId(1), half.bits(), 2);
+        assert_eq!(
+            tr.outstanding_entries(),
+            vec![("g".to_string(), 1, 1, 2), ("h".to_string(), 2, 1, 0)]
+        );
+        let full = Coverage::from_wire(2, &[], 2);
+        tr.on_ack("h", FileId(2), full.bits(), 2);
+        assert_eq!(reg.counter_value("group.completed"), Some(1));
+        assert_eq!(reg.counter_value("group.acks"), Some(2));
+        assert_eq!(reg.gauge_value("group.outstanding"), Some(1));
     }
 }

@@ -206,6 +206,160 @@ fn run_mini(seed: u64, files: usize, drop_prob: f64, dup_prob: f64) -> MiniOutco
     }
 }
 
+/// A two-tier delivery tree under a lossy upstream→relay link: the hub
+/// fans each file out *once* per group to the relay server, the relay
+/// serves the members from its own pipeline (reliable, clean links),
+/// and cumulative coverage reports flow back over the same lossy link.
+/// Rendered to a digest string for bit-for-bit replay comparison.
+fn run_relay_hop(seed: u64, files: usize) -> String {
+    let clock = SimClock::starting_at(START);
+    let net = Arc::new(SimNetwork::new(LinkSpec {
+        bandwidth: 1_000_000,
+        latency: TimeSpan::from_millis(10),
+    }));
+    // drops + duplicates on the hub↔relay hop only: group fanouts and
+    // coverage reports both have to survive the bad link
+    net.install_fault_plan(FaultPlan {
+        seed,
+        default_faults: FaultSpec::default(),
+        link_faults: vec![
+            (
+                "hub".to_string(),
+                "edge".to_string(),
+                FaultSpec::lossy(0.3, 0.2),
+            ),
+            (
+                "edge".to_string(),
+                "hub".to_string(),
+                FaultSpec::lossy(0.3, 0.2),
+            ),
+        ],
+        flaps: Vec::new(),
+    });
+
+    let cfg_text = r#"
+        feed F { pattern "f_%i.csv"; }
+        subscriber m1 { endpoint "m1"; subscribe F; delivery push; }
+        subscriber m2 { endpoint "m2"; subscribe F; delivery push; }
+        subscriber m3 { endpoint "m3"; subscribe F; delivery push; }
+        group EDGE { members m1, m2, m3; relay "edge"; }
+    "#;
+    let mut hub = Server::new(
+        "hub",
+        parse_config(cfg_text).unwrap(),
+        clock.clone(),
+        MemFs::shared(clock.clone()),
+    )
+    .unwrap()
+    .with_network(net.clone())
+    .with_reliable_delivery(retry_policy(), seed);
+    // the edge's name matches the group's relay endpoint, so it skips
+    // the plan and serves the members directly (reliable hop)
+    let mut edge = Server::new(
+        "edge",
+        parse_config(cfg_text).unwrap(),
+        clock.clone(),
+        MemFs::shared(clock.clone()),
+    )
+    .unwrap()
+    .with_network(net.clone())
+    .with_reliable_delivery(retry_policy(), seed.wrapping_add(7));
+    let mut members: Vec<SubscriberClient> = ["m1", "m2", "m3"]
+        .iter()
+        .map(|m| SubscriberClient::new(m, "edge"))
+        .collect();
+
+    for round in 0..600 {
+        clock.advance(TimeSpan::from_secs(1));
+        let now = clock.now();
+        if round < files {
+            hub.deposit(&format!("f_{round}.csv"), b"tree-bytes")
+                .unwrap();
+        }
+        bistro::server::relay::pump(&net, &hub, &mut edge, now).unwrap();
+        for m in &mut members {
+            m.poll_notifications(&net, now);
+        }
+        edge.poll_network().unwrap();
+        edge.retry_tick().unwrap();
+        hub.poll_network().unwrap();
+        hub.retry_tick().unwrap();
+
+        if round > files
+            && hub.group_outstanding() == 0
+            && members.iter().all(|m| m.delivered().len() == files)
+        {
+            break;
+        }
+    }
+
+    let delivered = |c: &SubscriberClient| -> Vec<u64> {
+        let mut ids: Vec<u64> = c.delivered().iter().map(|(f, _, _)| f.raw()).collect();
+        ids.sort_unstable();
+        ids
+    };
+    format!(
+        "m1={:?} m2={:?} m3={:?} dups={:?} outstanding={} group_counters={:?} \
+         edge_receipts={} edge_deliveries={} net_sent={} net_dropped={} \
+         net_duplicated={} hub_warns={} hub_alarms={} end={}",
+        delivered(&members[0]),
+        delivered(&members[1]),
+        delivered(&members[2]),
+        members
+            .iter()
+            .map(|m| m.duplicates_ignored())
+            .collect::<Vec<_>>(),
+        hub.group_outstanding(),
+        hub.group_counters(),
+        edge.receipts().live_count(),
+        edge.receipts().delivery_count(),
+        net.messages_sent(),
+        net.messages_dropped(),
+        net.messages_duplicated(),
+        hub.event_log().count(LogLevel::Warn),
+        hub.event_log().count(LogLevel::Alarm),
+        clock.now(),
+    )
+}
+
+#[test]
+fn relay_hop_group_delivery_is_exactly_once_and_reproducible() {
+    let seed = 0xB157_000Au64;
+    let files = 8;
+    let digest = run_relay_hop(seed, files);
+
+    // exactly once at every member of the delivery tree, despite the
+    // lossy hub↔relay hop: edge-local ids 1..=files, no gaps, no dups
+    let want: Vec<u64> = (1..=files as u64).collect();
+    for m in ["m1", "m2", "m3"] {
+        assert!(
+            digest.contains(&format!("{m}={want:?}")),
+            "seed {seed:#x}: {m} missed or duplicated files: {digest}"
+        );
+    }
+    // every fanout completed; the relay ingested each file exactly once
+    assert!(
+        digest.contains("outstanding=0"),
+        "seed {seed:#x}: group fanouts left outstanding: {digest}"
+    );
+    assert!(
+        digest.contains(&format!("edge_receipts={files} ")),
+        "seed {seed:#x}: relay double-ingested: {digest}"
+    );
+    // the plan actually injected faults on the relay hop
+    let dropped: u64 = digest
+        .split("net_dropped=")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    assert!(dropped > 0, "seed {seed:#x} injected no drops: {digest}");
+
+    // bit-for-bit replay from the seed
+    let again = run_relay_hop(seed, files);
+    assert_eq!(digest, again, "seed {seed:#x} did not replay bit-for-bit");
+}
+
 #[test]
 fn seeded_faulty_run_is_exactly_once_and_reproducible() {
     let seed = 0xB157_0001u64;
