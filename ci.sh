@@ -110,14 +110,20 @@ stage_bench() {
   ./target/release/exp_e11 --quick --gate "$baseline"
 }
 
-# Delivery-tree fanout: the group-delivery unit/integration suites, then
-# the E14 shape-and-perf experiment in quick mode gated the same way as
-# stage_bench — exp_e14 splices its fanout_group_delivery group into
-# BENCH_throughput.json, so the committed file is the baseline and the
-# deposit_g100_m100 median is compared at the same >2x tolerance.
+# Delivery-tree fanout: the group-delivery unit/integration suites, the
+# delivery-index equivalence property suite, then the E14
+# shape-and-perf experiment in quick mode gated the same way as
+# stage_bench — exp_e14 splices its fanout_group_delivery and
+# fanout_deposit_cost groups into BENCH_throughput.json, so the
+# committed file is the baseline and the overlap medians
+# (deposit_g100_m100, deposit_s10000) are compared at the same >2x
+# tolerance; exp_e14 additionally fails itself if the deposit-cost
+# sweep is not flat in subscriber count.
 stage_fanout() {
   cargo test -q --offline -p bistro-core --lib relay
+  cargo test -q --offline -p bistro-core --lib index
   cargo test -q --offline -p bistro-core --test server_integration group
+  cargo test -q --offline --test delivery_index
   cargo test --offline --test fault_injection relay_hop -- --nocapture
   local baseline=target/ci-fanout-baseline.json
   git show HEAD:BENCH_throughput.json >"$baseline" 2>/dev/null \

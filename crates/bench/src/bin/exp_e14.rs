@@ -2,9 +2,18 @@
 //!
 //! Prints the fanout-shape table (delivery sends and tracker entries
 //! per deposit must follow the group count, never the member count)
-//! and splices the `fanout_group_delivery` timing group into the
-//! machine-readable perf trajectory `BENCH_throughput.json`, leaving
-//! every other experiment's entries intact.
+//! and splices two timing groups into the machine-readable perf
+//! trajectory `BENCH_throughput.json`, leaving every other
+//! experiment's entries intact:
+//!
+//! * `fanout_group_delivery` — per-deposit latency across the
+//!   `(groups, members)` grid;
+//! * `fanout_deposit_cost` — per-deposit latency across a subscriber
+//!   sweep at a fixed group count. The inverted delivery index makes
+//!   the match step `O(matched)`, so these medians must stay flat in
+//!   subscriber count (the pre-index scan grew linearly); the run
+//!   checks endpoint-to-endpoint flatness itself and the `--gate` run
+//!   compares every point against the committed baseline.
 //!
 //! Flags:
 //!
@@ -25,8 +34,15 @@ use bistro_bench::harness;
 /// Regression factor the gate tolerates before failing.
 const GATE_FACTOR: f64 = 2.0;
 
-/// The trajectory-file group this experiment owns.
+/// The trajectory-file groups this experiment owns.
 const GROUP: &str = "fanout_group_delivery";
+const COST_GROUP: &str = "fanout_deposit_cost";
+
+/// How much the deposit-cost median may grow from the smallest to the
+/// largest subscriber count before the sweep fails. Same-run medians on
+/// the same machine: the index holds this near 1×; the pre-index scan
+/// sat at ~`subscribers_max / subscribers_min` (100× in full mode).
+const FLATNESS_FACTOR: f64 = 3.0;
 
 fn main() {
     let mut quick = false;
@@ -88,9 +104,53 @@ fn main() {
     }
     println!("merged {GROUP} into BENCH_throughput.json");
 
+    // Deposit cost vs subscriber count at a fixed group count: the
+    // sweep the inverted delivery index must keep flat. Quick mode
+    // spans 10k→40k (its smallest point doubles as the committed
+    // baseline for CI gating); the full sweep tops out at a million.
+    let cost_points: &[usize] = if quick {
+        &[10_000, 40_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let cost: Vec<harness::BenchResult> = cost_points
+        .iter()
+        .map(|&subs| e14::bench_deposit_cost(subs, samples))
+        .collect();
+    harness::merge_json_file("BENCH_throughput.json", &cost, COST_GROUP)
+        .expect("write BENCH_throughput.json");
+    for r in &cost {
+        println!(
+            "{}/{}: median {:.0} ns, p95 {:.0} ns, {:.0} /s",
+            r.group,
+            r.name,
+            r.median_ns,
+            r.p95_ns,
+            r.per_sec().unwrap_or(0.0)
+        );
+    }
+    println!("merged {COST_GROUP} into BENCH_throughput.json");
+    let (small, large) = (&cost[0], &cost[cost.len() - 1]);
+    let growth = large.median_ns / small.median_ns;
+    println!(
+        "deposit-cost flatness: {} → {} grows {growth:.2}x (limit {FLATNESS_FACTOR}x)",
+        small.name, large.name
+    );
+    if growth > FLATNESS_FACTOR {
+        eprintln!(
+            "deposit cost is not flat in subscriber count: {growth:.2}x from {} to {}",
+            small.name, large.name
+        );
+        std::process::exit(1);
+    }
+
     if let Some((path, baseline)) = gate {
-        let lines = gate_in_group(&baseline, GROUP, &bench)
+        let mut lines = gate_in_group(&baseline, GROUP, &bench)
             .unwrap_or_else(|e| panic!("gate baseline {path}: {e}"));
+        lines.extend(
+            gate_in_group(&baseline, COST_GROUP, &cost)
+                .unwrap_or_else(|e| panic!("gate baseline {path}: {e}")),
+        );
         let mut failed = false;
         for l in &lines {
             let verdict = if l.ratio > GATE_FACTOR {

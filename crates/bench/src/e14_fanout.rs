@@ -134,9 +134,10 @@ pub fn run_fanout(groups: usize, members: usize, deposits: usize) -> FanoutPoint
 /// Harness-measured per-deposit latency at one `(groups, members)`
 /// point, for the `fanout_group_delivery` group in
 /// `BENCH_throughput.json`. Each iteration ingests one fresh file end
-/// to end (classify + stage + receipts + `G` group sends); the
-/// per-deposit subscriber scan keeps this `O(subscribers)`, so the
-/// same `G` at a larger `M` costs more CPU but identical delivery ops.
+/// to end (classify + stage + receipts + `G` group sends); with the
+/// inverted delivery index the match step touches only the `G` matched
+/// plans, so the same `G` at a larger `M` costs the same CPU — the
+/// `fanout_deposit_cost` group below measures exactly that flatness.
 pub fn bench_fanout_deposit(groups: usize, members: usize, samples: usize) -> BenchResult {
     let (mut server, _net) = fanout_server(groups, members);
     let payload = vec![b'x'; 1_000];
@@ -151,6 +152,47 @@ pub fn bench_fanout_deposit(groups: usize, members: usize, samples: usize) -> Be
         &format!("deposit_g{groups}_m{members}"),
         samples,
         // Elements(1): per_sec is deposits/sec at this scale point
+        Some(Throughput::Elements(1)),
+        || {
+            server.deposit(&format!("tick_{i}.csv"), &payload).unwrap();
+            i += 1;
+        },
+    )
+}
+
+/// Group count held fixed while [`bench_deposit_cost`] sweeps the
+/// subscriber count: every point matches the same `G` plans per
+/// deposit, so any median growth along the sweep is subscriber-count
+/// cost leaking back into the deposit path.
+pub const DEPOSIT_COST_GROUPS: usize = 100;
+
+/// Per-deposit latency as a function of *total subscriber count* at a
+/// fixed group count, for the `fanout_deposit_cost` group in
+/// `BENCH_throughput.json`. This is the tentpole claim of the inverted
+/// delivery index: the pre-index implementation scanned every
+/// subscriber per deposit (`O(subscribers)`, dominating E14 at a
+/// million subscribers); the index touches only the `G` matched plans,
+/// so medians across this sweep must stay flat from 10k to 1M
+/// subscribers. `subscribers` must be a multiple of
+/// [`DEPOSIT_COST_GROUPS`].
+pub fn bench_deposit_cost(subscribers: usize, samples: usize) -> BenchResult {
+    assert_eq!(
+        subscribers % DEPOSIT_COST_GROUPS,
+        0,
+        "subscriber count must divide into {DEPOSIT_COST_GROUPS} groups"
+    );
+    let members = subscribers / DEPOSIT_COST_GROUPS;
+    let (mut server, _net) = fanout_server(DEPOSIT_COST_GROUPS, members);
+    let payload = vec![b'x'; 1_000];
+    let mut i = 0u64;
+    for _ in 0..2 {
+        server.deposit(&format!("tick_{i}.csv"), &payload).unwrap();
+        i += 1;
+    }
+    time_fn(
+        "fanout_deposit_cost",
+        &format!("deposit_s{subscribers}"),
+        samples,
         Some(Throughput::Elements(1)),
         || {
             server.deposit(&format!("tick_{i}.csv"), &payload).unwrap();
@@ -221,6 +263,14 @@ mod tests {
         let r = bench_fanout_deposit(4, 3, 3);
         assert_eq!(r.group, "fanout_group_delivery");
         assert_eq!(r.name, "deposit_g4_m3");
+        assert!(r.median_ns > 0.0, "{r:?}");
+    }
+
+    #[test]
+    fn deposit_cost_point_runs_and_names_the_subscriber_count() {
+        let r = bench_deposit_cost(200, 3);
+        assert_eq!(r.group, "fanout_deposit_cost");
+        assert_eq!(r.name, "deposit_s200");
         assert!(r.median_ns > 0.0, "{r:?}");
     }
 }

@@ -1350,6 +1350,55 @@ mod tests {
     }
 
     #[test]
+    fn rehomed_subscriber_lands_in_new_home_delivery_index() {
+        // re-homing rides Server::add_subscriber, so the promoted
+        // standby's inverted delivery index must pick the subscriber up:
+        // acks from its endpoint resolve at the new home, the indexed
+        // deposit match equals the brute-force scan, and the dead home
+        // no longer owns the endpoint's delivery path
+        let (clock, _net, mut cluster) = harness(&["s1", "s2"]);
+        cluster.assign("SNMP", "s1", &["s2"]).unwrap();
+        cluster.register_subscriber(&sub("wh", &["SNMP"])).unwrap();
+        cluster
+            .route_deposit("CPU_201009010000.csv", b"a", clock.now())
+            .unwrap();
+        for _ in 0..3 {
+            step(&clock, &mut cluster, TimeSpan::from_secs(1));
+        }
+        // before failover: only the home resolves the endpoint
+        assert_eq!(
+            cluster
+                .server("s1")
+                .unwrap()
+                .resolve_endpoint("wh:7070")
+                .as_deref(),
+            Some("wh")
+        );
+        assert_eq!(
+            cluster.server("s2").unwrap().resolve_endpoint("wh:7070"),
+            None
+        );
+
+        cluster.kill("s1").unwrap();
+        for _ in 0..12 {
+            step(&clock, &mut cluster, TimeSpan::from_secs(1));
+        }
+        assert_eq!(cluster.directory().home_of("SNMP").unwrap().home, "s2");
+        let s2 = cluster.server("s2").unwrap();
+        assert_eq!(s2.resolve_endpoint("wh:7070").as_deref(), Some("wh"));
+        let feeds = vec!["SNMP/CPU".to_string(), "SNMP/MEM".to_string()];
+        assert_eq!(s2.match_via_index(&feeds), s2.match_via_scan(&feeds));
+        let (matched, _) = s2.match_via_index(&feeds);
+        assert_eq!(matched, vec!["wh".to_string()]);
+
+        // and a post-failover deposit actually uses that index entry
+        cluster
+            .route_deposit("CPU_201009010100.csv", b"c", clock.now())
+            .unwrap();
+        assert!(delivered_count(cluster.server("s2").unwrap(), "wh") >= 1);
+    }
+
+    #[test]
     fn stale_dir_assign_is_rejected_and_counted() {
         let (clock, _net, mut cluster) = harness(&["s1", "s2"]);
         cluster.assign("SNMP", "s1", &["s2"]).unwrap(); // epoch 1

@@ -28,6 +28,10 @@
 //! * [`baselines`] — the §2.2 strawmen, implemented over the same VFS so
 //!   their metadata costs are directly comparable: a polling pull
 //!   subscriber and an rsync/cron-style stateless tree synchronizer.
+//! * `index` (crate-private) — the inverted feed→subscriber /
+//!   feed→group-plan / endpoint→subscriber delivery index that keeps
+//!   [`server::Server::ingest_prepared`]'s per-deposit match
+//!   `O(matched)` instead of `O(subscribers)` (DESIGN.md §12.5).
 //! * [`relay`] — Bistro-as-subscriber-of-Bistro: the distributed feed
 //!   delivery network of §3.
 //! * [`cluster`] — multi-server Bistro: feed groups partitioned across
@@ -39,6 +43,7 @@
 pub mod baselines;
 pub mod classifier;
 pub mod cluster;
+mod index;
 pub mod log;
 pub mod normalizer;
 pub mod parallel;

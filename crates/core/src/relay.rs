@@ -28,6 +28,7 @@ use crate::server::{Server, ServerError};
 use bistro_base::TimePoint;
 use bistro_transport::messages::{GroupMsg, Message, ReliableMsg, SubscriberMsg};
 use bistro_transport::{Coverage, SimNetwork};
+use std::collections::HashMap;
 
 /// Counters accumulated across [`Relay::pump`] calls.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -45,10 +46,14 @@ pub struct RelayStats {
 /// One relay hop between two servers sharing a [`SimNetwork`]. The
 /// struct itself is stateless between calls — deduplication rides the
 /// downstream receipt store, so it survives relay restarts — but it
-/// accumulates [`RelayStats`] for observability.
+/// accumulates [`RelayStats`] for observability and memoizes each
+/// group's sorted member list (the coverage-report order), which is
+/// pure config: re-sorting it on every ack made each group ack
+/// `O(M log M)` in the member count.
 #[derive(Debug, Default)]
 pub struct Relay {
     stats: RelayStats,
+    sorted_members: HashMap<String, Vec<String>>,
 }
 
 impl Relay {
@@ -204,15 +209,23 @@ impl Relay {
     /// the file — no ack is sent, so the upstream retries and alarms
     /// instead of silently marking members covered.
     fn member_coverage(
-        &self,
+        &mut self,
         downstream: &Server,
         group: &str,
         name: &str,
     ) -> Option<(Vec<u8>, u64)> {
         let def = downstream.config().group(group)?;
         let local = downstream.receipts().file_by_name(name)?;
-        let mut members: Vec<&String> = def.members.iter().collect();
-        members.sort();
+        // group membership is fixed at config time, so the sorted order
+        // is computed once per group, not once per ack
+        let members = self
+            .sorted_members
+            .entry(group.to_string())
+            .or_insert_with(|| {
+                let mut m = def.members.clone();
+                m.sort();
+                m
+            });
         let mut coverage = Coverage::new(members.len() as u32);
         for (i, member) in members.iter().enumerate() {
             if downstream.receipts().is_delivered(local.id, member) {

@@ -8,6 +8,7 @@
 //! unmatched files).
 
 use crate::classifier::Classifier;
+use crate::index::DeliveryIndex;
 use crate::log::{EventLog, LogLevel};
 use crate::normalizer::NormalizeError;
 use crate::parallel::{self, Prepared};
@@ -48,6 +49,10 @@ pub enum ServerError {
     Config(bistro_config::ConfigError),
     /// Unknown subscriber name.
     UnknownSubscriber(String),
+    /// The subscriber is a member of a relay delivery group; its
+    /// lifecycle is tied to the group plan and it cannot be removed
+    /// individually.
+    GroupedSubscriber(String),
 }
 
 impl fmt::Display for ServerError {
@@ -58,6 +63,9 @@ impl fmt::Display for ServerError {
             ServerError::Normalize(e) => write!(f, "{e}"),
             ServerError::Config(e) => write!(f, "{e}"),
             ServerError::UnknownSubscriber(s) => write!(f, "unknown subscriber {s}"),
+            ServerError::GroupedSubscriber(s) => {
+                write!(f, "subscriber {s} is a relay-group member")
+            }
         }
     }
 }
@@ -200,6 +208,7 @@ struct ServerMetrics {
     normalize_us: Arc<Histogram>,
     delivery_receipts: Arc<Counter>,
     delivery_bytes: Arc<Counter>,
+    dest_fallback: Arc<Counter>,
     acks_processed: Arc<Counter>,
     archiver_skipped: Arc<Counter>,
 }
@@ -215,6 +224,7 @@ impl ServerMetrics {
             normalize_us: reg.histogram("ingest.normalize_us"),
             delivery_receipts: reg.counter("delivery.receipts"),
             delivery_bytes: reg.counter("delivery.bytes"),
+            dest_fallback: reg.counter("delivery.dest_fallback"),
             acks_processed: reg.counter("reliable.acks_processed"),
             archiver_skipped: reg.counter("archiver.skipped"),
         }
@@ -262,6 +272,14 @@ pub struct Server {
     batchers: HashMap<(String, String), Batcher>,
     batch_ids: IdGen,
     subscribers: HashMap<String, SubscriberState>,
+    /// Inverted feed→subscriber / feed→plan / endpoint→subscriber maps,
+    /// maintained at every subscriber/group mutation point so the
+    /// per-deposit match is `O(matched)` (DESIGN.md §12.5).
+    index: DeliveryIndex,
+    /// When false, `ingest_prepared` matches by brute-force scan instead
+    /// of the index — the oracle the equivalence property test compares
+    /// against. Observable outputs are byte-identical either way.
+    use_index: bool,
     net: Option<Arc<SimNetwork>>,
     reliable: Option<ReliableState>,
     groups: Option<GroupState>,
@@ -383,6 +401,29 @@ impl Server {
             })
         };
 
+        // The inverted delivery index over the freshly resolved
+        // subscriber table and compiled plans. Its `index.*` tallies live
+        // in the pool registry: the main registry renders into
+        // `status --json`, whose bytes are contract-equal between the
+        // indexed and scan match paths, and only the indexed path does
+        // lookups.
+        let pool_telemetry = Registry::new();
+        let mut index = DeliveryIndex::new(&pool_telemetry);
+        for (sub_name, st) in &subscribers {
+            let in_group = groups
+                .as_ref()
+                .is_some_and(|g| g.grouped.contains(sub_name));
+            index.insert_subscriber(sub_name, &st.feeds, &st.def.endpoint, st.online, in_group);
+        }
+        if let Some(g) = &groups {
+            index.set_group_plans(
+                g.plans
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, p.feeds.as_slice())),
+            );
+        }
+
         // Rebuild analyzer state from files parked in unknown/ by a
         // previous incarnation: discovery and drift detection must
         // survive restarts just like receipts do.
@@ -409,6 +450,8 @@ impl Server {
             batchers: HashMap::new(),
             batch_ids: IdGen::new(),
             subscribers,
+            index,
+            use_index: true,
             net: None,
             reliable: None,
             groups,
@@ -417,7 +460,7 @@ impl Server {
             fn_detector,
             stats: DeliveryStats::default(),
             telemetry,
-            pool_telemetry: Registry::new(),
+            pool_telemetry,
             metrics,
             alarms: Server::default_alarms(),
         })
@@ -880,7 +923,32 @@ impl Server {
         // state or feed set, and the common case — nobody subscribes to
         // this feed — then skips the receipt lookup entirely. Members of
         // a relay group are excluded: their delivery is the one send per
-        // group below.
+        // group below. The index lookup touches only the matched
+        // postings; the scan is the equivalence oracle.
+        let (interested, group_matches) = if self.use_index {
+            self.index.matches(feeds)
+        } else {
+            self.scan_matches(feeds)
+        };
+        if !interested.is_empty() || !group_matches.is_empty() {
+            let rec = self.receipts.file(file).expect("just recorded");
+            for sub in interested {
+                self.deliver_one(&rec, &sub)?;
+            }
+            for plan in group_matches {
+                self.deliver_group(plan, &rec)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The pre-index brute-force delivery match: filter every
+    /// subscriber, enumerate every plan. `O(subscribers + plans)` per
+    /// call — kept as the oracle [`DeliveryIndex`] is checked against
+    /// (`tests/delivery_index.rs`) and as the fallback behind
+    /// [`Server::set_use_index`]. Must return exactly what
+    /// [`DeliveryIndex::matches`] returns for the same state.
+    fn scan_matches(&self, feeds: &[String]) -> (Vec<String>, Vec<usize>) {
         let mut interested: Vec<String> = self
             .subscribers
             .iter()
@@ -894,6 +962,7 @@ impl Server {
             })
             .map(|(name, _)| name.clone())
             .collect();
+        interested.sort();
         let group_matches: Vec<usize> = match &self.groups {
             Some(g) => g
                 .plans
@@ -904,17 +973,43 @@ impl Server {
                 .collect(),
             None => Vec::new(),
         };
-        if !interested.is_empty() || !group_matches.is_empty() {
-            interested.sort();
-            let rec = self.receipts.file(file).expect("just recorded");
-            for sub in interested {
-                self.deliver_one(&rec, &sub)?;
-            }
-            for plan in group_matches {
-                self.deliver_group(plan, &rec)?;
-            }
-        }
-        Ok(())
+        (interested, group_matches)
+    }
+
+    /// Route deposit matching through the brute-force scan (`false`)
+    /// instead of the inverted index. Test/oracle knob: observable
+    /// outputs are identical either way, only the lookup cost changes.
+    #[doc(hidden)]
+    pub fn set_use_index(&mut self, on: bool) {
+        self.use_index = on;
+    }
+
+    /// The indexed delivery match for `feeds` — exposed for the
+    /// index-vs-scan equivalence property test.
+    #[doc(hidden)]
+    pub fn match_via_index(&self, feeds: &[String]) -> (Vec<String>, Vec<usize>) {
+        self.index.matches(feeds)
+    }
+
+    /// The brute-force delivery match for `feeds` — the oracle side of
+    /// the equivalence property test.
+    #[doc(hidden)]
+    pub fn match_via_scan(&self, feeds: &[String]) -> (Vec<String>, Vec<usize>) {
+        self.scan_matches(feeds)
+    }
+
+    /// Endpoint→subscriber resolution — exposed for ack-lookup
+    /// regression tests (rename, re-home).
+    #[doc(hidden)]
+    pub fn resolve_endpoint(&self, endpoint: &str) -> Option<String> {
+        self.subscriber_by_endpoint(endpoint)
+    }
+
+    /// Live `(feed, endpoint)` posting counts in the delivery index —
+    /// exposed so churn tests can assert nothing leaks.
+    #[doc(hidden)]
+    pub fn index_entry_counts(&self) -> (usize, usize) {
+        self.index.entry_counts()
     }
 
     /// The wire message for delivering `rec` to `st`, plus the metadata
@@ -931,17 +1026,49 @@ impl Server {
             .cloned()
             .unwrap_or_else(|| rec.feeds[0].clone());
 
-        // destination path: subscriber's dest template or the staged layout
+        // destination path: subscriber's dest template or the staged
+        // layout. A failed re-match or render falls back to the staged
+        // layout — loudly: the file still lands somewhere the subscriber
+        // can fetch it, but silently ignoring the configured template
+        // buries a config/pattern drift bug (the dest template no longer
+        // agrees with the feed's patterns) that only the subscriber's
+        // downstream tooling would notice.
         let dest_path = match (&st.def.dest, self.config.feed(&feed_name)) {
             (Some(tpl), Some(feed)) => {
                 // re-match to recover captures for the template
-                let caps = feed
-                    .patterns
-                    .iter()
-                    .find_map(|p| p.match_str(&rec.name))
-                    .unwrap_or_default();
-                tpl.render(&caps, &rec.name, &feed_name)
-                    .unwrap_or_else(|_| format!("incoming/{}", rec.staged_path))
+                let caps = match feed.patterns.iter().find_map(|p| p.match_str(&rec.name)) {
+                    Some(caps) => caps,
+                    None => {
+                        self.log.log(
+                            self.clock.now(),
+                            LogLevel::Warn,
+                            "delivery",
+                            format!(
+                                "dest re-match failed: file {} no longer matches any {} pattern; \
+                                 rendering {}'s dest template with empty captures",
+                                rec.name, feed_name, st.def.name
+                            ),
+                        );
+                        Default::default()
+                    }
+                };
+                match tpl.render(&caps, &rec.name, &feed_name) {
+                    Ok(dest) => dest,
+                    Err(e) => {
+                        self.metrics.dest_fallback.inc();
+                        self.log.log(
+                            self.clock.now(),
+                            LogLevel::Warn,
+                            "delivery",
+                            format!(
+                                "dest template for {} failed on file {} ({e}); \
+                                 falling back to incoming/{}",
+                                st.def.name, rec.name, rec.staged_path
+                            ),
+                        );
+                        format!("incoming/{}", rec.staged_path)
+                    }
+                }
             }
             _ => format!("incoming/{}", rec.staged_path),
         };
@@ -1263,15 +1390,12 @@ impl Server {
 
     /// Resolve a subscriber name from its configured endpoint (acks
     /// carry no name on the wire; the sender's endpoint identifies it).
+    /// An indexed map lookup — previously a linear scan over every
+    /// subscriber on every incoming ack. Endpoint sharing resolves to
+    /// the lexicographically-first name, exactly as the scan-and-sort
+    /// it replaced did.
     fn subscriber_by_endpoint(&self, endpoint: &str) -> Option<String> {
-        let mut names: Vec<&String> = self
-            .subscribers
-            .iter()
-            .filter(|(_, st)| st.def.endpoint == endpoint)
-            .map(|(name, _)| name)
-            .collect();
-        names.sort();
-        names.first().map(|s| s.to_string())
+        self.index.subscriber_for_endpoint(endpoint).cloned()
     }
 
     /// Sweep the unacked-send table: lapsed sends are retransmitted
@@ -1490,7 +1614,7 @@ impl Server {
     /// (§4.2).
     pub fn set_subscriber_online(&mut self, sub: &str, online: bool) -> Result<(), ServerError> {
         let now = self.clock.now();
-        {
+        let feeds = {
             let st = self
                 .subscribers
                 .get_mut(sub)
@@ -1499,7 +1623,13 @@ impl Server {
                 return Ok(());
             }
             st.online = online;
-        }
+            st.feeds.clone()
+        };
+        let in_group = self
+            .groups
+            .as_ref()
+            .is_some_and(|g| g.grouped.contains(sub));
+        self.index.set_online(sub, &feeds, online, in_group);
         if !online {
             // stop retrying into a dead subscriber; recovery backfills
             if let Some(rel) = self.reliable.as_mut() {
@@ -1557,9 +1687,26 @@ impl Server {
     /// Register a new subscriber at runtime; it immediately receives the
     /// full available history of its feeds (§4.2).
     pub fn add_subscriber(&mut self, def: SubscriberDef) -> Result<usize, ServerError> {
+        // validate against the candidate config, rolling the push back on
+        // rejection — leaving the invalid def in place would poison every
+        // later validate() call on this server
         self.config.subscribers.push(def.clone());
-        validate(&self.config)?;
-        let feeds = self.config.subscriber_feeds(&def.name)?;
+        let feeds = match validate(&self.config)
+            .map_err(ServerError::from)
+            .and_then(|()| self.config.subscriber_feeds(&def.name).map_err(Into::into))
+        {
+            Ok(feeds) => feeds,
+            Err(e) => {
+                self.config.subscribers.pop();
+                return Err(e);
+            }
+        };
+        let in_group = self
+            .groups
+            .as_ref()
+            .is_some_and(|g| g.grouped.contains(&def.name));
+        self.index
+            .insert_subscriber(&def.name, &feeds, &def.endpoint, true, in_group);
         self.subscribers.insert(
             def.name.clone(),
             SubscriberState {
@@ -1570,6 +1717,39 @@ impl Server {
             },
         );
         self.deliver_pending_for(&def.name)
+    }
+
+    /// Deregister a subscriber at runtime: drops its config entry, live
+    /// state, index postings, batcher state and any in-flight reliable
+    /// retries. Members of a relay delivery group are refused — their
+    /// delivery rides the shared group plan, which cannot lose a member
+    /// without recompiling the tree.
+    pub fn remove_subscriber(&mut self, sub: &str) -> Result<(), ServerError> {
+        if self
+            .groups
+            .as_ref()
+            .is_some_and(|g| g.grouped.contains(sub))
+        {
+            return Err(ServerError::GroupedSubscriber(sub.to_string()));
+        }
+        let st = self
+            .subscribers
+            .remove(sub)
+            .ok_or_else(|| ServerError::UnknownSubscriber(sub.to_string()))?;
+        self.config.subscribers.retain(|d| d.name != sub);
+        self.index
+            .remove_subscriber(sub, &st.feeds, &st.def.endpoint);
+        if let Some(rel) = self.reliable.as_mut() {
+            rel.tracker.forget_subscriber(sub);
+        }
+        self.batchers.retain(|(_, s), _| s != sub);
+        self.log.log(
+            self.clock.now(),
+            LogLevel::Info,
+            "delivery",
+            format!("{sub} deregistered"),
+        );
+        Ok(())
     }
 
     /// Replace a feed definition (subscriber-approved analyzer

@@ -515,3 +515,213 @@ fn group_suggestions_and_schemas_from_unknowns() {
         .expect("csv schema");
     assert_eq!(schema.to_string(), "csv(ts,text,int)");
 }
+
+#[test]
+fn dest_template_fallback_is_loud() {
+    // A feed whose pattern captures no timestamp, subscribed with a
+    // dest template that demands one: every delivery renders the
+    // template against captures that cannot satisfy it, so the file
+    // falls back to the staged incoming/ layout. That fallback used to
+    // be silent — the config drift was invisible until the subscriber's
+    // downstream tooling missed its files. It must warn and count.
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let cfg = parse_config(
+        r#"
+        feed EVENTS { pattern "EVENT_%i.log"; }
+        subscriber sink {
+            endpoint "sink";
+            subscribe EVENTS;
+            delivery push;
+            deadline 60s;
+            dest "%Y/%m/%f";
+        }
+        "#,
+    )
+    .unwrap();
+    let mut server = Server::new("b", cfg, clock.clone(), store).unwrap();
+    server.deposit("EVENT_7.log", b"x").unwrap();
+
+    assert_eq!(server.stats().deliveries, 1, "delivery itself still lands");
+    assert_eq!(
+        server.telemetry().counter_value("delivery.dest_fallback"),
+        Some(1),
+        "fallback must be counted"
+    );
+    assert_eq!(server.event_log().count(LogLevel::Warn), 1);
+    let warned = server
+        .event_log()
+        .recent()
+        .iter()
+        .any(|e| e.message.contains("dest template") && e.message.contains("sink"));
+    assert!(warned, "fallback must name the subscriber and the template");
+}
+
+#[test]
+fn dest_template_success_does_not_count_fallback() {
+    // control: a renderable dest template never touches the fallback
+    // counter or the warn log
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let cfg = parse_config(
+        r#"
+        feed SNMP/MEMORY { pattern "MEMORY_poller%i_%Y%m%d.gz"; }
+        subscriber wh {
+            endpoint "wh";
+            subscribe SNMP/MEMORY;
+            delivery push;
+            deadline 60s;
+            dest "incoming/%Y/%m/%d/%f";
+        }
+        "#,
+    )
+    .unwrap();
+    let mut server = Server::new("b", cfg, clock.clone(), store).unwrap();
+    server.deposit("MEMORY_poller1_20100925.gz", b"x").unwrap();
+    assert_eq!(server.stats().deliveries, 1);
+    assert_eq!(
+        server.telemetry().counter_value("delivery.dest_fallback"),
+        Some(0)
+    );
+    assert_eq!(server.event_log().count(LogLevel::Warn), 0);
+}
+
+#[test]
+fn endpoint_ack_lookup_tracks_churn() {
+    // the endpoint→subscriber map behind ack resolution must follow
+    // registration, shared-endpoint ties (lexicographically-first, as
+    // the scan it replaced resolved them), removal, and rename
+    // (remove + re-add under a new name, keeping the endpoint)
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let mut server = new_server(clock.clone(), store);
+
+    assert_eq!(
+        server.resolve_endpoint("warehouse").as_deref(),
+        Some("warehouse")
+    );
+    assert_eq!(server.resolve_endpoint("nobody"), None);
+
+    // a second subscriber sharing the endpoint wins the tie by name
+    let aard = bistro_config::SubscriberDef {
+        name: "aardvark".to_string(),
+        endpoint: "warehouse".to_string(),
+        subscriptions: vec!["SNMP/CPU".to_string()],
+        delivery: bistro_config::DeliveryMode::Push,
+        deadline: TimeSpan::from_mins(5),
+        batch: bistro_config::BatchSpec::per_file(),
+        trigger: None,
+        dest: None,
+    };
+    server.add_subscriber(aard).unwrap();
+    assert_eq!(
+        server.resolve_endpoint("warehouse").as_deref(),
+        Some("aardvark")
+    );
+
+    // removal restores the survivor; removing it empties the slot
+    server.remove_subscriber("aardvark").unwrap();
+    assert_eq!(
+        server.resolve_endpoint("warehouse").as_deref(),
+        Some("warehouse")
+    );
+    server.remove_subscriber("warehouse").unwrap();
+    assert_eq!(server.resolve_endpoint("warehouse"), None);
+
+    // rename: the old name re-registered under a new one, same endpoint
+    let renamed = bistro_config::SubscriberDef {
+        name: "warehouse-v2".to_string(),
+        endpoint: "warehouse".to_string(),
+        subscriptions: vec!["SNMP".to_string()],
+        delivery: bistro_config::DeliveryMode::Push,
+        deadline: TimeSpan::from_mins(5),
+        batch: bistro_config::BatchSpec::per_file(),
+        trigger: None,
+        dest: None,
+    };
+    server.add_subscriber(renamed).unwrap();
+    assert_eq!(
+        server.resolve_endpoint("warehouse").as_deref(),
+        Some("warehouse-v2")
+    );
+
+    // after all that churn the delivery match must still agree with the
+    // brute-force scan, and deliveries must flow to the new name
+    let feeds = vec!["SNMP/MEMORY".to_string()];
+    assert_eq!(
+        server.match_via_index(&feeds),
+        server.match_via_scan(&feeds)
+    );
+    server.deposit("MEMORY_poller1_20100928.gz", b"x").unwrap();
+    assert!(server
+        .receipts()
+        .pending_for("warehouse-v2", &feeds)
+        .is_empty());
+}
+
+#[test]
+fn add_subscriber_rejection_rolls_back_config() {
+    // a rejected runtime registration (duplicate name) must not leave
+    // the dangling def in the config — it used to, poisoning every
+    // later validate() call on this server
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let mut server = new_server(clock.clone(), store);
+
+    let dup = bistro_config::SubscriberDef {
+        name: "warehouse".to_string(), // already configured
+        endpoint: "elsewhere".to_string(),
+        subscriptions: vec!["SNMP".to_string()],
+        delivery: bistro_config::DeliveryMode::Push,
+        deadline: TimeSpan::from_mins(5),
+        batch: bistro_config::BatchSpec::per_file(),
+        trigger: None,
+        dest: None,
+    };
+    assert!(server.add_subscriber(dup).is_err());
+    assert_eq!(server.config().subscribers.len(), 2, "rolled back");
+
+    // the server still accepts a valid registration afterwards
+    let ok = bistro_config::SubscriberDef {
+        name: "fresh".to_string(),
+        endpoint: "fresh".to_string(),
+        subscriptions: vec!["SNMP".to_string()],
+        delivery: bistro_config::DeliveryMode::Push,
+        deadline: TimeSpan::from_mins(5),
+        batch: bistro_config::BatchSpec::per_file(),
+        trigger: None,
+        dest: None,
+    };
+    server.add_subscriber(ok).unwrap();
+    assert_eq!(server.resolve_endpoint("fresh").as_deref(), Some("fresh"));
+}
+
+#[test]
+fn grouped_member_cannot_be_removed() {
+    // a relay-group member's delivery rides the shared plan; removing
+    // it individually would silently shrink the tree's coverage bitmap
+    let clock = SimClock::starting_at(START);
+    let store = MemFs::shared(clock.clone());
+    let cfg = parse_config(
+        r#"
+        feed SNMP/MEMORY { pattern "MEMORY_poller%i_%Y%m%d.gz"; }
+        subscriber wh1 { endpoint "wh1"; subscribe SNMP/MEMORY; }
+        subscriber wh2 { endpoint "wh2"; subscribe SNMP/MEMORY; }
+        group EDGE { members wh1, wh2; relay "edge"; }
+        "#,
+    )
+    .unwrap();
+    let mut server = Server::new("hub", cfg, clock.clone(), store).unwrap();
+    let err = server.remove_subscriber("wh1").unwrap_err();
+    assert!(matches!(
+        err,
+        bistro_core::ServerError::GroupedSubscriber(_)
+    ));
+    // still resolvable and still matched through the group plan
+    assert_eq!(server.resolve_endpoint("wh1").as_deref(), Some("wh1"));
+    let feeds = vec!["SNMP/MEMORY".to_string()];
+    assert_eq!(
+        server.match_via_index(&feeds),
+        server.match_via_scan(&feeds)
+    );
+}

@@ -84,6 +84,14 @@ impl Gauge {
         }
     }
 
+    /// Shift the level by `delta` (delta-tracking gauges: live index
+    /// postings, queue occupancy maintained at enqueue/dequeue).
+    pub fn add(&self, delta: i64) {
+        if self.enabled {
+            self.v.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
     /// Raise the level to at least `v` (running-maximum gauges).
     pub fn set_max(&self, v: i64) {
         if self.enabled {
